@@ -1,0 +1,74 @@
+// R-F3 — Copy-and-constrain distributed scaling.
+//
+// Sites 1..8 on the partitionable workloads: wall time, speedup vs one
+// site, messages per cycle, and broadcast count. Stands in for the
+// PARADISER network-of-workstations measurements (see DESIGN.md
+// substitution notes: sites are simulated in-process with explicit
+// message accounting).
+#include <algorithm>
+#include <vector>
+
+#include "bench_util.hpp"
+
+using namespace parulel;
+using namespace parulel::bench;
+
+namespace {
+
+DistStats run_dist(const Program& p, const workloads::Workload& w,
+                   unsigned sites) {
+  PartitionScheme scheme(p, w.partition);
+  DistConfig cfg;
+  cfg.sites = sites;
+  DistributedEngine engine(p, std::move(scheme), cfg);
+  engine.assert_initial_facts();
+  return engine.run();
+}
+
+double median_wall_ms(const Program& p, const workloads::Workload& w,
+                      unsigned sites, int reps) {
+  std::vector<double> walls;
+  for (int r = 0; r < reps; ++r) {
+    walls.push_back(ms(run_dist(p, w, sites).run.wall_ns));
+  }
+  std::sort(walls.begin(), walls.end());
+  return walls[walls.size() / 2];
+}
+
+}  // namespace
+
+int main() {
+  header("R-F3", "distributed scaling (simulated sites, message-counted)");
+
+  const workloads::Workload all[] = {
+      workloads::make_tc(192, 520, 7),
+      workloads::make_waltz(128),
+  };
+  constexpr int kReps = 3;
+
+  for (const auto& w : all) {
+    const Program p = parse_program(w.source);
+    std::printf("\n%s — %s\n", w.name.c_str(), w.description.c_str());
+    std::printf("%6s %10s %10s %10s %10s %10s %8s\n", "sites", "wall-ms",
+                "sim-ms", "sim-spdup", "messages", "bcasts", "cycles");
+    double sim_base = 0;
+    for (unsigned sites : {1u, 2u, 4u, 8u}) {
+      const double wall = median_wall_ms(p, w, sites, kReps);
+      const DistStats s = run_dist(p, w, sites);  // counters run
+      const double sim = ms(s.sim_wall_ns);
+      if (sites == 1) sim_base = sim;
+      std::printf("%6u %10.1f %10.1f %10.2f %10llu %10llu %8llu\n", sites,
+                  wall, sim, sim_base / sim,
+                  static_cast<unsigned long long>(s.messages),
+                  static_cast<unsigned long long>(s.broadcasts),
+                  static_cast<unsigned long long>(s.run.cycles));
+    }
+  }
+  std::printf("\nsim-ms: per cycle, slowest site's compute time plus the\n"
+              "serial routing — what concurrent sites would take (on a\n"
+              "single-core host wall-ms cannot show overlap; DESIGN.md).\n"
+              "Expected shape: simulated speedup grows with sites while\n"
+              "the partition keeps firings local (waltz: zero messages);\n"
+              "message volume, where present, grows with sites.\n");
+  return 0;
+}

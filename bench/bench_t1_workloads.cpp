@@ -1,0 +1,37 @@
+// R-T1 — Workload characteristics table.
+//
+// Columns: rules, meta-rules, templates, initial facts, total firings to
+// quiescence, peak conflict-set size (under the PARULEL engine).
+#include "bench_util.hpp"
+
+using namespace parulel;
+using namespace parulel::bench;
+
+int main() {
+  header("R-T1", "workload characteristics");
+
+  struct Row {
+    workloads::Workload workload;
+  };
+  const workloads::Workload all[] = {
+      workloads::make_tc(64, 160, 7),
+      workloads::make_sieve(400, false),
+      workloads::make_sieve(400, true),
+      workloads::make_waltz(16),
+      workloads::make_manners(32, 6, 11),
+      workloads::make_synth(4, 60, 12, 13),
+  };
+
+  std::printf("%-12s %6s %6s %6s %8s %9s %9s\n", "workload", "rules",
+              "meta", "tmpls", "facts", "firings", "peak-cs");
+  for (const auto& w : all) {
+    const Program p = parse_program(w.source);
+    const RunStats stats = run_parallel(p, 4);
+    std::printf("%-12s %6zu %6zu %6zu %8zu %9llu %9llu\n", w.name.c_str(),
+                p.rules.size(), p.meta_rules.size(), p.schema.size(),
+                p.initial_facts.size(),
+                static_cast<unsigned long long>(stats.total_firings),
+                static_cast<unsigned long long>(stats.peak_conflict_set));
+  }
+  return 0;
+}

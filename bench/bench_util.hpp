@@ -1,0 +1,49 @@
+// Shared helpers for the experiment harness binaries.
+//
+// Each bench binary regenerates one table or figure of the (reconstructed)
+// PARULEL evaluation — see DESIGN.md's experiment index. Output format is
+// aligned text columns so the shapes are readable straight off a terminal
+// and diffable across runs.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "parulel.hpp"
+
+namespace parulel::bench {
+
+inline RunStats run_sequential(const Program& p, MatcherKind matcher,
+                               Strategy strategy = Strategy::Lex,
+                               std::uint64_t max_cycles = 10'000'000) {
+  EngineConfig cfg;
+  cfg.matcher = matcher;
+  cfg.strategy = strategy;
+  cfg.max_cycles = max_cycles;
+  SequentialEngine engine(p, cfg);
+  engine.assert_initial_facts();
+  return engine.run();
+}
+
+inline RunStats run_parallel(const Program& p, unsigned threads,
+                             bool trace = false) {
+  EngineConfig cfg;
+  cfg.threads = threads;
+  cfg.matcher = MatcherKind::ParallelTreat;
+  cfg.trace_cycles = trace;
+  ParallelEngine engine(p, cfg);
+  engine.assert_initial_facts();
+  return engine.run();
+}
+
+inline double ms(std::uint64_t ns) {
+  return static_cast<double>(ns) / 1e6;
+}
+
+inline void header(const std::string& id, const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s  %s\n", id.c_str(), title.c_str());
+  std::printf("================================================================\n");
+}
+
+}  // namespace parulel::bench

@@ -1,0 +1,145 @@
+// parulel_cli: load a PARULEL program from a file and run it.
+//
+// Usage:
+//   parulel_cli <program.clp> [--engine seq|par] [--threads N]
+//               [--strategy lex|mea|first|random] [--matcher rete|treat]
+//               [--max-cycles N] [--trace] [--dump-wm]
+//
+// The hello-world of the repository:
+//   ./parulel_cli ../examples/programs/greetings.clp --engine par
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "parulel.hpp"
+
+namespace {
+
+int usage() {
+  std::cerr
+      << "usage: parulel_cli <program.clp> [options]\n"
+         "  --engine seq|par       engine (default par)\n"
+         "  --threads N            worker threads for par (default: cores)\n"
+         "  --strategy lex|mea|first|random   seq conflict resolution\n"
+         "  --matcher rete|treat   seq match algorithm (default rete)\n"
+         "  --max-cycles N         cycle cap (default 1000000)\n"
+         "  --trace                print per-cycle stats\n"
+         "  --dump-wm              print final working memory\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+
+  std::string engine_kind = "par";
+  unsigned threads = parulel::ThreadPool::default_threads();
+  parulel::Strategy strategy = parulel::Strategy::Lex;
+  parulel::MatcherKind seq_matcher = parulel::MatcherKind::Rete;
+  std::uint64_t max_cycles = 1'000'000;
+  bool trace = false, dump_wm = false;
+
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << "missing value for " << arg << "\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--engine") {
+      engine_kind = value();
+    } else if (arg == "--threads") {
+      threads = static_cast<unsigned>(std::stoul(value()));
+    } else if (arg == "--strategy") {
+      const std::string s = value();
+      if (s == "lex") strategy = parulel::Strategy::Lex;
+      else if (s == "mea") strategy = parulel::Strategy::Mea;
+      else if (s == "first") strategy = parulel::Strategy::First;
+      else if (s == "random") strategy = parulel::Strategy::Random;
+      else return usage();
+    } else if (arg == "--matcher") {
+      const std::string m = value();
+      if (m == "rete") seq_matcher = parulel::MatcherKind::Rete;
+      else if (m == "treat") seq_matcher = parulel::MatcherKind::Treat;
+      else return usage();
+    } else if (arg == "--max-cycles") {
+      max_cycles = std::stoull(value());
+    } else if (arg == "--trace") {
+      trace = true;
+    } else if (arg == "--dump-wm") {
+      dump_wm = true;
+    } else {
+      return usage();
+    }
+  }
+
+  std::ifstream in(argv[1]);
+  if (!in) {
+    std::cerr << "cannot open " << argv[1] << "\n";
+    return 1;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+
+  try {
+    const parulel::Program program = parulel::parse_program(buffer.str());
+    std::cout << "loaded: " << program.rules.size() << " rules, "
+              << program.meta_rules.size() << " meta-rules, "
+              << program.schema.size() << " templates, "
+              << program.initial_facts.size() << " initial facts\n";
+
+    parulel::EngineConfig cfg;
+    cfg.threads = threads;
+    cfg.max_cycles = max_cycles;
+    cfg.trace_cycles = trace;
+    cfg.strategy = strategy;
+    cfg.output = &std::cout;
+
+    std::unique_ptr<parulel::Engine> engine;
+    if (engine_kind == "par") {
+      cfg.matcher = parulel::MatcherKind::ParallelTreat;
+      engine = std::make_unique<parulel::ParallelEngine>(program, cfg);
+    } else if (engine_kind == "seq") {
+      cfg.matcher = seq_matcher;
+      engine = std::make_unique<parulel::SequentialEngine>(program, cfg);
+    } else {
+      return usage();
+    }
+
+    engine->assert_initial_facts();
+    const parulel::RunStats stats = engine->run();
+    std::cout << "[" << engine->name() << "] " << stats.summary() << "\n";
+
+    if (trace) {
+      std::cout << "cycle  conflict-set  redacted  fired  asserts  retracts\n";
+      for (const auto& c : stats.per_cycle) {
+        std::cout << "  " << c.cycle << "\t" << c.conflict_set_size << "\t\t"
+                  << c.redacted << "\t  " << c.fired << "\t " << c.asserts
+                  << "\t  " << c.retracts << "\n";
+      }
+    }
+    if (dump_wm) {
+      const auto& wm = engine->wm();
+      std::cout << "final working memory (" << wm.alive_count()
+                << " facts):\n";
+      for (parulel::FactId id = 1; id <= wm.high_water(); ++id) {
+        if (wm.alive(id)) {
+          std::cout << "  f-" << id << " "
+                    << wm.to_string(id, *program.symbols) << "\n";
+        }
+      }
+    }
+    return 0;
+  } catch (const parulel::ParseError& e) {
+    std::cerr << "parse error: " << e.what() << "\n";
+    return 1;
+  } catch (const parulel::RuntimeError& e) {
+    std::cerr << "runtime error: " << e.what() << "\n";
+    return 1;
+  }
+}

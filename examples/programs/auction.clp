@@ -1,0 +1,33 @@
+; Sealed-bid auction: meta-rules as programmable conflict resolution.
+;
+;   parulel_cli auction.clp --engine par --trace --dump-wm
+;
+; Every bid proposes a win; the meta-rule redacts every proposal except
+; the highest bid per item (ties: earliest instantiation). Exactly one
+; `won` fact per item survives — the kind of "pick the best, atomically,
+; per cycle" logic OPS5 buried in its conflict-resolution strategy and
+; PARULEL lets you write as rules.
+
+(deftemplate bid (slot item) (slot bidder) (slot amount))
+(deftemplate won (slot item) (slot bidder) (slot amount))
+
+(defrule award
+  (bid (item ?i) (bidder ?b) (amount ?amt))
+  (not (won (item ?i)))
+  =>
+  (assert (won (item ?i) (bidder ?b) (amount ?amt))))
+
+(defmetarule highest-bid-wins
+  (inst-award (id ?x) (i ?item) (amt ?a1))
+  (inst-award (id ?y) (i ?item) (amt ?a2))
+  (test (or (> ?a1 ?a2) (and (== ?a1 ?a2) (< ?x ?y))))
+  =>
+  (redact ?y))
+
+(deffacts bids
+  (bid (item painting) (bidder ada)     (amount 300))
+  (bid (item painting) (bidder grace)   (amount 450))
+  (bid (item painting) (bidder edsger)  (amount 450))
+  (bid (item clock)    (bidder ada)     (amount 120))
+  (bid (item clock)    (bidder barbara) (amount 80))
+  (bid (item rug)      (bidder edsger)  (amount 60)))

@@ -1,0 +1,24 @@
+; Hello-world: everyone greets everyone else, once, in parallel.
+;
+;   parulel_cli greetings.clp --engine par --trace
+;
+; All greetings happen in ONE cycle under PARULEL semantics; the
+; sequential engine needs one cycle per pair.
+
+(deftemplate person (slot name))
+(deftemplate greeted (slot from) (slot to))
+
+(defrule greet
+  (person (name ?a))
+  (person (name ?b))
+  (test (!= ?a ?b))
+  (not (greeted (from ?a) (to ?b)))
+  =>
+  (printout ?a " greets " ?b)
+  (assert (greeted (from ?a) (to ?b))))
+
+(deffacts people
+  (person (name ada))
+  (person (name grace))
+  (person (name edsger))
+  (person (name barbara)))

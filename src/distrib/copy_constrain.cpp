@@ -1,0 +1,80 @@
+#include "distrib/copy_constrain.hpp"
+
+#include <optional>
+
+#include "support/error.hpp"
+
+namespace parulel {
+namespace {
+
+/// Variable bound at `slot` in this pattern, if any.
+std::optional<VarId> var_at(const CompiledPattern& pat, int slot) {
+  for (const auto& def : pat.defines) {
+    if (def.slot == slot) return def.var;
+  }
+  for (const auto& eq : pat.join_eqs) {
+    if (eq.slot == slot) return eq.var;
+  }
+  return std::nullopt;
+}
+
+CompiledExpr own_site_guard(VarId var, unsigned site, unsigned nsites) {
+  CompiledExpr guard;
+  guard.op = ExprOp::OwnSite;
+  guard.args.push_back(CompiledExpr::make_var(var));
+  guard.args.push_back(CompiledExpr::make_const(
+      Value::integer(static_cast<std::int64_t>(site))));
+  guard.args.push_back(CompiledExpr::make_const(
+      Value::integer(static_cast<std::int64_t>(nsites))));
+  return guard;
+}
+
+}  // namespace
+
+Program constrain_copy(const Program& base, const PartitionScheme& scheme,
+                       unsigned site, unsigned nsites) {
+  Program copy = base;  // deep copy of schema/rules/alphas; shared symbols
+
+  for (auto& rule : copy.rules) {
+    // First positive pattern of a partitioned template anchors the
+    // rule's slice; validated schemes co-locate the rest on the same
+    // partition variable.
+    bool anchored = false;
+    for (std::size_t p = 0; p < rule.positives.size() && !anchored; ++p) {
+      const CompiledPattern& pat = rule.positives[p];
+      const int pslot = scheme.partition_slot(pat.tmpl);
+      if (pslot < 0) continue;
+      const auto var = var_at(pat, pslot);
+      if (!var) {
+        throw RuntimeError(
+            "copy-and-constrain: rule '" +
+            std::string(copy.symbols->name(rule.name)) +
+            "' binds no variable at the partition slot of its first "
+            "partitioned pattern");
+      }
+      // Attach at this pattern's position: the variable is bound by (or
+      // checked against) this very pattern, so the guard prunes as
+      // early as possible.
+      rule.guards[p].push_back(own_site_guard(*var, site, nsites));
+      anchored = true;
+    }
+    if (anchored) continue;
+    // No partitioned positive pattern: a quantified CE whose partition
+    // slot joins a positive-bound variable still anchors the slice (the
+    // rule's output ownership follows that variable — e.g. tc's `base`
+    // rule, whose only partitioned pattern is the (not (path ...))
+    // guard on what it asserts). Rules with no anchor at all run
+    // unchanged on every site and dedupe under set semantics.
+    for (const auto& pat : rule.negatives) {
+      const int pslot = scheme.partition_slot(pat.tmpl);
+      if (pslot < 0) continue;
+      const auto var = var_at(pat, pslot);
+      if (!var) continue;  // local existential: cannot slice
+      rule.guards.back().push_back(own_site_guard(*var, site, nsites));
+      break;
+    }
+  }
+  return copy;
+}
+
+}  // namespace parulel

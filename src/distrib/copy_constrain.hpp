@@ -1,0 +1,36 @@
+// The literal copy-and-constrain transformation.
+//
+// Stolfo's technique, as published: replicate every rule once per site
+// and ADD A CONSTRAINT to each copy so that it can only match the
+// site's slice of working memory. The DistributedEngine realizes the
+// same semantics by routing facts; this module produces the actual
+// constrained rule copies — the artifact the original papers describe —
+// so the equivalence can be demonstrated directly: running each site's
+// constrained program over the FULL fact set and unioning the results
+// must equal one unconstrained run.
+//
+// Mechanically: for each rule, the first positive pattern of a
+// partitioned template contributes its partition-slot variable `?v`,
+// and the copy for site k of S gains the guard
+//
+//     hash(?v) mod S == k        (internal ExprOp::OwnSite)
+//
+// Rules with no partitioned positive pattern run unchanged on every
+// site (their results dedupe under set semantics).
+#pragma once
+
+#include "distrib/partition.hpp"
+#include "lang/program.hpp"
+
+namespace parulel {
+
+/// Site `site`'s constrained copy of `base` (site in [0, nsites)).
+/// The copy shares the symbol table; schema, rules, and alphas are
+/// duplicated with guards injected. Throws RuntimeError when a rule has
+/// a partitioned positive pattern whose partition slot is bound to no
+/// variable (constant/wildcard), since its slice membership would be
+/// unknowable at match time.
+Program constrain_copy(const Program& base, const PartitionScheme& scheme,
+                       unsigned site, unsigned nsites);
+
+}  // namespace parulel

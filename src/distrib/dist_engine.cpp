@@ -1,0 +1,320 @@
+#include "distrib/dist_engine.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "match/treat.hpp"
+#include "support/error.hpp"
+#include "support/timer.hpp"
+
+namespace parulel {
+
+/// A content-addressed cross-site operation. Retracts carry content, not
+/// ids — fact ids are site-local.
+struct DistributedEngine::Message {
+  enum class Kind : std::uint8_t { Assert, Retract };
+  Kind kind = Kind::Assert;
+  TemplateId tmpl = kInvalidTemplate;
+  std::vector<Value> slots;
+};
+
+struct DistributedEngine::Site {
+  explicit Site(const Program& program)
+      : wm(program.schema),
+        matcher(program.rules, program.alphas, program.schema.size()) {}
+
+  WorkingMemory wm;
+  TreatMatcher matcher;
+  std::vector<Message> inbox;
+  std::vector<PendingOps> pending;  ///< this cycle's buffered firings
+  std::uint64_t firings = 0;
+  std::uint64_t busy_ns = 0;        ///< this cycle's compute time
+  std::uint64_t redactions_this_cycle = 0;
+  bool work_done_this_cycle = false;
+};
+
+DistributedEngine::DistributedEngine(const Program& program,
+                                     PartitionScheme scheme,
+                                     DistConfig config)
+    : program_(program),
+      scheme_(std::move(scheme)),
+      config_(config),
+      meta_(program) {
+  if (config_.sites == 0) config_.sites = 1;
+  if (config_.strict_partitioning) {
+    const auto offending = scheme_.validate(program_);
+    if (!offending.empty()) {
+      std::ostringstream os;
+      os << "partition scheme cannot co-locate rules:";
+      for (const auto& name : offending) os << ' ' << name;
+      throw RuntimeError(os.str());
+    }
+  }
+  const unsigned threads =
+      config_.threads == 0 ? config_.sites : config_.threads;
+  pool_ = std::make_unique<ThreadPool>(threads);
+  sites_.reserve(config_.sites);
+  for (unsigned s = 0; s < config_.sites; ++s) {
+    sites_.push_back(std::make_unique<Site>(program_));
+  }
+}
+
+DistributedEngine::~DistributedEngine() = default;
+
+const WorkingMemory& DistributedEngine::site_wm(unsigned site) const {
+  return sites_[site]->wm;
+}
+
+void DistributedEngine::assert_initial_facts() {
+  for (const auto& fact : program_.initial_facts) {
+    if (scheme_.replicated(fact.tmpl)) {
+      for (auto& site : sites_) {
+        site->wm.assert_fact(fact.tmpl, fact.slots);
+      }
+    } else {
+      const unsigned owner =
+          scheme_.site_of(fact.tmpl, fact.slots, config_.sites);
+      sites_[owner]->wm.assert_fact(fact.tmpl, fact.slots);
+    }
+  }
+}
+
+void DistributedEngine::route_op(unsigned from_site, const PendingOp& op,
+                                 const WorkingMemory& from_wm,
+                                 DistStats& stats) {
+  auto deliver = [&](unsigned to, Message msg) {
+    if (to == from_site) {
+      // Local: apply immediately, preserving op order at this site.
+      auto& wm = sites_[to]->wm;
+      if (msg.kind == Message::Kind::Assert) {
+        wm.assert_fact(msg.tmpl, std::move(msg.slots));
+      } else if (auto id = wm.find(msg.tmpl, msg.slots)) {
+        wm.retract(*id);
+      }
+    } else {
+      sites_[to]->inbox.push_back(std::move(msg));
+      ++stats.messages;
+    }
+  };
+
+  auto route_content = [&](Message msg) {
+    if (scheme_.replicated(msg.tmpl)) {
+      ++stats.broadcasts;
+      for (unsigned s = 0; s < config_.sites; ++s) deliver(s, msg);
+    } else {
+      // Compute the owner before moving: argument evaluation order
+      // would otherwise be allowed to gut msg.slots first.
+      const unsigned owner =
+          scheme_.site_of(msg.tmpl, msg.slots, config_.sites);
+      deliver(owner, std::move(msg));
+    }
+  };
+
+  switch (op.kind) {
+    case PendingOp::Kind::Assert: {
+      Message msg;
+      msg.kind = Message::Kind::Assert;
+      msg.tmpl = op.tmpl;
+      msg.slots = op.slots;
+      route_content(std::move(msg));
+      break;
+    }
+    case PendingOp::Kind::Retract: {
+      const Fact& fact = from_wm.fact(op.retract_id);
+      Message msg;
+      msg.kind = Message::Kind::Retract;
+      msg.tmpl = fact.tmpl;
+      msg.slots = fact.slots;
+      route_content(std::move(msg));
+      break;
+    }
+    case PendingOp::Kind::Modify: {
+      const Fact& fact = from_wm.fact(op.retract_id);
+      Message retract;
+      retract.kind = Message::Kind::Retract;
+      retract.tmpl = fact.tmpl;
+      retract.slots = fact.slots;
+      route_content(std::move(retract));
+      Message assert_msg;
+      assert_msg.kind = Message::Kind::Assert;
+      assert_msg.tmpl = op.tmpl;
+      assert_msg.slots = op.slots;
+      route_content(std::move(assert_msg));
+      break;
+    }
+  }
+}
+
+bool DistributedEngine::cycle(DistStats& stats) {
+  // Phase 1 (sequential, ordered): drain inboxes.
+  bool any_inbox = false;
+  for (auto& site : sites_) {
+    if (site->inbox.empty()) continue;
+    any_inbox = true;
+    for (auto& msg : site->inbox) {
+      if (msg.kind == Message::Kind::Assert) {
+        site->wm.assert_fact(msg.tmpl, std::move(msg.slots));
+      } else if (auto id = site->wm.find(msg.tmpl, msg.slots)) {
+        site->wm.retract(*id);
+      }
+    }
+    site->inbox.clear();
+  }
+
+  // Phase 2 (parallel): per-site match + redact + fire-buffered.
+  CycleStats cycle_stats;
+  {
+    ScopedAccumulator t(cycle_stats.match_ns);  // dominant phase
+    std::vector<std::function<void(unsigned)>> jobs;
+    jobs.reserve(sites_.size());
+    for (auto& site_ptr : sites_) {
+      Site* site = site_ptr.get();
+      jobs.push_back([this, site](unsigned) {
+        Timer busy;
+        site->pending.clear();
+        site->work_done_this_cycle = false;
+        site->redactions_this_cycle = 0;
+        [&] {
+          site->matcher.apply_delta(site->wm, site->wm.drain_delta());
+          ConflictSet& cs = site->matcher.conflict_set();
+          const std::vector<InstId> eligible = cs.alive_ids();
+          if (eligible.empty()) return;
+
+          std::vector<InstId> to_fire;
+          if (meta_.active()) {
+            const MetaOutcome outcome =
+                meta_.run(site->wm, cs, eligible, nullptr);
+            site->redactions_this_cycle = outcome.redacted.size();
+            std::set_difference(eligible.begin(), eligible.end(),
+                                outcome.redacted.begin(),
+                                outcome.redacted.end(),
+                                std::back_inserter(to_fire));
+          } else {
+            to_fire = eligible;
+          }
+          if (to_fire.empty()) return;
+
+          site->work_done_this_cycle = true;
+          site->pending.resize(to_fire.size());
+          for (std::size_t i = 0; i < to_fire.size(); ++i) {
+            fire_buffered(program_, cs.get(to_fire[i]), site->wm,
+                          site->pending[i]);
+            cs.mark_fired(to_fire[i]);
+            ++site->firings;
+          }
+        }();
+        site->busy_ns = busy.elapsed_ns();
+      });
+    }
+    pool_->run_batch(jobs);
+  }
+
+  // Simulated concurrent wall time: sites overlap, routing is serial.
+  std::uint64_t slowest_site = 0;
+  for (const auto& site : sites_) {
+    slowest_site = std::max(slowest_site, site->busy_ns);
+  }
+  stats.sim_wall_ns += slowest_site;
+
+  // Phase 3 (sequential, ordered): routing and local application.
+  std::uint64_t cycle_messages_before = stats.messages;
+  bool any_fired = false;
+  {
+    ScopedAccumulator t(cycle_stats.merge_ns);
+    for (unsigned s = 0; s < sites_.size(); ++s) {
+      Site& site = *sites_[s];
+      for (const auto& pending : site.pending) {
+        any_fired = true;
+        for (const auto& op : pending.ops) {
+          route_op(s, op, site.wm, stats);
+        }
+        if (config_.output && !pending.printout.empty()) {
+          *config_.output << pending.printout;
+        }
+        if (pending.halt) halted_ = true;
+        cycle_stats.fired += 1;
+      }
+      site.pending.clear();
+    }
+  }
+
+  // Routing/merge is serial in both the simulation and real deployments
+  // (it models the coordinator applying the cycle's committed updates).
+  stats.sim_wall_ns += cycle_stats.merge_ns;
+
+  for (const auto& site : sites_) {
+    cycle_stats.conflict_set_size += site->matcher.conflict_set().size();
+    cycle_stats.redacted += site->redactions_this_cycle;
+  }
+  stats.run.absorb(cycle_stats);
+  if (config_.trace_cycles) {
+    stats.run.per_cycle.push_back(cycle_stats);
+    stats.per_cycle_messages.push_back(stats.messages -
+                                       cycle_messages_before);
+  }
+
+  if (halted_) {
+    stats.run.halted = true;
+    return false;
+  }
+  // Quiescence: no firings, no pending inter-site traffic, and the
+  // inboxes we drained this cycle were empty too.
+  bool inbox_pending = false;
+  for (const auto& site : sites_) {
+    if (!site->inbox.empty()) inbox_pending = true;
+  }
+  if (!any_fired && !inbox_pending && !any_inbox) {
+    stats.run.quiescent = true;
+    return false;
+  }
+  return true;
+}
+
+DistStats DistributedEngine::run() {
+  DistStats stats;
+  Timer wall;
+  while (stats.run.cycles < config_.max_cycles) {
+    if (!cycle(stats)) break;
+  }
+  stats.run.wall_ns = wall.elapsed_ns();
+  stats.per_site_firings.clear();
+  for (const auto& site : sites_) {
+    stats.per_site_firings.push_back(site->firings);
+  }
+  return stats;
+}
+
+std::uint64_t DistributedEngine::global_fingerprint() const {
+  // Distinct alive contents across all sites (replicated facts dedupe).
+  // Dedup verifies full content equality, never hash alone.
+  std::unordered_multimap<std::uint64_t, const Fact*> seen;
+  std::uint64_t fp = 0x5bd1e995u;
+  for (const auto& site : sites_) {
+    const WorkingMemory& wm = site->wm;
+    for (FactId id = 1; id <= wm.high_water(); ++id) {
+      if (!wm.alive(id)) continue;
+      const Fact& fact = wm.fact(id);
+      const std::uint64_t raw = fact.content_hash();
+      bool duplicate = false;
+      auto [lo, hi] = seen.equal_range(raw);
+      for (auto it = lo; it != hi; ++it) {
+        if (it->second->same_content(fact)) {
+          duplicate = true;
+          break;
+        }
+      }
+      if (duplicate) continue;
+      seen.emplace(raw, &fact);
+      std::uint64_t h = raw;
+      h ^= h >> 33;
+      h *= 0xff51afd7ed558ccdULL;
+      h ^= h >> 33;
+      fp ^= h;
+    }
+  }
+  return fp;
+}
+
+}  // namespace parulel

@@ -1,0 +1,201 @@
+#include "engine/actions.hpp"
+
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace parulel {
+namespace {
+
+/// Evaluate the full new slot vector of an Assert action.
+std::vector<Value> eval_assert_slots(const CompiledAction& action,
+                                     std::span<const Value> env) {
+  std::vector<Value> slots;
+  slots.reserve(action.slot_values.size());
+  for (const auto& expr : action.slot_values) {
+    slots.push_back(expr.eval(env));
+  }
+  return slots;
+}
+
+/// New content of a Modify against the snapshot's current slots.
+std::vector<Value> eval_modified_slots(const CompiledAction& action,
+                                       const Fact& fact,
+                                       std::span<const Value> env) {
+  std::vector<Value> slots = fact.slots;
+  for (const auto& [slot, expr] : action.slot_updates) {
+    slots[static_cast<std::size_t>(slot)] = expr.eval(env);
+  }
+  return slots;
+}
+
+}  // namespace
+
+DirectFireResult fire_direct(const Program& program,
+                             const Instantiation& inst, WorkingMemory& wm,
+                             std::ostream* output) {
+  const CompiledRule& rule = program.rules[inst.rule];
+  std::vector<Value> env;
+  rebuild_env(
+      rule, inst.facts,
+      [&](FactId f) -> const Fact& { return wm.fact(f); }, env);
+
+  DirectFireResult result;
+  for (const auto& action : rule.actions) {
+    switch (action.kind) {
+      case CompiledAction::Kind::Assert: {
+        const FactId id =
+            wm.assert_fact(action.tmpl, eval_assert_slots(action, env));
+        if (id == kInvalidFact) {
+          ++result.duplicate_asserts;
+        } else {
+          ++result.asserts;
+        }
+        break;
+      }
+      case CompiledAction::Kind::Retract: {
+        const FactId target =
+            inst.facts[static_cast<std::size_t>(action.ce_index)];
+        if (wm.retract(target)) ++result.retracts;
+        break;
+      }
+      case CompiledAction::Kind::Modify: {
+        const FactId target =
+            inst.facts[static_cast<std::size_t>(action.ce_index)];
+        if (!wm.alive(target)) break;  // retracted earlier in this RHS
+        const std::vector<Value> slots =
+            eval_modified_slots(action, wm.fact(target), env);
+        ++result.retracts;
+        wm.retract(target);
+        if (wm.assert_fact(wm.fact(target).tmpl, slots) == kInvalidFact) {
+          ++result.duplicate_asserts;
+        } else {
+          ++result.asserts;
+        }
+        break;
+      }
+      case CompiledAction::Kind::Bind:
+        env[static_cast<std::size_t>(action.bind_var)] =
+            action.args[0].eval(env);
+        break;
+      case CompiledAction::Kind::Halt:
+        result.halt = true;
+        return result;
+      case CompiledAction::Kind::Printout: {
+        if (output) {
+          for (const auto& item : action.args) {
+            *output << item.eval(env).to_string(*program.symbols);
+          }
+          *output << '\n';
+        }
+        break;
+      }
+      case CompiledAction::Kind::Redact:
+        throw RuntimeError("redact reached an object-level firing");
+    }
+  }
+  return result;
+}
+
+void fire_buffered(const Program& program, const Instantiation& inst,
+                   const WorkingMemory& wm, PendingOps& out) {
+  const CompiledRule& rule = program.rules[inst.rule];
+  std::vector<Value> env;
+  rebuild_env(
+      rule, inst.facts,
+      [&](FactId f) -> const Fact& { return wm.fact(f); }, env);
+
+  std::ostringstream printout;
+  for (const auto& action : rule.actions) {
+    switch (action.kind) {
+      case CompiledAction::Kind::Assert: {
+        PendingOp op;
+        op.kind = PendingOp::Kind::Assert;
+        op.tmpl = action.tmpl;
+        op.slots = eval_assert_slots(action, env);
+        out.ops.push_back(std::move(op));
+        break;
+      }
+      case CompiledAction::Kind::Retract: {
+        PendingOp op;
+        op.kind = PendingOp::Kind::Retract;
+        op.retract_id = inst.facts[static_cast<std::size_t>(action.ce_index)];
+        out.ops.push_back(std::move(op));
+        break;
+      }
+      case CompiledAction::Kind::Modify: {
+        const FactId target =
+            inst.facts[static_cast<std::size_t>(action.ce_index)];
+        const Fact& fact = wm.fact(target);
+        PendingOp op;
+        op.kind = PendingOp::Kind::Modify;
+        op.retract_id = target;
+        op.tmpl = fact.tmpl;
+        op.slots = eval_modified_slots(action, fact, env);
+        out.ops.push_back(std::move(op));
+        break;
+      }
+      case CompiledAction::Kind::Bind:
+        env[static_cast<std::size_t>(action.bind_var)] =
+            action.args[0].eval(env);
+        break;
+      case CompiledAction::Kind::Halt:
+        out.halt = true;
+        out.printout += printout.str();
+        return;
+      case CompiledAction::Kind::Printout: {
+        for (const auto& item : action.args) {
+          printout << item.eval(env).to_string(*program.symbols);
+        }
+        printout << '\n';
+        break;
+      }
+      case CompiledAction::Kind::Redact:
+        throw RuntimeError("redact reached an object-level firing");
+    }
+  }
+  out.printout += printout.str();
+}
+
+void apply_pending(const PendingOps& pending, WorkingMemory& wm,
+                   std::ostream* output, MergeResult& result) {
+  for (const auto& op : pending.ops) {
+    switch (op.kind) {
+      case PendingOp::Kind::Assert: {
+        if (wm.assert_fact(op.tmpl, op.slots) == kInvalidFact) {
+          ++result.duplicate_asserts;
+        } else {
+          ++result.asserts;
+        }
+        break;
+      }
+      case PendingOp::Kind::Retract: {
+        if (wm.retract(op.retract_id)) {
+          ++result.retracts;
+        } else {
+          ++result.write_conflicts;
+        }
+        break;
+      }
+      case PendingOp::Kind::Modify: {
+        if (!wm.retract(op.retract_id)) {
+          // Another instantiation won the race for this fact; its view
+          // of the modify is void (first-writer-wins).
+          ++result.write_conflicts;
+          break;
+        }
+        ++result.retracts;
+        if (wm.assert_fact(op.tmpl, op.slots) == kInvalidFact) {
+          ++result.duplicate_asserts;
+        } else {
+          ++result.asserts;
+        }
+        break;
+      }
+    }
+  }
+  if (output && !pending.printout.empty()) *output << pending.printout;
+  if (pending.halt) result.halt = true;
+}
+
+}  // namespace parulel

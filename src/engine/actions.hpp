@@ -1,0 +1,73 @@
+// RHS action execution.
+//
+// Two modes:
+//  - direct: the sequential engine applies actions to working memory as
+//    they execute (OPS5 semantics);
+//  - buffered: the PARULEL parallel engine evaluates actions against an
+//    immutable WM snapshot into a PendingOps log, merged later. Buffered
+//    execution is what makes parallel firing race-free: RHS evaluation
+//    only reads, and all writes happen in one deterministic merge pass.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "lang/program.hpp"
+#include "match/instantiation.hpp"
+#include "wm/working_memory.hpp"
+
+namespace parulel {
+
+/// One buffered write. Modify is retract+assert fused so the merge can
+/// apply first-writer-wins atomically (losing the retract skips the
+/// paired assert).
+struct PendingOp {
+  enum class Kind : std::uint8_t { Assert, Retract, Modify };
+  Kind kind = Kind::Assert;
+  TemplateId tmpl = kInvalidTemplate;
+  std::vector<Value> slots;  // Assert / Modify (full new content)
+  FactId retract_id = kInvalidFact;  // Retract / Modify
+};
+
+/// Everything one instantiation's firing wants to do to the world.
+struct PendingOps {
+  std::vector<PendingOp> ops;
+  std::string printout;  ///< accumulated printout text
+  bool halt = false;
+};
+
+/// Outcome counters for a direct (sequential) firing.
+struct DirectFireResult {
+  std::uint64_t asserts = 0;
+  std::uint64_t retracts = 0;
+  std::uint64_t duplicate_asserts = 0;
+  bool halt = false;
+};
+
+/// Fire `inst` directly against `wm` (sequential engine).
+DirectFireResult fire_direct(const Program& program, const Instantiation& inst,
+                             WorkingMemory& wm, std::ostream* output);
+
+/// Evaluate `inst`'s RHS against `wm` as a read-only snapshot, buffering
+/// writes into `out` (parallel engine).
+void fire_buffered(const Program& program, const Instantiation& inst,
+                   const WorkingMemory& wm, PendingOps& out);
+
+/// Merge counters reported by apply_pending.
+struct MergeResult {
+  std::uint64_t asserts = 0;
+  std::uint64_t retracts = 0;
+  std::uint64_t duplicate_asserts = 0;
+  std::uint64_t write_conflicts = 0;
+  bool halt = false;
+};
+
+/// Apply one instantiation's buffered ops to `wm`; first-writer-wins on
+/// retract races (a failed retract counts as a write conflict and, for
+/// Modify, suppresses the paired assert).
+void apply_pending(const PendingOps& pending, WorkingMemory& wm,
+                   std::ostream* output, MergeResult& result);
+
+}  // namespace parulel

@@ -1,0 +1,143 @@
+#include "engine/par_engine.hpp"
+
+#include <algorithm>
+
+#include "engine/actions.hpp"
+#include "match/parallel_treat.hpp"
+#include "match/treat.hpp"
+#include "support/error.hpp"
+#include "support/timer.hpp"
+
+namespace parulel {
+
+ParallelEngine::ParallelEngine(const Program& program, EngineConfig config)
+    : program_(program),
+      config_(config),
+      wm_(program.schema),
+      pool_(std::make_unique<ThreadPool>(std::max(1u, config.threads))),
+      meta_(program) {
+  switch (config_.matcher) {
+    case MatcherKind::ParallelTreat:
+      matcher_ = std::make_unique<ParallelTreatMatcher>(
+          program_.rules, program_.alphas, program_.schema.size(), *pool_);
+      break;
+    case MatcherKind::Treat:
+      matcher_ = std::make_unique<TreatMatcher>(
+          program_.rules, program_.alphas, program_.schema.size());
+      break;
+    case MatcherKind::Rete:
+      throw RuntimeError(
+          "the parallel engine requires a TREAT-family matcher");
+  }
+}
+
+void ParallelEngine::assert_initial_facts() {
+  for (const auto& fact : program_.initial_facts) {
+    wm_.assert_fact(fact.tmpl, fact.slots);
+  }
+}
+
+bool ParallelEngine::step(RunStats& stats) {
+  if (halted_) return false;
+  CycleStats cycle;
+  cycle.cycle = stats.cycles;
+
+  // Phase 1: match.
+  {
+    ScopedAccumulator t(cycle.match_ns);
+    matcher_->apply_delta(wm_, wm_.drain_delta());
+  }
+  ConflictSet& cs = matcher_->conflict_set();
+  std::vector<InstId> eligible = cs.alive_ids();
+  cycle.conflict_set_size = eligible.size();
+  if (eligible.empty()) {
+    stats.quiescent = true;
+    return false;
+  }
+
+  if (config_.stratified_salience) {
+    int max_salience = program_.rules[cs.get(eligible.front()).rule].salience;
+    for (InstId id : eligible) {
+      max_salience = std::max(
+          max_salience, program_.rules[cs.get(id).rule].salience);
+    }
+    std::erase_if(eligible, [&](InstId id) {
+      return program_.rules[cs.get(id).rule].salience != max_salience;
+    });
+  }
+
+  // Phase 2: meta-rule redaction.
+  std::vector<InstId> to_fire;
+  {
+    ScopedAccumulator t(cycle.redact_ns);
+    if (meta_.active()) {
+      const MetaOutcome outcome =
+          meta_.run(wm_, cs, eligible, config_.output);
+      cycle.redacted = outcome.redacted.size();
+      // eligible and outcome.redacted are both ascending: set-difference.
+      to_fire.reserve(eligible.size() - outcome.redacted.size());
+      std::set_difference(eligible.begin(), eligible.end(),
+                          outcome.redacted.begin(), outcome.redacted.end(),
+                          std::back_inserter(to_fire));
+    } else {
+      to_fire = eligible;
+    }
+  }
+  if (to_fire.empty()) {
+    // Everything was redacted: the system is stalled by its own
+    // meta-program — that is quiescence under PARULEL semantics.
+    stats.quiescent = true;
+    stats.absorb(cycle);
+    if (config_.trace_cycles) stats.per_cycle.push_back(cycle);
+    return false;
+  }
+
+  // Phase 3: parallel firing against the frozen snapshot.
+  std::vector<PendingOps> pending(to_fire.size());
+  {
+    ScopedAccumulator t(cycle.fire_ns);
+    pool_->parallel_for(0, to_fire.size(), [&](std::size_t i, unsigned) {
+      fire_buffered(program_, cs.get(to_fire[i]), wm_, pending[i]);
+    });
+  }
+
+  // Phase 4: deterministic merge (ascending instantiation id).
+  {
+    ScopedAccumulator t(cycle.merge_ns);
+    MergeResult merged;
+    for (std::size_t i = 0; i < to_fire.size(); ++i) {
+      if (config_.firing_log) {
+        const Instantiation& inst = cs.get(to_fire[i]);
+        config_.firing_log->push_back(
+            {stats.cycles, inst.rule, inst.facts});
+      }
+      cs.mark_fired(to_fire[i]);
+      apply_pending(pending[i], wm_, config_.output, merged);
+    }
+    cycle.fired = to_fire.size();
+    cycle.asserts = merged.asserts;
+    cycle.retracts = merged.retracts;
+    cycle.duplicate_asserts = merged.duplicate_asserts;
+    cycle.write_conflicts = merged.write_conflicts;
+    if (merged.halt) {
+      halted_ = true;
+      stats.halted = true;
+    }
+  }
+
+  stats.absorb(cycle);
+  if (config_.trace_cycles) stats.per_cycle.push_back(cycle);
+  return true;
+}
+
+RunStats ParallelEngine::run() {
+  RunStats stats;
+  Timer wall;
+  while (stats.cycles < config_.max_cycles) {
+    if (!step(stats)) break;
+  }
+  stats.wall_ns = wall.elapsed_ns();
+  return stats;
+}
+
+}  // namespace parulel

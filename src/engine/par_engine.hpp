@@ -1,0 +1,58 @@
+// The PARULEL engine: set-oriented parallel rule firing with meta-rule
+// conflict resolution.
+//
+// Each cycle:
+//   1. match     — fold the working-memory delta into the conflict set
+//                  (rule x delta parallel TREAT);
+//   2. redact    — reify the eligible conflict set as meta facts and run
+//                  the defmetarule redaction fixpoint; redacted
+//                  instantiations are withheld this cycle (they remain
+//                  eligible next cycle while still matched);
+//   3. fire      — every surviving instantiation fires, in parallel,
+//                  against the immutable pre-cycle snapshot of working
+//                  memory, buffering writes;
+//   4. merge     — buffers apply in ascending instantiation-id order
+//                  (first-writer-wins on retract races), producing the
+//                  next cycle's delta.
+//
+// Determinism: identical programs and initial facts produce identical
+// cycle traces and final working memories for ANY thread count — thread
+// parallelism only reorders read-only work.
+#pragma once
+
+#include <memory>
+
+#include "engine/engine.hpp"
+#include "meta/meta_engine.hpp"
+#include "runtime/thread_pool.hpp"
+
+namespace parulel {
+
+class ParallelEngine : public Engine {
+ public:
+  /// `program` must outlive the engine.
+  ParallelEngine(const Program& program, EngineConfig config);
+
+  WorkingMemory& wm() override { return wm_; }
+  void assert_initial_facts() override;
+  RunStats run() override;
+  const char* name() const override { return "parulel"; }
+
+  /// One full match-redact-fire-merge cycle. Returns false when the
+  /// firing set came up empty (quiescent or fully redacted) or halted.
+  bool step(RunStats& stats);
+
+  const Matcher& matcher() const { return *matcher_; }
+  unsigned threads() const { return pool_->thread_count(); }
+
+ private:
+  const Program& program_;
+  EngineConfig config_;
+  WorkingMemory wm_;
+  std::unique_ptr<ThreadPool> pool_;
+  std::unique_ptr<Matcher> matcher_;
+  MetaEngine meta_;
+  bool halted_ = false;
+};
+
+}  // namespace parulel

@@ -1,0 +1,91 @@
+#include "engine/seq_engine.hpp"
+
+#include "engine/actions.hpp"
+#include "match/rete.hpp"
+#include "match/treat.hpp"
+#include "support/error.hpp"
+#include "support/timer.hpp"
+
+namespace parulel {
+
+SequentialEngine::SequentialEngine(const Program& program,
+                                   EngineConfig config)
+    : program_(program),
+      config_(config),
+      wm_(program.schema),
+      rng_(config.seed) {
+  switch (config_.matcher) {
+    case MatcherKind::Rete:
+      matcher_ = std::make_unique<ReteMatcher>(
+          program_.rules, program_.alphas, program_.schema.size());
+      break;
+    case MatcherKind::Treat:
+      matcher_ = std::make_unique<TreatMatcher>(
+          program_.rules, program_.alphas, program_.schema.size());
+      break;
+    case MatcherKind::ParallelTreat:
+      throw RuntimeError(
+          "the sequential engine cannot use the parallel matcher");
+  }
+}
+
+void SequentialEngine::assert_initial_facts() {
+  for (const auto& fact : program_.initial_facts) {
+    wm_.assert_fact(fact.tmpl, fact.slots);
+  }
+}
+
+bool SequentialEngine::step(RunStats& stats) {
+  if (halted_) return false;
+  CycleStats cycle;
+  cycle.cycle = stats.cycles;
+
+  {
+    ScopedAccumulator t(cycle.match_ns);
+    matcher_->apply_delta(wm_, wm_.drain_delta());
+  }
+  ConflictSet& cs = matcher_->conflict_set();
+  cycle.conflict_set_size = cs.size();
+
+  const InstId chosen = select_instantiation(cs, program_.rules,
+                                             config_.strategy, rng_);
+  if (chosen == kInvalidInst) {
+    stats.quiescent = true;
+    return false;
+  }
+
+  {
+    ScopedAccumulator t(cycle.fire_ns);
+    const Instantiation inst = cs.get(chosen);  // copy: fire mutates CS
+    if (config_.firing_log) {
+      config_.firing_log->push_back({stats.cycles, inst.rule, inst.facts});
+    }
+    cs.mark_fired(chosen);
+    const DirectFireResult fired =
+        fire_direct(program_, inst, wm_, config_.output);
+    cycle.fired = 1;
+    cycle.asserts = fired.asserts;
+    cycle.retracts = fired.retracts;
+    cycle.duplicate_asserts = fired.duplicate_asserts;
+    if (fired.halt) {
+      halted_ = true;
+      stats.halted = true;
+    }
+  }
+
+  stats.absorb(cycle);
+  if (config_.trace_cycles) stats.per_cycle.push_back(cycle);
+  return true;
+}
+
+RunStats SequentialEngine::run() {
+  RunStats stats;
+  Timer wall;
+  while (stats.cycles < config_.max_cycles) {
+    if (!step(stats)) break;
+  }
+  stats.wall_ns = wall.elapsed_ns();
+  return stats;
+}
+
+}  // namespace parulel

@@ -1,0 +1,40 @@
+// Sequential OPS5/CLIPS-style baseline engine.
+//
+// Classic recognize-act loop: match (incremental), resolve conflicts
+// with a hard-wired strategy, fire exactly ONE instantiation, repeat.
+// This is the select-one-and-fire semantics PARULEL's set-oriented
+// firing is measured against (experiment R-T2).
+#pragma once
+
+#include <memory>
+
+#include "engine/engine.hpp"
+
+namespace parulel {
+
+class SequentialEngine : public Engine {
+ public:
+  /// `program` must outlive the engine.
+  SequentialEngine(const Program& program, EngineConfig config);
+
+  WorkingMemory& wm() override { return wm_; }
+  void assert_initial_facts() override;
+  RunStats run() override;
+  const char* name() const override { return "sequential"; }
+
+  /// Run exactly one recognize-act cycle. Returns false when quiescent
+  /// or halted (nothing fired).
+  bool step(RunStats& stats);
+
+  const Matcher& matcher() const { return *matcher_; }
+
+ private:
+  const Program& program_;
+  EngineConfig config_;
+  WorkingMemory wm_;
+  std::unique_ptr<Matcher> matcher_;
+  Rng rng_;
+  bool halted_ = false;
+};
+
+}  // namespace parulel

@@ -1,0 +1,32 @@
+// Conflict-resolution strategies for the sequential OPS5-style baseline.
+//
+// PARULEL's whole point is to replace these hard-wired strategies with
+// programmable meta-rules; they live here as the faithful baseline:
+//   First  — FIFO on instantiation id (stable, cheap)
+//   Lex    — OPS5 LEX: salience, then recency of time tags (descending,
+//            lexicographic), then fewer-conditions tie-break
+//   Mea    — OPS5 MEA: salience, then recency of the first CE's fact,
+//            then LEX on the rest
+//   Random — uniform over the conflict set (seeded, reproducible)
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "lang/program.hpp"
+#include "match/conflict_set.hpp"
+#include "support/rng.hpp"
+
+namespace parulel {
+
+enum class Strategy : std::uint8_t { First, Lex, Mea, Random };
+
+const char* strategy_name(Strategy s);
+
+/// Pick the next instantiation to fire. Returns kInvalidInst on an empty
+/// conflict set. Deterministic for a given seed/strategy/conflict set.
+InstId select_instantiation(const ConflictSet& cs,
+                            std::span<const CompiledRule> rules, Strategy s,
+                            Rng& rng);
+
+}  // namespace parulel

@@ -1,0 +1,28 @@
+// Semantic analysis: AST -> compiled Program.
+//
+// Responsibilities:
+//  - resolve template / slot / variable names
+//  - classify slot constraints into alpha tests (constants, intra-pattern
+//    equalities) and beta join tests (cross-pattern variable equalities)
+//  - dedupe alpha memories across patterns and rules
+//  - attach test CEs to the earliest join position where their variables
+//    are bound
+//  - synthesize the meta schema: one `inst-<rule>` template per object
+//    rule with slots (id, <lhs variables...>), then compile defmetarule
+//    forms against it
+//  - check the documented restrictions (negated CEs bind no new rule
+//    variables, redact only in meta rules, deffacts are ground, ...)
+#pragma once
+
+#include <memory>
+
+#include "lang/ast.hpp"
+#include "lang/program.hpp"
+
+namespace parulel {
+
+/// Lower `ast` into an executable Program. Throws ParseError with source
+/// line info on semantic errors.
+Program analyze(const ProgramAst& ast, std::shared_ptr<SymbolTable> symbols);
+
+}  // namespace parulel

@@ -1,0 +1,93 @@
+// Abstract syntax for parsed-but-unanalyzed programs.
+//
+// The parser produces this tree; the analyzer lowers it to the compiled
+// Program (see program.hpp) with resolved template/slot/variable indices.
+#pragma once
+
+#include <variant>
+#include <vector>
+
+#include "support/symbol_table.hpp"
+#include "support/value.hpp"
+
+namespace parulel {
+
+/// Expression tree (test CEs, RHS slot values, bind bodies).
+struct ExprAst {
+  enum class Kind { Const, Var, Call };
+  Kind kind = Kind::Const;
+  Value constant;               // Const
+  Symbol var = 0;               // Var: variable name (no '?')
+  Symbol op = 0;                // Call: operator name
+  std::vector<ExprAst> args;    // Call
+  int line = 0;
+};
+
+/// One slot constraint inside a pattern CE.
+struct SlotPatternAst {
+  enum class Kind { Const, Var, Wildcard };
+  Symbol slot = 0;
+  Kind kind = Kind::Wildcard;
+  Value constant;
+  Symbol var = 0;
+};
+
+/// Positive, negated, or existential pattern condition element.
+struct PatternCEAst {
+  Symbol tmpl = 0;
+  std::vector<SlotPatternAst> slots;
+  bool negated = false;
+  bool exists = false;  ///< (exists (pat)): quantified, like `not` inverted
+  Symbol fact_var = 0;  ///< `?f <- (pat ...)` binding; 0 when absent
+  int line = 0;
+};
+
+/// `(test <expr>)` condition element.
+struct TestCEAst {
+  ExprAst expr;
+  int line = 0;
+};
+
+using CEAst = std::variant<PatternCEAst, TestCEAst>;
+
+/// RHS action.
+struct ActionAst {
+  enum class Kind { Assert, Retract, Modify, Bind, Halt, Printout, Redact };
+  Kind kind = Kind::Halt;
+  Symbol tmpl = 0;  // Assert
+  std::vector<std::pair<Symbol, ExprAst>> slot_exprs;  // Assert / Modify
+  Symbol fact_var = 0;   // Retract / Modify target
+  Symbol bind_var = 0;   // Bind
+  std::vector<ExprAst> args;  // Printout items; Redact id expr in args[0]
+  int line = 0;
+};
+
+struct TemplateAst {
+  Symbol name = 0;
+  std::vector<Symbol> slots;
+  int line = 0;
+};
+
+struct RuleAst {
+  Symbol name = 0;
+  int salience = 0;
+  bool is_meta = false;
+  std::vector<CEAst> lhs;
+  std::vector<ActionAst> rhs;
+  int line = 0;
+};
+
+/// `(deffacts name (tmpl (slot const)...) ...)` — ground facts only.
+struct DeffactsAst {
+  Symbol name = 0;
+  std::vector<PatternCEAst> facts;
+  int line = 0;
+};
+
+struct ProgramAst {
+  std::vector<TemplateAst> templates;
+  std::vector<RuleAst> rules;       // object-level and meta, in order
+  std::vector<DeffactsAst> facts;
+};
+
+}  // namespace parulel

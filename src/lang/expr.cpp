@@ -1,0 +1,163 @@
+#include "lang/expr.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+#include "support/error.hpp"
+
+namespace parulel {
+namespace {
+
+[[noreturn]] void type_error(const char* what) {
+  throw RuntimeError(std::string("type error: ") + what);
+}
+
+double num(const Value& v, const char* ctx) {
+  if (v.is_sym()) type_error(ctx);
+  return v.numeric();
+}
+
+bool both_int(const Value& a, const Value& b) {
+  return a.is_int() && b.is_int();
+}
+
+Value arith(ExprOp op, const Value& a, const Value& b) {
+  if (both_int(a, b)) {
+    const std::int64_t x = a.as_int(), y = b.as_int();
+    switch (op) {
+      case ExprOp::Add: return Value::integer(x + y);
+      case ExprOp::Sub: return Value::integer(x - y);
+      case ExprOp::Mul: return Value::integer(x * y);
+      case ExprOp::Div:
+        if (y == 0) throw RuntimeError("integer division by zero");
+        return Value::integer(x / y);
+      case ExprOp::Mod:
+        if (y == 0) throw RuntimeError("integer modulo by zero");
+        return Value::integer(x % y);
+      case ExprOp::Min: return Value::integer(std::min(x, y));
+      case ExprOp::Max: return Value::integer(std::max(x, y));
+      default: break;
+    }
+  }
+  const double x = num(a, "arithmetic on symbol");
+  const double y = num(b, "arithmetic on symbol");
+  switch (op) {
+    case ExprOp::Add: return Value::real(x + y);
+    case ExprOp::Sub: return Value::real(x - y);
+    case ExprOp::Mul: return Value::real(x * y);
+    case ExprOp::Div: return Value::real(x / y);
+    case ExprOp::Mod: return Value::real(std::fmod(x, y));
+    case ExprOp::Min: return Value::real(std::min(x, y));
+    case ExprOp::Max: return Value::real(std::max(x, y));
+    default: type_error("bad arithmetic op");
+  }
+}
+
+}  // namespace
+
+bool CompiledExpr::truthy(const Value& v) {
+  switch (v.kind()) {
+    case ValueKind::Int: return v.as_int() != 0;
+    case ValueKind::Float: return v.as_float() != 0.0;
+    case ValueKind::Sym: type_error("symbol used as boolean");
+  }
+  return false;
+}
+
+Value CompiledExpr::eval(std::span<const Value> env) const {
+  switch (op) {
+    case ExprOp::Const:
+      return constant;
+    case ExprOp::Var:
+      return env[static_cast<std::size_t>(var)];
+
+    case ExprOp::Add: case ExprOp::Sub: case ExprOp::Mul:
+    case ExprOp::Div: case ExprOp::Mod: case ExprOp::Min:
+    case ExprOp::Max: {
+      if (args.size() < 2) type_error("arithmetic needs 2+ operands");
+      Value acc = args[0].eval(env);
+      for (std::size_t i = 1; i < args.size(); ++i) {
+        acc = arith(op, acc, args[i].eval(env));
+      }
+      return acc;
+    }
+
+    case ExprOp::Neg: {
+      const Value v = args.at(0).eval(env);
+      if (v.is_int()) return Value::integer(-v.as_int());
+      if (v.is_float()) return Value::real(-v.as_float());
+      type_error("negation of symbol");
+    }
+    case ExprOp::Abs: {
+      const Value v = args.at(0).eval(env);
+      if (v.is_int()) return Value::integer(std::llabs(v.as_int()));
+      if (v.is_float()) return Value::real(std::fabs(v.as_float()));
+      type_error("abs of symbol");
+    }
+
+    case ExprOp::Lt: case ExprOp::Le: case ExprOp::Gt: case ExprOp::Ge: {
+      const double a = num(args.at(0).eval(env), "ordering on symbol");
+      const double b = num(args.at(1).eval(env), "ordering on symbol");
+      bool r = false;
+      switch (op) {
+        case ExprOp::Lt: r = a < b; break;
+        case ExprOp::Le: r = a <= b; break;
+        case ExprOp::Gt: r = a > b; break;
+        case ExprOp::Ge: r = a >= b; break;
+        default: break;
+      }
+      return Value::integer(r ? 1 : 0);
+    }
+
+    case ExprOp::Eq: {
+      const Value a = args.at(0).eval(env);
+      const Value b = args.at(1).eval(env);
+      // Numbers compare numerically across Int/Float; symbols structurally.
+      if (!a.is_sym() && !b.is_sym()) {
+        return Value::integer(a.numeric() == b.numeric() ? 1 : 0);
+      }
+      return Value::integer(a == b ? 1 : 0);
+    }
+    case ExprOp::Ne: {
+      const Value a = args.at(0).eval(env);
+      const Value b = args.at(1).eval(env);
+      if (!a.is_sym() && !b.is_sym()) {
+        return Value::integer(a.numeric() != b.numeric() ? 1 : 0);
+      }
+      return Value::integer(a == b ? 0 : 1);
+    }
+
+    case ExprOp::And: {
+      for (const auto& arg : args) {
+        if (!truthy(arg.eval(env))) return Value::integer(0);
+      }
+      return Value::integer(1);
+    }
+    case ExprOp::Or: {
+      for (const auto& arg : args) {
+        if (truthy(arg.eval(env))) return Value::integer(1);
+      }
+      return Value::integer(0);
+    }
+    case ExprOp::Not:
+      return Value::integer(truthy(args.at(0).eval(env)) ? 0 : 1);
+
+    case ExprOp::OwnSite: {
+      const Value v = args.at(0).eval(env);
+      const auto site =
+          static_cast<std::uint64_t>(args.at(1).constant.as_int());
+      const auto nsites =
+          static_cast<std::uint64_t>(args.at(2).constant.as_int());
+      return Value::integer(v.hash() % nsites == site ? 1 : 0);
+    }
+  }
+  type_error("unhandled expression op");
+}
+
+void CompiledExpr::collect_vars(std::vector<VarId>& out) const {
+  if (op == ExprOp::Var) out.push_back(var);
+  for (const auto& arg : args) arg.collect_vars(out);
+}
+
+}  // namespace parulel

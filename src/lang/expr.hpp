@@ -1,0 +1,72 @@
+// Compiled, evaluable expressions.
+//
+// Expressions appear in test CEs (guards), RHS slot values, bind bodies,
+// printout items, and meta-rule redact targets. Variables are resolved to
+// dense per-rule VarIds at analysis time, so evaluation is an array walk
+// over the instantiation's binding environment.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "support/value.hpp"
+
+namespace parulel {
+
+/// Per-rule dense variable index. LHS pattern variables come first,
+/// RHS (bind) locals after.
+using VarId = std::int32_t;
+constexpr VarId kInvalidVar = -1;
+
+enum class ExprOp : std::uint8_t {
+  Const, Var,
+  // Arithmetic (numeric; Int op Int stays Int, otherwise Float).
+  Add, Sub, Mul, Div, Mod, Neg, Abs, Min, Max,
+  // Comparisons (numeric; result Int 0/1).
+  Lt, Le, Gt, Ge,
+  // Structural equality on any kinds (result Int 0/1).
+  Eq, Ne,
+  // Boolean connectives (operands truthy = nonzero Int / nonzero Float).
+  And, Or, Not,
+  // Internal (not parseable): args = {value-expr, Const site, Const
+  // nsites}; true when hash(value) % nsites == site. Injected by the
+  // copy-and-constrain transformation (distrib/copy_constrain.hpp) so a
+  // rule copy only matches its site's slice of working memory.
+  OwnSite,
+};
+
+/// An expression tree node. Small tree, owned inline.
+struct CompiledExpr {
+  ExprOp op = ExprOp::Const;
+  Value constant;        // Const
+  VarId var = kInvalidVar;  // Var
+  std::vector<CompiledExpr> args;
+
+  /// Evaluate under `env` (indexed by VarId). Throws RuntimeError on
+  /// ill-typed operations (e.g. arithmetic on symbols).
+  Value eval(std::span<const Value> env) const;
+
+  /// Truthiness of an evaluated result: any nonzero number; symbols are
+  /// truthy except the symbol interned for "nil"/"false"? No — symbols
+  /// are an error in boolean position; guards must produce numbers.
+  static bool truthy(const Value& v);
+
+  /// All VarIds referenced by this expression, appended to `out`.
+  void collect_vars(std::vector<VarId>& out) const;
+
+  static CompiledExpr make_const(Value v) {
+    CompiledExpr e;
+    e.op = ExprOp::Const;
+    e.constant = v;
+    return e;
+  }
+  static CompiledExpr make_var(VarId id) {
+    CompiledExpr e;
+    e.op = ExprOp::Var;
+    e.var = id;
+    return e;
+  }
+};
+
+}  // namespace parulel

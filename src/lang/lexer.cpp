@@ -1,0 +1,136 @@
+#include "lang/lexer.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <string>
+
+#include "support/error.hpp"
+
+namespace parulel {
+namespace {
+
+bool is_name_char(char c) {
+  if (std::isalnum(static_cast<unsigned char>(c))) return true;
+  switch (c) {
+    case '-': case '+': case '*': case '/': case '<': case '>':
+    case '=': case '!': case '_': case '.': case '&': case '~':
+    case '%': case '$': case ':':
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// True when `text` parses fully as a number; fills the token fields.
+bool try_number(const std::string& text, Token& tok) {
+  if (text.empty()) return false;
+  // Reject pure operator tokens like "-" or "+" or "<=".
+  bool has_digit = false;
+  for (char c : text) {
+    if (std::isdigit(static_cast<unsigned char>(c))) has_digit = true;
+  }
+  if (!has_digit) return false;
+
+  std::int64_t iv = 0;
+  auto ir = std::from_chars(text.data(), text.data() + text.size(), iv);
+  if (ir.ec == std::errc{} && ir.ptr == text.data() + text.size()) {
+    tok.kind = TokenKind::Integer;
+    tok.int_value = iv;
+    return true;
+  }
+  double fv = 0.0;
+  auto fr = std::from_chars(text.data(), text.data() + text.size(), fv);
+  if (fr.ec == std::errc{} && fr.ptr == text.data() + text.size()) {
+    tok.kind = TokenKind::Float;
+    tok.float_value = fv;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<Token> tokenize(std::string_view source) {
+  std::vector<Token> out;
+  int line = 1;
+  std::size_t i = 0;
+  const std::size_t n = source.size();
+
+  while (i < n) {
+    const char c = source[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (c == ';') {
+      while (i < n && source[i] != '\n') ++i;
+      continue;
+    }
+    if (c == '(') {
+      out.push_back(Token{TokenKind::LParen, "(", 0, 0.0, line});
+      ++i;
+      continue;
+    }
+    if (c == ')') {
+      out.push_back(Token{TokenKind::RParen, ")", 0, 0.0, line});
+      ++i;
+      continue;
+    }
+    if (c == '"') {
+      std::string text;
+      ++i;
+      while (i < n && source[i] != '"') {
+        if (source[i] == '\n') ++line;
+        if (source[i] == '\\' && i + 1 < n) ++i;  // simple escapes
+        text.push_back(source[i]);
+        ++i;
+      }
+      if (i >= n) throw ParseError("unterminated string literal", line);
+      ++i;  // closing quote
+      out.push_back(Token{TokenKind::String, std::move(text), 0, 0.0, line});
+      continue;
+    }
+    if (c == '?') {
+      std::string text;
+      ++i;
+      while (i < n && is_name_char(source[i])) {
+        text.push_back(source[i]);
+        ++i;
+      }
+      // Bare `?` is an anonymous wildcard; represented as empty text.
+      out.push_back(Token{TokenKind::Variable, std::move(text), 0, 0.0, line});
+      continue;
+    }
+    if (is_name_char(c)) {
+      std::string text;
+      while (i < n && is_name_char(source[i])) {
+        text.push_back(source[i]);
+        ++i;
+      }
+      Token tok;
+      tok.line = line;
+      if (text == "=>") {
+        tok.kind = TokenKind::Arrow;
+        tok.text = text;
+      } else if (!try_number(text, tok)) {
+        tok.kind = TokenKind::Name;
+        tok.text = text;
+      } else {
+        tok.text = text;
+      }
+      out.push_back(std::move(tok));
+      continue;
+    }
+    throw ParseError(std::string("unexpected character '") + c + "'", line);
+  }
+
+  out.push_back(Token{TokenKind::End, "", 0, 0.0, line});
+  return out;
+}
+
+}  // namespace parulel

@@ -1,0 +1,22 @@
+// Lexer for the s-expression surface syntax.
+//
+// The grammar is CLIPS-flavored:
+//   - `;` starts a comment to end of line
+//   - `?name` is a variable, bare `?` a wildcard variable
+//   - `=>` separates LHS from RHS inside defrule/defmetarule
+//   - names may contain letters, digits, and -+*/<>=!_.&~ (so operators
+//     like `<=` and hyphenated identifiers lex as one Name token)
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "lang/token.hpp"
+
+namespace parulel {
+
+/// Tokenize `source`; throws ParseError on malformed input
+/// (unterminated string, stray character).
+std::vector<Token> tokenize(std::string_view source);
+
+}  // namespace parulel

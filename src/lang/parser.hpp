@@ -1,0 +1,15 @@
+// Recursive-descent parser: token stream -> ProgramAst.
+#pragma once
+
+#include <string_view>
+
+#include "lang/ast.hpp"
+#include "support/symbol_table.hpp"
+
+namespace parulel {
+
+/// Parse a whole source file into an AST, interning names into `symbols`.
+/// Throws ParseError with line information on malformed input.
+ProgramAst parse_ast(std::string_view source, SymbolTable& symbols);
+
+}  // namespace parulel

@@ -1,0 +1,68 @@
+#include "lang/printer.hpp"
+#include <cctype>
+
+#include <sstream>
+
+namespace parulel {
+
+std::string print_fact(const Fact& fact, const Schema& schema,
+                       const SymbolTable& symbols) {
+  const TemplateDef& def = schema.at(fact.tmpl);
+  std::ostringstream os;
+  os << "(" << symbols.name(def.name);
+  for (std::size_t i = 0; i < fact.slots.size(); ++i) {
+    os << " (" << symbols.name(def.slot_names[i]) << " ";
+    const Value& v = fact.slots[i];
+    if (v.is_sym()) {
+      // Symbols that would not re-lex as a bare name round-trip as
+      // strings.
+      const std::string_view name = symbols.name(v.as_sym());
+      bool bare = !name.empty();
+      for (char c : name) {
+        if (std::isspace(static_cast<unsigned char>(c)) || c == '(' ||
+            c == ')' || c == '"' || c == ';' || c == '?') {
+          bare = false;
+          break;
+        }
+      }
+      if (bare) {
+        os << name;
+      } else {
+        os << '"';
+        for (char c : name) {
+          if (c == '"' || c == '\\') os << '\\';
+          os << c;
+        }
+        os << '"';
+      }
+    } else {
+      os << v.to_string(symbols);
+    }
+    os << ")";
+  }
+  os << ")";
+  return os.str();
+}
+
+std::string dump_state(const WorkingMemory& wm, const SymbolTable& symbols,
+                       std::string_view deffacts_name) {
+  const Schema& schema = wm.schema();
+  std::ostringstream os;
+  for (TemplateId t = 0; t < schema.size(); ++t) {
+    const TemplateDef& def = schema.at(t);
+    os << "(deftemplate " << symbols.name(def.name);
+    for (Symbol slot : def.slot_names) {
+      os << " (slot " << symbols.name(slot) << ")";
+    }
+    os << ")\n";
+  }
+  os << "(deffacts " << deffacts_name << "\n";
+  for (FactId id = 1; id <= wm.high_water(); ++id) {
+    if (!wm.alive(id)) continue;
+    os << "  " << print_fact(wm.fact(id), schema, symbols) << "\n";
+  }
+  os << ")\n";
+  return os.str();
+}
+
+}  // namespace parulel

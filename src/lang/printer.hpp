@@ -1,0 +1,25 @@
+// State printing: serialize live working memory back to program text.
+//
+// `dump_state` emits the schema's deftemplate forms plus one deffacts
+// block holding every alive fact, producing a standalone program text
+// that `parse_program` accepts — the save/restore path for checkpoints
+// and for shipping a reproduction of a working memory into a bug report.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "lang/program.hpp"
+#include "wm/working_memory.hpp"
+
+namespace parulel {
+
+/// Render one fact as "(tmpl (slot value) ...)".
+std::string print_fact(const Fact& fact, const Schema& schema,
+                       const SymbolTable& symbols);
+
+/// Deftemplates + a deffacts block of all alive facts.
+std::string dump_state(const WorkingMemory& wm, const SymbolTable& symbols,
+                       std::string_view deffacts_name = "checkpoint");
+
+}  // namespace parulel

@@ -1,0 +1,22 @@
+#include "lang/program.hpp"
+
+#include "lang/analyzer.hpp"
+#include "lang/parser.hpp"
+
+namespace parulel {
+
+const CompiledRule* Program::find_rule(std::string_view name) const {
+  for (const auto& rule : rules) {
+    if (symbols->name(rule.name) == name) return &rule;
+  }
+  return nullptr;
+}
+
+Program parse_program(std::string_view source,
+                      std::shared_ptr<SymbolTable> symbols) {
+  if (!symbols) symbols = std::make_shared<SymbolTable>();
+  ProgramAst ast = parse_ast(source, *symbols);
+  return analyze(ast, std::move(symbols));
+}
+
+}  // namespace parulel

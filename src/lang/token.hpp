@@ -1,0 +1,29 @@
+// Token stream for the PARULEL surface syntax.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace parulel {
+
+enum class TokenKind : std::uint8_t {
+  LParen,
+  RParen,
+  Arrow,     // =>
+  Name,      // bare symbol: templates, slots, operators, keywords
+  Variable,  // ?name
+  Integer,
+  Float,
+  String,    // "..."; becomes a symbol constant
+  End,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::End;
+  std::string text;       // Name/Variable (without '?')/String contents
+  std::int64_t int_value = 0;
+  double float_value = 0.0;
+  int line = 0;
+};
+
+}  // namespace parulel

@@ -1,0 +1,85 @@
+#include "match/alpha.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace parulel {
+
+int AlphaMemory::ensure_index(std::vector<int> slots) {
+  for (std::size_t i = 0; i < indexes_.size(); ++i) {
+    if (indexes_[i].slots == slots) return static_cast<int>(i);
+  }
+  assert(facts_.empty() && "indexes must be registered before facts");
+  indexes_.push_back(Index{std::move(slots), {}});
+  return static_cast<int>(indexes_.size() - 1);
+}
+
+void AlphaMemory::insert(const Fact& fact) {
+  if (pos_.contains(fact.id)) return;
+  pos_.emplace(fact.id, facts_.size());
+  facts_.push_back(fact.id);
+  for (auto& index : indexes_) {
+    index.map.emplace(join_key_hash(fact, index.slots), fact.id);
+  }
+}
+
+void AlphaMemory::erase(const Fact& fact) {
+  auto it = pos_.find(fact.id);
+  if (it == pos_.end()) return;
+  const std::size_t p = it->second;
+  const FactId moved = facts_.back();
+  facts_[p] = moved;
+  pos_[moved] = p;
+  facts_.pop_back();
+  pos_.erase(it);
+  for (auto& index : indexes_) {
+    const std::size_t h = join_key_hash(fact, index.slots);
+    auto [lo, hi] = index.map.equal_range(h);
+    for (auto mit = lo; mit != hi; ++mit) {
+      if (mit->second == fact.id) {
+        index.map.erase(mit);
+        break;
+      }
+    }
+  }
+}
+
+void AlphaMemory::probe(int index_handle, std::span<const Value> key_values,
+                        std::vector<FactId>& out) const {
+  const Index& index = indexes_[static_cast<std::size_t>(index_handle)];
+  const std::size_t h = join_key_hash(key_values);
+  auto [lo, hi] = index.map.equal_range(h);
+  for (auto it = lo; it != hi; ++it) out.push_back(it->second);
+}
+
+AlphaStore::AlphaStore(std::span<const AlphaSpec> specs,
+                       std::size_t template_count)
+    : specs_(specs.begin(), specs.end()),
+      memories_(specs.size()),
+      by_template_(template_count) {
+  for (std::uint32_t a = 0; a < specs_.size(); ++a) {
+    by_template_[specs_[a].tmpl].push_back(a);
+  }
+}
+
+void AlphaStore::matching_alphas(const Fact& fact,
+                                 std::vector<std::uint32_t>& out) const {
+  out.clear();
+  for (std::uint32_t a : by_template_[fact.tmpl]) {
+    if (specs_[a].accepts(fact.slots)) out.push_back(a);
+  }
+}
+
+void AlphaStore::on_assert(const Fact& fact) {
+  for (std::uint32_t a : by_template_[fact.tmpl]) {
+    if (specs_[a].accepts(fact.slots)) memories_[a].insert(fact);
+  }
+}
+
+void AlphaStore::on_retract(const Fact& fact) {
+  for (std::uint32_t a : by_template_[fact.tmpl]) {
+    if (specs_[a].accepts(fact.slots)) memories_[a].erase(fact);
+  }
+}
+
+}  // namespace parulel

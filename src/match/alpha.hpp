@@ -1,0 +1,98 @@
+// Alpha memories: per-pattern fact extents with hash join indexes.
+//
+// One AlphaMemory per distinct (template, constant tests, intra-pattern
+// equalities) pattern shape, shared across rules (classic alpha-network
+// sharing). Each memory can carry any number of secondary hash indexes,
+// one per distinct join-key slot set required by some rule position —
+// this is what turns the TREAT/RETE join inner loops into hash probes.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "lang/program.hpp"
+#include "wm/working_memory.hpp"
+
+namespace parulel {
+
+/// Hash of a tuple of slot values (the join key).
+inline std::size_t join_key_hash(const Fact& fact,
+                                 std::span<const int> slots) {
+  std::size_t h = 0x2545f4914f6cdd1dULL;
+  for (int s : slots) {
+    h = hash_combine(h, fact.slots[static_cast<std::size_t>(s)].hash());
+  }
+  return h;
+}
+
+inline std::size_t join_key_hash(std::span<const Value> values) {
+  std::size_t h = 0x2545f4914f6cdd1dULL;
+  for (const Value& v : values) h = hash_combine(h, v.hash());
+  return h;
+}
+
+/// One alpha memory: alive facts passing an AlphaSpec, plus indexes.
+class AlphaMemory {
+ public:
+  /// Ensure an index over `slots` exists; returns its handle.
+  /// Call before any facts are inserted (matcher construction time).
+  int ensure_index(std::vector<int> slots);
+
+  void insert(const Fact& fact);
+  void erase(const Fact& fact);
+
+  bool contains(FactId id) const { return pos_.contains(id); }
+  const std::vector<FactId>& facts() const { return facts_; }
+  std::size_t size() const { return facts_.size(); }
+
+  /// Candidate facts whose indexed slots equal `key_values`
+  /// (values ordered as the index's slot list). May contain hash-collision
+  /// false positives — callers re-verify slot equality.
+  void probe(int index_handle, std::span<const Value> key_values,
+             std::vector<FactId>& out) const;
+
+  /// The slot list of an index (for computing key values from an env).
+  const std::vector<int>& index_slots(int index_handle) const {
+    return indexes_[static_cast<std::size_t>(index_handle)].slots;
+  }
+
+ private:
+  struct Index {
+    std::vector<int> slots;
+    std::unordered_multimap<std::size_t, FactId> map;
+  };
+
+  std::vector<FactId> facts_;
+  std::unordered_map<FactId, std::size_t> pos_;
+  std::vector<Index> indexes_;
+};
+
+/// All alpha memories for one rule level (object or meta), with routing
+/// from template id to the memories that may accept its facts.
+class AlphaStore {
+ public:
+  AlphaStore(std::span<const AlphaSpec> specs, std::size_t template_count);
+
+  AlphaMemory& memory(std::uint32_t alpha) { return memories_[alpha]; }
+  const AlphaMemory& memory(std::uint32_t alpha) const {
+    return memories_[alpha];
+  }
+  const AlphaSpec& spec(std::uint32_t alpha) const { return specs_[alpha]; }
+  std::size_t count() const { return memories_.size(); }
+
+  /// Alphas whose spec accepts this fact (template routed, tests applied).
+  void matching_alphas(const Fact& fact, std::vector<std::uint32_t>& out) const;
+
+  /// Route a fact into / out of every accepting memory.
+  void on_assert(const Fact& fact);
+  void on_retract(const Fact& fact);
+
+ private:
+  std::vector<AlphaSpec> specs_;
+  std::vector<AlphaMemory> memories_;
+  std::vector<std::vector<std::uint32_t>> by_template_;
+};
+
+}  // namespace parulel

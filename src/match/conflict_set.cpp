@@ -1,0 +1,134 @@
+#include "match/conflict_set.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace parulel {
+
+InstId ConflictSet::add(Instantiation inst) {
+  const std::size_t h = inst.key_hash();
+
+  // Duplicate in the alive set?
+  auto [lo, hi] = by_key_.equal_range(h);
+  for (auto it = lo; it != hi; ++it) {
+    if (insts_[it->second].same_key(inst)) return kInvalidInst;
+  }
+  // Refraction: already fired?
+  auto [flo, fhi] = fired_.equal_range(h);
+  for (auto it = flo; it != fhi; ++it) {
+    if (it->second.same_key(inst)) return kInvalidInst;
+  }
+
+  const InstId id = static_cast<InstId>(insts_.size());
+  inst.id = id;
+  by_key_.emplace(h, id);
+  for (FactId f : inst.facts) by_fact_.emplace(f, id);
+  if (inst.rule >= by_rule_.size()) by_rule_.resize(inst.rule + 1);
+  by_rule_[inst.rule].push_back(id);
+  insts_.push_back(std::move(inst));
+  alive_.push_back(true);
+  ++alive_count_;
+  return id;
+}
+
+void ConflictSet::remove(InstId id) {
+  if (id >= insts_.size() || !alive_[id]) return;
+  alive_[id] = false;
+  --alive_count_;
+
+  const Instantiation& inst = insts_[id];
+  const std::size_t h = inst.key_hash();
+  auto [lo, hi] = by_key_.equal_range(h);
+  for (auto it = lo; it != hi; ++it) {
+    if (it->second == id) {
+      by_key_.erase(it);
+      break;
+    }
+  }
+  for (FactId f : inst.facts) {
+    auto [flo, fhi] = by_fact_.equal_range(f);
+    for (auto it = flo; it != fhi; ++it) {
+      if (it->second == id) {
+        by_fact_.erase(it);
+        break;
+      }
+    }
+  }
+  // by_rule_ entries are purged lazily in of_rule().
+}
+
+bool ConflictSet::remove_by_key(const Instantiation& probe) {
+  auto [lo, hi] = by_key_.equal_range(probe.key_hash());
+  for (auto it = lo; it != hi; ++it) {
+    if (insts_[it->second].same_key(probe)) {
+      remove(it->second);
+      return true;
+    }
+  }
+  return false;
+}
+
+void ConflictSet::remove_by_fact(FactId fact,
+                                 std::vector<InstId>* removed_out) {
+  // Collect first: remove() mutates by_fact_.
+  scratch_rule_.clear();
+  auto [lo, hi] = by_fact_.equal_range(fact);
+  for (auto it = lo; it != hi; ++it) scratch_rule_.push_back(it->second);
+  for (InstId id : scratch_rule_) {
+    remove(id);
+    if (removed_out) removed_out->push_back(id);
+  }
+}
+
+void ConflictSet::mark_fired(InstId id) {
+  assert(id < insts_.size() && alive_[id]);
+  Instantiation copy = insts_[id];
+  remove(id);
+  fired_.emplace(copy.key_hash(), std::move(copy));
+}
+
+bool ConflictSet::has_fired(const Instantiation& inst) const {
+  auto [lo, hi] = fired_.equal_range(inst.key_hash());
+  for (auto it = lo; it != hi; ++it) {
+    if (it->second.same_key(inst)) return true;
+  }
+  return false;
+}
+
+bool ConflictSet::alive(InstId id) const {
+  return id < insts_.size() && alive_[id];
+}
+
+const Instantiation& ConflictSet::get(InstId id) const {
+  assert(id < insts_.size());
+  return insts_[id];
+}
+
+void ConflictSet::for_each(
+    const std::function<void(const Instantiation&)>& fn) const {
+  for (std::size_t i = 0; i < insts_.size(); ++i) {
+    if (alive_[i]) fn(insts_[i]);
+  }
+}
+
+std::vector<InstId> ConflictSet::of_rule(RuleId rule) const {
+  std::vector<InstId> out;
+  if (rule < by_rule_.size()) {
+    for (InstId id : by_rule_[rule]) {
+      if (alive_[id]) out.push_back(id);
+    }
+    std::sort(out.begin(), out.end());
+  }
+  return out;
+}
+
+std::vector<InstId> ConflictSet::alive_ids() const {
+  std::vector<InstId> out;
+  out.reserve(alive_count_);
+  for (std::size_t i = 0; i < insts_.size(); ++i) {
+    if (alive_[i]) out.push_back(static_cast<InstId>(i));
+  }
+  return out;
+}
+
+}  // namespace parulel

@@ -1,0 +1,86 @@
+// The conflict set: all currently satisfied, not-yet-fired instantiations.
+//
+// Shared by every matcher. Also owns refraction memory: once an
+// instantiation fires, its structural key is remembered and re-additions
+// are rejected, so looping on unchanged matches is impossible (OPS5
+// refraction, which PARULEL keeps).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "match/instantiation.hpp"
+
+namespace parulel {
+
+class ConflictSet {
+ public:
+  /// Add an instantiation unless (a) an identical key is already present
+  /// or (b) it has already fired (refraction). Assigns inst.id on
+  /// success. Returns the id, or kInvalidInst when rejected.
+  InstId add(Instantiation inst);
+
+  /// Remove one instantiation by id. No-op on unknown/dead ids.
+  void remove(InstId id);
+
+  /// Remove the alive instantiation with this structural key, if any.
+  /// Returns whether one was removed.
+  bool remove_by_key(const Instantiation& probe);
+
+  /// Remove every instantiation whose fact vector contains `fact`.
+  /// Appends the removed ids to `removed_out` when non-null.
+  void remove_by_fact(FactId fact, std::vector<InstId>* removed_out = nullptr);
+
+  /// Mark an instantiation as fired: removes it and records refraction.
+  void mark_fired(InstId id);
+
+  /// Would this key be rejected by refraction?
+  bool has_fired(const Instantiation& inst) const;
+
+  bool alive(InstId id) const;
+  const Instantiation& get(InstId id) const;
+
+  std::size_t size() const { return alive_count_; }
+  bool empty() const { return alive_count_ == 0; }
+
+  /// Iterate alive instantiations in ascending id order (deterministic).
+  void for_each(const std::function<void(const Instantiation&)>& fn) const;
+
+  /// Alive instantiation ids of one rule, ascending.
+  std::vector<InstId> of_rule(RuleId rule) const;
+
+  /// Snapshot of alive ids in ascending order.
+  std::vector<InstId> alive_ids() const;
+
+  /// Total instantiations ever added (ids are [0, high_water)).
+  InstId high_water() const { return static_cast<InstId>(insts_.size()); }
+
+  /// Drop refraction memory (used between independent runs on one set).
+  void clear_refraction() { fired_.clear(); }
+
+ private:
+  struct KeyRef {
+    std::size_t hash;
+    InstId id;
+  };
+
+  // Dense storage; dead entries keep their slot (ids stay stable).
+  std::vector<Instantiation> insts_;
+  std::vector<bool> alive_;
+  std::size_t alive_count_ = 0;
+
+  // Structural key -> alive inst (bucket by hash, verify by same_key).
+  std::unordered_multimap<std::size_t, InstId> by_key_;
+  // Fired keys for refraction: hash -> representative instantiation copy.
+  std::unordered_multimap<std::size_t, Instantiation> fired_;
+  // fact -> alive inst ids containing it.
+  std::unordered_multimap<FactId, InstId> by_fact_;
+  // rule -> alive inst ids (lazily compacted).
+  std::vector<std::vector<InstId>> by_rule_;
+  mutable std::vector<InstId> scratch_rule_;
+};
+
+}  // namespace parulel

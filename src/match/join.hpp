@@ -1,0 +1,333 @@
+// Shared join machinery for the TREAT-family matchers.
+//
+// A JoinPlanner precomputes, per rule and per positive position, which
+// alpha memory to draw candidates from and which hash index to probe
+// (keyed by the already-bound join variables). Enumeration is a DFS over
+// positive positions with guards applied as early as their variables are
+// bound, and negated CEs checked once the full positive join is bound.
+//
+// Seminaive use: fixing (position, fact) enumerates exactly the
+// instantiations that include a given new fact at a given position.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "lang/expr.hpp"
+#include "match/alpha.hpp"
+#include "match/instantiation.hpp"
+#include "wm/working_memory.hpp"
+
+namespace parulel {
+
+/// Join plan for one positive or negative pattern position.
+struct PositionPlan {
+  std::uint32_t alpha = 0;
+  int index_handle = -1;           ///< -1 => full scan of the alpha memory
+  std::vector<int> key_slots;      ///< index slot list (sorted)
+  std::vector<VarId> key_vars;     ///< env var per key slot
+  std::vector<CompiledPattern::JoinEq> join_eqs;  ///< full verify list
+};
+
+/// Precomputed fast path for re-deriving a rule after a negated CE's
+/// blocker fact is retracted: probe positive position 0 by the slots
+/// that define the pinned variables, instead of scanning its alpha.
+struct NegRematchPlan {
+  int index_handle = -1;        ///< on positives[0]'s alpha; -1 = scan
+  std::vector<int> pos0_slots;  ///< index slot list (sorted)
+  std::vector<VarId> pos0_vars; ///< pinned var per slot
+  /// Pins to apply during the DFS: (rule var, value from blocker slot).
+  struct Pin {
+    VarId var;
+    int blocker_slot;
+  };
+  std::vector<Pin> pins;
+};
+
+/// One step of a reordered derivation join (seminaive matching).
+struct DeriveStep {
+  int pattern = 0;           ///< positive CE index this step binds
+  std::uint32_t alpha = 0;
+  /// Slot must equal an already-bound variable (under THIS ordering).
+  std::vector<CompiledPattern::JoinEq> eqs;
+  /// Slot defines a variable (under THIS ordering).
+  std::vector<CompiledPattern::Binding> defs;
+  int index_handle = -1;     ///< on `alpha` over eq slots; -1 = scan
+  std::vector<int> key_slots;
+  std::vector<VarId> key_vars;
+  /// Guards that become evaluable once this step binds its variables.
+  std::vector<const CompiledExpr*> guards;
+};
+
+/// Reordered join for deriving instantiations that contain a new fact
+/// at one fixed position: step 0 IS that position, later steps greedily
+/// prefer patterns joinable (hash-probe-able) against bound variables.
+struct DerivePlan {
+  std::vector<DeriveStep> steps;
+};
+
+/// Per-rule join plan.
+struct RulePlan {
+  std::vector<PositionPlan> positives;
+  std::vector<PositionPlan> negatives;
+  /// Positive position that defines each LHS variable (index = VarId).
+  std::vector<int> def_position;
+  /// One rematch fast path per negated CE (aligned with negatives).
+  std::vector<NegRematchPlan> neg_rematch;
+  /// One reordered derivation plan per positive position.
+  std::vector<DerivePlan> derive;
+};
+
+/// An equality pin on a rule variable, used to narrow re-derivation
+/// after a negated CE's blocker is retracted: only bindings that agree
+/// with the vanished blocker's join key can have become enabled.
+struct VarConstraint {
+  VarId var;
+  Value value;
+};
+
+/// Builds plans and registers the needed indexes on an AlphaStore.
+/// Must run before any fact enters the store.
+std::vector<RulePlan> build_join_plans(std::span<const CompiledRule> rules,
+                                       AlphaStore& alphas);
+
+/// Join enumerator over one rule set + alpha store.
+class JoinEngine {
+ public:
+  JoinEngine(std::span<const CompiledRule> rules, AlphaStore& alphas)
+      : rules_(rules), alphas_(alphas), plans_(build_join_plans(rules, alphas)) {}
+
+  AlphaStore& alphas() { return alphas_; }
+  const RulePlan& plan(RuleId rule) const { return plans_[rule]; }
+  const std::vector<RulePlan>& plans() const { return plans_; }
+
+  /// Enumerate instantiations of `rule`. When fixed_pos >= 0, only
+  /// instantiations with `fixed_fact` at that position are produced
+  /// (seminaive derivation). `constraints` pins rule variables to given
+  /// values; bindings that disagree are pruned as soon as the variable
+  /// is defined. emit(facts, env) is called per match; the spans are
+  /// only valid during the call.
+  template <typename Emit>
+  void enumerate(const WorkingMemory& wm, RuleId rule, int fixed_pos,
+                 FactId fixed_fact, Emit&& emit,
+                 std::span<const VarConstraint> constraints = {}) const {
+    const CompiledRule& r = rules_[rule];
+    const RulePlan& plan = plans_[rule];
+    std::vector<Value> env(static_cast<std::size_t>(r.num_vars));
+    std::vector<FactId> facts(r.positives.size(), kInvalidFact);
+    std::vector<FactId> scratch;
+    dfs(wm, r, plan, 0, fixed_pos, fixed_fact, constraints, nullptr, env,
+        facts, scratch, emit);
+  }
+
+  /// Seminaive derivation: every instantiation of `rule` containing
+  /// `fixed_fact` at positive position `fixed_pos`, enumerated via the
+  /// reordered DerivePlan (starts at the new fact, hash-joins outward).
+  template <typename Emit>
+  void derive(const WorkingMemory& wm, RuleId rule, int fixed_pos,
+              FactId fixed_fact, Emit&& emit) const {
+    const CompiledRule& r = rules_[rule];
+    const RulePlan& plan = plans_[rule];
+    const DerivePlan& dp =
+        plan.derive[static_cast<std::size_t>(fixed_pos)];
+    std::vector<Value> env(static_cast<std::size_t>(r.num_vars));
+    std::vector<FactId> facts(r.positives.size(), kInvalidFact);
+    derive_dfs(wm, r, plan, dp, 0, fixed_fact, env, facts, emit);
+  }
+
+  /// Re-derive the instantiations of `rule` that the retraction of
+  /// `blocker` (a fact that matched negated CE `neg_index`) may have
+  /// enabled. Only bindings agreeing with the blocker's join key are
+  /// enumerated, probing position 0 by index when possible.
+  template <typename Emit>
+  void enumerate_unblocked(const WorkingMemory& wm, RuleId rule,
+                           std::size_t neg_index, const Fact& blocker,
+                           Emit&& emit) const {
+    const CompiledRule& r = rules_[rule];
+    const RulePlan& plan = plans_[rule];
+    const NegRematchPlan& rp = plan.neg_rematch[neg_index];
+
+    std::vector<VarConstraint> pins;
+    pins.reserve(rp.pins.size());
+    for (const auto& pin : rp.pins) {
+      pins.push_back(
+          {pin.var,
+           blocker.slots[static_cast<std::size_t>(pin.blocker_slot)]});
+    }
+
+    Pos0Probe probe;
+    const Pos0Probe* probe_ptr = nullptr;
+    if (rp.index_handle >= 0) {
+      probe.index_handle = rp.index_handle;
+      probe.key.reserve(rp.pos0_slots.size());
+      for (std::size_t i = 0; i < rp.pos0_slots.size(); ++i) {
+        // pos0_vars[i] is pinned; its value comes from the blocker.
+        for (const auto& pin : pins) {
+          if (pin.var == rp.pos0_vars[i]) {
+            probe.key.push_back(pin.value);
+            break;
+          }
+        }
+      }
+      probe_ptr = &probe;
+    }
+
+    std::vector<Value> env(static_cast<std::size_t>(r.num_vars));
+    std::vector<FactId> facts(r.positives.size(), kInvalidFact);
+    std::vector<FactId> scratch;
+    dfs(wm, r, plan, 0, /*fixed_pos=*/-1, kInvalidFact, pins, probe_ptr,
+        env, facts, scratch, emit);
+  }
+
+  /// True when every quantified CE of `rule` is satisfied under the
+  /// bound environment ((not ...) empty, (exists ...) non-empty).
+  bool negatives_ok(const WorkingMemory& wm, const CompiledRule& rule,
+                    const RulePlan& plan, std::span<const Value> env) const;
+
+  /// Does at least one alive fact match quantified CE `neg` under env?
+  bool quantified_satisfied(const WorkingMemory& wm, const PositionPlan& neg,
+                            std::span<const Value> env) const;
+
+  /// True when `fact` (known to be in the negative pattern's alpha)
+  /// blocks `env`, i.e. satisfies the pattern's join tests.
+  static bool fact_blocks(const Fact& fact, const PositionPlan& neg,
+                          std::span<const Value> env);
+
+ private:
+  struct Pos0Probe {
+    int index_handle = -1;
+    std::vector<Value> key;
+  };
+
+  template <typename Emit>
+  void derive_dfs(const WorkingMemory& wm, const CompiledRule& r,
+                  const RulePlan& plan, const DerivePlan& dp, std::size_t s,
+                  FactId fixed_fact, std::vector<Value>& env,
+                  std::vector<FactId>& facts, Emit&& emit) const {
+    if (s == dp.steps.size()) {
+      if (negatives_ok(wm, r, plan, env)) emit(facts, env);
+      return;
+    }
+    const DeriveStep& step = dp.steps[s];
+
+    auto try_fact = [&](FactId fid) {
+      const Fact& fact = wm.fact(fid);
+      for (const auto& eq : step.eqs) {
+        if (fact.slots[static_cast<std::size_t>(eq.slot)] !=
+            env[static_cast<std::size_t>(eq.var)]) {
+          return;
+        }
+      }
+      for (const auto& def : step.defs) {
+        env[static_cast<std::size_t>(def.var)] =
+            fact.slots[static_cast<std::size_t>(def.slot)];
+      }
+      for (const CompiledExpr* guard : step.guards) {
+        if (!CompiledExpr::truthy(guard->eval(env))) return;
+      }
+      facts[static_cast<std::size_t>(step.pattern)] = fid;
+      derive_dfs(wm, r, plan, dp, s + 1, fixed_fact, env, facts, emit);
+    };
+
+    if (s == 0) {
+      // Step 0 is the fixed position: exactly the new fact.
+      try_fact(fixed_fact);
+      return;
+    }
+    const AlphaMemory& mem = alphas_.memory(step.alpha);
+    if (step.index_handle >= 0) {
+      std::vector<Value> key(step.key_vars.size());
+      for (std::size_t i = 0; i < step.key_vars.size(); ++i) {
+        key[i] = env[static_cast<std::size_t>(step.key_vars[i])];
+      }
+      std::vector<FactId> candidates;
+      mem.probe(step.index_handle, key, candidates);
+      for (FactId fid : candidates) try_fact(fid);
+      return;
+    }
+    const std::vector<FactId> local(mem.facts());
+    for (FactId fid : local) try_fact(fid);
+  }
+
+  template <typename Emit>
+  void dfs(const WorkingMemory& wm, const CompiledRule& r,
+           const RulePlan& plan, std::size_t p, int fixed_pos,
+           FactId fixed_fact, std::span<const VarConstraint> constraints,
+           const Pos0Probe* probe0, std::vector<Value>& env,
+           std::vector<FactId>& facts, std::vector<FactId>& scratch,
+           Emit&& emit) const {
+    if (p == r.positives.size()) {
+      if (negatives_ok(wm, r, plan, env)) emit(facts, env);
+      return;
+    }
+    const CompiledPattern& pat = r.positives[p];
+    const PositionPlan& pos = plan.positives[p];
+    const AlphaMemory& mem = alphas_.memory(pos.alpha);
+
+    auto try_fact = [&](FactId fid) {
+      const Fact& fact = wm.fact(fid);
+      for (const auto& eq : pos.join_eqs) {
+        if (fact.slots[static_cast<std::size_t>(eq.slot)] !=
+            env[static_cast<std::size_t>(eq.var)]) {
+          return;
+        }
+      }
+      for (const auto& def : pat.defines) {
+        env[static_cast<std::size_t>(def.var)] =
+            fact.slots[static_cast<std::size_t>(def.slot)];
+      }
+      // Constraint pins become checkable the moment their variable is
+      // defined; pruning here keeps constrained re-derivation narrow.
+      for (const auto& pin : constraints) {
+        if (plan.def_position[static_cast<std::size_t>(pin.var)] ==
+                static_cast<int>(p) &&
+            env[static_cast<std::size_t>(pin.var)] != pin.value) {
+          return;
+        }
+      }
+      for (const auto& guard : r.guards[p]) {
+        if (!CompiledExpr::truthy(guard.eval(env))) return;
+      }
+      facts[p] = fid;
+      dfs(wm, r, plan, p + 1, fixed_pos, fixed_fact, constraints, probe0,
+          env, facts, scratch, emit);
+    };
+
+    if (static_cast<int>(p) == fixed_pos) {
+      // The fixed fact must already be in this alpha (caller routed it).
+      try_fact(fixed_fact);
+      return;
+    }
+    if (p == 0 && probe0 != nullptr) {
+      // Constrained re-derivation: probe position 0 by the pinned slots.
+      std::vector<FactId> candidates;
+      mem.probe(probe0->index_handle, probe0->key, candidates);
+      for (FactId fid : candidates) try_fact(fid);
+      return;
+    }
+    if (pos.index_handle >= 0) {
+      // Hash probe on the bound join key. Save candidate list locally:
+      // deeper recursion reuses `scratch`.
+      std::vector<Value> key(pos.key_vars.size());
+      for (std::size_t i = 0; i < pos.key_vars.size(); ++i) {
+        key[i] = env[static_cast<std::size_t>(pos.key_vars[i])];
+      }
+      std::vector<FactId> candidates;
+      mem.probe(pos.index_handle, key, candidates);
+      for (FactId fid : candidates) try_fact(fid);
+      return;
+    }
+    // No join key: scan the whole memory. Copy first: try_fact recursion
+    // never mutates alpha memories during matching, but keep it explicit.
+    scratch = mem.facts();
+    const std::vector<FactId> local(scratch);
+    for (FactId fid : local) try_fact(fid);
+  }
+
+  std::span<const CompiledRule> rules_;
+  AlphaStore& alphas_;
+  std::vector<RulePlan> plans_;
+};
+
+}  // namespace parulel

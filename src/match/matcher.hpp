@@ -1,0 +1,48 @@
+// Matcher interface: incremental maintenance of the conflict set.
+//
+// Engines drive matchers with working-memory deltas; matchers keep the
+// conflict set exactly equal to the set of currently satisfied, not-yet-
+// fired instantiations. Three implementations:
+//   TreatMatcher          — sequential TREAT (no beta memories)
+//   ReteMatcher           — sequential RETE (beta memories, classic)
+//   ParallelTreatMatcher  — TREAT with rule x delta-chunk parallelism
+#pragma once
+
+#include <cstdint>
+
+#include "match/conflict_set.hpp"
+#include "wm/working_memory.hpp"
+
+namespace parulel {
+
+/// Matcher-side counters (for the match-algorithm comparison benches).
+struct MatchStats {
+  std::uint64_t deltas_processed = 0;
+  std::uint64_t insts_derived = 0;
+  std::uint64_t insts_invalidated = 0;
+  std::uint64_t full_rematches = 0;   ///< TREAT negative-retract fallbacks
+  std::uint64_t tokens_created = 0;   ///< RETE only
+  std::uint64_t tokens_deleted = 0;   ///< RETE only
+
+  /// Approximate resident state in entries (beta tokens or conflict set).
+  std::uint64_t state_entries = 0;
+};
+
+class Matcher {
+ public:
+  virtual ~Matcher() = default;
+
+  /// Fold one WM delta into the conflict set. The engine guarantees the
+  /// delta's removed facts are still readable via wm.fact() (tombstones).
+  virtual void apply_delta(const WorkingMemory& wm, const Delta& delta) = 0;
+
+  virtual ConflictSet& conflict_set() = 0;
+  const ConflictSet& conflict_set() const {
+    return const_cast<Matcher*>(this)->conflict_set();
+  }
+
+  virtual const MatchStats& stats() const = 0;
+  virtual const char* name() const = 0;
+};
+
+}  // namespace parulel

@@ -1,0 +1,129 @@
+// RETE matcher: classic beta-memory network, sequential.
+//
+// Topology per rule: a linear chain of beta memories (memory p holds
+// partial matches of positive positions 0..p), hash-joined against the
+// shared alpha memories, followed by a *negation gate* that holds one
+// blocker counter per negated CE for every full positive match. Alpha
+// memories are shared across rules and with the TREAT matchers; beta
+// state is per rule (no inter-rule beta sharing — alpha sharing is where
+// most practical systems get their wins).
+//
+// The negation gate replaces the textbook chain of negative nodes: since
+// this dialect's negated CEs bind no new variables and are checked after
+// all positives, one gate with per-CE counters is equivalent and much
+// simpler to keep incremental.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "match/alpha.hpp"
+#include "match/join.hpp"
+#include "match/matcher.hpp"
+
+namespace parulel {
+
+class ReteMatcher : public Matcher {
+ public:
+  ReteMatcher(std::span<const CompiledRule> rules,
+              std::span<const AlphaSpec> alpha_specs,
+              std::size_t template_count);
+
+  void apply_delta(const WorkingMemory& wm, const Delta& delta) override;
+  ConflictSet& conflict_set() override { return cs_; }
+  const MatchStats& stats() const override { return stats_; }
+  const char* name() const override { return "rete"; }
+
+  /// Total beta tokens currently resident (for memory benches).
+  std::size_t token_count() const;
+
+ private:
+  using TokenId = std::uint32_t;
+
+  static constexpr std::size_t kNoKey = static_cast<std::size_t>(-1);
+
+  struct Token {
+    std::vector<FactId> facts;
+    std::vector<Value> env;
+    // Hash this token is registered under in its memory's by_key
+    // (kNoKey when not registered — last-position memories).
+    std::size_t key_hash = kNoKey;
+    // Negation gate extras (unused in plain beta memories).
+    std::vector<std::size_t> neg_keys;
+    std::vector<int> neg_counts;
+    int blocked = 0;
+    bool alive = false;
+  };
+
+  /// Beta memory p for some rule; also used as the negation gate store.
+  struct BetaMemory {
+    std::vector<Token> tokens;      // slot-stable; freed ids reused
+    std::vector<TokenId> free_list;
+    std::size_t alive_count = 0;
+    // Key index for the *downstream* consumer (join p+1 or a negative
+    // pattern); hash of selected env values -> token.
+    std::unordered_multimap<std::size_t, TokenId> by_key;
+    std::unordered_multimap<FactId, TokenId> by_fact;
+
+    TokenId insert(Token token);
+    void erase(TokenId id);
+  };
+
+  struct RuleNet {
+    std::vector<BetaMemory> memories;  // one per positive position
+    BetaMemory gate;                   // full matches w/ negation counters
+    bool has_negatives = false;
+    // Per-negative key index over gate tokens: hash of the token env's
+    // join-key values -> gate token id.
+    std::vector<std::unordered_multimap<std::size_t, TokenId>> gate_neg_index;
+  };
+
+  void assert_one(const WorkingMemory& wm, const Fact& fact);
+  void retract_one(const WorkingMemory& wm, const Fact& fact);
+
+  /// Token formed at position p; store and cascade to p+1 / gate.
+  void emit_token(const WorkingMemory& wm, RuleId rule, std::size_t p,
+                  Token token);
+
+  /// Hash of env values for the join key of consumer position p
+  /// (positives) — what by_key of memory p-1 is keyed on.
+  std::size_t left_key_hash(RuleId rule, std::size_t consumer_pos,
+                            std::span<const Value> env) const;
+  /// Hash of a right-side fact for consumer position p.
+  std::size_t right_key_hash(RuleId rule, std::size_t consumer_pos,
+                             const Fact& fact) const;
+
+  /// Gate-side: key hash for negative pattern n of rule.
+  std::size_t neg_key_hash_env(RuleId rule, std::size_t n,
+                               std::span<const Value> env) const;
+  std::size_t neg_key_hash_fact(RuleId rule, std::size_t n,
+                                const Fact& fact) const;
+
+  void arrive_at_gate(const WorkingMemory& wm, RuleId rule, Token token);
+  void gate_neg_assert(RuleId rule, std::size_t n, const Fact& fact);
+  void gate_neg_retract(RuleId rule, std::size_t n, const Fact& fact);
+
+  void production_add(RuleId rule, const Token& token);
+  void production_remove(RuleId rule, const Token& token);
+
+  std::span<const CompiledRule> rules_;
+  AlphaStore alphas_;
+  // Reuses the TREAT position plans for join keys/tests (alpha indexes
+  // are registered by the same code path).
+  std::vector<RulePlan> plans_;
+  std::vector<RuleNet> nets_;
+  ConflictSet cs_;
+  MatchStats stats_;
+
+  struct AlphaUse {
+    RuleId rule;
+    int position;
+  };
+  std::vector<std::vector<AlphaUse>> positive_uses_;
+  std::vector<std::vector<AlphaUse>> negative_uses_;
+  std::vector<std::uint32_t> scratch_alphas_;
+};
+
+}  // namespace parulel

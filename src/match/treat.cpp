@@ -1,0 +1,198 @@
+#include "match/treat.hpp"
+
+#include <algorithm>
+
+namespace parulel {
+
+TreatMatcher::TreatMatcher(std::span<const CompiledRule> rules,
+                           std::span<const AlphaSpec> alpha_specs,
+                           std::size_t template_count)
+    : rules_(rules),
+      alphas_(alpha_specs, template_count),
+      join_(rules, alphas_),
+      quant_(rules, join_.plans()),
+      positive_uses_(alpha_specs.size()),
+      negative_uses_(alpha_specs.size()) {
+  for (RuleId r = 0; r < rules_.size(); ++r) {
+    const CompiledRule& rule = rules_[r];
+    for (std::size_t p = 0; p < rule.positives.size(); ++p) {
+      positive_uses_[rule.positives[p].alpha].push_back(
+          {r, static_cast<int>(p)});
+    }
+    for (std::size_t n = 0; n < rule.negatives.size(); ++n) {
+      negative_uses_[rule.negatives[n].alpha].push_back(
+          {r, static_cast<int>(n)});
+    }
+  }
+}
+
+void TreatMatcher::apply_delta(const WorkingMemory& wm, const Delta& delta) {
+  ++stats_.deltas_processed;
+
+  // Work queued against quantified CEs:
+  //   unblocks   — (not ...) blocker left / (exists ...) witness arrived:
+  //                constrained re-derivation may ADD instantiations;
+  //   disables   — (exists ...) witness left: instantiations may DIE.
+  struct QuantEvent {
+    RuleId rule;
+    int neg;
+    FactId fact;
+  };
+  std::vector<QuantEvent> unblocks;
+  std::vector<QuantEvent> disables;
+
+  // 1. Removals: update alphas, drop invalidated instantiations.
+  for (FactId fid : delta.removed) {
+    const Fact& fact = wm.fact(fid);
+    alphas_.matching_alphas(fact, scratch_alphas_);
+    for (std::uint32_t a : scratch_alphas_) {
+      for (const AlphaUse& use : negative_uses_[a]) {
+        const bool exists =
+            rules_[use.rule].negatives[static_cast<std::size_t>(use.position)]
+                .exists;
+        if (exists) {
+          disables.push_back({use.rule, use.position, fid});
+        } else {
+          unblocks.push_back({use.rule, use.position, fid});
+        }
+      }
+      alphas_.memory(a).erase(fact);
+    }
+    std::vector<InstId> removed;
+    cs_.remove_by_fact(fid, &removed);
+    stats_.insts_invalidated += removed.size();
+  }
+
+  // 2. Additions into alpha memories first, so derivations see the
+  // complete post-delta state for joins and quantifier checks.
+  for (FactId fid : delta.added) {
+    alphas_.on_assert(wm.fact(fid));
+  }
+
+  // 3. New facts in quantified alphas: (not ...) invalidates existing
+  // matches; (exists ...) may enable new ones.
+  for (FactId fid : delta.added) {
+    const Fact& fact = wm.fact(fid);
+    alphas_.matching_alphas(fact, scratch_alphas_);
+    const std::vector<std::uint32_t> hit(scratch_alphas_);
+    for (std::uint32_t a : hit) {
+      for (const AlphaUse& use : negative_uses_[a]) {
+        const bool exists =
+            rules_[use.rule].negatives[static_cast<std::size_t>(use.position)]
+                .exists;
+        if (exists) {
+          unblocks.push_back({use.rule, use.position, fid});
+        } else {
+          remove_blocked(wm, use.rule, use.position, fid);
+        }
+      }
+    }
+  }
+
+  // 4. Seminaive derivation from each added fact.
+  for (FactId fid : delta.added) {
+    derive_for_added(wm, fid);
+  }
+
+  // 5. Departed (exists ...) witnesses: drop instantiations whose CE is
+  // no longer satisfied in the post-delta state.
+  for (const auto& d : disables) {
+    remove_disabled(wm, d.rule, d.neg, d.fact);
+  }
+
+  // 6. Constrained re-derivations last (they are dedup-protected).
+  for (const auto& u : unblocks) {
+    rematch_unblocked(wm, u.rule, static_cast<std::size_t>(u.neg), u.fact);
+  }
+
+  stats_.state_entries = cs_.size();
+}
+
+void TreatMatcher::derive_for_added(const WorkingMemory& wm, FactId fid) {
+  const Fact& fact = wm.fact(fid);
+  alphas_.matching_alphas(fact, scratch_alphas_);
+  // matching_alphas reuses scratch; copy because enumerate may also use it.
+  const std::vector<std::uint32_t> hit(scratch_alphas_);
+  for (std::uint32_t a : hit) {
+    for (const AlphaUse& use : positive_uses_[a]) {
+      join_.derive(wm, use.rule, use.position, fid,
+                   [&](const std::vector<FactId>& facts,
+                       std::span<const Value> env) {
+                     Instantiation inst;
+                     inst.rule = use.rule;
+                     inst.facts = facts;
+                     const InstId id = cs_.add(std::move(inst));
+                     if (id != kInvalidInst) {
+                       ++stats_.insts_derived;
+                       if (!rules_[use.rule].negatives.empty()) {
+                         quant_.add(use.rule, id, env);
+                       }
+                     }
+                   });
+    }
+  }
+}
+
+void TreatMatcher::remove_blocked(const WorkingMemory& wm, RuleId rule_id,
+                                  int neg_index, FactId fid) {
+  const Fact& fact = wm.fact(fid);
+  const CompiledRule& rule = rules_[rule_id];
+  const PositionPlan& neg =
+      join_.plan(rule_id).negatives[static_cast<std::size_t>(neg_index)];
+  std::vector<Value> env;
+  quant_.for_candidates(
+      cs_, rule_id, static_cast<std::size_t>(neg_index), fact,
+      [&](InstId id) {
+        const Instantiation& inst = cs_.get(id);
+        rebuild_env(
+            rule, inst.facts,
+            [&](FactId f) -> const Fact& { return wm.fact(f); }, env);
+        if (JoinEngine::fact_blocks(fact, neg, env)) {
+          cs_.remove(id);
+          ++stats_.insts_invalidated;
+        }
+      });
+}
+
+void TreatMatcher::remove_disabled(const WorkingMemory& wm, RuleId rule_id,
+                                   int neg_index, FactId fid) {
+  const Fact& fact = wm.fact(fid);
+  const CompiledRule& rule = rules_[rule_id];
+  const PositionPlan& neg =
+      join_.plan(rule_id).negatives[static_cast<std::size_t>(neg_index)];
+  std::vector<Value> env;
+  quant_.for_candidates(
+      cs_, rule_id, static_cast<std::size_t>(neg_index), fact,
+      [&](InstId id) {
+        const Instantiation& inst = cs_.get(id);
+        rebuild_env(
+            rule, inst.facts,
+            [&](FactId f) -> const Fact& { return wm.fact(f); }, env);
+        // Only instantiations the departed fact witnessed can be
+        // affected; they die when no other witness remains.
+        if (JoinEngine::fact_blocks(fact, neg, env) &&
+            !join_.quantified_satisfied(wm, neg, env)) {
+          cs_.remove(id);
+          ++stats_.insts_invalidated;
+        }
+      });
+}
+
+void TreatMatcher::rematch_unblocked(const WorkingMemory& wm, RuleId rule,
+                                     std::size_t neg_index, FactId pivot) {
+  ++stats_.full_rematches;
+  join_.enumerate_unblocked(wm, rule, neg_index, wm.fact(pivot),
+                            [&](const std::vector<FactId>& facts,
+                                std::span<const Value> env) {
+                              Instantiation inst;
+                              inst.rule = rule;
+                              inst.facts = facts;
+                              const InstId id = cs_.add(std::move(inst));
+                              if (id != kInvalidInst) {
+                                ++stats_.insts_derived;
+                                quant_.add(rule, id, env);
+                              }
+                            });
+}
+
+}  // namespace parulel

@@ -1,0 +1,70 @@
+// TREAT matcher: no beta memories, conflict set maintained seminaively.
+//
+// Per delta:
+//   1. update alpha memories (removals + additions);
+//   2. remove conflict-set entries containing removed facts;
+//   3. rules whose *negated* alpha lost a fact are fully re-enumerated
+//      (removal of a blocker can enable matches; TREAT has no stored
+//      join state to localize this, so we recompute that rule — dedup
+//      and refraction in ConflictSet make this safe);
+//   4. for each added fact and each (rule, position) whose alpha accepts
+//      it, derive the new instantiations with that position fixed;
+//   5. for each added fact matching a negated alpha, remove pre-existing
+//      instantiations it now blocks.
+#pragma once
+
+#include <memory>
+#include <span>
+
+#include "match/join.hpp"
+#include "match/matcher.hpp"
+#include "match/quant_index.hpp"
+
+namespace parulel {
+
+class TreatMatcher : public Matcher {
+ public:
+  /// `rules` and `alpha_specs` must outlive the matcher (they live in the
+  /// Program). Works for object rules and, with the meta schema's specs,
+  /// for meta rules too — the meta engine instantiates one of these.
+  TreatMatcher(std::span<const CompiledRule> rules,
+               std::span<const AlphaSpec> alpha_specs,
+               std::size_t template_count);
+
+  void apply_delta(const WorkingMemory& wm, const Delta& delta) override;
+  ConflictSet& conflict_set() override { return cs_; }
+  const MatchStats& stats() const override { return stats_; }
+  const char* name() const override { return "treat"; }
+
+ private:
+  void derive_for_added(const WorkingMemory& wm, FactId fid);
+  /// A fact entered a (not ...) alpha: drop the instantiations it blocks.
+  void remove_blocked(const WorkingMemory& wm, RuleId rule, int neg_index,
+                      FactId fid);
+  /// A fact left an (exists ...) alpha: drop instantiations whose CE is
+  /// no longer satisfied.
+  void remove_disabled(const WorkingMemory& wm, RuleId rule, int neg_index,
+                       FactId fid);
+  /// A (not ...) blocker left / an (exists ...) witness arrived:
+  /// constrained re-derivation pinned to the fact's join key.
+  void rematch_unblocked(const WorkingMemory& wm, RuleId rule,
+                         std::size_t neg_index, FactId pivot);
+
+  std::span<const CompiledRule> rules_;
+  AlphaStore alphas_;
+  JoinEngine join_;
+  ConflictSet cs_;
+  QuantIndex quant_;
+  MatchStats stats_;
+
+  // (rule, position) lists per alpha id, positive and negative.
+  struct AlphaUse {
+    RuleId rule;
+    int position;
+  };
+  std::vector<std::vector<AlphaUse>> positive_uses_;
+  std::vector<std::vector<AlphaUse>> negative_uses_;
+  std::vector<std::uint32_t> scratch_alphas_;
+};
+
+}  // namespace parulel

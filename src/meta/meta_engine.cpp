@@ -1,0 +1,110 @@
+#include "meta/meta_engine.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "match/treat.hpp"
+#include "meta/reify.hpp"
+#include "support/error.hpp"
+
+namespace parulel {
+
+MetaOutcome MetaEngine::run(const WorkingMemory& object_wm,
+                            const ConflictSet& cs,
+                            const std::vector<InstId>& eligible,
+                            std::ostream* output) const {
+  MetaOutcome outcome;
+  if (!active() || eligible.empty()) return outcome;
+
+  WorkingMemory meta_wm(program_.meta_schema);
+  const std::vector<FactId> meta_facts =
+      reify_conflict_set(program_, object_wm, cs, eligible, meta_wm);
+
+  // Object InstId -> meta FactId, for retraction on redact.
+  std::unordered_map<InstId, FactId> fact_of_inst;
+  fact_of_inst.reserve(eligible.size());
+  for (std::size_t i = 0; i < eligible.size(); ++i) {
+    fact_of_inst.emplace(eligible[i], meta_facts[i]);
+  }
+
+  TreatMatcher matcher(program_.meta_rules, program_.meta_alphas,
+                       program_.meta_schema.size());
+  std::unordered_set<InstId> redacted;
+
+  for (;;) {
+    ++outcome.rounds;
+    matcher.apply_delta(meta_wm, meta_wm.drain_delta());
+    ConflictSet& meta_cs = matcher.conflict_set();
+    const std::vector<InstId> to_fire = meta_cs.alive_ids();
+    if (to_fire.empty()) break;
+
+    // Fire the whole meta conflict set (set-oriented), collecting the
+    // round's redactions.
+    std::vector<InstId> newly_redacted;
+    std::vector<Value> env;
+    for (InstId mid : to_fire) {
+      const Instantiation& minst = meta_cs.get(mid);
+      const CompiledRule& mrule = program_.meta_rules[minst.rule];
+      rebuild_env(
+          mrule, minst.facts,
+          [&](FactId f) -> const Fact& { return meta_wm.fact(f); }, env);
+      for (const auto& action : mrule.actions) {
+        switch (action.kind) {
+          case CompiledAction::Kind::Redact: {
+            const Value v = action.args[0].eval(env);
+            if (!v.is_int()) {
+              throw RuntimeError("redact target must be an instantiation id");
+            }
+            const auto target = static_cast<InstId>(v.as_int());
+            if (fact_of_inst.contains(target) &&
+                redacted.insert(target).second) {
+              newly_redacted.push_back(target);
+            }
+            break;
+          }
+          case CompiledAction::Kind::Bind: {
+            const Value v = action.args[0].eval(env);
+            if (static_cast<std::size_t>(action.bind_var) >= env.size()) {
+              env.resize(static_cast<std::size_t>(action.bind_var) + 1);
+            }
+            env[static_cast<std::size_t>(action.bind_var)] = v;
+            break;
+          }
+          case CompiledAction::Kind::Printout: {
+            if (output) {
+              for (const auto& item : action.args) {
+                *output << item.eval(env).to_string(*program_.symbols);
+              }
+              *output << '\n';
+            }
+            break;
+          }
+          default:
+            throw RuntimeError(
+                "meta-rules may only redact, bind, and printout");
+        }
+      }
+      meta_cs.mark_fired(mid);
+      ++outcome.meta_firings;
+    }
+
+    if (newly_redacted.empty()) {
+      // All firings were printout-only; refraction guarantees progress,
+      // so loop once more — the next round's conflict set shrinks.
+      continue;
+    }
+    // Withdraw the redacted instantiations' meta facts; the next round's
+    // matches can no longer be justified by them.
+    std::sort(newly_redacted.begin(), newly_redacted.end());
+    for (InstId target : newly_redacted) {
+      meta_wm.retract(fact_of_inst.at(target));
+      outcome.redacted.push_back(target);
+    }
+  }
+
+  std::sort(outcome.redacted.begin(), outcome.redacted.end());
+  return outcome;
+}
+
+}  // namespace parulel

@@ -1,0 +1,50 @@
+// Meta-rule evaluation: the redaction fixpoint.
+//
+// Once per object-level cycle, the PARULEL engine hands the eligible
+// conflict set to this evaluator. It reifies the instantiations into a
+// private meta working memory, matches the program's defmetarule set
+// against them, and fires *all* meta instantiations per round,
+// set-oriented like the object level. Each (redact ?i) retracts the
+// reified fact for object instantiation ?i, which can enable or disable
+// further meta matches; rounds repeat until no new redaction occurs.
+//
+// Termination: a redacted instantiation's meta fact is withdrawn and
+// never re-asserted within the fixpoint, and meta-level refraction stops
+// repeat firings, so the redacted set grows monotonically and the loop
+// ends after at most |eligible| productive rounds.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <vector>
+
+#include "lang/program.hpp"
+#include "match/conflict_set.hpp"
+#include "wm/working_memory.hpp"
+
+namespace parulel {
+
+struct MetaOutcome {
+  std::vector<InstId> redacted;     ///< object-level instantiation ids
+  std::uint64_t meta_firings = 0;
+  std::uint64_t rounds = 0;
+};
+
+class MetaEngine {
+ public:
+  explicit MetaEngine(const Program& program) : program_(program) {}
+
+  /// True when the program has meta rules at all.
+  bool active() const { return !program_.meta_rules.empty(); }
+
+  /// Run the redaction fixpoint over `eligible` (ascending InstIds).
+  /// `output`, when non-null, receives meta-rule printout text.
+  MetaOutcome run(const WorkingMemory& object_wm, const ConflictSet& cs,
+                  const std::vector<InstId>& eligible,
+                  std::ostream* output = nullptr) const;
+
+ private:
+  const Program& program_;
+};
+
+}  // namespace parulel

@@ -1,0 +1,37 @@
+#include "meta/reify.hpp"
+
+#include "match/instantiation.hpp"
+
+namespace parulel {
+
+std::vector<FactId> reify_conflict_set(const Program& program,
+                                       const WorkingMemory& object_wm,
+                                       const ConflictSet& cs,
+                                       const std::vector<InstId>& eligible,
+                                       WorkingMemory& meta_wm) {
+  std::vector<FactId> meta_ids;
+  meta_ids.reserve(eligible.size());
+  std::vector<Value> env;
+  for (InstId id : eligible) {
+    const Instantiation& inst = cs.get(id);
+    const CompiledRule& rule = program.rules[inst.rule];
+    rebuild_env(
+        rule, inst.facts,
+        [&](FactId f) -> const Fact& { return object_wm.fact(f); }, env);
+
+    std::vector<Value> slots;
+    slots.reserve(1 + static_cast<std::size_t>(rule.num_lhs_vars));
+    slots.push_back(Value::integer(static_cast<std::int64_t>(id)));
+    for (int v = 0; v < rule.num_lhs_vars; ++v) {
+      slots.push_back(env[static_cast<std::size_t>(v)]);
+    }
+    // Distinct ids make every meta fact unique, so set-semantics
+    // absorption cannot trigger here.
+    meta_ids.push_back(
+        meta_wm.assert_fact(program.inst_templates[inst.rule],
+                            std::move(slots)));
+  }
+  return meta_ids;
+}
+
+}  // namespace parulel

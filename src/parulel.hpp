@@ -1,0 +1,31 @@
+// PARULEL — parallel production-rule language. Umbrella header.
+//
+// Quick tour:
+//   auto program = parulel::parse_program(source_text);
+//   parulel::EngineConfig cfg;
+//   cfg.threads = 8;
+//   cfg.matcher = parulel::MatcherKind::ParallelTreat;
+//   parulel::ParallelEngine engine(program, cfg);
+//   engine.assert_initial_facts();
+//   parulel::RunStats stats = engine.run();
+//
+// See README.md for the language reference and examples/ for runnable
+// programs.
+#pragma once
+
+#include "distrib/copy_constrain.hpp"
+#include "distrib/dist_engine.hpp"
+#include "distrib/partition.hpp"
+#include "engine/engine.hpp"
+#include "engine/par_engine.hpp"
+#include "engine/seq_engine.hpp"
+#include "lang/printer.hpp"
+#include "lang/program.hpp"
+#include "match/rete.hpp"
+#include "match/treat.hpp"
+#include "match/parallel_treat.hpp"
+#include "meta/meta_engine.hpp"
+#include "support/error.hpp"
+#include "support/stats.hpp"
+#include "wm/working_memory.hpp"
+#include "workloads/workloads.hpp"

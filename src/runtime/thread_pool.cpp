@@ -1,0 +1,146 @@
+#include "runtime/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+#include <exception>
+
+namespace parulel {
+
+/// A fork-join batch: a vector of jobs plus a next-job cursor and a
+/// completion latch. Lives on the submitting thread's stack.
+struct ThreadPool::Batch {
+  const std::vector<std::function<void(unsigned)>>* jobs = nullptr;
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> done{0};
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+
+  // Returns true when this call completed the final job.
+  bool run_some(unsigned worker_id) {
+    const std::size_t n = jobs->size();
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return false;
+      try {
+        (*jobs)[i](worker_id);
+      } catch (...) {
+        std::scoped_lock lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+      if (done.fetch_add(1, std::memory_order_acq_rel) + 1 == n) {
+        std::scoped_lock lock(done_mutex);
+        done_cv.notify_all();
+        return true;
+      }
+    }
+  }
+};
+
+ThreadPool::ThreadPool(unsigned threads)
+    : threads_(std::max(1u, threads)) {
+  // Worker 0 is the calling thread; only threads_-1 extra workers run.
+  workers_.reserve(threads_ - 1);
+  for (unsigned w = 1; w < threads_; ++w) {
+    workers_.emplace_back([this, w] { worker_loop(w); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::scoped_lock lock(mutex_);
+    shutting_down_ = true;
+  }
+  work_ready_.notify_all();
+  // jthread joins in its destructor.
+}
+
+unsigned ThreadPool::default_threads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return std::clamp(hw == 0 ? 4u : hw, 1u, 64u);
+}
+
+void ThreadPool::worker_loop(unsigned worker_id) {
+  for (;;) {
+    Batch* batch = nullptr;
+    {
+      std::unique_lock lock(mutex_);
+      work_ready_.wait(lock,
+                       [this] { return shutting_down_ || current_ != nullptr; });
+      if (shutting_down_) return;
+      batch = current_;
+    }
+    batch->run_some(worker_id);
+    // Park again; the submitter clears current_ once the batch drains.
+    {
+      std::unique_lock lock(mutex_);
+      work_ready_.wait(lock, [this, batch] {
+        return shutting_down_ || current_ != batch;
+      });
+      if (shutting_down_) return;
+    }
+  }
+}
+
+void ThreadPool::run_batch(
+    const std::vector<std::function<void(unsigned)>>& jobs) {
+  if (jobs.empty()) return;
+  if (threads_ == 1 || jobs.size() == 1) {
+    for (const auto& job : jobs) job(0);
+    return;
+  }
+
+  Batch batch;
+  batch.jobs = &jobs;
+  {
+    std::scoped_lock lock(mutex_);
+    assert(current_ == nullptr && "nested batches are not supported");
+    current_ = &batch;
+  }
+  work_ready_.notify_all();
+
+  batch.run_some(0);  // The caller is worker 0.
+  {
+    std::unique_lock lock(batch.done_mutex);
+    batch.done_cv.wait(lock, [&batch, &jobs] {
+      return batch.done.load(std::memory_order_acquire) == jobs.size();
+    });
+  }
+  {
+    std::scoped_lock lock(mutex_);
+    current_ = nullptr;
+  }
+  work_ready_.notify_all();
+
+  if (batch.first_error) std::rethrow_exception(batch.first_error);
+}
+
+void ThreadPool::parallel_for(
+    std::size_t begin, std::size_t end,
+    const std::function<void(std::size_t, unsigned)>& fn) {
+  if (begin >= end) return;
+  const std::size_t n = end - begin;
+  if (threads_ == 1 || n == 1) {
+    for (std::size_t i = begin; i < end; ++i) fn(i, 0);
+    return;
+  }
+  // Chunk into ~4 chunks per worker for load balance without per-index
+  // dispatch overhead.
+  const std::size_t chunks = std::min<std::size_t>(n, threads_ * 4ull);
+  const std::size_t chunk_size = (n + chunks - 1) / chunks;
+  std::vector<std::function<void(unsigned)>> jobs;
+  jobs.reserve(chunks);
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const std::size_t lo = begin + c * chunk_size;
+    const std::size_t hi = std::min(end, lo + chunk_size);
+    if (lo >= hi) break;
+    jobs.push_back([lo, hi, &fn](unsigned worker_id) {
+      for (std::size_t i = lo; i < hi; ++i) fn(i, worker_id);
+    });
+  }
+  run_batch(jobs);
+}
+
+}  // namespace parulel

@@ -1,0 +1,65 @@
+// Fixed-size worker pool with fork-join task groups.
+//
+// The engines submit one task batch per engine phase (match, fire) and
+// wait for the batch on a latch — CP.4 "think in tasks"; workers are
+// created once per pool lifetime (CP.41) and joined by RAII (CP.25).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace parulel {
+
+/// A simple shared-queue thread pool.
+///
+/// Work items are std::function<void()>; per-phase batches are expressed
+/// through `parallel_for`, which blocks the caller until the whole range
+/// is processed. With `threads == 1` the pool degenerates to inline
+/// execution on the calling thread (no workers are started), which keeps
+/// single-thread baselines free of synchronization noise.
+class ThreadPool {
+ public:
+  explicit ThreadPool(unsigned threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned thread_count() const { return threads_; }
+
+  /// Run fn(begin..end) split into chunks across the pool; the calling
+  /// thread participates. Returns when every index has been processed.
+  /// fn receives (index, worker_id) with worker_id in [0, thread_count()).
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t, unsigned)>& fn);
+
+  /// Run `jobs` closures across the pool (worker_id passed to each);
+  /// blocks until all complete. Exceptions thrown by jobs propagate to
+  /// the caller (the first one wins; the batch still drains).
+  void run_batch(const std::vector<std::function<void(unsigned)>>& jobs);
+
+  /// Hardware concurrency clamped to [1, 64].
+  static unsigned default_threads();
+
+ private:
+  struct Batch;
+  void worker_loop(unsigned worker_id);
+
+  unsigned threads_;
+  std::vector<std::jthread> workers_;
+
+  std::mutex mutex_;
+  std::condition_variable work_ready_;
+  bool shutting_down_ = false;
+
+  // The currently executing batch, if any. Only one batch runs at a time
+  // (engine phases are sequential); workers pull chunk indices from it.
+  Batch* current_ = nullptr;
+};
+
+}  // namespace parulel

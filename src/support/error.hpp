@@ -1,0 +1,32 @@
+// Error types shared across the library.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace parulel {
+
+/// Raised by the lexer/parser/analyzer on malformed programs.
+/// Carries a 1-based line number when one is known (0 otherwise).
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(std::string message, int line = 0)
+      : std::runtime_error(line > 0 ? "line " + std::to_string(line) + ": " +
+                                          message
+                                    : message),
+        line_(line) {}
+
+  int line() const { return line_; }
+
+ private:
+  int line_;
+};
+
+/// Raised when a rule's RHS evaluates an ill-typed expression or an action
+/// references a retracted fact — a program bug, not an engine bug.
+class RuntimeError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+}  // namespace parulel

@@ -1,0 +1,44 @@
+// Deterministic pseudo-random number generation for workload generators.
+//
+// A small splitmix64/xoshiro-style generator so workloads are reproducible
+// across platforms independent of libstdc++'s distribution implementations.
+#pragma once
+
+#include <cstdint>
+
+namespace parulel {
+
+/// splitmix64: tiny, fast, solid for workload synthesis (not crypto).
+class Rng {
+ public:
+  explicit constexpr Rng(std::uint64_t seed) : state_(seed) {}
+
+  constexpr std::uint64_t next() {
+    state_ += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = state_;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform in [0, bound). bound must be > 0.
+  constexpr std::uint64_t below(std::uint64_t bound) {
+    return next() % bound;
+  }
+
+  /// Uniform in [lo, hi] inclusive.
+  constexpr std::int64_t between(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(below(
+                    static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  constexpr double unit() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace parulel

@@ -1,0 +1,33 @@
+#include "support/stats.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace parulel {
+
+void RunStats::absorb(const CycleStats& c) {
+  cycles += 1;
+  total_firings += c.fired;
+  total_redactions += c.redacted;
+  total_asserts += c.asserts;
+  total_retracts += c.retracts;
+  total_write_conflicts += c.write_conflicts;
+  peak_conflict_set = std::max(peak_conflict_set, c.conflict_set_size);
+  match_ns += c.match_ns;
+  redact_ns += c.redact_ns;
+  fire_ns += c.fire_ns;
+  merge_ns += c.merge_ns;
+}
+
+std::string RunStats::summary() const {
+  std::ostringstream os;
+  os << "cycles=" << cycles << " firings=" << total_firings
+     << " redactions=" << total_redactions << " asserts=" << total_asserts
+     << " retracts=" << total_retracts
+     << " peak_cs=" << peak_conflict_set
+     << " wall_ms=" << static_cast<double>(wall_ns) / 1e6
+     << (halted ? " [halt]" : "") << (quiescent ? " [quiescent]" : "");
+  return os.str();
+}
+
+}  // namespace parulel

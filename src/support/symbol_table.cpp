@@ -1,0 +1,34 @@
+#include "support/symbol_table.hpp"
+
+#include <cassert>
+#include <memory>
+
+namespace parulel {
+
+SymbolTable::SymbolTable() {
+  intern("");  // Symbol 0 == empty string.
+}
+
+Symbol SymbolTable::intern(std::string_view text) {
+  std::scoped_lock lock(mutex_);
+  if (auto it = index_.find(text); it != index_.end()) return it->second;
+  auto owned = std::make_unique<std::string>(text);
+  std::string_view stable{*owned};
+  strings_.push_back(std::move(owned));
+  const auto sym = static_cast<Symbol>(strings_.size() - 1);
+  index_.emplace(stable, sym);
+  return sym;
+}
+
+std::string_view SymbolTable::name(Symbol sym) const {
+  std::scoped_lock lock(mutex_);
+  assert(sym < strings_.size());
+  return *strings_[sym];
+}
+
+std::size_t SymbolTable::size() const {
+  std::scoped_lock lock(mutex_);
+  return strings_.size();
+}
+
+}  // namespace parulel

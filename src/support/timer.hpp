@@ -1,0 +1,45 @@
+// Wall-clock timing helpers for the engines' per-phase accounting.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace parulel {
+
+/// Monotonic stopwatch reporting elapsed nanoseconds.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  std::uint64_t elapsed_ns() const {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                             start_)
+            .count());
+  }
+
+  double elapsed_ms() const {
+    return static_cast<double>(elapsed_ns()) / 1e6;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Accumulates elapsed time of a phase into a counter on destruction.
+class ScopedAccumulator {
+ public:
+  explicit ScopedAccumulator(std::uint64_t& sink) : sink_(sink) {}
+  ScopedAccumulator(const ScopedAccumulator&) = delete;
+  ScopedAccumulator& operator=(const ScopedAccumulator&) = delete;
+  ~ScopedAccumulator() { sink_ += timer_.elapsed_ns(); }
+
+ private:
+  std::uint64_t& sink_;
+  Timer timer_;
+};
+
+}  // namespace parulel

@@ -1,0 +1,110 @@
+// Runtime value type for fact slots and expression evaluation.
+//
+// PARULEL values are 64-bit integers, doubles, or interned symbols. The
+// representation is a tagged 16-byte POD so facts can be hashed and
+// compared without indirection.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "support/symbol_table.hpp"
+
+namespace parulel {
+
+enum class ValueKind : std::uint8_t { Int, Float, Sym };
+
+/// A slot value: tagged union of int64, double, or Symbol.
+///
+/// Equality is exact (kind + payload); Int and Float never compare equal
+/// even when numerically identical — production-system matching is
+/// structural. Numeric *expressions* coerce explicitly (see expr.cpp).
+class Value {
+ public:
+  constexpr Value() : kind_(ValueKind::Int), i_(0) {}
+
+  static constexpr Value integer(std::int64_t v) {
+    Value x;
+    x.kind_ = ValueKind::Int;
+    x.i_ = v;
+    return x;
+  }
+  static constexpr Value real(double v) {
+    Value x;
+    x.kind_ = ValueKind::Float;
+    x.f_ = v;
+    return x;
+  }
+  static constexpr Value symbol(Symbol s) {
+    Value x;
+    x.kind_ = ValueKind::Sym;
+    x.s_ = s;
+    return x;
+  }
+
+  constexpr ValueKind kind() const { return kind_; }
+  constexpr bool is_int() const { return kind_ == ValueKind::Int; }
+  constexpr bool is_float() const { return kind_ == ValueKind::Float; }
+  constexpr bool is_sym() const { return kind_ == ValueKind::Sym; }
+
+  constexpr std::int64_t as_int() const { return i_; }
+  constexpr double as_float() const { return f_; }
+  constexpr Symbol as_sym() const { return s_; }
+
+  /// Numeric view: Int and Float promote to double; symbols are an error
+  /// the caller must have excluded.
+  constexpr double numeric() const {
+    return kind_ == ValueKind::Float ? f_ : static_cast<double>(i_);
+  }
+
+  friend constexpr bool operator==(const Value& a, const Value& b) {
+    if (a.kind_ != b.kind_) return false;
+    switch (a.kind_) {
+      case ValueKind::Int: return a.i_ == b.i_;
+      case ValueKind::Float: return a.f_ == b.f_;
+      case ValueKind::Sym: return a.s_ == b.s_;
+    }
+    return false;
+  }
+  friend constexpr bool operator!=(const Value& a, const Value& b) {
+    return !(a == b);
+  }
+
+  /// Total order used by deterministic tie-breaking (kind first, payload
+  /// second). Not a numeric order across kinds.
+  friend constexpr bool operator<(const Value& a, const Value& b) {
+    if (a.kind_ != b.kind_) return a.kind_ < b.kind_;
+    switch (a.kind_) {
+      case ValueKind::Int: return a.i_ < b.i_;
+      case ValueKind::Float: return a.f_ < b.f_;
+      case ValueKind::Sym: return a.s_ < b.s_;
+    }
+    return false;
+  }
+
+  std::size_t hash() const;
+
+  /// Render for diagnostics and printout actions.
+  std::string to_string(const SymbolTable& symbols) const;
+
+ private:
+  ValueKind kind_;
+  union {
+    std::int64_t i_;
+    double f_;
+    Symbol s_;
+  };
+};
+
+/// FNV-style combine for hashing tuples of values.
+inline std::size_t hash_combine(std::size_t seed, std::size_t v) {
+  return seed ^ (v + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2));
+}
+
+}  // namespace parulel
+
+template <>
+struct std::hash<parulel::Value> {
+  std::size_t operator()(const parulel::Value& v) const { return v.hash(); }
+};

@@ -1,0 +1,38 @@
+// Facts: immutable tuples with monotone time tags.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "support/value.hpp"
+#include "wm/schema.hpp"
+
+namespace parulel {
+
+/// Monotone fact identifier, doubling as the OPS5 "time tag": larger id
+/// means more recently asserted. Ids are never reused within a run, so a
+/// FactId uniquely names one assert event — which is what refraction and
+/// the recency-based conflict-resolution strategies need.
+using FactId = std::uint64_t;
+constexpr FactId kInvalidFact = 0;  // valid ids start at 1
+
+/// One working-memory element. Slots are immutable; `modify` is
+/// retract-plus-assert producing a fresh FactId (OPS5 semantics).
+struct Fact {
+  FactId id = kInvalidFact;
+  TemplateId tmpl = kInvalidTemplate;
+  std::vector<Value> slots;
+
+  /// Structural key (template + slots), ignoring the time tag.
+  std::size_t content_hash() const {
+    std::size_t h = std::hash<std::uint32_t>{}(tmpl);
+    for (const auto& v : slots) h = hash_combine(h, v.hash());
+    return h;
+  }
+
+  bool same_content(const Fact& other) const {
+    return tmpl == other.tmpl && slots == other.slots;
+  }
+};
+
+}  // namespace parulel

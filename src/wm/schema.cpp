@@ -1,0 +1,29 @@
+#include "wm/schema.hpp"
+
+#include "support/error.hpp"
+
+namespace parulel {
+
+TemplateId Schema::define(Symbol name, std::vector<Symbol> slot_names) {
+  if (by_name_.contains(name)) {
+    throw ParseError("duplicate template definition");
+  }
+  for (std::size_t i = 0; i < slot_names.size(); ++i) {
+    for (std::size_t j = i + 1; j < slot_names.size(); ++j) {
+      if (slot_names[i] == slot_names[j]) {
+        throw ParseError("duplicate slot name in template");
+      }
+    }
+  }
+  const auto id = static_cast<TemplateId>(defs_.size());
+  defs_.push_back(TemplateDef{name, std::move(slot_names)});
+  by_name_.emplace(name, id);
+  return id;
+}
+
+std::optional<TemplateId> Schema::find(Symbol name) const {
+  if (auto it = by_name_.find(name); it != by_name_.end()) return it->second;
+  return std::nullopt;
+}
+
+}  // namespace parulel

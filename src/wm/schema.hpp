@@ -1,0 +1,55 @@
+// Fact templates (classes): named slots over which patterns match.
+//
+// Mirrors CLIPS `deftemplate` / OPS5 `literalize`: a template has a name
+// and an ordered list of named slots; every fact of that template is a
+// fixed-arity tuple of Values.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "support/symbol_table.hpp"
+
+namespace parulel {
+
+/// Dense index of a template within its Schema.
+using TemplateId = std::uint32_t;
+constexpr TemplateId kInvalidTemplate = static_cast<TemplateId>(-1);
+
+/// One template definition.
+struct TemplateDef {
+  Symbol name = 0;
+  std::vector<Symbol> slot_names;
+
+  /// Slot position by name, or nullopt.
+  std::optional<int> slot_index(Symbol slot) const {
+    for (std::size_t i = 0; i < slot_names.size(); ++i) {
+      if (slot_names[i] == slot) return static_cast<int>(i);
+    }
+    return std::nullopt;
+  }
+
+  int arity() const { return static_cast<int>(slot_names.size()); }
+};
+
+/// The set of templates a program defines. Append-only.
+class Schema {
+ public:
+  /// Define a template; raises ParseError on duplicate names.
+  TemplateId define(Symbol name, std::vector<Symbol> slot_names);
+
+  /// Lookup by name.
+  std::optional<TemplateId> find(Symbol name) const;
+
+  const TemplateDef& at(TemplateId id) const { return defs_[id]; }
+  std::size_t size() const { return defs_.size(); }
+
+ private:
+  std::vector<TemplateDef> defs_;
+  std::unordered_map<Symbol, TemplateId> by_name_;
+};
+
+}  // namespace parulel

@@ -1,0 +1,161 @@
+#include "wm/working_memory.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace parulel {
+
+WorkingMemory::WorkingMemory(const Schema& schema) : schema_(schema) {
+  extents_.resize(schema.size());
+}
+
+FactId WorkingMemory::assert_fact(TemplateId tmpl, std::vector<Value> slots) {
+  assert(tmpl < schema_.size());
+  if (static_cast<int>(slots.size()) != schema_.at(tmpl).arity()) {
+    throw RuntimeError("assert arity mismatch for template '" +
+                       std::string("?") + "'");
+  }
+  // Set semantics: absorb duplicates of alive facts.
+  Fact probe{0, tmpl, std::move(slots)};
+  const std::size_t h = probe.content_hash();
+  auto [lo, hi] = content_index_.equal_range(h);
+  for (auto it = lo; it != hi; ++it) {
+    const Fact& existing = facts_[it->second - 1];
+    if (alive_[it->second - 1] && existing.same_content(probe)) {
+      return kInvalidFact;
+    }
+  }
+
+  const FactId id = next_id_++;
+  probe.id = id;
+  facts_.push_back(std::move(probe));
+  alive_.push_back(true);
+  extent_pos_.push_back(extents_[tmpl].size());
+  extents_[tmpl].push_back(id);
+  content_index_.emplace(h, id);
+  ++alive_count_;
+  pending_.added.push_back(id);
+  return id;
+}
+
+bool WorkingMemory::retract(FactId id) {
+  if (id == kInvalidFact || id >= next_id_ || !alive_[id - 1]) return false;
+  alive_[id - 1] = false;
+  --alive_count_;
+
+  const Fact& f = facts_[id - 1];
+  // Swap-remove from extent; fix the moved fact's position.
+  auto& ext = extents_[f.tmpl];
+  const std::size_t pos = extent_pos_[id - 1];
+  const FactId moved = ext.back();
+  ext[pos] = moved;
+  extent_pos_[moved - 1] = pos;
+  ext.pop_back();
+
+  // Remove from content index.
+  const std::size_t h = f.content_hash();
+  auto [lo, hi] = content_index_.equal_range(h);
+  for (auto it = lo; it != hi; ++it) {
+    if (it->second == id) {
+      content_index_.erase(it);
+      break;
+    }
+  }
+
+  // A fact asserted and retracted within the same (undrained) delta
+  // cancels out: matchers must never see it at all. Only ids above the
+  // last drain's high-water mark can be pending additions.
+  if (id > drain_floor_) {
+    if (auto it =
+            std::find(pending_.added.begin(), pending_.added.end(), id);
+        it != pending_.added.end()) {
+      pending_.added.erase(it);
+      return true;
+    }
+  }
+  pending_.removed.push_back(id);
+  return true;
+}
+
+FactId WorkingMemory::modify(FactId id,
+                             const std::vector<std::pair<int, Value>>& updates) {
+  if (id == kInvalidFact || id >= next_id_ || !alive_[id - 1]) {
+    return kInvalidFact;
+  }
+  std::vector<Value> slots = facts_[id - 1].slots;
+  for (const auto& [slot, value] : updates) {
+    assert(slot >= 0 && slot < static_cast<int>(slots.size()));
+    slots[static_cast<std::size_t>(slot)] = value;
+  }
+  const TemplateId tmpl = facts_[id - 1].tmpl;
+  retract(id);
+  return assert_fact(tmpl, std::move(slots));
+}
+
+const Fact& WorkingMemory::fact(FactId id) const {
+  assert(id != kInvalidFact && id < next_id_);
+  return facts_[id - 1];
+}
+
+bool WorkingMemory::alive(FactId id) const {
+  return id != kInvalidFact && id < next_id_ && alive_[id - 1];
+}
+
+std::optional<FactId> WorkingMemory::find(
+    TemplateId tmpl, const std::vector<Value>& slots) const {
+  Fact probe{0, tmpl, slots};
+  const std::size_t h = probe.content_hash();
+  auto [lo, hi] = content_index_.equal_range(h);
+  for (auto it = lo; it != hi; ++it) {
+    if (alive_[it->second - 1] && facts_[it->second - 1].same_content(probe)) {
+      return it->second;
+    }
+  }
+  return std::nullopt;
+}
+
+const std::vector<FactId>& WorkingMemory::extent(TemplateId tmpl) const {
+  assert(tmpl < extents_.size());
+  return extents_[tmpl];
+}
+
+Delta WorkingMemory::drain_delta() {
+  Delta out = std::move(pending_);
+  pending_ = Delta{};
+  drain_floor_ = next_id_ - 1;
+  return out;
+}
+
+std::string WorkingMemory::to_string(FactId id,
+                                     const SymbolTable& symbols) const {
+  const Fact& f = fact(id);
+  const TemplateDef& def = schema_.at(f.tmpl);
+  std::ostringstream os;
+  os << "(" << symbols.name(def.name);
+  for (std::size_t i = 0; i < f.slots.size(); ++i) {
+    os << " (" << symbols.name(def.slot_names[i]) << " "
+       << f.slots[i].to_string(symbols) << ")";
+  }
+  os << ")";
+  return os.str();
+}
+
+std::uint64_t WorkingMemory::content_fingerprint() const {
+  // XOR of per-fact content hashes is order-independent.
+  std::uint64_t fp = 0x5bd1e995u;
+  for (std::size_t i = 0; i < facts_.size(); ++i) {
+    if (!alive_[i]) continue;
+    // Re-mix each content hash so XOR doesn't cancel structured pairs.
+    std::uint64_t h = facts_[i].content_hash();
+    h ^= h >> 33;
+    h *= 0xff51afd7ed558ccdULL;
+    h ^= h >> 33;
+    fp ^= h;
+  }
+  return fp;
+}
+
+}  // namespace parulel

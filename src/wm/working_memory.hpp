@@ -1,0 +1,110 @@
+// Working memory: the fact store the engines and matchers share.
+//
+// Design points:
+//  - *Set semantics.* Asserting a fact whose (template, slots) content
+//    already exists alive is absorbed (returns kInvalidFact). This is
+//    CLIPS's default and is what makes saturation workloads (transitive
+//    closure etc.) terminate.
+//  - *Stable storage.* Fact records are kept (tombstoned, not freed) for
+//    the lifetime of the store, so matchers may hold FactIds across
+//    retraction and still read slot values while draining deltas.
+//  - *Delta log.* Every mutation appends to the pending delta, which the
+//    engine hands to its matcher once per cycle; `drain_delta()` moves it
+//    out.
+//  - *Single-writer.* WM mutation is only ever performed by the engine's
+//    merge phase on one thread; parallel RHS execution writes to per-
+//    thread DeltaBuffers (see engine/), never to WM directly.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "wm/fact.hpp"
+#include "wm/schema.hpp"
+
+namespace parulel {
+
+/// The changes applied to working memory since the matcher last ran.
+struct Delta {
+  std::vector<FactId> added;
+  std::vector<FactId> removed;
+
+  bool empty() const { return added.empty() && removed.empty(); }
+  void clear() {
+    added.clear();
+    removed.clear();
+  }
+};
+
+class WorkingMemory {
+ public:
+  explicit WorkingMemory(const Schema& schema);
+
+  /// Assert a fact. Returns its new FactId, or kInvalidFact when an alive
+  /// fact with identical content absorbed it (set semantics).
+  FactId assert_fact(TemplateId tmpl, std::vector<Value> slots);
+
+  /// Retract by id. Returns false when the id is unknown or already dead.
+  bool retract(FactId id);
+
+  /// OPS5 modify: retract `id` and assert a copy with `slot` replaced.
+  /// Returns the new FactId (or kInvalidFact if absorbed / id dead).
+  FactId modify(FactId id, const std::vector<std::pair<int, Value>>& updates);
+
+  /// Fact record by id; valid for alive and tombstoned facts.
+  const Fact& fact(FactId id) const;
+
+  bool alive(FactId id) const;
+
+  /// Find the alive fact with this exact content, if any.
+  std::optional<FactId> find(TemplateId tmpl,
+                             const std::vector<Value>& slots) const;
+
+  /// All alive facts of a template (unordered).
+  const std::vector<FactId>& extent(TemplateId tmpl) const;
+
+  /// Count of alive facts across all templates.
+  std::size_t alive_count() const { return alive_count_; }
+
+  /// Largest id handed out so far.
+  FactId high_water() const { return next_id_ - 1; }
+
+  /// Move out the pending delta (added/removed since last drain).
+  Delta drain_delta();
+
+  /// Peek at the pending delta without consuming it.
+  const Delta& pending_delta() const { return pending_; }
+
+  const Schema& schema() const { return schema_; }
+
+  /// Render a fact as "(tmpl (slot val) ...)" for diagnostics.
+  std::string to_string(FactId id, const SymbolTable& symbols) const;
+
+  /// A stable fingerprint of the alive fact *contents* (ids excluded):
+  /// two stores with the same alive facts hash equal regardless of the
+  /// order or time tags of assertion. Used by determinism/equivalence
+  /// tests between engines.
+  std::uint64_t content_fingerprint() const;
+
+ private:
+  struct ContentKey {
+    std::size_t hash;
+    FactId id;  // representative alive fact
+  };
+
+  const Schema& schema_;
+  std::vector<Fact> facts_;          // index = id - 1
+  std::vector<bool> alive_;          // parallel to facts_
+  std::vector<std::vector<FactId>> extents_;  // per template, alive only
+  std::vector<std::size_t> extent_pos_;       // fact id -> index in extent
+  std::unordered_multimap<std::size_t, FactId> content_index_;
+  FactId next_id_ = 1;
+  FactId drain_floor_ = 0;  ///< ids at or below this predate the pending delta
+  std::size_t alive_count_ = 0;
+  Delta pending_;
+};
+
+}  // namespace parulel

@@ -1,0 +1,84 @@
+// Conway's Life as a production system.
+//
+// One rule performs a 9-way join: a cell, its precomputed neighbor-list
+// fact, and the eight neighbor cells of the same generation; the RHS
+// computes the next state arithmetically and asserts the next-generation
+// cell. Refraction (not negation) stops re-derivation, and a maxgen
+// guard bounds the run. Every cell of a generation fires in a single
+// PARULEL cycle, so cycles == generations while the OPS5 baseline needs
+// n*n cycles per generation.
+#include <sstream>
+
+#include "support/rng.hpp"
+#include "workloads/workloads.hpp"
+
+namespace parulel::workloads {
+
+Workload make_life(int n, int generations, std::uint64_t seed) {
+  if (n < 3) n = 3;
+
+  std::ostringstream src;
+  src << "; Conway's Life on a " << n << "x" << n << " torus\n"
+      << "(deftemplate cell (slot id) (slot gen) (slot alive))\n"
+      << "(deftemplate nbrs (slot c) (slot n1) (slot n2) (slot n3)"
+         " (slot n4) (slot n5) (slot n6) (slot n7) (slot n8))\n"
+      << "(deftemplate maxgen (slot g))\n"
+      << "\n"
+      << "(defrule step\n"
+      << "  (maxgen (g ?mg))\n"
+      << "  (cell (id ?c) (gen ?g) (alive ?a))\n"
+      << "  (test (< ?g ?mg))\n"
+      << "  (nbrs (c ?c) (n1 ?p1) (n2 ?p2) (n3 ?p3) (n4 ?p4)"
+         " (n5 ?p5) (n6 ?p6) (n7 ?p7) (n8 ?p8))\n"
+      << "  (cell (id ?p1) (gen ?g) (alive ?a1))\n"
+      << "  (cell (id ?p2) (gen ?g) (alive ?a2))\n"
+      << "  (cell (id ?p3) (gen ?g) (alive ?a3))\n"
+      << "  (cell (id ?p4) (gen ?g) (alive ?a4))\n"
+      << "  (cell (id ?p5) (gen ?g) (alive ?a5))\n"
+      << "  (cell (id ?p6) (gen ?g) (alive ?a6))\n"
+      << "  (cell (id ?p7) (gen ?g) (alive ?a7))\n"
+      << "  (cell (id ?p8) (gen ?g) (alive ?a8))\n"
+      << "  =>\n"
+      << "  (bind ?count (+ ?a1 ?a2 ?a3 ?a4 ?a5 ?a6 ?a7 ?a8))\n"
+      << "  (bind ?next (or (== ?count 3)"
+         " (and (== ?count 2) (== ?a 1))))\n"
+      << "  (assert (cell (id ?c) (gen (+ ?g 1)) (alive ?next))))\n"
+      << "\n";
+
+  Rng rng(seed);
+  src << "(deffacts board\n"
+      << "  (maxgen (g " << generations << "))\n";
+  auto id_of = [n](int x, int y) { return x * n + y; };
+  for (int x = 0; x < n; ++x) {
+    for (int y = 0; y < n; ++y) {
+      const int alive = rng.unit() < 0.35 ? 1 : 0;
+      src << "  (cell (id " << id_of(x, y) << ") (gen 0) (alive " << alive
+          << "))\n";
+      src << "  (nbrs (c " << id_of(x, y) << ")";
+      int k = 1;
+      for (int dx = -1; dx <= 1; ++dx) {
+        for (int dy = -1; dy <= 1; ++dy) {
+          if (dx == 0 && dy == 0) continue;
+          const int nx = (x + dx + n) % n;
+          const int ny = (y + dy + n) % n;
+          src << " (n" << k << " " << id_of(nx, ny) << ")";
+          ++k;
+        }
+      }
+      src << ")\n";
+    }
+  }
+  src << ")\n";
+
+  Workload w;
+  w.name = "life";
+  w.description = "Life " + std::to_string(n) + "x" + std::to_string(n) +
+                  " torus, " + std::to_string(generations) + " generations";
+  w.source = src.str();
+  // The 9-way join crosses the whole board: not partitionable by a
+  // single slot (a cell's neighbors hash elsewhere).
+  w.partition = {};
+  return w;
+}
+
+}  // namespace parulel::workloads

@@ -1,0 +1,52 @@
+#include <sstream>
+
+#include "workloads/workloads.hpp"
+
+namespace parulel::workloads {
+
+Workload make_sieve(int max_n, bool dedup_strikes) {
+  std::ostringstream src;
+  src << "; sieve: strike every composite by parallel retraction\n"
+      << "(deftemplate number (slot n))\n"
+      << "\n"
+      << "(defrule strike\n"
+      << "  (number (n ?p))\n"
+      << "  ?x <- (number (n ?q))\n"
+      << "  (test (> ?q ?p))\n"
+      << "  (test (== (mod ?q ?p) 0))\n"
+      << "  =>\n"
+      << "  (retract ?x))\n"
+      << "\n";
+
+  if (dedup_strikes) {
+    // Without this, 12 is struck by 2, 3, 4, and 6 in the same cycle:
+    // three of the four retractions are write conflicts. The meta-rule
+    // keeps only the lowest-factor strike per composite (ties cannot
+    // happen: equal p and q means equal instantiations).
+    src << "(defmetarule one-strike-per-composite\n"
+        << "  (inst-strike (id ?i) (p ?p1) (q ?q))\n"
+        << "  (inst-strike (id ?j) (p ?p2) (q ?q))\n"
+        << "  (test (< ?p1 ?p2))\n"
+        << "  =>\n"
+        << "  (redact ?j))\n"
+        << "\n";
+  }
+
+  src << "(deffacts numbers\n";
+  for (int n = 2; n <= max_n; ++n) {
+    src << "  (number (n " << n << "))\n";
+  }
+  src << ")\n";
+
+  Workload w;
+  w.name = dedup_strikes ? "sieve+meta" : "sieve";
+  w.description = "prime sieve to " + std::to_string(max_n) +
+                  (dedup_strikes ? " with strike-dedup meta-rule" : "");
+  w.source = src.str();
+  // All patterns of `strike` join two different numbers: inherently
+  // cross-partition, so the sieve is not distribution-ready.
+  w.partition = {};
+  return w;
+}
+
+}  // namespace parulel::workloads

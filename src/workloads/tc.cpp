@@ -1,0 +1,60 @@
+#include <sstream>
+#include <unordered_set>
+
+#include "support/rng.hpp"
+#include "workloads/workloads.hpp"
+
+namespace parulel::workloads {
+
+Workload make_tc(int nodes, int edges, std::uint64_t seed) {
+  std::ostringstream src;
+  src << "; transitive closure over a random digraph\n"
+      << "(deftemplate edge (slot from) (slot to))\n"
+      << "(deftemplate path (slot from) (slot to))\n"
+      << "\n"
+      << "(defrule base\n"
+      << "  (edge (from ?a) (to ?b))\n"
+      << "  (not (path (from ?a) (to ?b)))\n"
+      << "  =>\n"
+      << "  (assert (path (from ?a) (to ?b))))\n"
+      << "\n"
+      << "(defrule extend\n"
+      << "  (path (from ?a) (to ?b))\n"
+      << "  (edge (from ?b) (to ?c))\n"
+      << "  (not (path (from ?a) (to ?c)))\n"
+      << "  =>\n"
+      << "  (assert (path (from ?a) (to ?c))))\n"
+      << "\n";
+
+  // Distinct random edges, no self-loops.
+  Rng rng(seed);
+  std::unordered_set<std::uint64_t> used;
+  src << "(deffacts graph\n";
+  int emitted = 0;
+  while (emitted < edges) {
+    const auto a = static_cast<std::int64_t>(rng.below(
+        static_cast<std::uint64_t>(nodes)));
+    const auto b = static_cast<std::int64_t>(rng.below(
+        static_cast<std::uint64_t>(nodes)));
+    if (a == b) continue;
+    const std::uint64_t key = static_cast<std::uint64_t>(a) *
+                                  static_cast<std::uint64_t>(nodes) +
+                              static_cast<std::uint64_t>(b);
+    if (!used.insert(key).second) continue;
+    src << "  (edge (from " << a << ") (to " << b << "))\n";
+    ++emitted;
+  }
+  src << ")\n";
+
+  Workload w;
+  w.name = "tc";
+  w.description = "transitive closure, " + std::to_string(nodes) +
+                  " nodes / " + std::to_string(edges) + " edges";
+  w.source = src.str();
+  // path partitioned by source vertex; edge replicated so the `extend`
+  // join (path.from = ?a everywhere) stays site-local.
+  w.partition = {{"path", "from"}};
+  return w;
+}
+
+}  // namespace parulel::workloads

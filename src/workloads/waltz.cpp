@@ -1,0 +1,243 @@
+// Waltz line labeling as rule-based arc consistency.
+//
+// The classic Waltz benchmark labels the lines of a blocks-world drawing
+// with {+, -, arrow} subject to the Huffman–Clowes junction dictionary,
+// deleting impossible labels until the network is consistent. This
+// generator reproduces that computational shape faithfully:
+//
+//   - the scene is N replicated cube drawings (the standard benchmark
+//     scales exactly this way): 9 edges, 7 junctions per cube
+//     (1 FORK, 3 ARROWs, 3 Ls);
+//   - edge variables take values {plus, minus, af, ab} (af/ab = arrow
+//     along/against the edge's j1->j2 orientation);
+//   - junction tuple dictionaries (simplified Huffman–Clowes; see
+//     DESIGN.md substitutions) are projected onto ordered pairs of
+//     incident edges, yielding binary `compat` facts;
+//   - the ruleset runs AC-4-style support counting: `witness` facts
+//     record live support pairs, pruning retracts a domain value whose
+//     witnesses for some arc are all gone, and a meta-rule defers
+//     pruning while witness construction is still in flight — meta-rules
+//     as programmable stratification, straight out of the PARULEL
+//     playbook.
+#include <array>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "workloads/workloads.hpp"
+
+namespace parulel::workloads {
+namespace {
+
+// End labels at a junction.
+enum class End { P, M, In, Out };
+
+// Edge variable values.
+enum class Val { Plus, Minus, Af, Ab };
+
+const char* val_name(Val v) {
+  switch (v) {
+    case Val::Plus: return "plus";
+    case Val::Minus: return "minus";
+    case Val::Af: return "af";
+    case Val::Ab: return "ab";
+  }
+  return "?";
+}
+
+/// End label an edge value produces at a junction, given whether the
+/// junction is the edge's j1 (tail of the af direction).
+End end_of(Val v, bool at_j1) {
+  switch (v) {
+    case Val::Plus: return End::P;
+    case Val::Minus: return End::M;
+    case Val::Af: return at_j1 ? End::Out : End::In;
+    case Val::Ab: return at_j1 ? End::In : End::Out;
+  }
+  return End::P;
+}
+
+struct JunctionKind {
+  int arity;
+  std::vector<std::vector<End>> tuples;
+};
+
+// Simplified Huffman–Clowes dictionaries (see file comment).
+const JunctionKind& kind_L() {
+  static const JunctionKind k{
+      2,
+      {{End::In, End::Out},
+       {End::Out, End::In},
+       {End::P, End::Out},
+       {End::In, End::P},
+       {End::M, End::In},
+       {End::Out, End::M}}};
+  return k;
+}
+
+const JunctionKind& kind_Fork() {
+  static const JunctionKind k{
+      3,
+      {{End::P, End::P, End::P},
+       {End::M, End::M, End::M},
+       {End::M, End::In, End::Out},
+       {End::Out, End::M, End::In},
+       {End::In, End::Out, End::M}}};
+  return k;
+}
+
+const JunctionKind& kind_Arrow() {  // (left barb, right barb, shaft)
+  static const JunctionKind k{
+      3,
+      {{End::In, End::Out, End::P},
+       {End::P, End::P, End::M},
+       {End::M, End::M, End::P}}};
+  return k;
+}
+
+struct Junction {
+  const JunctionKind* kind;
+  // Incident edges in role order; bool = this junction is the edge's j1.
+  std::vector<std::pair<int, bool>> edges;
+};
+
+constexpr std::array<Val, 4> kAllVals = {Val::Plus, Val::Minus, Val::Af,
+                                         Val::Ab};
+
+}  // namespace
+
+Workload make_waltz(int cubes, bool prebuilt_witnesses) {
+  // --- Cube topology -----------------------------------------------------
+  // Edges 0..8: 0..5 boundary hexagon, 6..8 inner spokes from the fork.
+  //   boundary: A0-L0(0), L0-A1(1), A1-L1(2), L1-A2(3), A2-L2(4), L2-A0(5)
+  //   spokes:   C-A0(6), C-A1(7), C-A2(8)
+  // Edge orientation (j1 -> j2) is as listed above.
+  // Junctions: C (fork), A0..A2 (arrows), L0..L2 (Ls).
+  std::vector<Junction> junctions;
+  // Fork C: roles = the three spokes, all at their j1.
+  junctions.push_back({&kind_Fork(), {{6, true}, {7, true}, {8, true}}});
+  // Arrow Ak: left barb = incoming boundary edge, right barb = outgoing
+  // boundary edge, shaft = spoke (at its j2).
+  junctions.push_back({&kind_Arrow(), {{5, false}, {0, true}, {6, false}}});
+  junctions.push_back({&kind_Arrow(), {{1, false}, {2, true}, {7, false}}});
+  junctions.push_back({&kind_Arrow(), {{3, false}, {4, true}, {8, false}}});
+  // L junctions between consecutive boundary edges.
+  junctions.push_back({&kind_L(), {{0, false}, {1, true}}});
+  junctions.push_back({&kind_L(), {{2, false}, {3, true}}});
+  junctions.push_back({&kind_L(), {{4, false}, {5, true}}});
+
+  // --- Program text ------------------------------------------------------
+  std::ostringstream src;
+  src << "; Waltz line labeling as AC-4-style constraint propagation\n"
+      << "(deftemplate domain (slot cube) (slot var) (slot value))\n"
+      << "(deftemplate arc (slot cube) (slot x) (slot y))\n"
+      << "(deftemplate compat (slot cube) (slot x) (slot y) (slot vx)"
+         " (slot vy))\n"
+      << "(deftemplate witness (slot cube) (slot x) (slot y) (slot vx)"
+         " (slot vy))\n"
+      << "\n"
+      << "(defrule witness-build\n"
+      << "  (declare (salience 100))\n"
+      << "  (compat (cube ?c) (x ?x) (y ?y) (vx ?vx) (vy ?vy))\n"
+      << "  (domain (cube ?c) (var ?x) (value ?vx))\n"
+      << "  (domain (cube ?c) (var ?y) (value ?vy))\n"
+      << "  (not (witness (cube ?c) (x ?x) (y ?y) (vx ?vx) (vy ?vy)))\n"
+      << "  =>\n"
+      << "  (assert (witness (cube ?c) (x ?x) (y ?y) (vx ?vx) (vy ?vy))))\n"
+      << "\n"
+      << "(defrule witness-dead-x\n"
+      << "  (declare (salience 50))\n"
+      << "  ?w <- (witness (cube ?c) (x ?x) (y ?y) (vx ?vx) (vy ?vy))\n"
+      << "  (not (domain (cube ?c) (var ?x) (value ?vx)))\n"
+      << "  =>\n"
+      << "  (retract ?w))\n"
+      << "\n"
+      << "(defrule witness-dead-y\n"
+      << "  (declare (salience 50))\n"
+      << "  ?w <- (witness (cube ?c) (x ?x) (y ?y) (vx ?vx) (vy ?vy))\n"
+      << "  (not (domain (cube ?c) (var ?y) (value ?vy)))\n"
+      << "  =>\n"
+      << "  (retract ?w))\n"
+      << "\n"
+      << "(defrule prune\n"
+      << "  ?d <- (domain (cube ?c) (var ?x) (value ?vx))\n"
+      << "  (arc (cube ?c) (x ?x) (y ?y))\n"
+      << "  (not (witness (cube ?c) (x ?x) (y ?y) (vx ?vx)))\n"
+      << "  =>\n"
+      << "  (retract ?d))\n"
+      << "\n"
+      << "; Meta-rule stratification: while any witness is still being\n"
+      << "; built, pruning is premature — withhold it this cycle.\n"
+      << "(defmetarule defer-prune\n"
+      << "  (inst-prune (id ?i) (c ?c))\n"
+      << "  (inst-witness-build (id ?j) (c ?c))\n"
+      << "  =>\n"
+      << "  (redact ?i))\n"
+      << "\n";
+
+  // --- Facts -------------------------------------------------------------
+  src << "(deffacts scene\n";
+  for (int c = 0; c < cubes; ++c) {
+    for (int e = 0; e < 9; ++e) {
+      for (Val v : kAllVals) {
+        src << "  (domain (cube " << c << ") (var e" << e << ") (value "
+            << val_name(v) << "))\n";
+      }
+    }
+    for (const auto& junction : junctions) {
+      const auto& edges = junction.edges;
+      const int arity = junction.kind->arity;
+      for (int r1 = 0; r1 < arity; ++r1) {
+        for (int r2 = 0; r2 < arity; ++r2) {
+          if (r1 == r2) continue;
+          const auto [e1, at_j1_1] = edges[static_cast<std::size_t>(r1)];
+          const auto [e2, at_j1_2] = edges[static_cast<std::size_t>(r2)];
+          src << "  (arc (cube " << c << ") (x e" << e1 << ") (y e" << e2
+              << "))\n";
+          // Project the tuple dictionary onto (r1, r2) in edge values.
+          for (Val v1 : kAllVals) {
+            for (Val v2 : kAllVals) {
+              const End end1 = end_of(v1, at_j1_1);
+              const End end2 = end_of(v2, at_j1_2);
+              bool ok = false;
+              for (const auto& tuple : junction.kind->tuples) {
+                if (tuple[static_cast<std::size_t>(r1)] == end1 &&
+                    tuple[static_cast<std::size_t>(r2)] == end2) {
+                  ok = true;
+                  break;
+                }
+              }
+              if (ok) {
+                src << "  (compat (cube " << c << ") (x e" << e1 << ") (y e"
+                    << e2 << ") (vx " << val_name(v1) << ") (vy "
+                    << val_name(v2) << "))\n";
+                if (prebuilt_witnesses) {
+                  // AC-4 initialization: all domain values start live,
+                  // so every compat pair is initially supported.
+                  src << "  (witness (cube " << c << ") (x e" << e1
+                      << ") (y e" << e2 << ") (vx " << val_name(v1)
+                      << ") (vy " << val_name(v2) << "))\n";
+                }
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  src << ")\n";
+
+  Workload w;
+  w.name = "waltz";
+  w.description = "Waltz labeling, " + std::to_string(cubes) +
+                  " cube drawings" +
+                  (prebuilt_witnesses ? "" : " (rule-built witnesses)");
+  w.source = src.str();
+  w.partition = {{"domain", "cube"},
+                 {"arc", "cube"},
+                 {"compat", "cube"},
+                 {"witness", "cube"}};
+  return w;
+}
+
+}  // namespace parulel::workloads

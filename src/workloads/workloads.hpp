@@ -1,0 +1,76 @@
+// Workload generators: the evaluation programs.
+//
+// Each generator emits a complete PARULEL program (templates, rules,
+// meta-rules, deffacts) as source text plus a partition scheme for the
+// distributed engine. These are reconstructions of the classic OPS5
+// benchmark family the PARULEL literature evaluates on:
+//
+//   tc      — transitive closure over a random digraph; saturation
+//             workload, embarrassingly parallel firing.
+//   sieve   — prime sieve by parallel retraction of composites, with a
+//             meta-rule that redacts redundant strikes (two factors
+//             retracting one number) — the write-conflict ablation.
+//   waltz   — Waltz line labeling as rule-based arc consistency over the
+//             Huffman–Clowes junction dictionary, on N replicated cube
+//             drawings (the classic Waltz benchmark shape).
+//   manners — Miss Manners-style greedy seating; meta-rules select one
+//             extension per cycle: the canonical low-parallelism program.
+//   synth   — parameterized k-way join chain for match-cost benches.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+namespace parulel::workloads {
+
+struct Workload {
+  std::string name;
+  std::string description;
+  std::string source;  ///< full program text, parse with parse_program()
+  /// Template name -> slot name for the distributed engine; templates
+  /// absent are replicated. Empty = workload is not distribution-ready.
+  std::unordered_map<std::string, std::string> partition;
+};
+
+/// Transitive closure: `nodes` vertices, `edges` random edges.
+Workload make_tc(int nodes, int edges, std::uint64_t seed);
+
+/// Sieve: numbers 2..max_n. `dedup_strikes` adds the meta-rule that
+/// redacts all but the lowest-factor strike per composite.
+Workload make_sieve(int max_n, bool dedup_strikes);
+
+/// Waltz labeling over `cubes` replicated cube drawings.
+///
+/// `prebuilt_witnesses` (the default, mirroring AC-4's upfront counter
+/// initialization) asserts the initial support set as facts, so cycle 1
+/// goes straight to pruning. With `false`, the witness set is built BY
+/// RULES in cycle 1 while a defer-prune meta-rule withholds premature
+/// pruning — the meta-stratification showcase — at the cost of a
+/// quadratic meta conflict set; use small sizes.
+Workload make_waltz(int cubes, bool prebuilt_witnesses = true);
+
+/// Miss Manners: `guests` (even), `hobbies` distinct hobbies, every
+/// guest also shares hobby 1 so greedy seating always succeeds.
+Workload make_manners(int guests, int hobbies, std::uint64_t seed);
+
+/// Join-chain stress: `chain` relations r0..r{chain-1}, `facts` tuples
+/// per relation with keys uniform in [0, range).
+Workload make_synth(int chain, int facts, int range, std::uint64_t seed);
+
+/// Conway's Life on an `n` x `n` torus for `generations` steps: one rule
+/// performs a 9-way join (a cell and its eight neighbors) and computes
+/// the next state arithmetically — the deep-join, fully data-parallel
+/// workload. Every cell of a generation fires in one PARULEL cycle.
+Workload make_life(int n, int generations, std::uint64_t seed);
+
+/// Single-source shortest paths by parallel relaxation over a random
+/// weighted digraph. A meta-rule keeps only the BEST relaxation per
+/// node per cycle (programmable conflict resolution doing real
+/// algorithmic work: without it, stale longer paths also fire and are
+/// later superseded — both variants converge, the meta variant in
+/// fewer firings).
+Workload make_routing(int nodes, int edges, std::uint64_t seed,
+                      bool best_only_meta = true);
+
+}  // namespace parulel::workloads

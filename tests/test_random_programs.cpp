@@ -1,0 +1,349 @@
+// Property tests: randomized programs against a brute-force oracle.
+//
+// For each seed: synthesize a random ruleset (joins, constants,
+// wildcards, intra-pattern repeats, negation, type-safe guards), drive a
+// random assert/retract stream through all three matchers, and after
+// every batch compare each conflict set against a brute-force
+// enumeration over working memory. This is the strongest correctness
+// net in the suite: any divergence in alpha routing, join planning,
+// seminaive derivation, negation maintenance, or deletion propagation
+// shows up as a set mismatch.
+//
+// Separately: the PARULEL engine must be trace-identical across thread
+// counts on arbitrary (even non-confluent, non-terminating) programs —
+// determinism needs no confluence, just capped cycles.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <sstream>
+
+#include "engine/par_engine.hpp"
+#include "match/parallel_treat.hpp"
+#include "match/rete.hpp"
+#include "match/treat.hpp"
+#include "support/rng.hpp"
+
+namespace parulel {
+namespace {
+
+// ------------------------------------------------- program synthesis
+
+struct GeneratedProgram {
+  std::string source;
+  int n_templates;
+  std::vector<int> arity;
+};
+
+/// `active_rhs` emits real actions (asserts of random facts, sometimes a
+/// retract of the first CE) instead of the placeholder (halt), so engine
+/// runs actually evolve working memory.
+GeneratedProgram generate_program(Rng& rng, bool active_rhs = false) {
+  GeneratedProgram out;
+  out.n_templates = 2 + static_cast<int>(rng.below(2));  // 2..3
+  std::ostringstream src;
+  for (int t = 0; t < out.n_templates; ++t) {
+    const int arity = 1 + static_cast<int>(rng.below(3));  // 1..3
+    out.arity.push_back(arity);
+    src << "(deftemplate t" << t;
+    for (int s = 0; s < arity; ++s) src << " (slot s" << s << ")";
+    src << ")\n";
+  }
+
+  auto random_const = [&]() -> std::string {
+    if (rng.below(2) == 0) return std::to_string(rng.below(4));
+    return std::string(1, static_cast<char>('a' + rng.below(3)));
+  };
+
+  const int n_rules = 3 + static_cast<int>(rng.below(4));  // 3..6
+  for (int r = 0; r < n_rules; ++r) {
+    src << "(defrule r" << r << "\n";
+    const int n_pos = 1 + static_cast<int>(rng.below(3));  // 1..3
+    const int n_neg = static_cast<int>(rng.below(3));      // 0..2
+    const bool with_retract = active_rhs && rng.below(3) == 0;
+    std::vector<std::string> used_vars;
+    bool first_positive = true;
+
+    auto emit_pattern = [&](bool negated) {
+      if (!negated && first_positive) {
+        first_positive = false;
+        if (with_retract) src << "  ?target <- ";
+        else src << "  ";
+      } else {
+        src << "  ";
+      }
+      const bool exists = negated && rng.below(2) == 0;
+      const int t = static_cast<int>(rng.below(
+          static_cast<std::uint64_t>(out.n_templates)));
+      src << (negated ? (exists ? "(exists " : "(not ") : "") << "(t" << t;
+      for (int s = 0; s < out.arity[static_cast<std::size_t>(t)]; ++s) {
+        src << " (s" << s << " ";
+        const auto kind = rng.below(4);
+        if (kind == 0) {
+          src << random_const();
+        } else if (kind == 1) {
+          src << "?";  // wildcard
+        } else if (kind == 2 && !used_vars.empty()) {
+          // Reuse a variable: intra-pattern repeats and joins.
+          src << "?" << used_vars[rng.below(used_vars.size())];
+        } else {
+          const std::string v = "v" + std::to_string(used_vars.size());
+          if (!negated) used_vars.push_back(v);  // negated locals stay local
+          src << "?" << v;
+        }
+        src << ")";
+      }
+      src << ")" << (negated ? ")" : "") << "\n";
+    };
+
+    for (int p = 0; p < n_pos; ++p) emit_pattern(false);
+    // Type-safe guard: Eq/Ne never throw on mixed kinds.
+    if (!used_vars.empty() && rng.below(2) == 0) {
+      const std::string& a = used_vars[rng.below(used_vars.size())];
+      if (rng.below(2) == 0 && used_vars.size() >= 2) {
+        const std::string& b = used_vars[rng.below(used_vars.size())];
+        src << "  (test (" << (rng.below(2) ? "==" : "!=") << " ?" << a
+            << " ?" << b << "))\n";
+      } else {
+        src << "  (test (" << (rng.below(2) ? "==" : "!=") << " ?" << a
+            << " " << random_const() << "))\n";
+      }
+    }
+    for (int n = 0; n < n_neg; ++n) emit_pattern(true);
+    src << "  =>\n";
+    if (!active_rhs) {
+      src << "  (halt))\n";
+      continue;
+    }
+    // Active RHS: 1-2 asserts (vars or constants, no arithmetic so
+    // symbol bindings stay type-safe), plus the optional retract.
+    const int n_asserts = 1 + static_cast<int>(rng.below(2));
+    for (int a = 0; a < n_asserts; ++a) {
+      const int t = static_cast<int>(rng.below(
+          static_cast<std::uint64_t>(out.n_templates)));
+      src << "  (assert (t" << t;
+      for (int s = 0; s < out.arity[static_cast<std::size_t>(t)]; ++s) {
+        src << " (s" << s << " ";
+        if (!used_vars.empty() && rng.below(2) == 0) {
+          src << "?" << used_vars[rng.below(used_vars.size())];
+        } else {
+          src << random_const();
+        }
+        src << ")";
+      }
+      src << "))\n";
+    }
+    if (with_retract) src << "  (retract ?target)\n";
+    src << ")\n";
+  }
+  out.source = src.str();
+  return out;
+}
+
+// ------------------------------------------------- brute-force oracle
+
+using InstKey = std::pair<RuleId, std::vector<FactId>>;
+
+void oracle_rule(const Program& program, const WorkingMemory& wm,
+                 RuleId rule_id, std::set<InstKey>& out) {
+  const CompiledRule& rule = program.rules[rule_id];
+  std::vector<Value> env(static_cast<std::size_t>(rule.num_vars));
+  std::vector<FactId> facts(rule.positives.size());
+
+  auto pattern_matches = [&](const CompiledPattern& pat, const Fact& fact,
+                             bool bind) {
+    for (const auto& ct : pat.const_tests) {
+      if (fact.slots[static_cast<std::size_t>(ct.slot)] != ct.value) {
+        return false;
+      }
+    }
+    for (const auto& ie : pat.intra_eqs) {
+      if (fact.slots[static_cast<std::size_t>(ie.slot_a)] !=
+          fact.slots[static_cast<std::size_t>(ie.slot_b)]) {
+        return false;
+      }
+    }
+    for (const auto& eq : pat.join_eqs) {
+      if (fact.slots[static_cast<std::size_t>(eq.slot)] !=
+          env[static_cast<std::size_t>(eq.var)]) {
+        return false;
+      }
+    }
+    if (bind) {
+      for (const auto& def : pat.defines) {
+        env[static_cast<std::size_t>(def.var)] =
+            fact.slots[static_cast<std::size_t>(def.slot)];
+      }
+    }
+    return true;
+  };
+
+  std::function<void(std::size_t)> recurse = [&](std::size_t p) {
+    if (p == rule.positives.size()) {
+      for (const auto& neg : rule.negatives) {
+        bool found = false;
+        for (FactId id : wm.extent(neg.tmpl)) {
+          if (pattern_matches(neg, wm.fact(id), /*bind=*/false)) {
+            found = true;
+            break;
+          }
+        }
+        // (not ...) requires none; (exists ...) requires at least one.
+        if (found != neg.exists) return;
+      }
+      out.emplace(rule_id, facts);
+      return;
+    }
+    const CompiledPattern& pat = rule.positives[p];
+    for (FactId id : wm.extent(pat.tmpl)) {
+      // Save env: defines may overwrite bindings probed by later tries.
+      std::vector<Value> saved = env;
+      if (pattern_matches(pat, wm.fact(id), /*bind=*/true)) {
+        bool guards_ok = true;
+        for (const auto& guard : rule.guards[p]) {
+          if (!CompiledExpr::truthy(guard.eval(env))) {
+            guards_ok = false;
+            break;
+          }
+        }
+        if (guards_ok) {
+          facts[p] = id;
+          recurse(p + 1);
+        }
+      }
+      env = std::move(saved);
+    }
+  };
+  recurse(0);
+}
+
+std::set<InstKey> oracle(const Program& program, const WorkingMemory& wm) {
+  std::set<InstKey> out;
+  for (RuleId r = 0; r < program.rules.size(); ++r) {
+    oracle_rule(program, wm, r, out);
+  }
+  return out;
+}
+
+std::set<InstKey> matcher_set(const Matcher& matcher) {
+  std::set<InstKey> out;
+  matcher.conflict_set().for_each([&](const Instantiation& inst) {
+    out.emplace(inst.rule, inst.facts);
+  });
+  return out;
+}
+
+// ------------------------------------------------------ the property
+
+class RandomProgramTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomProgramTest, AllMatchersAgreeWithOracle) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919 + 13);
+  const GeneratedProgram gen = generate_program(rng);
+  const Program program = parse_program(gen.source);
+
+  WorkingMemory wm(program.schema);
+  ThreadPool pool(3);
+  ReteMatcher rete(program.rules, program.alphas, program.schema.size());
+  TreatMatcher treat(program.rules, program.alphas, program.schema.size());
+  ParallelTreatMatcher par(program.rules, program.alphas,
+                           program.schema.size(), pool);
+
+  std::vector<FactId> alive;
+  const int batches = 8;
+  for (int batch = 0; batch < batches; ++batch) {
+    const int ops = 1 + static_cast<int>(rng.below(12));
+    for (int op = 0; op < ops; ++op) {
+      if (!alive.empty() && rng.below(4) == 0) {
+        const std::size_t pick = rng.below(alive.size());
+        wm.retract(alive[pick]);
+        alive[pick] = alive.back();
+        alive.pop_back();
+      } else {
+        const auto t = static_cast<TemplateId>(rng.below(
+            static_cast<std::uint64_t>(gen.n_templates)));
+        std::vector<Value> slots;
+        for (int s = 0; s < gen.arity[t]; ++s) {
+          if (rng.below(2) == 0) {
+            slots.push_back(Value::integer(
+                static_cast<std::int64_t>(rng.below(4))));
+          } else {
+            slots.push_back(Value::symbol(program.symbols->intern(
+                std::string(1, static_cast<char>('a' + rng.below(3))))));
+          }
+        }
+        const FactId id = wm.assert_fact(t, std::move(slots));
+        if (id != kInvalidFact) alive.push_back(id);
+      }
+    }
+
+    const Delta delta = wm.drain_delta();
+    rete.apply_delta(wm, delta);
+    treat.apply_delta(wm, delta);
+    par.apply_delta(wm, delta);
+
+    const std::set<InstKey> expected = oracle(program, wm);
+    EXPECT_EQ(matcher_set(rete), expected)
+        << "rete diverged, batch " << batch << "\n" << gen.source;
+    EXPECT_EQ(matcher_set(treat), expected)
+        << "treat diverged, batch " << batch << "\n" << gen.source;
+    EXPECT_EQ(matcher_set(par), expected)
+        << "parallel diverged, batch " << batch << "\n" << gen.source;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomProgramTest, ::testing::Range(0, 60));
+
+// ------------------------------------- engine determinism, any program
+
+class RandomEngineTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomEngineTest, ParallelEngineTraceIdenticalAcrossThreads) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 104729 + 7);
+  GeneratedProgram gen = generate_program(rng, /*active_rhs=*/true);
+  std::string source = gen.source;
+  // Append a deffacts block with a random initial population.
+  std::ostringstream facts;
+  facts << "(deffacts init\n";
+  for (int i = 0; i < 12; ++i) {
+    const auto t = rng.below(static_cast<std::uint64_t>(gen.n_templates));
+    facts << "  (t" << t;
+    for (int s = 0; s < gen.arity[t]; ++s) {
+      facts << " (s" << s << " " << rng.below(4) << ")";
+    }
+    facts << ")\n";
+  }
+  facts << ")\n";
+  source += facts.str();
+  const Program program = parse_program(source);
+
+  auto run = [&](unsigned threads) {
+    EngineConfig cfg;
+    cfg.threads = threads;
+    cfg.matcher = MatcherKind::ParallelTreat;
+    cfg.trace_cycles = true;
+    cfg.max_cycles = 50;
+    ParallelEngine engine(program, cfg);
+    engine.assert_initial_facts();
+    const RunStats stats = engine.run();
+    return std::make_pair(stats, engine.wm().content_fingerprint());
+  };
+
+  const auto [s1, fp1] = run(1);
+  const auto [s4, fp4] = run(4);
+  EXPECT_EQ(fp1, fp4);
+  EXPECT_EQ(s1.cycles, s4.cycles);
+  EXPECT_EQ(s1.total_firings, s4.total_firings);
+  ASSERT_EQ(s1.per_cycle.size(), s4.per_cycle.size());
+  for (std::size_t i = 0; i < s1.per_cycle.size(); ++i) {
+    EXPECT_EQ(s1.per_cycle[i].fired, s4.per_cycle[i].fired) << i;
+    EXPECT_EQ(s1.per_cycle[i].conflict_set_size,
+              s4.per_cycle[i].conflict_set_size)
+        << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomEngineTest, ::testing::Range(0, 25));
+
+}  // namespace
+}  // namespace parulel

@@ -1,0 +1,249 @@
+// Unit tests: schema and working memory.
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+#include "wm/working_memory.hpp"
+
+namespace parulel {
+namespace {
+
+class WmTest : public ::testing::Test {
+ protected:
+  WmTest() {
+    edge_ = schema_.define(symbols_.intern("edge"),
+                           {symbols_.intern("from"), symbols_.intern("to")});
+    node_ = schema_.define(symbols_.intern("node"),
+                           {symbols_.intern("id")});
+  }
+
+  std::vector<Value> pair(std::int64_t a, std::int64_t b) {
+    return {Value::integer(a), Value::integer(b)};
+  }
+
+  SymbolTable symbols_;
+  Schema schema_;
+  TemplateId edge_ = 0;
+  TemplateId node_ = 0;
+};
+
+TEST_F(WmTest, SchemaLookups) {
+  EXPECT_EQ(schema_.size(), 2u);
+  EXPECT_TRUE(schema_.find(symbols_.intern("edge")).has_value());
+  EXPECT_FALSE(schema_.find(symbols_.intern("missing")).has_value());
+  EXPECT_EQ(schema_.at(edge_).arity(), 2);
+  EXPECT_EQ(schema_.at(edge_).slot_index(symbols_.intern("to")), 1);
+  EXPECT_FALSE(
+      schema_.at(edge_).slot_index(symbols_.intern("nope")).has_value());
+}
+
+TEST_F(WmTest, SchemaRejectsDuplicateTemplate) {
+  EXPECT_THROW(schema_.define(symbols_.intern("edge"), {}), ParseError);
+}
+
+TEST_F(WmTest, SchemaRejectsDuplicateSlots) {
+  const Symbol s = symbols_.intern("s");
+  EXPECT_THROW(schema_.define(symbols_.intern("bad"), {s, s}), ParseError);
+}
+
+TEST_F(WmTest, AssertAssignsMonotoneIds) {
+  WorkingMemory wm(schema_);
+  const FactId a = wm.assert_fact(edge_, pair(1, 2));
+  const FactId b = wm.assert_fact(edge_, pair(2, 3));
+  EXPECT_NE(a, kInvalidFact);
+  EXPECT_LT(a, b);
+  EXPECT_EQ(wm.alive_count(), 2u);
+}
+
+TEST_F(WmTest, SetSemanticsAbsorbDuplicates) {
+  WorkingMemory wm(schema_);
+  const FactId a = wm.assert_fact(edge_, pair(1, 2));
+  const FactId dup = wm.assert_fact(edge_, pair(1, 2));
+  EXPECT_NE(a, kInvalidFact);
+  EXPECT_EQ(dup, kInvalidFact);
+  EXPECT_EQ(wm.alive_count(), 1u);
+}
+
+TEST_F(WmTest, ReassertAfterRetractGetsFreshId) {
+  WorkingMemory wm(schema_);
+  const FactId a = wm.assert_fact(edge_, pair(1, 2));
+  EXPECT_TRUE(wm.retract(a));
+  const FactId b = wm.assert_fact(edge_, pair(1, 2));
+  EXPECT_NE(b, kInvalidFact);
+  EXPECT_GT(b, a);
+  EXPECT_FALSE(wm.alive(a));
+  EXPECT_TRUE(wm.alive(b));
+}
+
+TEST_F(WmTest, RetractIsIdempotentAndChecked) {
+  WorkingMemory wm(schema_);
+  const FactId a = wm.assert_fact(edge_, pair(1, 2));
+  EXPECT_TRUE(wm.retract(a));
+  EXPECT_FALSE(wm.retract(a));
+  EXPECT_FALSE(wm.retract(kInvalidFact));
+  EXPECT_FALSE(wm.retract(9999));
+}
+
+TEST_F(WmTest, TombstonesRemainReadable) {
+  WorkingMemory wm(schema_);
+  const FactId a = wm.assert_fact(edge_, pair(7, 8));
+  wm.retract(a);
+  const Fact& f = wm.fact(a);
+  EXPECT_EQ(f.slots[0], Value::integer(7));
+  EXPECT_EQ(f.slots[1], Value::integer(8));
+}
+
+TEST_F(WmTest, ExtentTracksAliveFactsPerTemplate) {
+  WorkingMemory wm(schema_);
+  const FactId a = wm.assert_fact(edge_, pair(1, 2));
+  const FactId b = wm.assert_fact(edge_, pair(3, 4));
+  wm.assert_fact(node_, {Value::integer(1)});
+  EXPECT_EQ(wm.extent(edge_).size(), 2u);
+  EXPECT_EQ(wm.extent(node_).size(), 1u);
+  wm.retract(a);
+  EXPECT_EQ(wm.extent(edge_).size(), 1u);
+  EXPECT_EQ(wm.extent(edge_)[0], b);
+}
+
+TEST_F(WmTest, FindLocatesAliveContentOnly) {
+  WorkingMemory wm(schema_);
+  const FactId a = wm.assert_fact(edge_, pair(1, 2));
+  EXPECT_EQ(wm.find(edge_, pair(1, 2)), a);
+  EXPECT_FALSE(wm.find(edge_, pair(9, 9)).has_value());
+  wm.retract(a);
+  EXPECT_FALSE(wm.find(edge_, pair(1, 2)).has_value());
+}
+
+TEST_F(WmTest, ModifyIsRetractPlusAssert) {
+  WorkingMemory wm(schema_);
+  const FactId a = wm.assert_fact(edge_, pair(1, 2));
+  const FactId b = wm.modify(a, {{1, Value::integer(5)}});
+  EXPECT_NE(b, kInvalidFact);
+  EXPECT_FALSE(wm.alive(a));
+  EXPECT_TRUE(wm.alive(b));
+  EXPECT_EQ(wm.fact(b).slots[0], Value::integer(1));
+  EXPECT_EQ(wm.fact(b).slots[1], Value::integer(5));
+}
+
+TEST_F(WmTest, ModifyIntoExistingContentIsAbsorbed) {
+  WorkingMemory wm(schema_);
+  wm.assert_fact(edge_, pair(1, 5));
+  const FactId a = wm.assert_fact(edge_, pair(1, 2));
+  const FactId b = wm.modify(a, {{1, Value::integer(5)}});
+  EXPECT_EQ(b, kInvalidFact);   // absorbed by the existing (1,5)
+  EXPECT_FALSE(wm.alive(a));    // but the retract happened
+  EXPECT_EQ(wm.alive_count(), 1u);
+}
+
+TEST_F(WmTest, ModifyDeadFactFails) {
+  WorkingMemory wm(schema_);
+  const FactId a = wm.assert_fact(edge_, pair(1, 2));
+  wm.retract(a);
+  EXPECT_EQ(wm.modify(a, {{0, Value::integer(9)}}), kInvalidFact);
+}
+
+TEST_F(WmTest, DeltaRecordsMutationsInOrder) {
+  WorkingMemory wm(schema_);
+  const FactId a = wm.assert_fact(edge_, pair(1, 2));
+  const FactId b = wm.assert_fact(edge_, pair(3, 4));
+  (void)wm.drain_delta();
+  wm.retract(a);
+  const FactId c = wm.assert_fact(edge_, pair(5, 6));
+  const Delta d = wm.drain_delta();
+  ASSERT_EQ(d.added.size(), 1u);
+  EXPECT_EQ(d.added[0], c);
+  ASSERT_EQ(d.removed.size(), 1u);
+  EXPECT_EQ(d.removed[0], a);
+  EXPECT_TRUE(wm.pending_delta().empty());
+  (void)b;
+}
+
+TEST_F(WmTest, AssertThenRetractWithinOneDeltaCancels) {
+  // A fact born and killed between drains must be invisible to matchers.
+  WorkingMemory wm(schema_);
+  const FactId a = wm.assert_fact(edge_, pair(1, 2));
+  EXPECT_TRUE(wm.retract(a));
+  const Delta d = wm.drain_delta();
+  EXPECT_TRUE(d.added.empty());
+  EXPECT_TRUE(d.removed.empty());
+}
+
+TEST_F(WmTest, RetractOfPreDrainFactIsRecorded) {
+  WorkingMemory wm(schema_);
+  const FactId a = wm.assert_fact(edge_, pair(1, 2));
+  (void)wm.drain_delta();
+  EXPECT_TRUE(wm.retract(a));
+  const Delta d = wm.drain_delta();
+  EXPECT_TRUE(d.added.empty());
+  ASSERT_EQ(d.removed.size(), 1u);
+  EXPECT_EQ(d.removed[0], a);
+}
+
+TEST_F(WmTest, DrainDeltaResetsPending) {
+  WorkingMemory wm(schema_);
+  wm.assert_fact(edge_, pair(1, 2));
+  (void)wm.drain_delta();
+  const Delta d2 = wm.drain_delta();
+  EXPECT_TRUE(d2.empty());
+}
+
+TEST_F(WmTest, ArityMismatchThrows) {
+  WorkingMemory wm(schema_);
+  EXPECT_THROW(wm.assert_fact(edge_, {Value::integer(1)}), RuntimeError);
+}
+
+TEST_F(WmTest, ToStringRendersFact) {
+  WorkingMemory wm(schema_);
+  const FactId a = wm.assert_fact(edge_, pair(1, 2));
+  EXPECT_EQ(wm.to_string(a, symbols_), "(edge (from 1) (to 2))");
+}
+
+TEST_F(WmTest, FingerprintIgnoresAssertionOrder) {
+  WorkingMemory wm1(schema_);
+  wm1.assert_fact(edge_, pair(1, 2));
+  wm1.assert_fact(edge_, pair(3, 4));
+
+  WorkingMemory wm2(schema_);
+  wm2.assert_fact(edge_, pair(3, 4));
+  wm2.assert_fact(edge_, pair(1, 2));
+
+  EXPECT_EQ(wm1.content_fingerprint(), wm2.content_fingerprint());
+}
+
+TEST_F(WmTest, FingerprintSeesContentDifferences) {
+  WorkingMemory wm1(schema_);
+  wm1.assert_fact(edge_, pair(1, 2));
+  WorkingMemory wm2(schema_);
+  wm2.assert_fact(edge_, pair(1, 3));
+  EXPECT_NE(wm1.content_fingerprint(), wm2.content_fingerprint());
+}
+
+TEST_F(WmTest, FingerprintIgnoresTombstones) {
+  WorkingMemory wm1(schema_);
+  wm1.assert_fact(edge_, pair(1, 2));
+  const FactId doomed = wm1.assert_fact(edge_, pair(9, 9));
+  wm1.retract(doomed);
+
+  WorkingMemory wm2(schema_);
+  wm2.assert_fact(edge_, pair(1, 2));
+
+  EXPECT_EQ(wm1.content_fingerprint(), wm2.content_fingerprint());
+}
+
+TEST_F(WmTest, ManyFactsStressExtentsAndIndex) {
+  WorkingMemory wm(schema_);
+  for (int i = 0; i < 5000; ++i) {
+    ASSERT_NE(wm.assert_fact(edge_, pair(i, i + 1)), kInvalidFact);
+  }
+  EXPECT_EQ(wm.alive_count(), 5000u);
+  // Retract every other fact via find().
+  for (int i = 0; i < 5000; i += 2) {
+    auto id = wm.find(edge_, pair(i, i + 1));
+    ASSERT_TRUE(id.has_value());
+    EXPECT_TRUE(wm.retract(*id));
+  }
+  EXPECT_EQ(wm.alive_count(), 2500u);
+  EXPECT_EQ(wm.extent(edge_).size(), 2500u);
+}
+
+}  // namespace
+}  // namespace parulel
