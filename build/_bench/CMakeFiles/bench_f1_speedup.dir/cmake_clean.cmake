@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_f1_speedup"
+  "../bench/bench_f1_speedup.pdb"
+  "CMakeFiles/bench_f1_speedup.dir/bench_f1_speedup.cpp.o"
+  "CMakeFiles/bench_f1_speedup.dir/bench_f1_speedup.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f1_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_f2_breakdown"
+  "../bench/bench_f2_breakdown.pdb"
+  "CMakeFiles/bench_f2_breakdown.dir/bench_f2_breakdown.cpp.o"
+  "CMakeFiles/bench_f2_breakdown.dir/bench_f2_breakdown.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f2_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_f3_distrib"
+  "../bench/bench_f3_distrib.pdb"
+  "CMakeFiles/bench_f3_distrib.dir/bench_f3_distrib.cpp.o"
+  "CMakeFiles/bench_f3_distrib.dir/bench_f3_distrib.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f3_distrib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

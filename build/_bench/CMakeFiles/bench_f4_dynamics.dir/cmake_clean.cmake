@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_f4_dynamics"
+  "../bench/bench_f4_dynamics.pdb"
+  "CMakeFiles/bench_f4_dynamics.dir/bench_f4_dynamics.cpp.o"
+  "CMakeFiles/bench_f4_dynamics.dir/bench_f4_dynamics.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f4_dynamics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_t2_cycles"
+  "../bench/bench_t2_cycles.pdb"
+  "CMakeFiles/bench_t2_cycles.dir/bench_t2_cycles.cpp.o"
+  "CMakeFiles/bench_t2_cycles.dir/bench_t2_cycles.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t2_cycles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_t3_metarules"
+  "../bench/bench_t3_metarules.pdb"
+  "CMakeFiles/bench_t3_metarules.dir/bench_t3_metarules.cpp.o"
+  "CMakeFiles/bench_t3_metarules.dir/bench_t3_metarules.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t3_metarules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distributed_closure.dir/distributed_closure.cpp.o"
+  "CMakeFiles/distributed_closure.dir/distributed_closure.cpp.o.d"
+  "distributed_closure"
+  "distributed_closure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distributed_closure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

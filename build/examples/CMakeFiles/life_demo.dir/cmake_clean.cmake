@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/life_demo.dir/life_demo.cpp.o"
+  "CMakeFiles/life_demo.dir/life_demo.cpp.o.d"
+  "life_demo"
+  "life_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/life_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

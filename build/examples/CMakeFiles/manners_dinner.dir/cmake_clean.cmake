@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/manners_dinner.dir/manners_dinner.cpp.o"
+  "CMakeFiles/manners_dinner.dir/manners_dinner.cpp.o.d"
+  "manners_dinner"
+  "manners_dinner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/manners_dinner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

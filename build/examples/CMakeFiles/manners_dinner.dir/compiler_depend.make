@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for manners_dinner.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parulel_cli.dir/parulel_cli.cpp.o"
+  "CMakeFiles/parulel_cli.dir/parulel_cli.cpp.o.d"
+  "parulel_cli"
+  "parulel_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parulel_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

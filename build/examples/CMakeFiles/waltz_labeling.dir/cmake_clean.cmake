@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/waltz_labeling.dir/waltz_labeling.cpp.o"
+  "CMakeFiles/waltz_labeling.dir/waltz_labeling.cpp.o.d"
+  "waltz_labeling"
+  "waltz_labeling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/waltz_labeling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,52 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/distrib/copy_constrain.cpp" "src/CMakeFiles/parulel.dir/distrib/copy_constrain.cpp.o" "gcc" "src/CMakeFiles/parulel.dir/distrib/copy_constrain.cpp.o.d"
+  "/root/repo/src/distrib/dist_engine.cpp" "src/CMakeFiles/parulel.dir/distrib/dist_engine.cpp.o" "gcc" "src/CMakeFiles/parulel.dir/distrib/dist_engine.cpp.o.d"
+  "/root/repo/src/distrib/partition.cpp" "src/CMakeFiles/parulel.dir/distrib/partition.cpp.o" "gcc" "src/CMakeFiles/parulel.dir/distrib/partition.cpp.o.d"
+  "/root/repo/src/engine/actions.cpp" "src/CMakeFiles/parulel.dir/engine/actions.cpp.o" "gcc" "src/CMakeFiles/parulel.dir/engine/actions.cpp.o.d"
+  "/root/repo/src/engine/par_engine.cpp" "src/CMakeFiles/parulel.dir/engine/par_engine.cpp.o" "gcc" "src/CMakeFiles/parulel.dir/engine/par_engine.cpp.o.d"
+  "/root/repo/src/engine/seq_engine.cpp" "src/CMakeFiles/parulel.dir/engine/seq_engine.cpp.o" "gcc" "src/CMakeFiles/parulel.dir/engine/seq_engine.cpp.o.d"
+  "/root/repo/src/engine/strategy.cpp" "src/CMakeFiles/parulel.dir/engine/strategy.cpp.o" "gcc" "src/CMakeFiles/parulel.dir/engine/strategy.cpp.o.d"
+  "/root/repo/src/lang/analyzer.cpp" "src/CMakeFiles/parulel.dir/lang/analyzer.cpp.o" "gcc" "src/CMakeFiles/parulel.dir/lang/analyzer.cpp.o.d"
+  "/root/repo/src/lang/expr.cpp" "src/CMakeFiles/parulel.dir/lang/expr.cpp.o" "gcc" "src/CMakeFiles/parulel.dir/lang/expr.cpp.o.d"
+  "/root/repo/src/lang/lexer.cpp" "src/CMakeFiles/parulel.dir/lang/lexer.cpp.o" "gcc" "src/CMakeFiles/parulel.dir/lang/lexer.cpp.o.d"
+  "/root/repo/src/lang/parser.cpp" "src/CMakeFiles/parulel.dir/lang/parser.cpp.o" "gcc" "src/CMakeFiles/parulel.dir/lang/parser.cpp.o.d"
+  "/root/repo/src/lang/printer.cpp" "src/CMakeFiles/parulel.dir/lang/printer.cpp.o" "gcc" "src/CMakeFiles/parulel.dir/lang/printer.cpp.o.d"
+  "/root/repo/src/lang/program.cpp" "src/CMakeFiles/parulel.dir/lang/program.cpp.o" "gcc" "src/CMakeFiles/parulel.dir/lang/program.cpp.o.d"
+  "/root/repo/src/match/alpha.cpp" "src/CMakeFiles/parulel.dir/match/alpha.cpp.o" "gcc" "src/CMakeFiles/parulel.dir/match/alpha.cpp.o.d"
+  "/root/repo/src/match/conflict_set.cpp" "src/CMakeFiles/parulel.dir/match/conflict_set.cpp.o" "gcc" "src/CMakeFiles/parulel.dir/match/conflict_set.cpp.o.d"
+  "/root/repo/src/match/join.cpp" "src/CMakeFiles/parulel.dir/match/join.cpp.o" "gcc" "src/CMakeFiles/parulel.dir/match/join.cpp.o.d"
+  "/root/repo/src/match/parallel_treat.cpp" "src/CMakeFiles/parulel.dir/match/parallel_treat.cpp.o" "gcc" "src/CMakeFiles/parulel.dir/match/parallel_treat.cpp.o.d"
+  "/root/repo/src/match/rete.cpp" "src/CMakeFiles/parulel.dir/match/rete.cpp.o" "gcc" "src/CMakeFiles/parulel.dir/match/rete.cpp.o.d"
+  "/root/repo/src/match/treat.cpp" "src/CMakeFiles/parulel.dir/match/treat.cpp.o" "gcc" "src/CMakeFiles/parulel.dir/match/treat.cpp.o.d"
+  "/root/repo/src/meta/meta_engine.cpp" "src/CMakeFiles/parulel.dir/meta/meta_engine.cpp.o" "gcc" "src/CMakeFiles/parulel.dir/meta/meta_engine.cpp.o.d"
+  "/root/repo/src/meta/reify.cpp" "src/CMakeFiles/parulel.dir/meta/reify.cpp.o" "gcc" "src/CMakeFiles/parulel.dir/meta/reify.cpp.o.d"
+  "/root/repo/src/runtime/thread_pool.cpp" "src/CMakeFiles/parulel.dir/runtime/thread_pool.cpp.o" "gcc" "src/CMakeFiles/parulel.dir/runtime/thread_pool.cpp.o.d"
+  "/root/repo/src/support/stats.cpp" "src/CMakeFiles/parulel.dir/support/stats.cpp.o" "gcc" "src/CMakeFiles/parulel.dir/support/stats.cpp.o.d"
+  "/root/repo/src/support/symbol_table.cpp" "src/CMakeFiles/parulel.dir/support/symbol_table.cpp.o" "gcc" "src/CMakeFiles/parulel.dir/support/symbol_table.cpp.o.d"
+  "/root/repo/src/support/value.cpp" "src/CMakeFiles/parulel.dir/support/value.cpp.o" "gcc" "src/CMakeFiles/parulel.dir/support/value.cpp.o.d"
+  "/root/repo/src/wm/schema.cpp" "src/CMakeFiles/parulel.dir/wm/schema.cpp.o" "gcc" "src/CMakeFiles/parulel.dir/wm/schema.cpp.o.d"
+  "/root/repo/src/wm/working_memory.cpp" "src/CMakeFiles/parulel.dir/wm/working_memory.cpp.o" "gcc" "src/CMakeFiles/parulel.dir/wm/working_memory.cpp.o.d"
+  "/root/repo/src/workloads/life.cpp" "src/CMakeFiles/parulel.dir/workloads/life.cpp.o" "gcc" "src/CMakeFiles/parulel.dir/workloads/life.cpp.o.d"
+  "/root/repo/src/workloads/manners.cpp" "src/CMakeFiles/parulel.dir/workloads/manners.cpp.o" "gcc" "src/CMakeFiles/parulel.dir/workloads/manners.cpp.o.d"
+  "/root/repo/src/workloads/routing.cpp" "src/CMakeFiles/parulel.dir/workloads/routing.cpp.o" "gcc" "src/CMakeFiles/parulel.dir/workloads/routing.cpp.o.d"
+  "/root/repo/src/workloads/sieve.cpp" "src/CMakeFiles/parulel.dir/workloads/sieve.cpp.o" "gcc" "src/CMakeFiles/parulel.dir/workloads/sieve.cpp.o.d"
+  "/root/repo/src/workloads/synth.cpp" "src/CMakeFiles/parulel.dir/workloads/synth.cpp.o" "gcc" "src/CMakeFiles/parulel.dir/workloads/synth.cpp.o.d"
+  "/root/repo/src/workloads/tc.cpp" "src/CMakeFiles/parulel.dir/workloads/tc.cpp.o" "gcc" "src/CMakeFiles/parulel.dir/workloads/tc.cpp.o.d"
+  "/root/repo/src/workloads/waltz.cpp" "src/CMakeFiles/parulel.dir/workloads/waltz.cpp.o" "gcc" "src/CMakeFiles/parulel.dir/workloads/waltz.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

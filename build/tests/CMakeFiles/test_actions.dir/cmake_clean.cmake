@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_actions.dir/test_actions.cpp.o"
+  "CMakeFiles/test_actions.dir/test_actions.cpp.o.d"
+  "test_actions"
+  "test_actions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_actions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
