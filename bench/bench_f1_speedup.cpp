@@ -76,6 +76,7 @@ int main() {
   constexpr int kReps = 3;
   const unsigned procs[] = {1, 2, 4, 8, 16};
 
+  JsonReport json("R-F1");
   for (const auto& w : all) {
     const Program p = parse_program(w.source);
 
@@ -101,9 +102,19 @@ int main() {
         std::printf("  %6u %14.1f %14.2f %12.2f %12.2f\n", t, wall,
                     measured_base / wall, sim,
                     sim1 / 1e6 / sim);
+        json.add_row(w.name + "/P" + std::to_string(t),
+                     {{"procs", static_cast<double>(t)},
+                      {"measured_ms", wall},
+                      {"measured_speedup", measured_base / wall},
+                      {"sim_ms", sim},
+                      {"sim_speedup", sim1 / 1e6 / sim}});
       } else {
         std::printf("  %6u %14s %14s %12.2f %12.2f\n", t, "-", "-", sim,
                     sim1 / 1e6 / sim);
+        json.add_row(w.name + "/P" + std::to_string(t),
+                     {{"procs", static_cast<double>(t)},
+                      {"sim_ms", sim},
+                      {"sim_speedup", sim1 / 1e6 / sim}});
       }
     }
     std::printf("\n");

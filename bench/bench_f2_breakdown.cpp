@@ -10,7 +10,8 @@ using namespace parulel::bench;
 
 namespace {
 
-void row(const char* label, const Program& p, unsigned threads) {
+void row(JsonReport& json, const char* label, const Program& p,
+         unsigned threads) {
   const RunStats s = run_parallel(p, threads);
   const double total =
       ms(s.match_ns) + ms(s.redact_ns) + ms(s.fire_ns) + ms(s.merge_ns);
@@ -21,6 +22,11 @@ void row(const char* label, const Program& p, unsigned threads) {
               static_cast<unsigned long long>(s.cycles), total,
               pct(s.match_ns), pct(s.redact_ns), pct(s.fire_ns),
               pct(s.merge_ns));
+  json.add_run(label, s,
+               {{"match_pct", pct(s.match_ns)},
+                {"redact_pct", pct(s.redact_ns)},
+                {"fire_pct", pct(s.fire_ns)},
+                {"merge_pct", pct(s.merge_ns)}});
 }
 
 }  // namespace
@@ -30,17 +36,18 @@ int main() {
   std::printf("%-14s %8s %9s %8s %8s %8s %8s\n", "workload", "cycles",
               "total-ms", "match", "redact", "fire", "merge");
 
+  JsonReport json("R-F2");
   for (int scale : {8, 16, 32, 64}) {
     const auto w = workloads::make_waltz(scale);
     const Program p = parse_program(w.source);
     const std::string label = "waltz/" + std::to_string(scale);
-    row(label.c_str(), p, 4);
+    row(json, label.c_str(), p, 4);
   }
   for (int scale : {64, 128, 192}) {
     const auto w = workloads::make_tc(scale, scale * 5 / 2, 7);
     const Program p = parse_program(w.source);
     const std::string label = "tc/" + std::to_string(scale);
-    row(label.c_str(), p, 4);
+    row(json, label.c_str(), p, 4);
   }
   std::printf("\nExpected shape: match is the dominant phase and grows\n"
               "with scale; redact is non-zero only for waltz (meta-rules)\n"

@@ -46,6 +46,7 @@ int main() {
   };
   constexpr int kReps = 3;
 
+  JsonReport json("R-F3");
   for (const auto& w : all) {
     const Program p = parse_program(w.source);
     std::printf("\n%s — %s\n", w.name.c_str(), w.description.c_str());
@@ -62,6 +63,13 @@ int main() {
                   static_cast<unsigned long long>(s.messages),
                   static_cast<unsigned long long>(s.broadcasts),
                   static_cast<unsigned long long>(s.run.cycles));
+      json.add_run(w.name + "/sites" + std::to_string(sites), s.run,
+                   {{"sites", static_cast<double>(sites)},
+                    {"wall_ms", wall},
+                    {"sim_ms", sim},
+                    {"sim_speedup", sim_base / sim},
+                    {"messages", static_cast<double>(s.messages)},
+                    {"broadcasts", static_cast<double>(s.broadcasts)}});
     }
   }
   std::printf("\nsim-ms: per cycle, slowest site's compute time plus the\n"

@@ -4,6 +4,8 @@
 // instantiations, redactions, firings, and WM churn for each workload
 // under the PARULEL engine. The figure-shaped view of how parallelism
 // rises and drains as saturation progresses.
+#include <algorithm>
+
 #include "bench_util.hpp"
 
 using namespace parulel;
@@ -11,7 +13,8 @@ using namespace parulel::bench;
 
 namespace {
 
-void series(const workloads::Workload& w, std::size_t max_rows) {
+void series(JsonReport& json, const workloads::Workload& w,
+            std::size_t max_rows) {
   const Program p = parse_program(w.source);
   EngineConfig cfg;
   cfg.threads = 4;
@@ -40,6 +43,10 @@ void series(const workloads::Workload& w, std::size_t max_rows) {
                 static_cast<unsigned long long>(c.asserts),
                 static_cast<unsigned long long>(c.retracts));
   }
+  std::uint64_t peak_fired = 0;
+  for (const auto& c : s.per_cycle) peak_fired = std::max(peak_fired, c.fired);
+  json.add_run(w.name, s,
+               {{"peak_fired_per_cycle", static_cast<double>(peak_fired)}});
 }
 
 }  // namespace
@@ -47,11 +54,12 @@ void series(const workloads::Workload& w, std::size_t max_rows) {
 int main() {
   header("R-F4", "conflict-set dynamics per cycle (PARULEL engine)");
 
-  series(workloads::make_tc(64, 160, 7), 20);
-  series(workloads::make_waltz(16), 20);
-  series(workloads::make_life(10, 6, 5), 20);
-  series(workloads::make_routing(48, 140, 11, true), 20);
-  series(workloads::make_manners(16, 4, 11), 20);
+  JsonReport json("R-F4");
+  series(json, workloads::make_tc(64, 160, 7), 20);
+  series(json, workloads::make_waltz(16), 20);
+  series(json, workloads::make_life(10, 6, 5), 20);
+  series(json, workloads::make_routing(48, 140, 11, true), 20);
+  series(json, workloads::make_manners(16, 4, 11), 20);
 
   std::printf(
       "\nExpected shape: tc's eligible set swells then drains as the\n"

@@ -22,6 +22,7 @@ int main() {
       workloads::make_synth(4, 60, 12, 13),
   };
 
+  JsonReport json("R-T1");
   std::printf("%-12s %6s %6s %6s %8s %9s %9s\n", "workload", "rules",
               "meta", "tmpls", "facts", "firings", "peak-cs");
   for (const auto& w : all) {
@@ -32,6 +33,11 @@ int main() {
                 p.initial_facts.size(),
                 static_cast<unsigned long long>(stats.total_firings),
                 static_cast<unsigned long long>(stats.peak_conflict_set));
+    json.add_run(w.name, stats,
+                 {{"rules", static_cast<double>(p.rules.size())},
+                  {"meta_rules", static_cast<double>(p.meta_rules.size())},
+                  {"templates", static_cast<double>(p.schema.size())},
+                  {"facts", static_cast<double>(p.initial_facts.size())}});
   }
   return 0;
 }

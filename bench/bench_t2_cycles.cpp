@@ -19,6 +19,7 @@ int main() {
       workloads::make_manners(32, 6, 11),
   };
 
+  JsonReport json("R-T2");
   std::printf("%-12s %12s %12s %12s %12s %9s\n", "workload", "ops5-cycles",
               "ops5-fires", "prll-cycles", "prll-fires", "reduction");
   for (const auto& w : all) {
@@ -36,6 +37,9 @@ int main() {
                 static_cast<unsigned long long>(par.cycles),
                 static_cast<unsigned long long>(par.total_firings),
                 reduction);
+    json.add_run(w.name + "/ops5", seq);
+    json.add_run(w.name + "/parulel", par,
+                 {{"cycle_reduction", reduction}});
   }
   std::printf("\nExpected shape: >=10x cycle reduction on tc/sieve/waltz;\n"
               "manners stays ~1 firing per cycle by construction.\n");

@@ -21,6 +21,7 @@ int main() {
       workloads::make_manners(32, 6, 11),
   };
 
+  JsonReport json("R-T3");
   std::printf("%-12s %9s %10s %10s %10s %11s\n", "workload", "peak-cs",
               "firings", "redacted", "red-frac", "redact-time");
   for (const auto& w : all) {
@@ -40,6 +41,8 @@ int main() {
                 static_cast<unsigned long long>(s.total_firings),
                 static_cast<unsigned long long>(s.total_redactions),
                 100.0 * frac, redact_share);
+    json.add_run(w.name, s,
+                 {{"redacted_frac", frac}, {"redact_share_pct", redact_share}});
   }
   std::printf("\nNote: 'redacted' counts per-cycle withholdings; a redacted\n"
               "instantiation may be counted again in a later cycle (it stays\n"

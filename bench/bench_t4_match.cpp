@@ -7,7 +7,9 @@
 
 #include <memory>
 
+#include "bench_util.hpp"
 #include "parulel.hpp"
+#include "support/timer.hpp"
 
 namespace {
 
@@ -133,4 +135,45 @@ BENCHMARK(BM_IncrementalRetractAssert)
     ->Iterations(50)
     ->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+namespace {
+
+/// One-shot initial-match timings for the BENCH_R-T4.json trajectory
+/// (google-benchmark's own output stays on the console; this is the
+/// stable machine-readable record the other benches emit too).
+void write_json_report() {
+  parulel::bench::JsonReport json("R-T4");
+  const char* kMatcherNames[] = {"rete", "treat", "parallel-treat"};
+  for (int which = 0; which < 4; ++which) {
+    for (int kind = 0; kind < 3; ++kind) {
+      const Loaded l = load(which);
+      WorkingMemory wm(l.program.schema);
+      for (const auto& f : l.program.initial_facts) {
+        wm.assert_fact(f.tmpl, f.slots);
+      }
+      auto matcher = make_matcher(l, kind);
+      const Timer t;
+      matcher->apply_delta(wm, wm.drain_delta());
+      const double match_ms = t.elapsed_ms();
+      json.add_row(
+          std::string(kNames[which]) + "/" + kMatcherNames[kind],
+          {{"initial_match_ms", match_ms},
+           {"conflict_set",
+            static_cast<double>(matcher->conflict_set().size())},
+           {"state_entries",
+            static_cast<double>(matcher->stats().state_entries)},
+           {"alpha_activations",
+            static_cast<double>(matcher->stats().alpha_activations)}});
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  write_json_report();
+  return 0;
+}

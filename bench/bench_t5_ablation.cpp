@@ -13,6 +13,7 @@ using namespace parulel::bench;
 int main() {
   header("R-T5", "ablation: write-conflict detection vs meta-rule redaction");
 
+  JsonReport json("R-T5");
   std::printf("%8s %-10s %9s %10s %10s %10s %9s\n", "n", "variant",
               "firings", "conflicts", "redacted", "wall-ms", "primes");
   for (int n : {200, 400, 800}) {
@@ -33,6 +34,11 @@ int main() {
                   static_cast<unsigned long long>(s.total_write_conflicts),
                   static_cast<unsigned long long>(s.total_redactions),
                   ms(s.wall_ns), engine.wm().extent(num_t).size());
+      json.add_run(
+          "sieve" + std::to_string(n) + (dedup ? "/meta" : "/detect"), s,
+          {{"n", static_cast<double>(n)},
+           {"primes",
+            static_cast<double>(engine.wm().extent(num_t).size())}});
     }
   }
   std::printf("\nExpected shape: identical prime counts; the meta variant\n"

@@ -4,10 +4,17 @@
 // PARULEL evaluation — see DESIGN.md's experiment index. Output format is
 // aligned text columns so the shapes are readable straight off a terminal
 // and diffable across runs.
+// Machine-readable output: every bench also writes BENCH_<id>.json next
+// to its table (JsonReport below) so per-phase numbers accumulate as a
+// trajectory across PRs instead of living only in terminal scrollback.
 #pragma once
 
 #include <cstdio>
+#include <fstream>
+#include <initializer_list>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "parulel.hpp"
 
@@ -45,5 +52,70 @@ inline void header(const std::string& id, const std::string& title) {
   std::printf("%s  %s\n", id.c_str(), title.c_str());
   std::printf("================================================================\n");
 }
+
+/// Collects one JSON row per measured configuration and writes
+/// BENCH_<id>.json on destruction: {"bench":id,"rows":[{...},...]}.
+/// Rows built from a RunStats carry the full obs run_fields() schema, so
+/// per-phase timings land in the file without per-bench field lists.
+class JsonReport {
+ public:
+  explicit JsonReport(std::string id) : id_(std::move(id)) {}
+  JsonReport(const JsonReport&) = delete;
+  JsonReport& operator=(const JsonReport&) = delete;
+  ~JsonReport() { write(); }
+
+  /// One row for a full engine run: label + every run_fields() entry.
+  /// `extras` appends bench-specific numbers (sizes, speedups, ...).
+  void add_run(
+      const std::string& label, const RunStats& stats,
+      std::initializer_list<std::pair<const char*, double>> extras = {}) {
+    obs::JsonWriter w;
+    w.begin_object();
+    w.field("label", label);
+    for (const auto& f : obs::run_fields()) w.field(f.name, stats.*f.member);
+    for (const auto& [k, v] : extras) w.field(k, v);
+    w.end_object();
+    rows_.push_back(w.str());
+  }
+
+  /// One free-form row of bench-specific numbers.
+  void add_row(const std::string& label,
+               std::initializer_list<std::pair<const char*, double>> fields) {
+    obs::JsonWriter w;
+    w.begin_object();
+    w.field("label", label);
+    for (const auto& [k, v] : fields) w.field(k, v);
+    w.end_object();
+    rows_.push_back(w.str());
+  }
+
+  void write() const {
+    const std::string path = "BENCH_" + id_ + ".json";
+    std::ofstream out(path);
+    if (!out) {
+      std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+      return;
+    }
+    obs::JsonWriter w;
+    w.begin_object();
+    w.field("bench", id_);
+    w.end_object();
+    // Splice rows into the object by hand: rows are pre-serialized.
+    std::string doc = w.str();
+    doc.pop_back();  // drop '}'
+    doc += ",\"rows\":[";
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      if (i) doc += ',';
+      doc += rows_[i];
+    }
+    doc += "]}";
+    out << doc << "\n";
+    std::printf("[json] wrote %s (%zu rows)\n", path.c_str(), rows_.size());
+  }
+
+ private:
+  std::string id_;
+  std::vector<std::string> rows_;
+};
 
 }  // namespace parulel::bench

@@ -3,7 +3,8 @@
 // Usage:
 //   parulel_cli <program.clp> [--engine seq|par] [--threads N]
 //               [--strategy lex|mea|first|random] [--matcher rete|treat]
-//               [--max-cycles N] [--trace] [--dump-wm]
+//               [--max-cycles N] [--trace] [--trace-json <file>]
+//               [--metrics] [--metrics-json <file>] [--dump-wm]
 //
 // The hello-world of the repository:
 //   ./parulel_cli ../examples/programs/greetings.clp --engine par
@@ -26,6 +27,9 @@ int usage() {
          "  --matcher rete|treat   seq match algorithm (default rete)\n"
          "  --max-cycles N         cycle cap (default 1000000)\n"
          "  --trace                print per-cycle stats\n"
+         "  --trace-json FILE      write one JSON object per cycle (JSONL)\n"
+         "  --metrics              print engine/matcher/pool metrics\n"
+         "  --metrics-json FILE    write the metrics registry as JSON\n"
          "  --dump-wm              print final working memory\n";
   return 2;
 }
@@ -40,7 +44,8 @@ int main(int argc, char** argv) {
   parulel::Strategy strategy = parulel::Strategy::Lex;
   parulel::MatcherKind seq_matcher = parulel::MatcherKind::Rete;
   std::uint64_t max_cycles = 1'000'000;
-  bool trace = false, dump_wm = false;
+  bool trace = false, dump_wm = false, metrics = false;
+  std::string trace_json_path, metrics_json_path;
 
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -71,6 +76,12 @@ int main(int argc, char** argv) {
       max_cycles = std::stoull(value());
     } else if (arg == "--trace") {
       trace = true;
+    } else if (arg == "--trace-json") {
+      trace_json_path = value();
+    } else if (arg == "--metrics") {
+      metrics = true;
+    } else if (arg == "--metrics-json") {
+      metrics_json_path = value();
     } else if (arg == "--dump-wm") {
       dump_wm = true;
     } else {
@@ -100,6 +111,20 @@ int main(int argc, char** argv) {
     cfg.strategy = strategy;
     cfg.output = &std::cout;
 
+    std::ofstream trace_file;
+    std::unique_ptr<parulel::obs::TraceSink> trace_sink;
+    if (!trace_json_path.empty()) {
+      trace_file.open(trace_json_path);
+      if (!trace_file) {
+        std::cerr << "cannot open " << trace_json_path << " for writing\n";
+        return 1;
+      }
+      trace_sink = std::make_unique<parulel::obs::TraceSink>(trace_file);
+      cfg.trace = trace_sink.get();
+    }
+    parulel::obs::MetricsRegistry registry;
+    if (metrics || !metrics_json_path.empty()) cfg.metrics = &registry;
+
     std::unique_ptr<parulel::Engine> engine;
     if (engine_kind == "par") {
       cfg.matcher = parulel::MatcherKind::ParallelTreat;
@@ -116,12 +141,27 @@ int main(int argc, char** argv) {
     std::cout << "[" << engine->name() << "] " << stats.summary() << "\n";
 
     if (trace) {
-      std::cout << "cycle  conflict-set  redacted  fired  asserts  retracts\n";
+      std::cout << "cycle  conflict-set  redacted  fired  asserts  retracts"
+                   "  wconf\n";
       for (const auto& c : stats.per_cycle) {
         std::cout << "  " << c.cycle << "\t" << c.conflict_set_size << "\t\t"
                   << c.redacted << "\t  " << c.fired << "\t " << c.asserts
-                  << "\t  " << c.retracts << "\n";
+                  << "\t  " << c.retracts << "\t  " << c.write_conflicts
+                  << "\n";
       }
+    }
+    if (trace_sink) {
+      std::cout << "trace: " << trace_sink->events() << " events -> "
+                << trace_json_path << "\n";
+    }
+    if (metrics) std::cout << "metrics:\n" << registry.to_text();
+    if (!metrics_json_path.empty()) {
+      std::ofstream mf(metrics_json_path);
+      if (!mf) {
+        std::cerr << "cannot open " << metrics_json_path << " for writing\n";
+        return 1;
+      }
+      mf << registry.to_json() << "\n";
     }
     if (dump_wm) {
       const auto& wm = engine->wm();

@@ -13,6 +13,11 @@
 
 namespace parulel {
 
+namespace obs {
+class TraceSink;
+class MetricsRegistry;
+}  // namespace obs
+
 enum class MatcherKind : std::uint8_t { Rete, Treat, ParallelTreat };
 
 /// One fired instantiation, for audit/explanation tooling.
@@ -53,9 +58,18 @@ struct EngineConfig {
   /// written against OPS5-style stratification.
   bool stratified_salience = false;
 
-  /// When non-null, receives one record per fired instantiation, in
+  /// When non-null, receives one firing record per fired instantiation, in
   /// firing order — the audit trail for explanation tooling.
   std::vector<FiringRecord>* firing_log = nullptr;
+
+  /// Observability (see src/obs/). `trace`, when non-null, receives one
+  /// structured "cycle" event per recognize-act cycle and a final "run"
+  /// event (JSONL). `metrics`, when non-null, receives engine, matcher,
+  /// meta, and thread-pool counters at the end of run(). Both disabled
+  /// paths cost one branch per cycle; compiling with
+  /// -DPARULEL_OBS_ENABLED=0 removes even that.
+  obs::TraceSink* trace = nullptr;
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// Common engine surface: own a working memory, run to quiescence.

@@ -5,10 +5,24 @@
 #include "engine/actions.hpp"
 #include "match/parallel_treat.hpp"
 #include "match/treat.hpp"
+#include "obs/report.hpp"
 #include "support/error.hpp"
 #include "support/timer.hpp"
 
 namespace parulel {
+
+void ParallelEngine::trace_cycle(const CycleStats& cycle) {
+  obs::CycleActivity activity;
+  activity.engine = name();
+  activity.threads = pool_->thread_count();
+  const MatchStats& match_now = matcher_->stats();
+  const PoolStatsSnapshot pool_now = pool_->stats();
+  obs::fill_match_activity(activity, match_now, trace_prev_match_);
+  obs::fill_pool_activity(activity, pool_now, trace_prev_pool_);
+  trace_prev_match_ = match_now;
+  trace_prev_pool_ = pool_now;
+  config_.trace->cycle(cycle, activity);
+}
 
 ParallelEngine::ParallelEngine(const Program& program, EngineConfig config)
     : program_(program),
@@ -72,8 +86,10 @@ bool ParallelEngine::step(RunStats& stats) {
     ScopedAccumulator t(cycle.redact_ns);
     if (meta_.active()) {
       const MetaOutcome outcome =
-          meta_.run(wm_, cs, eligible, config_.output);
+          meta_.run(wm_, cs, eligible, config_.output, config_.metrics);
       cycle.redacted = outcome.redacted.size();
+      cycle.meta_rounds = outcome.rounds;
+      cycle.meta_firings = outcome.meta_firings;
       // eligible and outcome.redacted are both ascending: set-difference.
       to_fire.reserve(eligible.size() - outcome.redacted.size());
       std::set_difference(eligible.begin(), eligible.end(),
@@ -89,6 +105,7 @@ bool ParallelEngine::step(RunStats& stats) {
     stats.quiescent = true;
     stats.absorb(cycle);
     if (config_.trace_cycles) stats.per_cycle.push_back(cycle);
+    PARULEL_OBS_ONLY(if (config_.trace) trace_cycle(cycle);)
     return false;
   }
 
@@ -127,6 +144,7 @@ bool ParallelEngine::step(RunStats& stats) {
 
   stats.absorb(cycle);
   if (config_.trace_cycles) stats.per_cycle.push_back(cycle);
+  PARULEL_OBS_ONLY(if (config_.trace) trace_cycle(cycle);)
   return true;
 }
 
@@ -137,6 +155,15 @@ RunStats ParallelEngine::run() {
     if (!step(stats)) break;
   }
   stats.wall_ns = wall.elapsed_ns();
+  PARULEL_OBS_ONLY({
+    if (config_.trace) config_.trace->run(stats, name());
+    if (config_.metrics) {
+      stats.publish(*config_.metrics);
+      obs::publish_match_stats(*config_.metrics, matcher_->stats());
+      obs::publish_pool_stats(*config_.metrics, pool_->stats());
+      config_.metrics->set("engine.threads", pool_->thread_count());
+    }
+  })
   return stats;
 }
 

@@ -46,6 +46,10 @@ class ParallelEngine : public Engine {
   unsigned threads() const { return pool_->thread_count(); }
 
  private:
+  /// Emit this cycle's trace event (tracing enabled only): CycleStats
+  /// plus matcher/pool activity differenced against the previous cycle.
+  void trace_cycle(const CycleStats& cycle);
+
   const Program& program_;
   EngineConfig config_;
   WorkingMemory wm_;
@@ -53,6 +57,10 @@ class ParallelEngine : public Engine {
   std::unique_ptr<Matcher> matcher_;
   MetaEngine meta_;
   bool halted_ = false;
+
+  // Previous-cycle cumulative snapshots for trace deltas.
+  MatchStats trace_prev_match_;
+  PoolStatsSnapshot trace_prev_pool_;
 };
 
 }  // namespace parulel

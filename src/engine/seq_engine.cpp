@@ -3,10 +3,21 @@
 #include "engine/actions.hpp"
 #include "match/rete.hpp"
 #include "match/treat.hpp"
+#include "obs/report.hpp"
 #include "support/error.hpp"
 #include "support/timer.hpp"
 
 namespace parulel {
+
+void SequentialEngine::trace_cycle(const CycleStats& cycle) {
+  obs::CycleActivity activity;
+  activity.engine = name();
+  activity.threads = 1;
+  const MatchStats& match_now = matcher_->stats();
+  obs::fill_match_activity(activity, match_now, trace_prev_match_);
+  trace_prev_match_ = match_now;
+  config_.trace->cycle(cycle, activity);
+}
 
 SequentialEngine::SequentialEngine(const Program& program,
                                    EngineConfig config)
@@ -75,6 +86,7 @@ bool SequentialEngine::step(RunStats& stats) {
 
   stats.absorb(cycle);
   if (config_.trace_cycles) stats.per_cycle.push_back(cycle);
+  PARULEL_OBS_ONLY(if (config_.trace) trace_cycle(cycle);)
   return true;
 }
 
@@ -85,6 +97,14 @@ RunStats SequentialEngine::run() {
     if (!step(stats)) break;
   }
   stats.wall_ns = wall.elapsed_ns();
+  PARULEL_OBS_ONLY({
+    if (config_.trace) config_.trace->run(stats, name());
+    if (config_.metrics) {
+      stats.publish(*config_.metrics);
+      obs::publish_match_stats(*config_.metrics, matcher_->stats());
+      config_.metrics->set("engine.threads", 1);
+    }
+  })
   return stats;
 }
 

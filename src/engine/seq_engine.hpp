@@ -29,12 +29,18 @@ class SequentialEngine : public Engine {
   const Matcher& matcher() const { return *matcher_; }
 
  private:
+  /// Emit this cycle's trace event (tracing enabled only).
+  void trace_cycle(const CycleStats& cycle);
+
   const Program& program_;
   EngineConfig config_;
   WorkingMemory wm_;
   std::unique_ptr<Matcher> matcher_;
   Rng rng_;
   bool halted_ = false;
+
+  // Previous-cycle cumulative snapshot for trace deltas.
+  MatchStats trace_prev_match_;
 };
 
 }  // namespace parulel

@@ -15,11 +15,13 @@
 
 namespace parulel {
 
-/// Matcher-side counters (for the match-algorithm comparison benches).
+/// Matcher-side counters (for the match-algorithm comparison benches
+/// and the obs layer's per-cycle trace events).
 struct MatchStats {
   std::uint64_t deltas_processed = 0;
   std::uint64_t insts_derived = 0;
   std::uint64_t insts_invalidated = 0;
+  std::uint64_t alpha_activations = 0;  ///< fact x alpha-memory routing events
   std::uint64_t full_rematches = 0;   ///< TREAT negative-retract fallbacks
   std::uint64_t tokens_created = 0;   ///< RETE only
   std::uint64_t tokens_deleted = 0;   ///< RETE only

@@ -44,6 +44,7 @@ void ParallelTreatMatcher::apply_delta(const WorkingMemory& wm,
   for (FactId fid : delta.removed) {
     const Fact& fact = wm.fact(fid);
     alphas_.matching_alphas(fact, scratch_alphas_);
+    stats_.alpha_activations += scratch_alphas_.size();
     for (std::uint32_t a : scratch_alphas_) {
       for (const AlphaUse& use : negative_uses_[a]) {
         const bool exists =
@@ -136,18 +137,23 @@ void ParallelTreatMatcher::apply_delta(const WorkingMemory& wm,
     const std::size_t n_chunks = (n_added + chunk - 1) / chunk;
     task_out.resize(n_chunks);
 
+    // Per-chunk activation tallies; summed after the barrier so the
+    // parallel phase never touches the shared stats_ block.
+    std::vector<std::uint64_t> task_activations(n_chunks, 0);
     std::vector<std::function<void(unsigned)>> jobs;
     jobs.reserve(n_chunks);
     for (std::size_t c = 0; c < n_chunks; ++c) {
       const std::size_t lo = c * chunk;
       const std::size_t hi = std::min(n_added, lo + chunk);
-      jobs.push_back([this, &wm, &delta, &task_out, c, lo, hi](unsigned) {
+      jobs.push_back([this, &wm, &delta, &task_out, &task_activations, c, lo,
+                      hi](unsigned) {
         std::vector<std::uint32_t> local_alphas;
         auto& out = task_out[c];
         for (std::size_t i = lo; i < hi; ++i) {
           const FactId fid = delta.added[i];
           const Fact& fact = wm.fact(fid);
           alphas_.matching_alphas(fact, local_alphas);
+          task_activations[c] += local_alphas.size();
           const std::vector<std::uint32_t> hit(local_alphas);
           for (std::uint32_t a : hit) {
             for (const AlphaUse& use : positive_uses_[a]) {
@@ -165,6 +171,7 @@ void ParallelTreatMatcher::apply_delta(const WorkingMemory& wm,
       });
     }
     pool_.run_batch(jobs);
+    for (std::uint64_t a : task_activations) stats_.alpha_activations += a;
   }
 
   // Deterministic merge in task order (dedup + refraction in cs_.add).

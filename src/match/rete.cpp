@@ -314,6 +314,7 @@ void ReteMatcher::emit_token(const WorkingMemory& wm, RuleId rule,
 
 void ReteMatcher::assert_one(const WorkingMemory& wm, const Fact& fact) {
   alphas_.matching_alphas(fact, scratch_alphas_);
+  stats_.alpha_activations += scratch_alphas_.size();
   const std::vector<std::uint32_t> hit(scratch_alphas_);
 
   // Insert into alpha memories first so cascades below see the fact.
@@ -409,6 +410,7 @@ void ReteMatcher::assert_one(const WorkingMemory& wm, const Fact& fact) {
 
 void ReteMatcher::retract_one(const WorkingMemory& /*wm*/, const Fact& fact) {
   alphas_.matching_alphas(fact, scratch_alphas_);
+  stats_.alpha_activations += scratch_alphas_.size();
   const std::vector<std::uint32_t> hit(scratch_alphas_);
 
   // Unblock gate tokens first (the fact leaves negated alphas).

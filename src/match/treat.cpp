@@ -45,6 +45,7 @@ void TreatMatcher::apply_delta(const WorkingMemory& wm, const Delta& delta) {
   for (FactId fid : delta.removed) {
     const Fact& fact = wm.fact(fid);
     alphas_.matching_alphas(fact, scratch_alphas_);
+    stats_.alpha_activations += scratch_alphas_.size();
     for (std::uint32_t a : scratch_alphas_) {
       for (const AlphaUse& use : negative_uses_[a]) {
         const bool exists =
@@ -111,6 +112,7 @@ void TreatMatcher::apply_delta(const WorkingMemory& wm, const Delta& delta) {
 void TreatMatcher::derive_for_added(const WorkingMemory& wm, FactId fid) {
   const Fact& fact = wm.fact(fid);
   alphas_.matching_alphas(fact, scratch_alphas_);
+  stats_.alpha_activations += scratch_alphas_.size();
   // matching_alphas reuses scratch; copy because enumerate may also use it.
   const std::vector<std::uint32_t> hit(scratch_alphas_);
   for (std::uint32_t a : hit) {

@@ -6,6 +6,7 @@
 
 #include "match/treat.hpp"
 #include "meta/reify.hpp"
+#include "obs/metrics.hpp"
 #include "support/error.hpp"
 
 namespace parulel {
@@ -13,8 +14,10 @@ namespace parulel {
 MetaOutcome MetaEngine::run(const WorkingMemory& object_wm,
                             const ConflictSet& cs,
                             const std::vector<InstId>& eligible,
-                            std::ostream* output) const {
+                            std::ostream* output,
+                            obs::MetricsRegistry* metrics) const {
   MetaOutcome outcome;
+  (void)metrics;  // referenced only when PARULEL_OBS_ENABLED
   if (!active() || eligible.empty()) return outcome;
 
   WorkingMemory meta_wm(program_.meta_schema);
@@ -104,6 +107,11 @@ MetaOutcome MetaEngine::run(const WorkingMemory& object_wm,
   }
 
   std::sort(outcome.redacted.begin(), outcome.redacted.end());
+  PARULEL_OBS_ONLY(if (metrics) {
+    metrics->add("meta.rounds", outcome.rounds);
+    metrics->add("meta.firings", outcome.meta_firings);
+    metrics->add("meta.redactions", outcome.redacted.size());
+  })
   return outcome;
 }
 

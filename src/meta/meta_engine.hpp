@@ -24,6 +24,10 @@
 
 namespace parulel {
 
+namespace obs {
+class MetricsRegistry;
+}  // namespace obs
+
 struct MetaOutcome {
   std::vector<InstId> redacted;     ///< object-level instantiation ids
   std::uint64_t meta_firings = 0;
@@ -39,9 +43,12 @@ class MetaEngine {
 
   /// Run the redaction fixpoint over `eligible` (ascending InstIds).
   /// `output`, when non-null, receives meta-rule printout text.
+  /// `metrics`, when non-null, accumulates meta.rounds / meta.firings /
+  /// meta.redactions counters across fixpoints (obs layer).
   MetaOutcome run(const WorkingMemory& object_wm, const ConflictSet& cs,
                   const std::vector<InstId>& eligible,
-                  std::ostream* output = nullptr) const;
+                  std::ostream* output = nullptr,
+                  obs::MetricsRegistry* metrics = nullptr) const;
 
  private:
   const Program& program_;

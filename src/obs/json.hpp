@@ -1,0 +1,152 @@
+// Minimal JSON writer for the observability layer.
+//
+// Appends into a caller-owned (or internal, reusable) std::string buffer;
+// after the first few events the buffer reaches steady-state capacity and
+// emission is allocation-free. Deliberately tiny: objects, arrays, string
+// escaping, integers, doubles, booleans — everything the trace sink,
+// metrics export, and bench reports need, and nothing else.
+#pragma once
+
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace parulel::obs {
+
+class JsonWriter {
+ public:
+  JsonWriter() { buffer_.reserve(256); }
+
+  /// Drop content, keep capacity — call between JSONL records.
+  void clear() {
+    buffer_.clear();
+    need_comma_ = false;
+  }
+
+  const std::string& str() const { return buffer_; }
+
+  JsonWriter& begin_object() {
+    separate();
+    buffer_ += '{';
+    need_comma_ = false;
+    return *this;
+  }
+  JsonWriter& end_object() {
+    buffer_ += '}';
+    need_comma_ = true;
+    return *this;
+  }
+  JsonWriter& begin_array() {
+    separate();
+    buffer_ += '[';
+    need_comma_ = false;
+    return *this;
+  }
+  JsonWriter& end_array() {
+    buffer_ += ']';
+    need_comma_ = true;
+    return *this;
+  }
+
+  JsonWriter& key(std::string_view k) {
+    separate();
+    append_string(k);
+    buffer_ += ':';
+    need_comma_ = false;
+    return *this;
+  }
+
+  JsonWriter& value(std::uint64_t v) {
+    separate();
+    char tmp[24];
+    const int n = std::snprintf(tmp, sizeof tmp, "%" PRIu64, v);
+    buffer_.append(tmp, static_cast<std::size_t>(n));
+    need_comma_ = true;
+    return *this;
+  }
+  JsonWriter& value(std::int64_t v) {
+    separate();
+    char tmp[24];
+    const int n = std::snprintf(tmp, sizeof tmp, "%" PRId64, v);
+    buffer_.append(tmp, static_cast<std::size_t>(n));
+    need_comma_ = true;
+    return *this;
+  }
+  JsonWriter& value(double v) {
+    separate();
+    char tmp[40];
+    // %.17g round-trips doubles; JSON has no inf/nan, clamp to null.
+    int n;
+    if (v != v || v > 1.7976931348623157e308 || v < -1.7976931348623157e308) {
+      n = std::snprintf(tmp, sizeof tmp, "null");
+    } else {
+      n = std::snprintf(tmp, sizeof tmp, "%.17g", v);
+    }
+    buffer_.append(tmp, static_cast<std::size_t>(n));
+    need_comma_ = true;
+    return *this;
+  }
+  JsonWriter& value(bool v) {
+    separate();
+    buffer_ += v ? "true" : "false";
+    need_comma_ = true;
+    return *this;
+  }
+  JsonWriter& value(std::string_view v) {
+    separate();
+    append_string(v);
+    need_comma_ = true;
+    return *this;
+  }
+  JsonWriter& value(const char* v) { return value(std::string_view(v)); }
+
+  JsonWriter& field(std::string_view k, std::uint64_t v) {
+    return key(k).value(v);
+  }
+  JsonWriter& field(std::string_view k, std::int64_t v) {
+    return key(k).value(v);
+  }
+  JsonWriter& field(std::string_view k, double v) { return key(k).value(v); }
+  JsonWriter& field(std::string_view k, bool v) { return key(k).value(v); }
+  JsonWriter& field(std::string_view k, std::string_view v) {
+    return key(k).value(v);
+  }
+  JsonWriter& field(std::string_view k, const char* v) {
+    return key(k).value(std::string_view(v));
+  }
+
+ private:
+  void separate() {
+    if (need_comma_) buffer_ += ',';
+  }
+
+  void append_string(std::string_view s) {
+    buffer_ += '"';
+    for (char c : s) {
+      switch (c) {
+        case '"': buffer_ += "\\\""; break;
+        case '\\': buffer_ += "\\\\"; break;
+        case '\n': buffer_ += "\\n"; break;
+        case '\r': buffer_ += "\\r"; break;
+        case '\t': buffer_ += "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char tmp[8];
+            std::snprintf(tmp, sizeof tmp, "\\u%04x",
+                          static_cast<unsigned>(static_cast<unsigned char>(c)));
+            buffer_ += tmp;
+          } else {
+            buffer_ += c;
+          }
+      }
+    }
+    buffer_ += '"';
+  }
+
+  std::string buffer_;
+  bool need_comma_ = false;
+};
+
+}  // namespace parulel::obs

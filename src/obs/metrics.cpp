@@ -1,0 +1,55 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+
+#include "obs/json.hpp"
+
+namespace parulel::obs {
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  std::scoped_lock lock(mutex_);
+  for (auto& [n, c] : entries_) {
+    if (n == name) return c;
+  }
+  entries_.emplace_back(std::piecewise_construct,
+                        std::forward_as_tuple(name), std::forward_as_tuple());
+  return entries_.back().second;
+}
+
+std::size_t MetricsRegistry::size() const {
+  std::scoped_lock lock(mutex_);
+  return entries_.size();
+}
+
+std::vector<std::pair<std::string, std::uint64_t>> MetricsRegistry::snapshot()
+    const {
+  std::vector<std::pair<std::string, std::uint64_t>> out;
+  {
+    std::scoped_lock lock(mutex_);
+    out.reserve(entries_.size());
+    for (const auto& [n, c] : entries_) out.emplace_back(n, c.get());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::string MetricsRegistry::to_text() const {
+  std::string out;
+  for (const auto& [name, value] : snapshot()) {
+    out += name;
+    out += ' ';
+    out += std::to_string(value);
+    out += '\n';
+  }
+  return out;
+}
+
+std::string MetricsRegistry::to_json() const {
+  JsonWriter w;
+  w.begin_object();
+  for (const auto& [name, value] : snapshot()) w.field(name, value);
+  w.end_object();
+  return w.str();
+}
+
+}  // namespace parulel::obs

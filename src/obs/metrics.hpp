@@ -1,0 +1,84 @@
+// Metrics registry: named monotonic counters and gauges.
+//
+// Every subsystem that has numbers worth exporting — the engines, the
+// matchers, the meta evaluator, the thread pool — reports into one
+// MetricsRegistry handed in through its config. Counters are
+// get-or-created by name, have stable addresses for the registry's
+// lifetime, and are safe to bump from any thread; registration itself
+// takes a lock, so callers hoist the Counter& out of hot loops.
+//
+// Export formats: `to_text()` (one "name value" line each, sorted — the
+// greppable form) and `to_json()` (one flat object — the machine form).
+//
+// Compile-time gate: building with -DPARULEL_OBS_ENABLED=0 turns the
+// PARULEL_OBS_ONLY(...) blocks in the engines into nothing, removing
+// even the null-pointer checks from the recognize-act loop.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#ifndef PARULEL_OBS_ENABLED
+#define PARULEL_OBS_ENABLED 1
+#endif
+
+#if PARULEL_OBS_ENABLED
+#define PARULEL_OBS_ONLY(...) __VA_ARGS__
+#else
+#define PARULEL_OBS_ONLY(...)
+#endif
+
+namespace parulel::obs {
+
+/// One named metric. Monotonic `add` for counters, absolute `set` for
+/// gauges; the registry does not distinguish — exporters see a value.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void set(std::uint64_t v) { value_.store(v, std::memory_order_relaxed); }
+  std::uint64_t get() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Get-or-create the counter `name`. The reference stays valid for the
+  /// registry's lifetime.
+  Counter& counter(std::string_view name);
+
+  /// Convenience: counter(name).set/add without keeping the handle.
+  void set(std::string_view name, std::uint64_t v) { counter(name).set(v); }
+  void add(std::string_view name, std::uint64_t n) { counter(name).add(n); }
+
+  std::size_t size() const;
+
+  /// Name/value snapshot, sorted by name.
+  std::vector<std::pair<std::string, std::uint64_t>> snapshot() const;
+
+  /// "name value\n" per metric, sorted by name.
+  std::string to_text() const;
+
+  /// One flat JSON object {"name":value,...}, sorted by name.
+  std::string to_json() const;
+
+ private:
+  mutable std::mutex mutex_;
+  // deque: stable element addresses across growth.
+  std::deque<std::pair<std::string, Counter>> entries_;
+};
+
+}  // namespace parulel::obs

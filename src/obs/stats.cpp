@@ -1,0 +1,111 @@
+#include "obs/stats.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+
+namespace parulel {
+
+void RunStats::absorb(const CycleStats& c) {
+  cycles += 1;
+  total_firings += c.fired;
+  total_redactions += c.redacted;
+  total_asserts += c.asserts;
+  total_retracts += c.retracts;
+  total_write_conflicts += c.write_conflicts;
+  total_meta_firings += c.meta_firings;
+  total_meta_rounds += c.meta_rounds;
+  peak_conflict_set = std::max(peak_conflict_set, c.conflict_set_size);
+  match_ns += c.match_ns;
+  redact_ns += c.redact_ns;
+  fire_ns += c.fire_ns;
+  merge_ns += c.merge_ns;
+}
+
+std::string RunStats::summary() const {
+  std::ostringstream os;
+  os << "cycles=" << cycles << " firings=" << total_firings
+     << " redactions=" << total_redactions << " asserts=" << total_asserts
+     << " retracts=" << total_retracts
+     << " peak_cs=" << peak_conflict_set
+     << " wall_ms=" << static_cast<double>(wall_ns) / 1e6
+     << (halted ? " [halt]" : "") << (quiescent ? " [quiescent]" : "");
+  return os.str();
+}
+
+std::string RunStats::to_json() const {
+  obs::JsonWriter w;
+  w.begin_object();
+  w.field("type", "run");
+  for (const auto& f : obs::run_fields()) w.field(f.name, this->*f.member);
+  w.field("halted", halted);
+  w.field("quiescent", quiescent);
+  w.end_object();
+  return w.str();
+}
+
+void RunStats::publish(obs::MetricsRegistry& registry,
+                       std::string_view prefix) const {
+  std::string name;
+  for (const auto& f : obs::run_fields()) {
+    name.assign(prefix);
+    name += f.name;
+    registry.set(name, this->*f.member);
+  }
+  name.assign(prefix);
+  name += "halted";
+  registry.set(name, halted ? 1 : 0);
+  name.assign(prefix);
+  name += "quiescent";
+  registry.set(name, quiescent ? 1 : 0);
+}
+
+namespace obs {
+
+namespace {
+
+constexpr FieldDef<CycleStats> kCycleFields[] = {
+    {"cycle", &CycleStats::cycle},
+    {"conflict_set", &CycleStats::conflict_set_size},
+    {"redacted", &CycleStats::redacted},
+    {"fired", &CycleStats::fired},
+    {"asserts", &CycleStats::asserts},
+    {"retracts", &CycleStats::retracts},
+    {"duplicate_asserts", &CycleStats::duplicate_asserts},
+    {"write_conflicts", &CycleStats::write_conflicts},
+    {"meta_rounds", &CycleStats::meta_rounds},
+    {"meta_firings", &CycleStats::meta_firings},
+    {"match_ns", &CycleStats::match_ns},
+    {"redact_ns", &CycleStats::redact_ns},
+    {"fire_ns", &CycleStats::fire_ns},
+    {"merge_ns", &CycleStats::merge_ns},
+};
+
+constexpr FieldDef<RunStats> kRunFields[] = {
+    {"cycles", &RunStats::cycles},
+    {"firings", &RunStats::total_firings},
+    {"redactions", &RunStats::total_redactions},
+    {"asserts", &RunStats::total_asserts},
+    {"retracts", &RunStats::total_retracts},
+    {"write_conflicts", &RunStats::total_write_conflicts},
+    {"meta_firings", &RunStats::total_meta_firings},
+    {"meta_rounds", &RunStats::total_meta_rounds},
+    {"peak_conflict_set", &RunStats::peak_conflict_set},
+    {"wall_ns", &RunStats::wall_ns},
+    {"match_ns", &RunStats::match_ns},
+    {"redact_ns", &RunStats::redact_ns},
+    {"fire_ns", &RunStats::fire_ns},
+    {"merge_ns", &RunStats::merge_ns},
+};
+
+}  // namespace
+
+std::span<const FieldDef<CycleStats>> cycle_fields() { return kCycleFields; }
+
+std::span<const FieldDef<RunStats>> run_fields() { return kRunFields; }
+
+}  // namespace obs
+
+}  // namespace parulel

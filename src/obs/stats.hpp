@@ -1,0 +1,109 @@
+// Per-cycle and per-run execution statistics.
+//
+// Every engine (sequential baseline, PARULEL parallel, distributed) fills
+// the same structures so the bench harness can print uniform tables.
+//
+// This is the observability layer's single source of truth for the stat
+// schema: `cycle_fields()` / `run_fields()` enumerate every numeric field
+// by name, and the trace sink (obs/trace.hpp), the metrics registry
+// export (RunStats::publish), the JSON serializers, and the bench
+// reports (bench/bench_util.hpp) all iterate those tables instead of
+// hand-listing fields. Adding a counter here makes it appear in every
+// export format at once.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace parulel {
+
+namespace obs {
+class MetricsRegistry;
+}  // namespace obs
+
+/// One recognize-act cycle's accounting.
+struct CycleStats {
+  std::uint64_t cycle = 0;
+
+  // Conflict-set dynamics.
+  std::uint64_t conflict_set_size = 0;  ///< insts eligible after refraction
+  std::uint64_t redacted = 0;           ///< removed by meta-rules
+  std::uint64_t fired = 0;              ///< instantiations actually fired
+
+  // Working-memory dynamics.
+  std::uint64_t asserts = 0;
+  std::uint64_t retracts = 0;
+  std::uint64_t duplicate_asserts = 0;  ///< asserts absorbed by set semantics
+  std::uint64_t write_conflicts = 0;    ///< clashing parallel writes detected
+
+  // Meta-level work (parallel engine; zero for the sequential baseline).
+  std::uint64_t meta_rounds = 0;        ///< redaction fixpoint rounds
+  std::uint64_t meta_firings = 0;       ///< meta instantiations fired
+
+  // Phase times, nanoseconds.
+  std::uint64_t match_ns = 0;
+  std::uint64_t redact_ns = 0;
+  std::uint64_t fire_ns = 0;
+  std::uint64_t merge_ns = 0;
+
+  std::uint64_t total_ns() const {
+    return match_ns + redact_ns + fire_ns + merge_ns;
+  }
+};
+
+/// Whole-run accounting, the sum of all cycles plus run-level outcomes.
+struct RunStats {
+  std::uint64_t cycles = 0;
+  std::uint64_t total_firings = 0;
+  std::uint64_t total_redactions = 0;
+  std::uint64_t total_asserts = 0;
+  std::uint64_t total_retracts = 0;
+  std::uint64_t total_write_conflicts = 0;
+  std::uint64_t total_meta_firings = 0;
+  std::uint64_t total_meta_rounds = 0;
+  std::uint64_t peak_conflict_set = 0;
+  bool halted = false;      ///< a rule executed (halt)
+  bool quiescent = false;   ///< conflict set drained
+  std::uint64_t wall_ns = 0;
+
+  std::uint64_t match_ns = 0;
+  std::uint64_t redact_ns = 0;
+  std::uint64_t fire_ns = 0;
+  std::uint64_t merge_ns = 0;
+
+  std::vector<CycleStats> per_cycle;  ///< populated when tracing is enabled
+
+  void absorb(const CycleStats& c);
+
+  /// Human-readable multi-line summary.
+  std::string summary() const;
+
+  /// One JSON object with every run_fields() entry plus halted/quiescent.
+  std::string to_json() const;
+
+  /// Push every run_fields() entry into `registry` as "<prefix><name>".
+  void publish(obs::MetricsRegistry& registry,
+               std::string_view prefix = "run.") const;
+};
+
+namespace obs {
+
+/// Schema entry: a stat field's export name and member pointer.
+template <typename Struct>
+struct FieldDef {
+  const char* name;
+  std::uint64_t Struct::*member;
+};
+
+/// Every numeric CycleStats field, in export order.
+std::span<const FieldDef<CycleStats>> cycle_fields();
+
+/// Every numeric RunStats field, in export order.
+std::span<const FieldDef<RunStats>> run_fields();
+
+}  // namespace obs
+
+}  // namespace parulel

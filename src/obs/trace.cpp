@@ -1,0 +1,37 @@
+#include "obs/trace.hpp"
+
+namespace parulel::obs {
+
+void TraceSink::cycle(const CycleStats& c, const CycleActivity& activity) {
+  writer_.clear();
+  writer_.begin_object();
+  writer_.field("type", "cycle");
+  writer_.field("engine", activity.engine);
+  for (const auto& f : cycle_fields()) writer_.field(f.name, c.*f.member);
+  writer_.field("total_ns", c.total_ns());
+  writer_.field("insts_derived", activity.insts_derived);
+  writer_.field("insts_invalidated", activity.insts_invalidated);
+  writer_.field("alpha_activations", activity.alpha_activations);
+  writer_.field("pool_jobs", activity.pool_jobs);
+  writer_.field("pool_busy_ns", activity.pool_busy_ns);
+  writer_.field("threads", static_cast<std::uint64_t>(activity.threads));
+  writer_.end_object();
+  os_ << writer_.str() << '\n';
+  ++events_;
+}
+
+void TraceSink::run(const RunStats& stats, std::string_view engine) {
+  writer_.clear();
+  writer_.begin_object();
+  writer_.field("type", "run");
+  writer_.field("engine", engine);
+  for (const auto& f : run_fields()) writer_.field(f.name, stats.*f.member);
+  writer_.field("halted", stats.halted);
+  writer_.field("quiescent", stats.quiescent);
+  writer_.end_object();
+  os_ << writer_.str() << '\n';
+  os_.flush();
+  ++events_;
+}
+
+}  // namespace parulel::obs

@@ -1,0 +1,63 @@
+// Structured trace sink: one JSON object per line (JSONL).
+//
+// The engines emit one "cycle" event per recognize-act cycle carrying
+// the full CycleStats schema (phase timings, conflict-set dynamics,
+// write conflicts, meta-rule work) plus per-cycle matcher and thread-
+// pool activity deltas, and one final "run" event with the totals.
+// Consumers stream the file line by line; every line is a complete JSON
+// object with a "type" discriminator.
+//
+// Cost discipline: the sink is driven only from the engine's driving
+// thread, reuses one JsonWriter buffer (steady-state emission performs
+// no allocation), and the whole call site is guarded by a null check —
+// tracing disabled costs one predictable branch per cycle, or nothing
+// at all when compiled with -DPARULEL_OBS_ENABLED=0 (see
+// PARULEL_OBS_ONLY in obs/metrics.hpp).
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string_view>
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/stats.hpp"
+
+namespace parulel::obs {
+
+/// Per-cycle activity outside CycleStats: matcher and pool deltas, run
+/// identity. Engines fill this from cumulative counters by differencing
+/// against the previous cycle's snapshot.
+struct CycleActivity {
+  std::string_view engine;               ///< engine->name()
+  std::uint64_t insts_derived = 0;       ///< matcher: new instantiations
+  std::uint64_t insts_invalidated = 0;   ///< matcher: retracted insts
+  std::uint64_t alpha_activations = 0;   ///< matcher: fact x alpha events
+  std::uint64_t pool_jobs = 0;           ///< thread pool: jobs executed
+  std::uint64_t pool_busy_ns = 0;        ///< thread pool: summed busy time
+  unsigned threads = 1;
+};
+
+class TraceSink {
+ public:
+  /// `os` must outlive the sink; the engines only write from their
+  /// driving thread, so no locking is done here.
+  explicit TraceSink(std::ostream& os) : os_(os) {}
+  TraceSink(const TraceSink&) = delete;
+  TraceSink& operator=(const TraceSink&) = delete;
+
+  /// Emit one "cycle" event line.
+  void cycle(const CycleStats& c, const CycleActivity& activity);
+
+  /// Emit the final "run" event line.
+  void run(const RunStats& stats, std::string_view engine);
+
+  std::uint64_t events() const { return events_; }
+
+ private:
+  std::ostream& os_;
+  JsonWriter writer_;
+  std::uint64_t events_ = 0;
+};
+
+}  // namespace parulel::obs

@@ -25,7 +25,9 @@
 #include "match/treat.hpp"
 #include "match/parallel_treat.hpp"
 #include "meta/meta_engine.hpp"
+#include "obs/metrics.hpp"
+#include "obs/stats.hpp"
+#include "obs/trace.hpp"
 #include "support/error.hpp"
-#include "support/stats.hpp"
 #include "wm/working_memory.hpp"
 #include "workloads/workloads.hpp"

@@ -5,12 +5,15 @@
 #include <cassert>
 #include <exception>
 
+#include "support/timer.hpp"
+
 namespace parulel {
 
 /// A fork-join batch: a vector of jobs plus a next-job cursor and a
 /// completion latch. Lives on the submitting thread's stack.
 struct ThreadPool::Batch {
   const std::vector<std::function<void(unsigned)>>* jobs = nullptr;
+  ThreadPool::WorkerStat* worker_stats = nullptr;
   std::atomic<std::size_t> next{0};
   std::atomic<std::size_t> done{0};
   std::mutex done_mutex;
@@ -21,15 +24,20 @@ struct ThreadPool::Batch {
   // Returns true when this call completed the final job.
   bool run_some(unsigned worker_id) {
     const std::size_t n = jobs->size();
+    WorkerStat& stat = worker_stats[worker_id];
     for (;;) {
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= n) return false;
+      const Timer job_timer;
       try {
         (*jobs)[i](worker_id);
       } catch (...) {
         std::scoped_lock lock(error_mutex);
         if (!first_error) first_error = std::current_exception();
       }
+      stat.jobs.fetch_add(1, std::memory_order_relaxed);
+      stat.busy_ns.fetch_add(job_timer.elapsed_ns(),
+                             std::memory_order_relaxed);
       if (done.fetch_add(1, std::memory_order_acq_rel) + 1 == n) {
         std::scoped_lock lock(done_mutex);
         done_cv.notify_all();
@@ -40,7 +48,8 @@ struct ThreadPool::Batch {
 };
 
 ThreadPool::ThreadPool(unsigned threads)
-    : threads_(std::max(1u, threads)) {
+    : threads_(std::max(1u, threads)),
+      worker_stats_(std::make_unique<WorkerStat[]>(threads_)) {
   // Worker 0 is the calling thread; only threads_-1 extra workers run.
   workers_.reserve(threads_ - 1);
   for (unsigned w = 1; w < threads_; ++w) {
@@ -55,6 +64,24 @@ ThreadPool::~ThreadPool() {
   }
   work_ready_.notify_all();
   // jthread joins in its destructor.
+}
+
+PoolStatsSnapshot ThreadPool::stats() const {
+  PoolStatsSnapshot snap;
+  snap.batches = batches_.load(std::memory_order_relaxed);
+  snap.per_worker_jobs.resize(threads_);
+  snap.per_worker_busy_ns.resize(threads_);
+  for (unsigned w = 0; w < threads_; ++w) {
+    const std::uint64_t jobs =
+        worker_stats_[w].jobs.load(std::memory_order_relaxed);
+    const std::uint64_t busy =
+        worker_stats_[w].busy_ns.load(std::memory_order_relaxed);
+    snap.per_worker_jobs[w] = jobs;
+    snap.per_worker_busy_ns[w] = busy;
+    snap.jobs += jobs;
+    snap.busy_ns += busy;
+  }
+  return snap;
 }
 
 unsigned ThreadPool::default_threads() {
@@ -87,13 +114,22 @@ void ThreadPool::worker_loop(unsigned worker_id) {
 void ThreadPool::run_batch(
     const std::vector<std::function<void(unsigned)>>& jobs) {
   if (jobs.empty()) return;
+  batches_.fetch_add(1, std::memory_order_relaxed);
   if (threads_ == 1 || jobs.size() == 1) {
-    for (const auto& job : jobs) job(0);
+    WorkerStat& stat = worker_stats_[0];
+    for (const auto& job : jobs) {
+      const Timer job_timer;
+      job(0);
+      stat.jobs.fetch_add(1, std::memory_order_relaxed);
+      stat.busy_ns.fetch_add(job_timer.elapsed_ns(),
+                             std::memory_order_relaxed);
+    }
     return;
   }
 
   Batch batch;
   batch.jobs = &jobs;
+  batch.worker_stats = worker_stats_.get();
   {
     std::scoped_lock lock(mutex_);
     assert(current_ == nullptr && "nested batches are not supported");
@@ -123,7 +159,13 @@ void ThreadPool::parallel_for(
   if (begin >= end) return;
   const std::size_t n = end - begin;
   if (threads_ == 1 || n == 1) {
+    batches_.fetch_add(1, std::memory_order_relaxed);
+    WorkerStat& stat = worker_stats_[0];
+    const Timer job_timer;
     for (std::size_t i = begin; i < end; ++i) fn(i, 0);
+    stat.jobs.fetch_add(1, std::memory_order_relaxed);
+    stat.busy_ns.fetch_add(job_timer.elapsed_ns(),
+                           std::memory_order_relaxed);
     return;
   }
   // Chunk into ~4 chunks per worker for load balance without per-index

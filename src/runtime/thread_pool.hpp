@@ -5,15 +5,28 @@
 // created once per pool lifetime (CP.41) and joined by RAII (CP.25).
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
 
 namespace parulel {
+
+/// Snapshot of a pool's cumulative utilization counters (obs layer).
+/// busy_ns sums job execution time across workers; utilization over a
+/// wall-clock interval is busy_ns / (wall_ns * thread_count).
+struct PoolStatsSnapshot {
+  std::uint64_t batches = 0;  ///< fork-join batches submitted
+  std::uint64_t jobs = 0;     ///< jobs (chunks) executed, all workers
+  std::uint64_t busy_ns = 0;  ///< summed per-job execution time
+  std::vector<std::uint64_t> per_worker_jobs;
+  std::vector<std::uint64_t> per_worker_busy_ns;
+};
 
 /// A simple shared-queue thread pool.
 ///
@@ -46,11 +59,24 @@ class ThreadPool {
   /// Hardware concurrency clamped to [1, 64].
   static unsigned default_threads();
 
+  /// Cumulative utilization counters since construction. Cheap enough to
+  /// keep always-on: one steady_clock read pair per job (chunk), never
+  /// per index.
+  PoolStatsSnapshot stats() const;
+
  private:
   struct Batch;
   void worker_loop(unsigned worker_id);
 
+  /// Per-worker counters, cacheline-separated to avoid false sharing.
+  struct alignas(64) WorkerStat {
+    std::atomic<std::uint64_t> jobs{0};
+    std::atomic<std::uint64_t> busy_ns{0};
+  };
+
   unsigned threads_;
+  std::unique_ptr<WorkerStat[]> worker_stats_;
+  std::atomic<std::uint64_t> batches_{0};
   std::vector<std::jthread> workers_;
 
   std::mutex mutex_;

@@ -1,65 +1,6 @@
-// Per-cycle and per-run execution statistics.
-//
-// Every engine (sequential baseline, PARULEL parallel, distributed) fills
-// the same structures so the bench harness can print uniform tables.
+// Moved: CycleStats/RunStats now live in the observability layer, which
+// owns the stat schema and its exporters. This forwarding header keeps
+// existing includes working.
 #pragma once
 
-#include <cstdint>
-#include <string>
-#include <vector>
-
-namespace parulel {
-
-/// One recognize-act cycle's accounting.
-struct CycleStats {
-  std::uint64_t cycle = 0;
-
-  // Conflict-set dynamics.
-  std::uint64_t conflict_set_size = 0;  ///< insts eligible after refraction
-  std::uint64_t redacted = 0;           ///< removed by meta-rules
-  std::uint64_t fired = 0;              ///< instantiations actually fired
-
-  // Working-memory dynamics.
-  std::uint64_t asserts = 0;
-  std::uint64_t retracts = 0;
-  std::uint64_t duplicate_asserts = 0;  ///< asserts absorbed by set semantics
-  std::uint64_t write_conflicts = 0;    ///< clashing parallel writes detected
-
-  // Phase times, nanoseconds.
-  std::uint64_t match_ns = 0;
-  std::uint64_t redact_ns = 0;
-  std::uint64_t fire_ns = 0;
-  std::uint64_t merge_ns = 0;
-
-  std::uint64_t total_ns() const {
-    return match_ns + redact_ns + fire_ns + merge_ns;
-  }
-};
-
-/// Whole-run accounting, the sum of all cycles plus run-level outcomes.
-struct RunStats {
-  std::uint64_t cycles = 0;
-  std::uint64_t total_firings = 0;
-  std::uint64_t total_redactions = 0;
-  std::uint64_t total_asserts = 0;
-  std::uint64_t total_retracts = 0;
-  std::uint64_t total_write_conflicts = 0;
-  std::uint64_t peak_conflict_set = 0;
-  bool halted = false;      ///< a rule executed (halt)
-  bool quiescent = false;   ///< conflict set drained
-  std::uint64_t wall_ns = 0;
-
-  std::uint64_t match_ns = 0;
-  std::uint64_t redact_ns = 0;
-  std::uint64_t fire_ns = 0;
-  std::uint64_t merge_ns = 0;
-
-  std::vector<CycleStats> per_cycle;  ///< populated when tracing is enabled
-
-  void absorb(const CycleStats& c);
-
-  /// Human-readable multi-line summary.
-  std::string summary() const;
-};
-
-}  // namespace parulel
+#include "obs/stats.hpp"
