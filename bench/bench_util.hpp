@@ -78,6 +78,29 @@ class JsonReport {
     rows_.push_back(w.str());
   }
 
+  /// One row for a distributed run: label + every run_fields() entry,
+  /// message accounting, and every fault_fields() entry (prefixed
+  /// "faults_") — the same shared schema the trace and metrics
+  /// exporters use, so fault counters land in bench JSON for free.
+  void add_dist(
+      const std::string& label, const DistStats& stats,
+      std::initializer_list<std::pair<const char*, double>> extras = {}) {
+    obs::JsonWriter w;
+    w.begin_object();
+    w.field("label", label);
+    for (const auto& f : obs::run_fields()) {
+      w.field(f.name, stats.run.*f.member);
+    }
+    w.field("messages", stats.messages);
+    w.field("broadcasts", stats.broadcasts);
+    for (const auto& f : obs::fault_fields()) {
+      w.field("faults_" + std::string(f.name), stats.faults.*f.member);
+    }
+    for (const auto& [k, v] : extras) w.field(k, v);
+    w.end_object();
+    rows_.push_back(w.str());
+  }
+
   /// One free-form row of bench-specific numbers.
   void add_row(const std::string& label,
                std::initializer_list<std::pair<const char*, double>> fields) {

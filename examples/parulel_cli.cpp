@@ -1,10 +1,20 @@
 // parulel_cli: load a PARULEL program from a file and run it.
 //
 // Usage:
-//   parulel_cli <program.clp> [--engine seq|par] [--threads N]
+//   parulel_cli <program.clp> [--engine seq|par|dist] [--threads N]
 //               [--strategy lex|mea|first|random] [--matcher rete|treat]
 //               [--max-cycles N] [--trace] [--trace-json <file>]
 //               [--metrics] [--metrics-json <file>] [--dump-wm]
+//               [--sites N] [--partition tmpl=slot,...]
+//               [--fault-plan SPEC] [--checkpoint-every N]
+//
+// Exit codes:
+//   0  success
+//   1  I/O error (unreadable program, unwritable output file)
+//   2  usage error (bad flag or flag value)
+//   3  parse error (program text or fault-plan spec)
+//   4  runtime error (engine refused the configuration)
+//   5  the run hit --max-cycles without quiescing or halting
 //
 // The hello-world of the repository:
 //   ./parulel_cli ../examples/programs/greetings.clp --engine par
@@ -12,33 +22,85 @@
 #include <fstream>
 #include <iostream>
 #include <sstream>
+#include <stdexcept>
 #include <string>
+#include <unordered_map>
 
 #include "parulel.hpp"
 
 namespace {
 
-int usage() {
-  std::cerr
-      << "usage: parulel_cli <program.clp> [options]\n"
-         "  --engine seq|par       engine (default par)\n"
-         "  --threads N            worker threads for par (default: cores)\n"
-         "  --strategy lex|mea|first|random   seq conflict resolution\n"
-         "  --matcher rete|treat   seq match algorithm (default rete)\n"
-         "  --max-cycles N         cycle cap (default 1000000)\n"
-         "  --trace                print per-cycle stats\n"
-         "  --trace-json FILE      write one JSON object per cycle (JSONL)\n"
-         "  --metrics              print engine/matcher/pool metrics\n"
-         "  --metrics-json FILE    write the metrics registry as JSON\n"
-         "  --dump-wm              print final working memory\n";
-  return 2;
+constexpr int kExitOk = 0;
+constexpr int kExitIo = 1;
+constexpr int kExitUsage = 2;
+constexpr int kExitParse = 3;
+constexpr int kExitRuntime = 4;
+constexpr int kExitCycleLimit = 5;
+
+/// A bad flag or flag value; caught in main and mapped to kExitUsage.
+struct UsageError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+/// An unreadable or unwritable file; mapped to kExitIo.
+struct IoError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+void print_usage(std::ostream& os) {
+  os << "usage: parulel_cli <program.clp> [options]\n"
+        "  --engine seq|par|dist  engine (default par)\n"
+        "  --threads N            worker threads for par (default: cores)\n"
+        "  --strategy lex|mea|first|random   seq conflict resolution\n"
+        "  --matcher rete|treat   seq match algorithm (default rete)\n"
+        "  --max-cycles N         cycle cap (default 1000000)\n"
+        "  --trace                print per-cycle stats\n"
+        "  --trace-json FILE      write one JSON object per cycle (JSONL)\n"
+        "  --metrics              print engine/matcher/pool metrics\n"
+        "  --metrics-json FILE    write the metrics registry as JSON\n"
+        "  --dump-wm              print final working memory\n"
+        "  --sites N              dist: number of simulated sites "
+        "(default 4)\n"
+        "  --partition T=S,...    dist: partition template T on slot S;\n"
+        "                         unlisted templates are replicated\n"
+        "  --fault-plan SPEC      dist: inject faults, e.g.\n"
+        "                         loss=0.2,dup=0.05,delay=0.1,seed=7,"
+        "crash=1@5+4\n"
+        "  --checkpoint-every N   dist: snapshot sites every N cycles\n";
 }
 
-}  // namespace
+std::uint64_t parse_count(const std::string& flag, const std::string& value) {
+  try {
+    std::size_t used = 0;
+    const std::uint64_t n = std::stoull(value, &used);
+    if (used != value.size()) throw std::invalid_argument(value);
+    return n;
+  } catch (const std::exception&) {
+    throw UsageError("value for " + flag + " must be a non-negative integer, "
+                     "got '" + value + "'");
+  }
+}
 
-int main(int argc, char** argv) {
-  if (argc < 2) return usage();
+/// Parse `tmpl=slot,...` into the PartitionScheme input map.
+std::unordered_map<std::string, std::string> parse_partition(
+    const std::string& spec) {
+  std::unordered_map<std::string, std::string> slot_by_template;
+  std::istringstream stream(spec);
+  std::string pair;
+  while (std::getline(stream, pair, ',')) {
+    if (pair.empty()) continue;
+    const std::size_t eq = pair.find('=');
+    if (eq == std::string::npos || eq == 0 || eq + 1 == pair.size()) {
+      throw UsageError("--partition entries must be TEMPLATE=SLOT, got '" +
+                       pair + "'");
+    }
+    slot_by_template[pair.substr(0, eq)] = pair.substr(eq + 1);
+  }
+  return slot_by_template;
+}
 
+struct CliOptions {
+  std::string program_path;
   std::string engine_kind = "par";
   unsigned threads = parulel::ThreadPool::default_threads();
   parulel::Strategy strategy = parulel::Strategy::Lex;
@@ -47,100 +109,174 @@ int main(int argc, char** argv) {
   bool trace = false, dump_wm = false, metrics = false;
   std::string trace_json_path, metrics_json_path;
 
+  unsigned sites = 4;
+  std::unordered_map<std::string, std::string> partition;
+  std::string fault_plan_spec;
+  std::uint64_t checkpoint_every = 0;
+};
+
+CliOptions parse_args(int argc, char** argv) {
+  if (argc < 2) throw UsageError("missing program file");
+  CliOptions opt;
+  opt.program_path = argv[1];
+
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
     auto value = [&]() -> std::string {
-      if (i + 1 >= argc) {
-        std::cerr << "missing value for " << arg << "\n";
-        std::exit(2);
-      }
+      if (i + 1 >= argc) throw UsageError("missing value for " + arg);
       return argv[++i];
     };
     if (arg == "--engine") {
-      engine_kind = value();
+      opt.engine_kind = value();
+      if (opt.engine_kind != "seq" && opt.engine_kind != "par" &&
+          opt.engine_kind != "dist") {
+        throw UsageError("unknown engine '" + opt.engine_kind + "'");
+      }
     } else if (arg == "--threads") {
-      threads = static_cast<unsigned>(std::stoul(value()));
+      opt.threads = static_cast<unsigned>(parse_count(arg, value()));
     } else if (arg == "--strategy") {
       const std::string s = value();
-      if (s == "lex") strategy = parulel::Strategy::Lex;
-      else if (s == "mea") strategy = parulel::Strategy::Mea;
-      else if (s == "first") strategy = parulel::Strategy::First;
-      else if (s == "random") strategy = parulel::Strategy::Random;
-      else return usage();
+      if (s == "lex") opt.strategy = parulel::Strategy::Lex;
+      else if (s == "mea") opt.strategy = parulel::Strategy::Mea;
+      else if (s == "first") opt.strategy = parulel::Strategy::First;
+      else if (s == "random") opt.strategy = parulel::Strategy::Random;
+      else throw UsageError("unknown strategy '" + s + "'");
     } else if (arg == "--matcher") {
       const std::string m = value();
-      if (m == "rete") seq_matcher = parulel::MatcherKind::Rete;
-      else if (m == "treat") seq_matcher = parulel::MatcherKind::Treat;
-      else return usage();
+      if (m == "rete") opt.seq_matcher = parulel::MatcherKind::Rete;
+      else if (m == "treat") opt.seq_matcher = parulel::MatcherKind::Treat;
+      else throw UsageError("unknown matcher '" + m + "'");
     } else if (arg == "--max-cycles") {
-      max_cycles = std::stoull(value());
+      opt.max_cycles = parse_count(arg, value());
     } else if (arg == "--trace") {
-      trace = true;
+      opt.trace = true;
     } else if (arg == "--trace-json") {
-      trace_json_path = value();
+      opt.trace_json_path = value();
     } else if (arg == "--metrics") {
-      metrics = true;
+      opt.metrics = true;
     } else if (arg == "--metrics-json") {
-      metrics_json_path = value();
+      opt.metrics_json_path = value();
     } else if (arg == "--dump-wm") {
-      dump_wm = true;
+      opt.dump_wm = true;
+    } else if (arg == "--sites") {
+      opt.sites = static_cast<unsigned>(parse_count(arg, value()));
+      if (opt.sites == 0) throw UsageError("--sites must be >= 1");
+    } else if (arg == "--partition") {
+      opt.partition = parse_partition(value());
+    } else if (arg == "--fault-plan") {
+      opt.fault_plan_spec = value();
+    } else if (arg == "--checkpoint-every") {
+      opt.checkpoint_every = parse_count(arg, value());
     } else {
-      return usage();
+      throw UsageError("unknown option '" + arg + "'");
     }
   }
+  return opt;
+}
 
-  std::ifstream in(argv[1]);
-  if (!in) {
-    std::cerr << "cannot open " << argv[1] << "\n";
-    return 1;
+void dump_working_memory(const parulel::WorkingMemory& wm,
+                         const parulel::Program& program) {
+  for (parulel::FactId id = 1; id <= wm.high_water(); ++id) {
+    if (wm.alive(id)) {
+      std::cout << "  f-" << id << " " << wm.to_string(id, *program.symbols)
+                << "\n";
+    }
   }
+}
+
+int run_cli(int argc, char** argv) {
+  const CliOptions opt = parse_args(argc, argv);
+
+  std::ifstream in(opt.program_path);
+  if (!in) throw IoError("cannot open " + opt.program_path);
   std::stringstream buffer;
   buffer << in.rdbuf();
 
-  try {
-    const parulel::Program program = parulel::parse_program(buffer.str());
-    std::cout << "loaded: " << program.rules.size() << " rules, "
-              << program.meta_rules.size() << " meta-rules, "
-              << program.schema.size() << " templates, "
-              << program.initial_facts.size() << " initial facts\n";
+  const parulel::Program program = parulel::parse_program(buffer.str());
+  std::cout << "loaded: " << program.rules.size() << " rules, "
+            << program.meta_rules.size() << " meta-rules, "
+            << program.schema.size() << " templates, "
+            << program.initial_facts.size() << " initial facts\n";
 
-    parulel::EngineConfig cfg;
-    cfg.threads = threads;
-    cfg.max_cycles = max_cycles;
-    cfg.trace_cycles = trace;
-    cfg.strategy = strategy;
-    cfg.output = &std::cout;
-
-    std::ofstream trace_file;
-    std::unique_ptr<parulel::obs::TraceSink> trace_sink;
-    if (!trace_json_path.empty()) {
-      trace_file.open(trace_json_path);
-      if (!trace_file) {
-        std::cerr << "cannot open " << trace_json_path << " for writing\n";
-        return 1;
-      }
-      trace_sink = std::make_unique<parulel::obs::TraceSink>(trace_file);
-      cfg.trace = trace_sink.get();
+  std::ofstream trace_file;
+  std::unique_ptr<parulel::obs::TraceSink> trace_sink;
+  if (!opt.trace_json_path.empty()) {
+    trace_file.open(opt.trace_json_path);
+    if (!trace_file) {
+      throw IoError("cannot open " + opt.trace_json_path + " for writing");
     }
-    parulel::obs::MetricsRegistry registry;
-    if (metrics || !metrics_json_path.empty()) cfg.metrics = &registry;
+    trace_sink = std::make_unique<parulel::obs::TraceSink>(trace_file);
+  }
+  parulel::obs::MetricsRegistry registry;
+  const bool want_metrics = opt.metrics || !opt.metrics_json_path.empty();
+
+  parulel::TerminationReason termination = parulel::TerminationReason::Unknown;
+
+  if (opt.engine_kind == "dist") {
+    parulel::DistConfig cfg;
+    cfg.sites = opt.sites;
+    cfg.max_cycles = opt.max_cycles;
+    cfg.trace_cycles = opt.trace;
+    cfg.output = &std::cout;
+    cfg.checkpoint_every = opt.checkpoint_every;
+    if (!opt.fault_plan_spec.empty()) {
+      cfg.faults = parulel::FaultPlan::parse(opt.fault_plan_spec);
+    }
+    cfg.trace = trace_sink.get();
+    if (want_metrics) cfg.metrics = &registry;
+
+    parulel::PartitionScheme scheme(program, opt.partition);
+    parulel::DistributedEngine engine(program, std::move(scheme), cfg);
+    engine.assert_initial_facts();
+    const parulel::DistStats stats = engine.run();
+    termination = stats.run.termination;
+
+    std::cout << "[distributed] " << stats.run.summary() << "\n";
+    std::cout << "dist: " << opt.sites << " sites, " << stats.messages
+              << " messages, " << stats.broadcasts << " broadcasts\n";
+    if (cfg.faults.enabled() || cfg.checkpoint_every > 0) {
+      const auto& f = stats.faults;
+      std::cout << "faults: sent " << f.sent << ", delivered " << f.delivered
+                << ", dropped " << f.dropped << ", retries " << f.retries
+                << ", dup-suppressed " << f.dup_suppressed << ", crashes "
+                << f.crashes << ", restores " << f.restores
+                << ", checkpoints " << f.checkpoints << "\n";
+    }
+    std::cout << "global fingerprint: " << std::hex
+              << engine.global_fingerprint() << std::dec << "\n";
+    if (opt.dump_wm) {
+      for (unsigned s = 0; s < engine.site_count(); ++s) {
+        const auto& wm = engine.site_wm(s);
+        std::cout << "site " << s << " working memory (" << wm.alive_count()
+                  << " facts):\n";
+        dump_working_memory(wm, program);
+      }
+    }
+  } else {
+    parulel::EngineConfig cfg;
+    cfg.threads = opt.threads;
+    cfg.max_cycles = opt.max_cycles;
+    cfg.trace_cycles = opt.trace;
+    cfg.strategy = opt.strategy;
+    cfg.output = &std::cout;
+    cfg.trace = trace_sink.get();
+    if (want_metrics) cfg.metrics = &registry;
 
     std::unique_ptr<parulel::Engine> engine;
-    if (engine_kind == "par") {
+    if (opt.engine_kind == "par") {
       cfg.matcher = parulel::MatcherKind::ParallelTreat;
       engine = std::make_unique<parulel::ParallelEngine>(program, cfg);
-    } else if (engine_kind == "seq") {
-      cfg.matcher = seq_matcher;
-      engine = std::make_unique<parulel::SequentialEngine>(program, cfg);
     } else {
-      return usage();
+      cfg.matcher = opt.seq_matcher;
+      engine = std::make_unique<parulel::SequentialEngine>(program, cfg);
     }
 
     engine->assert_initial_facts();
     const parulel::RunStats stats = engine->run();
+    termination = stats.termination;
     std::cout << "[" << engine->name() << "] " << stats.summary() << "\n";
 
-    if (trace) {
+    if (opt.trace) {
       std::cout << "cycle  conflict-set  redacted  fired  asserts  retracts"
                    "  wconf\n";
       for (const auto& c : stats.per_cycle) {
@@ -150,36 +286,51 @@ int main(int argc, char** argv) {
                   << "\n";
       }
     }
-    if (trace_sink) {
-      std::cout << "trace: " << trace_sink->events() << " events -> "
-                << trace_json_path << "\n";
-    }
-    if (metrics) std::cout << "metrics:\n" << registry.to_text();
-    if (!metrics_json_path.empty()) {
-      std::ofstream mf(metrics_json_path);
-      if (!mf) {
-        std::cerr << "cannot open " << metrics_json_path << " for writing\n";
-        return 1;
-      }
-      mf << registry.to_json() << "\n";
-    }
-    if (dump_wm) {
+    if (opt.dump_wm) {
       const auto& wm = engine->wm();
       std::cout << "final working memory (" << wm.alive_count()
                 << " facts):\n";
-      for (parulel::FactId id = 1; id <= wm.high_water(); ++id) {
-        if (wm.alive(id)) {
-          std::cout << "  f-" << id << " "
-                    << wm.to_string(id, *program.symbols) << "\n";
-        }
-      }
+      dump_working_memory(wm, program);
     }
-    return 0;
+  }
+
+  if (trace_sink) {
+    std::cout << "trace: " << trace_sink->events() << " events -> "
+              << opt.trace_json_path << "\n";
+  }
+  if (opt.metrics) std::cout << "metrics:\n" << registry.to_text();
+  if (!opt.metrics_json_path.empty()) {
+    std::ofstream mf(opt.metrics_json_path);
+    if (!mf) {
+      throw IoError("cannot open " + opt.metrics_json_path + " for writing");
+    }
+    mf << registry.to_json() << "\n";
+  }
+
+  if (termination == parulel::TerminationReason::CycleLimit) {
+    std::cerr << "run truncated: hit --max-cycles before quiescence\n";
+    return kExitCycleLimit;
+  }
+  return kExitOk;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run_cli(argc, argv);
+  } catch (const UsageError& e) {
+    std::cerr << "usage error: " << e.what() << "\n\n";
+    print_usage(std::cerr);
+    return kExitUsage;
+  } catch (const IoError& e) {
+    std::cerr << "io error: " << e.what() << "\n";
+    return kExitIo;
   } catch (const parulel::ParseError& e) {
     std::cerr << "parse error: " << e.what() << "\n";
-    return 1;
+    return kExitParse;
   } catch (const parulel::RuntimeError& e) {
     std::cerr << "runtime error: " << e.what() << "\n";
-    return 1;
+    return kExitRuntime;
   }
 }

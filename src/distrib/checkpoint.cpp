@@ -1,0 +1,29 @@
+#include "distrib/checkpoint.hpp"
+
+namespace parulel {
+
+SiteCheckpoint capture_checkpoint(std::uint64_t cycle,
+                                  const WorkingMemory& wm,
+                                  const std::vector<ChannelRecvState>& recv) {
+  SiteCheckpoint cp;
+  cp.cycle = cycle;
+  cp.facts.reserve(wm.alive_count());
+  for (FactId id = 1; id <= wm.high_water(); ++id) {
+    if (!wm.alive(id)) continue;
+    const Fact& fact = wm.fact(id);
+    cp.facts.emplace_back(fact.tmpl, fact.slots);
+  }
+  cp.recv = recv;
+  return cp;
+}
+
+std::unique_ptr<WorkingMemory> restore_working_memory(
+    const Schema& schema, const SiteCheckpoint& checkpoint) {
+  auto wm = std::make_unique<WorkingMemory>(schema);
+  for (const auto& [tmpl, slots] : checkpoint.facts) {
+    wm->assert_fact(tmpl, slots);
+  }
+  return wm;
+}
+
+}  // namespace parulel

@@ -1,0 +1,79 @@
+// Site checkpoints: the durable state a crashed site restarts from.
+//
+// A checkpoint captures everything a site needs to rejoin the run
+// consistently: its alive working-memory facts and, per incoming
+// channel, exactly which (epoch, sequence-number) messages it had
+// applied. On restore the engine rebuilds a fresh WorkingMemory from
+// the snapshot (the full fact set lands in the pending delta, so the
+// rebuilt matcher re-derives the site's conflict set on the next
+// cycle), reinstates the receive-side dedup state, and asks peers to
+// retransmit every retained message not yet covered by the snapshot —
+// the "replay the inbox from the checkpointed sequence number" half of
+// the recovery protocol (see dist_engine.cpp, reliable routing).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "wm/working_memory.hpp"
+
+namespace parulel {
+
+/// Compressed set of applied sequence numbers on one (sender, epoch)
+/// stream: a contiguous prefix [1, floor] plus a sparse out-of-order
+/// tail — delays and duplicates keep the tail tiny in practice.
+struct AppliedSeqs {
+  std::uint64_t floor = 0;         ///< every seq <= floor was applied
+  std::set<std::uint64_t> sparse;  ///< applied seqs > floor, non-contiguous
+
+  bool contains(std::uint64_t seq) const {
+    return seq <= floor || sparse.count(seq) != 0;
+  }
+
+  void add(std::uint64_t seq) {
+    if (contains(seq)) return;
+    if (seq == floor + 1) {
+      ++floor;
+      auto it = sparse.begin();
+      while (it != sparse.end() && *it == floor + 1) {
+        ++floor;
+        it = sparse.erase(it);
+      }
+    } else {
+      sparse.insert(seq);
+    }
+  }
+};
+
+/// Receive-side dedup state for one incoming channel. Keyed by the
+/// sender's incarnation number (epoch): a restarted sender begins a
+/// fresh sequence stream, so seqs are only comparable within an epoch.
+struct ChannelRecvState {
+  std::map<std::uint32_t, AppliedSeqs> by_epoch;
+};
+
+/// One site's durable snapshot.
+struct SiteCheckpoint {
+  std::uint64_t cycle = 0;
+  /// Alive fact contents (ids are site-local and not preserved).
+  std::vector<std::pair<TemplateId, std::vector<Value>>> facts;
+  /// Per-sender applied-message record, indexed by sender site.
+  std::vector<ChannelRecvState> recv;
+};
+
+/// Snapshot `wm`'s alive facts and the receive-side channel state.
+SiteCheckpoint capture_checkpoint(std::uint64_t cycle,
+                                  const WorkingMemory& wm,
+                                  const std::vector<ChannelRecvState>& recv);
+
+/// Build a fresh working memory holding exactly the checkpointed facts.
+/// All of them land in the pending delta, so a fresh matcher picks the
+/// whole store up on the next apply_delta.
+std::unique_ptr<WorkingMemory> restore_working_memory(
+    const Schema& schema, const SiteCheckpoint& checkpoint);
+
+}  // namespace parulel

@@ -19,12 +19,26 @@
 //      locally, ops owned elsewhere become messages; replicated-template
 //      ops broadcast.
 // The run ends when every site is quiescent and every inbox is empty.
+//
+// Fault tolerance (optional; see distrib/faults.hpp, checkpoint.hpp):
+// when a FaultPlan or checkpoint interval is configured, cross-site
+// traffic goes through a reliable routing layer — per-channel sequence
+// numbers, acks piggybacked on the cycle barrier, and retransmission
+// with bounded exponential backoff — so injected loss, duplication,
+// delay, and site crashes never change the final fixpoint: for any
+// plan that eventually lets all messages through, global_fingerprint()
+// equals the fault-free run's. Sites snapshot their state every
+// `checkpoint_every` cycles; a crashed site restores its last
+// checkpoint on restart and peers replay every message not covered by
+// it, while the surviving sites keep cycling. With no plan configured,
+// routing takes the original fast path untouched.
 #pragma once
 
 #include <cstdint>
 #include <memory>
 #include <vector>
 
+#include "distrib/faults.hpp"
 #include "distrib/partition.hpp"
 #include "engine/actions.hpp"
 #include "engine/engine.hpp"
@@ -41,12 +55,26 @@ struct DistConfig {
   std::ostream* output = nullptr;
   /// Refuse partition schemes that fail structural validation.
   bool strict_partitioning = true;
+
+  /// Faults to inject (distrib/faults.hpp). An enabled plan switches
+  /// routing onto the reliable layer.
+  FaultPlan faults;
+  /// Cycles between site snapshots; 0 = only the initial snapshot (and
+  /// reliable routing stays off unless `faults` is enabled).
+  std::uint64_t checkpoint_every = 0;
+
+  /// Observability (see src/obs/): per-cycle "cycle" events plus a
+  /// final "run" event carrying the fault counters; metrics receive
+  /// run/fault/pool totals at the end of run().
+  obs::TraceSink* trace = nullptr;
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 struct DistStats {
   RunStats run;                       ///< aggregated over sites
   std::uint64_t messages = 0;         ///< cross-site ops routed
   std::uint64_t broadcasts = 0;       ///< replicated-template ops
+  FaultStats faults;                  ///< reliable-routing accounting
   std::vector<std::uint64_t> per_site_firings;
   std::vector<std::uint64_t> per_cycle_messages;  ///< when tracing
 
@@ -79,10 +107,26 @@ class DistributedEngine {
  private:
   struct Site;
   struct Message;
+  struct OutEntry;
+  struct InFlight;
 
   void route_op(unsigned from_site, const PendingOp& op,
                 const WorkingMemory& from_wm, DistStats& stats);
   bool cycle(DistStats& stats);
+
+  // --- reliable routing layer (active only when reliable_) ---
+  void send_reliable(unsigned from, unsigned to, Message msg,
+                     DistStats& stats);
+  void transmit(OutEntry& entry, unsigned to, DistStats& stats);
+  void resolve_in_flight(DistStats& stats);
+  void retransmit_due(DistStats& stats);
+  void drain_inbox_reliable(unsigned site, DistStats& stats);
+  void take_checkpoint(unsigned site, DistStats& stats);
+  void process_fault_timeline(DistStats& stats);
+  void crash_site(unsigned site, std::uint64_t down_cycles,
+                  DistStats& stats);
+  void restore_site(unsigned site, DistStats& stats);
+  bool reliable_work_pending() const;
 
   const Program& program_;
   PartitionScheme scheme_;
@@ -91,6 +135,13 @@ class DistributedEngine {
   MetaEngine meta_;
   std::vector<std::unique_ptr<Site>> sites_;
   bool halted_ = false;
+
+  bool reliable_ = false;  ///< FaultPlan enabled or checkpointing on
+  std::unique_ptr<FaultInjector> injector_;
+  std::vector<InFlight> in_flight_;   ///< delayed messages on the wire
+  std::vector<bool> crash_done_;      ///< per FaultPlan::crashes entry
+  std::uint64_t now_ = 0;             ///< current global cycle index
+  PoolStatsSnapshot trace_prev_pool_;  ///< per-cycle trace differencing
 };
 
 }  // namespace parulel

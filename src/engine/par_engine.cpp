@@ -155,6 +155,9 @@ RunStats ParallelEngine::run() {
     if (!step(stats)) break;
   }
   stats.wall_ns = wall.elapsed_ns();
+  stats.termination = stats.halted      ? TerminationReason::Halted
+                      : stats.quiescent ? TerminationReason::Quiescent
+                                        : TerminationReason::CycleLimit;
   PARULEL_OBS_ONLY({
     if (config_.trace) config_.trace->run(stats, name());
     if (config_.metrics) {

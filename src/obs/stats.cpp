@@ -8,6 +8,16 @@
 
 namespace parulel {
 
+const char* termination_name(TerminationReason r) {
+  switch (r) {
+    case TerminationReason::Quiescent: return "quiescent";
+    case TerminationReason::Halted: return "halted";
+    case TerminationReason::CycleLimit: return "cycle_limit";
+    case TerminationReason::Unknown: break;
+  }
+  return "unknown";
+}
+
 void RunStats::absorb(const CycleStats& c) {
   cycles += 1;
   total_firings += c.fired;
@@ -25,13 +35,20 @@ void RunStats::absorb(const CycleStats& c) {
 }
 
 std::string RunStats::summary() const {
+  // Older call sites set only the bools; derive the reason from them
+  // when the enum was never filled in.
+  TerminationReason reason = termination;
+  if (reason == TerminationReason::Unknown) {
+    if (halted) reason = TerminationReason::Halted;
+    else if (quiescent) reason = TerminationReason::Quiescent;
+  }
   std::ostringstream os;
   os << "cycles=" << cycles << " firings=" << total_firings
      << " redactions=" << total_redactions << " asserts=" << total_asserts
      << " retracts=" << total_retracts
      << " peak_cs=" << peak_conflict_set
      << " wall_ms=" << static_cast<double>(wall_ns) / 1e6
-     << (halted ? " [halt]" : "") << (quiescent ? " [quiescent]" : "");
+     << " [" << termination_name(reason) << "]";
   return os.str();
 }
 
@@ -42,6 +59,7 @@ std::string RunStats::to_json() const {
   for (const auto& f : obs::run_fields()) w.field(f.name, this->*f.member);
   w.field("halted", halted);
   w.field("quiescent", quiescent);
+  w.field("termination", termination_name(termination));
   w.end_object();
   return w.str();
 }
@@ -60,6 +78,19 @@ void RunStats::publish(obs::MetricsRegistry& registry,
   name.assign(prefix);
   name += "quiescent";
   registry.set(name, quiescent ? 1 : 0);
+  name.assign(prefix);
+  name += "termination_code";
+  registry.set(name, static_cast<std::uint64_t>(termination));
+}
+
+void FaultStats::publish(obs::MetricsRegistry& registry,
+                         std::string_view prefix) const {
+  std::string name;
+  for (const auto& f : obs::fault_fields()) {
+    name.assign(prefix);
+    name += f.name;
+    registry.set(name, this->*f.member);
+  }
 }
 
 namespace obs {
@@ -100,11 +131,27 @@ constexpr FieldDef<RunStats> kRunFields[] = {
     {"merge_ns", &RunStats::merge_ns},
 };
 
+constexpr FieldDef<FaultStats> kFaultFields[] = {
+    {"sent", &FaultStats::sent},
+    {"delivered", &FaultStats::delivered},
+    {"applied", &FaultStats::applied},
+    {"dropped", &FaultStats::dropped},
+    {"delayed", &FaultStats::delayed},
+    {"retries", &FaultStats::retries},
+    {"dup_suppressed", &FaultStats::dup_suppressed},
+    {"wiped", &FaultStats::wiped},
+    {"crashes", &FaultStats::crashes},
+    {"restores", &FaultStats::restores},
+    {"checkpoints", &FaultStats::checkpoints},
+};
+
 }  // namespace
 
 std::span<const FieldDef<CycleStats>> cycle_fields() { return kCycleFields; }
 
 std::span<const FieldDef<RunStats>> run_fields() { return kRunFields; }
+
+std::span<const FieldDef<FaultStats>> fault_fields() { return kFaultFields; }
 
 }  // namespace obs
 

@@ -24,6 +24,20 @@ namespace obs {
 class MetricsRegistry;
 }  // namespace obs
 
+/// Why a run stopped. `quiescent`/`halted` bools predate this enum and
+/// are kept in sync for older call sites; the enum adds the third state
+/// — the silent `max_cycles` truncation — so callers (and the CLI exit
+/// code) can tell an exhausted run from a finished one.
+enum class TerminationReason : std::uint8_t {
+  Unknown = 0,     ///< run() has not completed
+  Quiescent = 1,   ///< conflict set drained / all sites idle
+  Halted = 2,      ///< a rule executed (halt)
+  CycleLimit = 3,  ///< stopped by EngineConfig/DistConfig::max_cycles
+};
+
+/// Stable export name for a TerminationReason.
+const char* termination_name(TerminationReason r);
+
 /// One recognize-act cycle's accounting.
 struct CycleStats {
   std::uint64_t cycle = 0;
@@ -67,6 +81,7 @@ struct RunStats {
   std::uint64_t peak_conflict_set = 0;
   bool halted = false;      ///< a rule executed (halt)
   bool quiescent = false;   ///< conflict set drained
+  TerminationReason termination = TerminationReason::Unknown;
   std::uint64_t wall_ns = 0;
 
   std::uint64_t match_ns = 0;
@@ -89,6 +104,31 @@ struct RunStats {
                std::string_view prefix = "run.") const;
 };
 
+/// Fault-injection and recovery accounting for the distributed engine's
+/// reliable routing layer (src/distrib/faults.hpp). Lives in the obs
+/// layer so the field table below feeds every exporter. Counter
+/// invariants, verified by tests/test_faults.cpp at quiescence:
+///   sent      == delivered + dropped          (every attempt resolves)
+///   delivered == applied + dup_suppressed + wiped
+/// so no message is lost silently and no op is applied twice.
+struct FaultStats {
+  std::uint64_t sent = 0;       ///< transmission attempts (incl. retries/dups)
+  std::uint64_t delivered = 0;  ///< attempts that reached an inbox
+  std::uint64_t applied = 0;    ///< messages applied to a working memory
+  std::uint64_t dropped = 0;    ///< attempts lost (injected loss or dest down)
+  std::uint64_t delayed = 0;    ///< attempts held in flight for extra cycles
+  std::uint64_t retries = 0;    ///< retransmissions after ack timeout
+  std::uint64_t dup_suppressed = 0;  ///< duplicate deliveries discarded
+  std::uint64_t wiped = 0;      ///< inbox messages destroyed by a site crash
+  std::uint64_t crashes = 0;    ///< injected site failures
+  std::uint64_t restores = 0;   ///< checkpoint recoveries completed
+  std::uint64_t checkpoints = 0;  ///< snapshots taken (incl. initial)
+
+  /// Push every fault_fields() entry into `registry` as "<prefix><name>".
+  void publish(obs::MetricsRegistry& registry,
+               std::string_view prefix = "faults.") const;
+};
+
 namespace obs {
 
 /// Schema entry: a stat field's export name and member pointer.
@@ -103,6 +143,9 @@ std::span<const FieldDef<CycleStats>> cycle_fields();
 
 /// Every numeric RunStats field, in export order.
 std::span<const FieldDef<RunStats>> run_fields();
+
+/// Every numeric FaultStats field, in export order.
+std::span<const FieldDef<FaultStats>> fault_fields();
 
 }  // namespace obs
 

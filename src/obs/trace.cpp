@@ -20,7 +20,8 @@ void TraceSink::cycle(const CycleStats& c, const CycleActivity& activity) {
   ++events_;
 }
 
-void TraceSink::run(const RunStats& stats, std::string_view engine) {
+void TraceSink::run(const RunStats& stats, std::string_view engine,
+                    const FaultStats* faults) {
   writer_.clear();
   writer_.begin_object();
   writer_.field("type", "run");
@@ -28,6 +29,12 @@ void TraceSink::run(const RunStats& stats, std::string_view engine) {
   for (const auto& f : run_fields()) writer_.field(f.name, stats.*f.member);
   writer_.field("halted", stats.halted);
   writer_.field("quiescent", stats.quiescent);
+  writer_.field("termination", termination_name(stats.termination));
+  if (faults) {
+    for (const auto& f : fault_fields()) {
+      writer_.field(f.name, faults->*f.member);
+    }
+  }
   writer_.end_object();
   os_ << writer_.str() << '\n';
   os_.flush();

@@ -49,8 +49,11 @@ class TraceSink {
   /// Emit one "cycle" event line.
   void cycle(const CycleStats& c, const CycleActivity& activity);
 
-  /// Emit the final "run" event line.
-  void run(const RunStats& stats, std::string_view engine);
+  /// Emit the final "run" event line. `faults`, when non-null (the
+  /// distributed engine under a FaultPlan), appends every
+  /// fault_fields() entry to the same event.
+  void run(const RunStats& stats, std::string_view engine,
+           const FaultStats* faults = nullptr);
 
   std::uint64_t events() const { return events_; }
 
