@@ -1,0 +1,208 @@
+// R-S1 — Rule service: ingestion throughput, commit latency, and the
+// value of retained match state.
+//
+// Part A: service throughput and per-request commit latency (p50/p99
+// from the service's bounded reservoir) as sessions x pool threads x
+// batch size vary. Client threads stream a shuffled external fact feed
+// into their sessions (a run barrier every few ops) while background
+// workers drain and commit. Expected shapes: bigger batches amortize
+// the per-commit fixpoint and lift throughput at the cost of p99;
+// more sessions raise aggregate throughput until commits serialize on
+// the shared pool.
+//
+// Part B: incremental vs rebuild. The same batched feed is processed
+// (a) by one retained session — each batch folds its delta into the
+// live TREAT network — and (b) by rebuilding a fresh engine over the
+// cumulative fact set at every batch, which is what a service without
+// retained sessions would do. Speedup = rebuild time / incremental
+// time; it grows with batch count because rebuild pays the whole
+// prefix again at every arrival.
+#include <algorithm>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "support/timer.hpp"
+
+using namespace parulel;
+using namespace parulel::bench;
+
+namespace {
+
+std::vector<GroundFact> shuffled_feed(const Program& p, std::uint64_t seed) {
+  std::vector<GroundFact> feed = p.initial_facts;
+  std::mt19937_64 rng(seed);
+  std::shuffle(feed.begin(), feed.end(), rng);
+  return feed;
+}
+
+struct ThroughputResult {
+  ServiceStats stats;
+  double wall_ms = 0;
+  double ops_per_sec = 0;
+};
+
+ThroughputResult run_throughput(const Program& p, unsigned sessions,
+                                unsigned pool_threads,
+                                std::size_t batch_max) {
+  service::ServiceConfig cfg;
+  cfg.workers = 2;
+  cfg.pool_threads = pool_threads;
+  cfg.batch_max = batch_max;
+  cfg.queue_capacity = 1024;
+  service::RuleService svc(cfg);
+
+  std::vector<service::SessionId> ids;
+  for (unsigned s = 0; s < sessions; ++s) {
+    ids.push_back(svc.open_session(p));
+  }
+
+  Timer wall;
+  std::vector<std::thread> clients;
+  std::uint64_t ops_per_client = 0;
+  for (unsigned s = 0; s < sessions; ++s) {
+    const std::vector<GroundFact> feed = shuffled_feed(p, 7 + s);
+    ops_per_client = feed.size();
+    clients.emplace_back([&svc, id = ids[s], feed] {
+      for (std::size_t i = 0; i < feed.size(); ++i) {
+        while (svc.submit(id, service::Request::make_assert(
+                                  feed[i].tmpl, feed[i].slots)) ==
+               service::SubmitResult::QueueFull) {
+          std::this_thread::yield();
+        }
+        if (i % 16 == 0) svc.submit(id, service::Request::make_run());
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  svc.flush_all();
+
+  ThroughputResult out;
+  out.wall_ms = ms(wall.elapsed_ns());
+  out.stats = svc.stats_snapshot();
+  out.ops_per_sec = static_cast<double>(ops_per_client) * sessions /
+                    (out.wall_ms / 1e3);
+  return out;
+}
+
+struct IncRebuild {
+  double incremental_ms = 0;
+  double rebuild_ms = 0;
+  std::uint64_t fingerprint_inc = 0;
+  std::uint64_t fingerprint_rebuild = 0;
+};
+
+IncRebuild run_incremental_vs_rebuild(const Program& p, std::size_t batches,
+                                      unsigned threads) {
+  const std::vector<GroundFact> feed = shuffled_feed(p, 99);
+  const std::size_t per =
+      std::max<std::size_t>(1, (feed.size() + batches - 1) / batches);
+
+  service::SessionConfig scfg;
+  scfg.matcher = MatcherKind::ParallelTreat;
+  scfg.threads = threads;
+  scfg.assert_initial_facts = false;
+
+  IncRebuild out;
+  {
+    // (a) one retained session, one delta fold per batch.
+    Timer t;
+    service::Session session(p, scfg);
+    for (std::size_t start = 0; start < feed.size(); start += per) {
+      const std::size_t end = std::min(feed.size(), start + per);
+      for (std::size_t i = start; i < end; ++i) {
+        session.assert_fact(feed[i].tmpl, feed[i].slots);
+      }
+      session.run_to_quiescence();
+    }
+    out.incremental_ms = ms(t.elapsed_ns());
+    out.fingerprint_inc = session.fingerprint();
+    if (session.counters().rebuilds != 0) {
+      std::fprintf(stderr, "error: incremental path rebuilt the matcher\n");
+    }
+  }
+  {
+    // (b) a fresh engine over the cumulative prefix at every batch.
+    Timer t;
+    std::uint64_t fp = 0;
+    for (std::size_t end = per; ; end += per) {
+      const std::size_t n = std::min(feed.size(), end);
+      service::Session session(p, scfg);
+      for (std::size_t i = 0; i < n; ++i) {
+        session.assert_fact(feed[i].tmpl, feed[i].slots);
+      }
+      session.run_to_quiescence();
+      fp = session.fingerprint();
+      if (n == feed.size()) break;
+    }
+    out.rebuild_ms = ms(t.elapsed_ns());
+    out.fingerprint_rebuild = fp;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  header("R-S1", "rule service: throughput, latency, retained-state value");
+
+  const auto w = workloads::make_tc(56, 150, 21);
+  const Program p = parse_program(w.source);
+  JsonReport json("R-S1");
+
+  std::printf("\n%s — %s\n", w.name.c_str(), w.description.c_str());
+  std::printf("\nPart A: throughput and commit latency (workers=2, feed=%zu "
+              "ops/session)\n",
+              p.initial_facts.size());
+  std::printf("%9s %8s %10s %9s %11s %9s %9s %8s\n", "sessions", "threads",
+              "batch_max", "wall_ms", "ops/s", "p50_us", "p99_us", "commits");
+  for (const unsigned sessions : {1u, 2u, 4u}) {
+    for (const unsigned threads : {1u, 4u}) {
+      for (const std::size_t batch_max : {1u, 32u, 256u}) {
+        const ThroughputResult r =
+            run_throughput(p, sessions, threads, batch_max);
+        std::printf("%9u %8u %10zu %9.2f %11.0f %9.1f %9.1f %8llu\n",
+                    sessions, threads, batch_max, r.wall_ms, r.ops_per_sec,
+                    r.stats.latency_p50_ns / 1e3,
+                    r.stats.latency_p99_ns / 1e3,
+                    static_cast<unsigned long long>(r.stats.batches));
+        json.add_service(
+            "throughput/s" + std::to_string(sessions) + "/t" +
+                std::to_string(threads) + "/b" + std::to_string(batch_max),
+            r.stats,
+            {{"sessions", static_cast<double>(sessions)},
+             {"threads", static_cast<double>(threads)},
+             {"batch_max", static_cast<double>(batch_max)},
+             {"wall_ms", r.wall_ms},
+             {"ops_per_sec", r.ops_per_sec}});
+      }
+    }
+  }
+
+  std::printf("\nPart B: incremental (retained session) vs rebuild-per-batch "
+              "(threads=2)\n");
+  std::printf("%8s %15s %12s %9s %6s\n", "batches", "incremental_ms",
+              "rebuild_ms", "speedup", "same");
+  bool all_match = true;
+  for (const std::size_t batches : {4u, 16u, 64u}) {
+    const IncRebuild r = run_incremental_vs_rebuild(p, batches, 2);
+    const bool same = r.fingerprint_inc == r.fingerprint_rebuild;
+    all_match = all_match && same;
+    const double speedup =
+        r.incremental_ms > 0 ? r.rebuild_ms / r.incremental_ms : 0;
+    std::printf("%8zu %15.2f %12.2f %9.2fx %6s\n", batches, r.incremental_ms,
+                r.rebuild_ms, speedup, same ? "yes" : "NO");
+    json.add_row("incremental-vs-rebuild/b" + std::to_string(batches),
+                 {{"batches", static_cast<double>(batches)},
+                  {"incremental_ms", r.incremental_ms},
+                  {"rebuild_ms", r.rebuild_ms},
+                  {"speedup", speedup}});
+  }
+  if (!all_match) {
+    std::fprintf(stderr,
+                 "error: incremental and rebuild fixpoints diverged\n");
+    return 1;
+  }
+  return 0;
+}

@@ -101,6 +101,24 @@ class JsonReport {
     rows_.push_back(w.str());
   }
 
+  /// One row for a rule-service measurement: label + every
+  /// service_fields() entry (requests, batches, rejections, queue
+  /// depths, latency percentiles), same shared schema as the trace and
+  /// metrics exporters.
+  void add_service(
+      const std::string& label, const ServiceStats& stats,
+      std::initializer_list<std::pair<const char*, double>> extras = {}) {
+    obs::JsonWriter w;
+    w.begin_object();
+    w.field("label", label);
+    for (const auto& f : obs::service_fields()) {
+      w.field(f.name, stats.*f.member);
+    }
+    for (const auto& [k, v] : extras) w.field(k, v);
+    w.end_object();
+    rows_.push_back(w.str());
+  }
+
   /// One free-form row of bench-specific numbers.
   void add_row(const std::string& label,
                std::initializer_list<std::pair<const char*, double>> fields) {

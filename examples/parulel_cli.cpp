@@ -7,13 +7,20 @@
 //               [--metrics] [--metrics-json <file>] [--dump-wm]
 //               [--sites N] [--partition tmpl=slot,...]
 //               [--fault-plan SPEC] [--checkpoint-every N]
+//   parulel_cli --serve [--threads N] [--queue-capacity N] [--batch-max N]
+//               [--max-sessions N] [--fact-quota N] [--echo]
+//
+// --serve speaks the rule-service line protocol (src/service/serve.hpp)
+// on stdin/stdout: open sessions over program files, feed incremental
+// assert/retract batches into their retained matchers, run, query.
 //
 // Exit codes:
 //   0  success
 //   1  I/O error (unreadable program, unwritable output file)
 //   2  usage error (bad flag or flag value)
 //   3  parse error (program text or fault-plan spec)
-//   4  runtime error (engine refused the configuration)
+//   4  runtime error (engine refused the configuration; in --serve mode,
+//      one or more protocol commands answered `err`)
 //   5  the run hit --max-cycles without quiescing or halting
 //
 // The hello-world of the repository:
@@ -66,7 +73,15 @@ void print_usage(std::ostream& os) {
         "  --fault-plan SPEC      dist: inject faults, e.g.\n"
         "                         loss=0.2,dup=0.05,delay=0.1,seed=7,"
         "crash=1@5+4\n"
-        "  --checkpoint-every N   dist: snapshot sites every N cycles\n";
+        "  --checkpoint-every N   dist: snapshot sites every N cycles\n"
+        "\n"
+        "serve mode: parulel_cli --serve [options]\n"
+        "  --threads N            shared match/fire pool threads\n"
+        "  --queue-capacity N     per-session request cap (default 256)\n"
+        "  --batch-max N          max requests per commit (default 128)\n"
+        "  --max-sessions N       open session cap (default 64)\n"
+        "  --fact-quota N         per-session alive-fact cap (default off)\n"
+        "  --echo                 echo each protocol line before replies\n";
 }
 
 std::uint64_t parse_count(const std::string& flag, const std::string& value) {
@@ -182,6 +197,49 @@ void dump_working_memory(const parulel::WorkingMemory& wm,
                 << "\n";
     }
   }
+}
+
+/// `parulel_cli --serve`: the rule-service line protocol on stdin/stdout.
+int run_serve(int argc, char** argv) {
+  parulel::service::ServeOptions opt;
+  opt.service.pool_threads = parulel::ThreadPool::default_threads();
+  opt.service.output = &std::cout;
+
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> std::string {
+      if (i + 1 >= argc) throw UsageError("missing value for " + arg);
+      return argv[++i];
+    };
+    if (arg == "--threads") {
+      opt.service.pool_threads =
+          static_cast<unsigned>(parse_count(arg, value()));
+      if (opt.service.pool_threads == 0) {
+        throw UsageError("--threads must be >= 1");
+      }
+    } else if (arg == "--queue-capacity") {
+      opt.service.queue_capacity = parse_count(arg, value());
+      if (opt.service.queue_capacity == 0) {
+        throw UsageError("--queue-capacity must be >= 1");
+      }
+    } else if (arg == "--batch-max") {
+      opt.service.batch_max = parse_count(arg, value());
+      if (opt.service.batch_max == 0) {
+        throw UsageError("--batch-max must be >= 1");
+      }
+    } else if (arg == "--max-sessions") {
+      opt.service.max_sessions = parse_count(arg, value());
+    } else if (arg == "--fact-quota") {
+      opt.service.fact_quota = parse_count(arg, value());
+    } else if (arg == "--echo") {
+      opt.echo = true;
+    } else {
+      throw UsageError("unknown --serve option '" + arg + "'");
+    }
+  }
+
+  const int errors = parulel::service::serve(std::cin, std::cout, opt);
+  return errors == 0 ? kExitOk : kExitRuntime;
 }
 
 int run_cli(int argc, char** argv) {
@@ -318,6 +376,9 @@ int run_cli(int argc, char** argv) {
 
 int main(int argc, char** argv) {
   try {
+    if (argc >= 2 && std::strcmp(argv[1], "--serve") == 0) {
+      return run_serve(argc, argv);
+    }
     return run_cli(argc, argv);
   } catch (const UsageError& e) {
     std::cerr << "usage error: " << e.what() << "\n\n";

@@ -1,0 +1,66 @@
+; Session-stream monitor: security events streamed into a live session.
+;
+; The second --serve workload: an event feed arrives in batches (one
+; batch per monitoring interval), and alert rules run over the retained
+; working memory after each batch — incremental ingestion with state
+; (alerts, lockouts) carried across batches.
+;
+;   printf '%s\n' \
+;     'open mon examples/programs/monitor.clp' \
+;     'run mon' \
+;     'assert mon event ada fail 1' \
+;     'assert mon event ada fail 2' \
+;     'assert mon event ada fail 3' \
+;     'run mon' \
+;     'assert mon event ada login 4' \
+;     'run mon' \
+;     'query mon alert' \
+;     'query mon incident' \
+;     'quit' | ./parulel_cli --serve
+;
+; Three failed attempts raise an alert; a later successful login by an
+; alerted user escalates to an incident. The `seq` slot is the event's
+; position in the stream, so "later" is expressible without timestamps.
+
+(deftemplate event    (slot user) (slot kind) (slot seq))
+(deftemplate alert    (slot user) (slot last-seq))
+(deftemplate incident (slot user) (slot seq))
+
+; Three distinct failures by the same user, in stream order.
+(defrule brute-force
+  (event (user ?u) (kind fail) (seq ?a))
+  (event (user ?u) (kind fail) (seq ?b))
+  (event (user ?u) (kind fail) (seq ?c))
+  (test (and (< ?a ?b) (< ?b ?c)))
+  (not (alert (user ?u)))
+  =>
+  (assert (alert (user ?u) (last-seq ?c))))
+
+; Per cycle, keep only the earliest qualifying failure triple per user.
+(defmetarule first-alert-wins
+  (inst-brute-force (id ?x) (u ?user) (c ?s1))
+  (inst-brute-force (id ?y) (u ?user) (c ?s2))
+  (test (or (< ?s1 ?s2) (and (== ?s1 ?s2) (< ?x ?y))))
+  =>
+  (redact ?y))
+
+; A login after the alert window by a flagged user is an incident.
+(defrule compromised-login
+  (alert (user ?u) (last-seq ?l))
+  (event (user ?u) (kind login) (seq ?s))
+  (test (> ?s ?l))
+  (not (incident (user ?u)))
+  =>
+  (assert (incident (user ?u) (seq ?s))))
+
+(defmetarule first-incident-wins
+  (inst-compromised-login (id ?x) (u ?user) (s ?s1))
+  (inst-compromised-login (id ?y) (u ?user) (s ?s2))
+  (test (or (< ?s1 ?s2) (and (== ?s1 ?s2) (< ?x ?y))))
+  =>
+  (redact ?y))
+
+; Quiet baseline traffic so the first run has something to chew on.
+(deffacts baseline
+  (event (user grace) (kind login) (seq 1))
+  (event (user grace) (kind logout) (seq 2)))

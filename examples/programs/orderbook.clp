@@ -1,0 +1,71 @@
+; Order-matching book: a long-lived session fed order batches.
+;
+; Built for the rule service's incremental ingestion path. Drive it
+; through the --serve line protocol, streaming orders in and running the
+; retained matcher between batches:
+;
+;   printf '%s\n' \
+;     'open book examples/programs/orderbook.clp' \
+;     'run book' \
+;     'assert book buy 101 acme 55 10' \
+;     'assert book buy 102 acme 48 20' \
+;     'run book' \
+;     'query book trade sym=acme' \
+;     'stats book' \
+;     'quit' | ./parulel_cli --serve
+;
+; Each `run` feeds only the orders asserted since the last fixpoint into
+; the TREAT network (`stats` shows external_deltas growing while
+; rebuilds stays 0).
+;
+; Matching logic: a buy crosses a sell of the same symbol when its limit
+; price meets the ask. All crossing pairs become candidate instantiations
+; in one cycle; the meta-rules redact all but the best fill per order —
+; each buy takes the cheapest compatible ask (ties: lowest instantiation
+; id), and each sell fills at most one buy per cycle. Matched orders are
+; settled (retracted) so resting depth only ever shrinks by trade.
+
+(deftemplate buy   (slot id) (slot sym) (slot px) (slot qty))
+(deftemplate sell  (slot id) (slot sym) (slot px) (slot qty))
+(deftemplate trade (slot bid) (slot ask) (slot sym) (slot px) (slot qty))
+
+(defrule cross
+  (buy  (id ?b) (sym ?s) (px ?bp) (qty ?q))
+  (sell (id ?a) (sym ?s) (px ?ap))
+  (test (>= ?bp ?ap))
+  (not (trade (bid ?b)))
+  (not (trade (ask ?a)))
+  =>
+  (assert (trade (bid ?b) (ask ?a) (sym ?s) (px ?ap) (qty ?q))))
+
+; Price-time priority, per cycle: a buy keeps only its cheapest ask.
+(defmetarule best-ask-per-buy
+  (inst-cross (id ?x) (b ?buy) (ap ?p1))
+  (inst-cross (id ?y) (b ?buy) (ap ?p2))
+  (test (or (< ?p1 ?p2) (and (== ?p1 ?p2) (< ?x ?y))))
+  =>
+  (redact ?y))
+
+; One fill per resting sell per cycle.
+(defmetarule one-fill-per-ask
+  (inst-cross (id ?x) (a ?ask))
+  (inst-cross (id ?y) (a ?ask))
+  (test (< ?x ?y))
+  =>
+  (redact ?y))
+
+; Settle: a trade consumes both sides of the book.
+(defrule settle
+  (trade (bid ?b) (ask ?a))
+  ?buy  <- (buy (id ?b))
+  ?sell <- (sell (id ?a))
+  =>
+  (retract ?buy)
+  (retract ?sell))
+
+; Resting book at open: asks only, so nothing crosses until buys arrive.
+(deffacts resting-book
+  (sell (id 1) (sym acme) (px 50) (qty 10))
+  (sell (id 2) (sym acme) (px 52) (qty 10))
+  (sell (id 3) (sym acme) (px 57) (qty 5))
+  (sell (id 4) (sym globex) (px 21) (qty 40)))

@@ -13,6 +13,8 @@
 
 namespace parulel {
 
+class ThreadPool;
+
 namespace obs {
 class TraceSink;
 class MetricsRegistry;
@@ -31,6 +33,15 @@ struct EngineConfig {
   /// Worker threads for the parallel engine (>=1). The sequential engine
   /// ignores this.
   unsigned threads = 1;
+
+  /// When non-null, the parallel engine runs its match/fire phases on
+  /// this shared pool instead of creating a private one (`threads` is
+  /// then ignored). The service layer points many sessions at one
+  /// machine-sized pool this way. The pool must outlive the engine, and
+  /// fork-join batches do not nest: at most one engine may be inside
+  /// run()/step() on a given pool at any moment (RuleService serializes
+  /// commits to guarantee this).
+  ThreadPool* pool = nullptr;
 
   /// Safety valve: abort the run after this many cycles.
   std::uint64_t max_cycles = 10'000'000;

@@ -28,7 +28,10 @@ ParallelEngine::ParallelEngine(const Program& program, EngineConfig config)
     : program_(program),
       config_(config),
       wm_(program.schema),
-      pool_(std::make_unique<ThreadPool>(std::max(1u, config.threads))),
+      owned_pool_(config.pool
+                      ? nullptr
+                      : std::make_unique<ThreadPool>(std::max(1u, config.threads))),
+      pool_(config.pool ? config.pool : owned_pool_.get()),
       meta_(program) {
   switch (config_.matcher) {
     case MatcherKind::ParallelTreat:
@@ -49,6 +52,11 @@ void ParallelEngine::assert_initial_facts() {
   for (const auto& fact : program_.initial_facts) {
     wm_.assert_fact(fact.tmpl, fact.slots);
   }
+}
+
+void ParallelEngine::absorb_external_delta() {
+  const Delta delta = wm_.drain_delta();
+  if (!delta.empty()) matcher_->apply_external_delta(wm_, delta);
 }
 
 bool ParallelEngine::step(RunStats& stats) {

@@ -42,8 +42,17 @@ class ParallelEngine : public Engine {
   /// firing set came up empty (quiescent or fully redacted) or halted.
   bool step(RunStats& stats);
 
+  /// Service layer: fold working-memory changes injected from OUTSIDE
+  /// the recognize-act loop (assert/retract/modify between runs) into
+  /// the retained matcher as one external batch. Without this, the next
+  /// step() would still pick the pending delta up, but through the
+  /// internal path — the external entry point keeps the matcher's
+  /// external_deltas counter honest (see Matcher::apply_external_delta).
+  void absorb_external_delta();
+
   const Matcher& matcher() const { return *matcher_; }
   unsigned threads() const { return pool_->thread_count(); }
+  bool halted() const { return halted_; }
 
  private:
   /// Emit this cycle's trace event (tracing enabled only): CycleStats
@@ -53,7 +62,8 @@ class ParallelEngine : public Engine {
   const Program& program_;
   EngineConfig config_;
   WorkingMemory wm_;
-  std::unique_ptr<ThreadPool> pool_;
+  std::unique_ptr<ThreadPool> owned_pool_;  ///< null when config.pool is set
+  ThreadPool* pool_;                        ///< owned_pool_ or config.pool
   std::unique_ptr<Matcher> matcher_;
   MetaEngine meta_;
   bool halted_ = false;

@@ -9,6 +9,7 @@
 #include <string>
 #include <string_view>
 
+#include "lang/ast.hpp"
 #include "lang/program.hpp"
 #include "wm/working_memory.hpp"
 
@@ -17,6 +18,15 @@ namespace parulel {
 /// Render one fact as "(tmpl (slot value) ...)".
 std::string print_fact(const Fact& fact, const Schema& schema,
                        const SymbolTable& symbols);
+
+/// Render a parsed (pre-analysis) program back to source text that
+/// `parse_ast` accepts. Floats print with max_digits10 (and a forced
+/// decimal point) so numeric constants survive bit-exactly; symbols
+/// print bare when they re-lex as names and as quoted strings
+/// otherwise. Round-trip contract, held by the property test in
+/// tests/test_random_programs.cpp: parse_ast(print_ast(ast)) is
+/// structurally identical to `ast` (line numbers aside).
+std::string print_ast(const ProgramAst& ast, const SymbolTable& symbols);
 
 /// Deftemplates + a deffacts block of all alive facts.
 std::string dump_state(const WorkingMemory& wm, const SymbolTable& symbols,

@@ -28,6 +28,12 @@ struct MatchStats {
 
   /// Approximate resident state in entries (beta tokens or conflict set).
   std::uint64_t state_entries = 0;
+
+  /// Externally injected batches folded in via apply_external_delta
+  /// (service layer). Stays 0 on pure batch runs; on a retained session
+  /// it counts one per ingested batch while the network itself is never
+  /// rebuilt.
+  std::uint64_t external_deltas = 0;
 };
 
 class Matcher {
@@ -38,6 +44,16 @@ class Matcher {
   /// delta's removed facts are still readable via wm.fact() (tombstones).
   virtual void apply_delta(const WorkingMemory& wm, const Delta& delta) = 0;
 
+  /// Fold a delta injected from OUTSIDE the recognize-act loop — the
+  /// service layer's incremental batch ingestion (src/service/). The
+  /// match work is identical to apply_delta; the separate entry point
+  /// counts external batches so tests can prove a retained network is
+  /// being reused across batches instead of rebuilt.
+  void apply_external_delta(const WorkingMemory& wm, const Delta& delta) {
+    apply_delta(wm, delta);
+    ++stats_mut().external_deltas;
+  }
+
   virtual ConflictSet& conflict_set() = 0;
   const ConflictSet& conflict_set() const {
     return const_cast<Matcher*>(this)->conflict_set();
@@ -45,6 +61,10 @@ class Matcher {
 
   virtual const MatchStats& stats() const = 0;
   virtual const char* name() const = 0;
+
+ protected:
+  /// Mutable counter access for the base-class external-delta hook.
+  virtual MatchStats& stats_mut() = 0;
 };
 
 }  // namespace parulel

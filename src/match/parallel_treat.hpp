@@ -34,6 +34,9 @@ class ParallelTreatMatcher : public Matcher {
   const MatchStats& stats() const override { return stats_; }
   const char* name() const override { return "parallel-treat"; }
 
+ protected:
+  MatchStats& stats_mut() override { return stats_; }
+
  private:
   struct AlphaUse {
     RuleId rule;

@@ -39,6 +39,9 @@ class ReteMatcher : public Matcher {
   /// Total beta tokens currently resident (for memory benches).
   std::size_t token_count() const;
 
+ protected:
+  MatchStats& stats_mut() override { return stats_; }
+
  private:
   using TokenId = std::uint32_t;
 

@@ -36,6 +36,9 @@ class TreatMatcher : public Matcher {
   const MatchStats& stats() const override { return stats_; }
   const char* name() const override { return "treat"; }
 
+ protected:
+  MatchStats& stats_mut() override { return stats_; }
+
  private:
   void derive_for_added(const WorkingMemory& wm, FactId fid);
   /// A fact entered a (not ...) alpha: drop the instantiations it blocks.

@@ -26,6 +26,7 @@ inline void publish_match_stats(MetricsRegistry& registry,
   registry.set(p + "tokens_created", m.tokens_created);
   registry.set(p + "tokens_deleted", m.tokens_deleted);
   registry.set(p + "state_entries", m.state_entries);
+  registry.set(p + "external_deltas", m.external_deltas);
 }
 
 inline void publish_pool_stats(MetricsRegistry& registry,

@@ -93,6 +93,16 @@ void FaultStats::publish(obs::MetricsRegistry& registry,
   }
 }
 
+void ServiceStats::publish(obs::MetricsRegistry& registry,
+                           std::string_view prefix) const {
+  std::string name;
+  for (const auto& f : obs::service_fields()) {
+    name.assign(prefix);
+    name += f.name;
+    registry.set(name, this->*f.member);
+  }
+}
+
 namespace obs {
 
 namespace {
@@ -145,6 +155,26 @@ constexpr FieldDef<FaultStats> kFaultFields[] = {
     {"checkpoints", &FaultStats::checkpoints},
 };
 
+constexpr FieldDef<ServiceStats> kServiceFields[] = {
+    {"requests", &ServiceStats::requests},
+    {"asserts", &ServiceStats::asserts},
+    {"retracts", &ServiceStats::retracts},
+    {"runs", &ServiceStats::runs},
+    {"queries", &ServiceStats::queries},
+    {"batches", &ServiceStats::batches},
+    {"batched_ops", &ServiceStats::batched_ops},
+    {"rejected", &ServiceStats::rejected},
+    {"quota_rejected", &ServiceStats::quota_rejected},
+    {"evicted", &ServiceStats::evicted},
+    {"sessions_opened", &ServiceStats::sessions_opened},
+    {"sessions_closed", &ServiceStats::sessions_closed},
+    {"queue_depth", &ServiceStats::queue_depth},
+    {"peak_queue_depth", &ServiceStats::peak_queue_depth},
+    {"latency_p50_ns", &ServiceStats::latency_p50_ns},
+    {"latency_p99_ns", &ServiceStats::latency_p99_ns},
+    {"latency_max_ns", &ServiceStats::latency_max_ns},
+};
+
 }  // namespace
 
 std::span<const FieldDef<CycleStats>> cycle_fields() { return kCycleFields; }
@@ -152,6 +182,10 @@ std::span<const FieldDef<CycleStats>> cycle_fields() { return kCycleFields; }
 std::span<const FieldDef<RunStats>> run_fields() { return kRunFields; }
 
 std::span<const FieldDef<FaultStats>> fault_fields() { return kFaultFields; }
+
+std::span<const FieldDef<ServiceStats>> service_fields() {
+  return kServiceFields;
+}
 
 }  // namespace obs
 

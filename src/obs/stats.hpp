@@ -129,6 +129,37 @@ struct FaultStats {
                std::string_view prefix = "faults.") const;
 };
 
+/// Rule-service accounting (src/service/): request ingestion, batch
+/// commits, backpressure, and per-request latency. Filled by
+/// RuleService::stats_snapshot(); the latency percentiles are computed
+/// there from a bounded reservoir of per-request commit latencies
+/// (enqueue -> commit completion). The service_fields() table below
+/// feeds the trace sink's "service" event, metrics publication, and the
+/// bench JSON rows, so every exporter carries the same schema.
+struct ServiceStats {
+  std::uint64_t requests = 0;        ///< ops accepted into a queue
+  std::uint64_t asserts = 0;         ///< accepted assert requests
+  std::uint64_t retracts = 0;        ///< accepted retract requests
+  std::uint64_t runs = 0;            ///< accepted run requests
+  std::uint64_t queries = 0;         ///< synchronous queries served
+  std::uint64_t batches = 0;         ///< recognize-act commits executed
+  std::uint64_t batched_ops = 0;     ///< ops folded into those commits
+  std::uint64_t rejected = 0;        ///< backpressure rejections (queue full)
+  std::uint64_t quota_rejected = 0;  ///< fact-quota rejections
+  std::uint64_t evicted = 0;         ///< idle sessions closed by eviction
+  std::uint64_t sessions_opened = 0;
+  std::uint64_t sessions_closed = 0;  ///< explicit closes + evictions
+  std::uint64_t queue_depth = 0;      ///< pending ops across sessions (gauge)
+  std::uint64_t peak_queue_depth = 0;  ///< worst single-session depth seen
+  std::uint64_t latency_p50_ns = 0;   ///< median request commit latency
+  std::uint64_t latency_p99_ns = 0;
+  std::uint64_t latency_max_ns = 0;
+
+  /// Push every service_fields() entry into `registry` as "<prefix><name>".
+  void publish(obs::MetricsRegistry& registry,
+               std::string_view prefix = "service.") const;
+};
+
 namespace obs {
 
 /// Schema entry: a stat field's export name and member pointer.
@@ -146,6 +177,9 @@ std::span<const FieldDef<RunStats>> run_fields();
 
 /// Every numeric FaultStats field, in export order.
 std::span<const FieldDef<FaultStats>> fault_fields();
+
+/// Every numeric ServiceStats field, in export order.
+std::span<const FieldDef<ServiceStats>> service_fields();
 
 }  // namespace obs
 

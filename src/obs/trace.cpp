@@ -41,4 +41,17 @@ void TraceSink::run(const RunStats& stats, std::string_view engine,
   ++events_;
 }
 
+void TraceSink::service(const ServiceStats& stats) {
+  writer_.clear();
+  writer_.begin_object();
+  writer_.field("type", "service");
+  for (const auto& f : service_fields()) {
+    writer_.field(f.name, stats.*f.member);
+  }
+  writer_.end_object();
+  os_ << writer_.str() << '\n';
+  os_.flush();
+  ++events_;
+}
+
 }  // namespace parulel::obs

@@ -55,6 +55,11 @@ class TraceSink {
   void run(const RunStats& stats, std::string_view engine,
            const FaultStats* faults = nullptr);
 
+  /// Emit one "service" event carrying the full service_fields()
+  /// schema — the rule service emits these at shutdown and on demand
+  /// (see RuleService::stats_snapshot).
+  void service(const ServiceStats& stats);
+
   std::uint64_t events() const { return events_; }
 
  private:

@@ -28,6 +28,9 @@
 #include "obs/metrics.hpp"
 #include "obs/stats.hpp"
 #include "obs/trace.hpp"
+#include "service/serve.hpp"
+#include "service/service.hpp"
+#include "service/session.hpp"
 #include "support/error.hpp"
 #include "wm/working_memory.hpp"
 #include "workloads/workloads.hpp"

@@ -1,0 +1,42 @@
+// --serve: a deterministic line protocol over RuleService.
+//
+// One command per line on stdin, one `ok ...` or `err ...` response (plus
+// optional `fact ...` detail lines) on stdout. The service runs in
+// synchronous mode (workers == 0) so responses are a pure function of the
+// command stream — scriptable from CI and replayable byte-for-byte.
+//
+// Commands (NAME is a client-chosen session name; `#` starts a comment):
+//
+//   open NAME FILE            load program text from FILE, open a session
+//   assert NAME TMPL V...     queue an assert (values: int, float, symbol)
+//   retract NAME FACTID       queue a retract
+//   run NAME                  commit the queued batch, run to quiescence
+//   query NAME TMPL [S=V]...  list alive facts, optionally slot-filtered
+//   snapshot NAME             save the session's fact set (in memory)
+//   restore NAME              restore the last snapshot (rebuilds matcher)
+//   stats NAME                per-session counters
+//   stats                     service-wide counters (service_fields table)
+//   close NAME                close the session
+//   quit                      stop serving
+#pragma once
+
+#include <iosfwd>
+
+#include "service/service.hpp"
+
+namespace parulel::service {
+
+struct ServeOptions {
+  /// Service tuning; `workers` is forced to 0 — serving is synchronous
+  /// by construction so the protocol stays deterministic.
+  ServiceConfig service;
+
+  /// Echo each command line (prefixed "> ") before its response.
+  bool echo = false;
+};
+
+/// Serve the protocol from `in` to `out` until EOF or `quit`.
+/// Returns the number of `err` responses emitted.
+int serve(std::istream& in, std::ostream& out, ServeOptions options = {});
+
+}  // namespace parulel::service

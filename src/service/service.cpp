@@ -1,0 +1,330 @@
+#include "service/service.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <iterator>
+
+namespace parulel::service {
+
+namespace {
+/// Bounded latency reservoir: percentile math stays O(64k) no matter
+/// how many requests the service has served.
+constexpr std::size_t kLatencyReservoir = 1 << 16;
+}  // namespace
+
+std::uint64_t RuleService::now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+RuleService::RuleService(ServiceConfig config)
+    : config_(config), pool_(std::max(1u, config.pool_threads)) {
+  workers_.reserve(config_.workers);
+  for (unsigned w = 0; w < config_.workers; ++w) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+RuleService::~RuleService() {
+  {
+    std::scoped_lock lock(mutex_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  // workers_ (declared last) joins first, then sessions_ destruct.
+}
+
+SessionId RuleService::open_session(const Program& program) {
+  std::unique_lock lock(mutex_);
+  if (sessions_.size() >= config_.max_sessions) {
+    evict_idle_locked(lock, /*force_one=*/true);
+    if (sessions_.size() >= config_.max_sessions) return 0;
+  }
+  auto entry = std::make_unique<Entry>();
+  entry->id = next_id_++;
+  SessionConfig scfg;
+  scfg.matcher = config_.matcher;
+  scfg.pool = &pool_;
+  scfg.cycle_quota = config_.cycle_quota;
+  scfg.fact_quota = config_.fact_quota;
+  scfg.output = config_.output;
+  entry->session = std::make_unique<Session>(program, scfg);
+  entry->last_active_tick = tick_;
+  ++stats_.sessions_opened;
+  const SessionId id = entry->id;
+  sessions_.emplace(id, std::move(entry));
+  return id;
+}
+
+bool RuleService::close_session(SessionId id) {
+  std::unique_lock lock(mutex_);
+  auto it = sessions_.find(id);
+  if (it == sessions_.end() || it->second->closing) return false;
+  close_locked(lock, *it->second, /*evicting=*/false);
+  return true;
+}
+
+void RuleService::close_locked(std::unique_lock<std::mutex>& lock,
+                               Entry& entry, bool evicting) {
+  entry.closing = true;  // rejects new submits; only one closer can win
+  idle_cv_.wait(lock, [&entry] { return entry.busy == 0; });
+  ++stats_.sessions_closed;
+  if (evicting) ++stats_.evicted;
+  const SessionId id = entry.id;
+  sessions_.erase(id);  // entry dangles from here on
+  idle_cv_.notify_all();
+}
+
+SubmitResult RuleService::submit(SessionId id, Request request) {
+  std::unique_lock lock(mutex_);
+  auto it = sessions_.find(id);
+  if (it == sessions_.end() || it->second->closing) {
+    return SubmitResult::NoSuchSession;
+  }
+  Entry& entry = *it->second;
+  if (entry.queue.size() >= config_.queue_capacity) {
+    ++stats_.rejected;
+    return SubmitResult::QueueFull;
+  }
+  request.enqueued_ns = now_ns();
+  ++stats_.requests;
+  switch (request.kind) {
+    case Request::Kind::Assert: ++stats_.asserts; break;
+    case Request::Kind::Retract: ++stats_.retracts; break;
+    case Request::Kind::Run: ++stats_.runs; break;
+  }
+  entry.queue.push_back(std::move(request));
+  stats_.peak_queue_depth =
+      std::max<std::uint64_t>(stats_.peak_queue_depth, entry.queue.size());
+  if (config_.workers > 0 && !entry.scheduled) {
+    entry.scheduled = true;
+    ready_.push_back(id);
+    work_cv_.notify_one();
+  }
+  return SubmitResult::Accepted;
+}
+
+void RuleService::worker_loop() {
+  std::unique_lock lock(mutex_);
+  for (;;) {
+    work_cv_.wait(lock, [this] { return stopping_ || !ready_.empty(); });
+    if (stopping_) return;
+    const SessionId id = ready_.front();
+    ready_.pop_front();
+    auto it = sessions_.find(id);
+    if (it == sessions_.end()) continue;
+    Entry& entry = *it->second;
+    entry.scheduled = false;
+    if (entry.closing || entry.queue.empty()) continue;
+    commit_batch(lock, entry);
+    idle_cv_.notify_all();
+  }
+}
+
+void RuleService::commit_batch(std::unique_lock<std::mutex>& lock,
+                               Entry& entry) {
+  // Claim one batch off the queue; reschedule if requests remain.
+  const std::size_t n = std::min(entry.queue.size(), config_.batch_max);
+  std::vector<Request> batch;
+  batch.reserve(n);
+  std::move(entry.queue.begin(),
+            entry.queue.begin() + static_cast<std::ptrdiff_t>(n),
+            std::back_inserter(batch));
+  entry.queue.erase(entry.queue.begin(),
+                    entry.queue.begin() + static_cast<std::ptrdiff_t>(n));
+  if (config_.workers > 0 && !entry.queue.empty() && !entry.scheduled &&
+      !entry.closing) {
+    entry.scheduled = true;
+    ready_.push_back(entry.id);
+    work_cv_.notify_one();
+  }
+  ++entry.busy;  // pins the entry: close_locked waits for busy == 0
+  Session& session = *entry.session;
+  std::mutex& session_mutex = entry.session_mutex;
+  lock.unlock();
+
+  std::uint64_t quota_rejected = 0;
+  std::uint64_t commit_end_ns = 0;
+  {
+    std::scoped_lock session_lock(session_mutex);
+    for (Request& request : batch) {
+      switch (request.kind) {
+        case Request::Kind::Assert:
+          if (session.assert_fact(request.tmpl, std::move(request.slots)) ==
+              Session::AssertOutcome::QuotaRejected) {
+            ++quota_rejected;
+          }
+          break;
+        case Request::Kind::Retract:
+          session.retract(request.fact);
+          break;
+        case Request::Kind::Run:
+          break;  // a pure commit barrier
+      }
+    }
+    {
+      // The shared pool's fork-join batches do not nest: one
+      // recognize-act commit on it at a time, service-wide.
+      std::scoped_lock pool_lock(pool_mutex_);
+      session.run_to_quiescence();
+    }
+    commit_end_ns = now_ns();
+  }
+
+  lock.lock();
+  --entry.busy;
+  ++tick_;
+  entry.last_active_tick = tick_;
+  ++stats_.batches;
+  stats_.batched_ops += batch.size();
+  stats_.quota_rejected += quota_rejected;
+  for (const Request& request : batch) {
+    record_latency(commit_end_ns - request.enqueued_ns);
+  }
+}
+
+bool RuleService::flush(SessionId id) {
+  std::unique_lock lock(mutex_);
+  if (sessions_.find(id) == sessions_.end()) return false;
+  for (;;) {
+    auto it = sessions_.find(id);
+    if (it == sessions_.end()) return true;  // closed while flushing
+    Entry& entry = *it->second;
+    if (!entry.queue.empty()) {
+      if (config_.workers == 0) {
+        commit_batch(lock, entry);
+        idle_cv_.notify_all();
+        continue;
+      }
+      if (!entry.scheduled) {
+        entry.scheduled = true;
+        ready_.push_back(id);
+        work_cv_.notify_one();
+      }
+    } else if (entry.busy == 0 && !entry.scheduled) {
+      return true;
+    }
+    idle_cv_.wait(lock);
+  }
+}
+
+void RuleService::flush_all() {
+  std::vector<SessionId> ids;
+  {
+    std::scoped_lock lock(mutex_);
+    ids.reserve(sessions_.size());
+    for (const auto& [id, entry] : sessions_) ids.push_back(id);
+  }
+  std::sort(ids.begin(), ids.end());
+  for (SessionId id : ids) flush(id);
+}
+
+bool RuleService::with_session(SessionId id,
+                               const std::function<void(Session&)>& fn) {
+  std::unique_lock lock(mutex_);
+  auto it = sessions_.find(id);
+  if (it == sessions_.end() || it->second->closing) return false;
+  Entry& entry = *it->second;
+  ++entry.busy;
+  Session& session = *entry.session;
+  std::mutex& session_mutex = entry.session_mutex;
+  lock.unlock();
+  {
+    std::scoped_lock session_lock(session_mutex);
+    fn(session);
+  }
+  lock.lock();
+  --entry.busy;
+  entry.last_active_tick = tick_;
+  ++stats_.queries;
+  idle_cv_.notify_all();
+  return true;
+}
+
+std::size_t RuleService::evict_idle() {
+  std::unique_lock lock(mutex_);
+  return evict_idle_locked(lock, /*force_one=*/false);
+}
+
+std::size_t RuleService::evict_idle_locked(std::unique_lock<std::mutex>& lock,
+                                           bool force_one) {
+  auto idle = [this](const Entry& e) {
+    return !e.closing && e.busy == 0 && !e.scheduled && e.queue.empty();
+  };
+  std::vector<SessionId> victims;
+  if (config_.idle_eviction_age > 0) {
+    for (const auto& [id, entry] : sessions_) {
+      if (idle(*entry) &&
+          tick_ - entry->last_active_tick >= config_.idle_eviction_age) {
+        victims.push_back(id);
+      }
+    }
+  }
+  if (victims.empty() && force_one) {
+    // Capacity pressure: sacrifice the least-recently-active idle
+    // session even if it has not aged out.
+    const Entry* oldest = nullptr;
+    for (const auto& [id, entry] : sessions_) {
+      if (idle(*entry) &&
+          (!oldest || entry->last_active_tick < oldest->last_active_tick)) {
+        oldest = entry.get();
+      }
+    }
+    if (oldest) victims.push_back(oldest->id);
+  }
+  std::sort(victims.begin(), victims.end());
+  std::size_t closed = 0;
+  for (SessionId id : victims) {
+    auto it = sessions_.find(id);
+    if (it == sessions_.end() || it->second->closing) continue;
+    close_locked(lock, *it->second, /*evicting=*/true);
+    ++closed;
+  }
+  return closed;
+}
+
+std::size_t RuleService::queue_depth(SessionId id) const {
+  std::scoped_lock lock(mutex_);
+  auto it = sessions_.find(id);
+  return it == sessions_.end() ? 0 : it->second->queue.size();
+}
+
+std::size_t RuleService::session_count() const {
+  std::scoped_lock lock(mutex_);
+  return sessions_.size();
+}
+
+void RuleService::record_latency(std::uint64_t ns) {
+  stats_.latency_max_ns = std::max(stats_.latency_max_ns, ns);
+  if (latency_ring_.size() < kLatencyReservoir) {
+    latency_ring_.push_back(ns);
+  } else {
+    latency_ring_[latency_next_] = ns;
+    latency_next_ = (latency_next_ + 1) % kLatencyReservoir;
+  }
+}
+
+ServiceStats RuleService::stats_snapshot() const {
+  std::scoped_lock lock(mutex_);
+  ServiceStats out = stats_;
+  out.queue_depth = 0;
+  for (const auto& [id, entry] : sessions_) {
+    out.queue_depth += entry->queue.size();
+  }
+  if (!latency_ring_.empty()) {
+    std::vector<std::uint64_t> sorted = latency_ring_;
+    std::sort(sorted.begin(), sorted.end());
+    auto pct = [&sorted](std::size_t p) {
+      std::size_t idx = sorted.size() * p / 100;
+      if (idx >= sorted.size()) idx = sorted.size() - 1;
+      return sorted[idx];
+    };
+    out.latency_p50_ns = pct(50);
+    out.latency_p99_ns = pct(99);
+  }
+  return out;
+}
+
+}  // namespace parulel::service

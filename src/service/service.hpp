@@ -1,0 +1,211 @@
+// RuleService: many long-lived sessions behind bounded request queues.
+//
+// The concurrency model, chosen around two hard constraints:
+//
+//  1. Sessions are single-threaded objects (session.hpp) — a per-session
+//     lock serializes all access to one session.
+//  2. runtime::ThreadPool fork-join batches do not nest: at most one
+//     engine may be running match/fire phases on a given pool at once.
+//
+// So the service separates INGESTION from COMPUTE. Any number of client
+// threads submit assert/retract/run requests concurrently; each lands in
+// that session's bounded queue (backpressure: a full queue rejects the
+// request, it never blocks the client). Worker threads drain queues a
+// batch at a time and commit each batch as ONE recognize-act run on the
+// retained session — that is PARULEL's set-oriented cycle acting as a
+// batch commit. All commits share one machine-sized ThreadPool for their
+// data-parallel phases and are serialized on it by a pool lock:
+// cross-SESSION parallelism comes from ingestion and batching,
+// cross-DATA parallelism from the pool inside a commit.
+//
+// With `workers == 0` the service is synchronous: commits happen on the
+// caller's thread inside flush(), which makes request/response sequences
+// fully deterministic — the mode the --serve line protocol and the
+// equivalence tests use.
+//
+// Quotas and eviction: per-session cycle/fact quotas bound one tenant's
+// damage; idle sessions (no activity for `idle_eviction_age` commit
+// ticks) are evicted on demand and under capacity pressure.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "obs/stats.hpp"
+#include "runtime/thread_pool.hpp"
+#include "service/session.hpp"
+
+namespace parulel::service {
+
+/// Opaque session handle; 0 is never a valid id.
+using SessionId = std::uint64_t;
+
+struct ServiceConfig {
+  /// Background commit workers. 0 = synchronous mode: commits run on
+  /// the calling thread inside flush()/flush_all() (deterministic).
+  unsigned workers = 0;
+
+  /// Threads in the shared match/fire pool (one pool for all sessions).
+  unsigned pool_threads = 1;
+
+  /// Per-session pending-request cap; submits beyond it are rejected.
+  std::size_t queue_capacity = 256;
+
+  /// Max requests folded into one recognize-act commit.
+  std::size_t batch_max = 128;
+
+  /// Per-commit cycle quota (Session::SessionConfig::cycle_quota).
+  std::uint64_t cycle_quota = 1'000'000;
+
+  /// Per-session alive-fact ceiling; 0 = unlimited.
+  std::uint64_t fact_quota = 0;
+
+  /// Open sessions cap; open_session evicts an idle session or fails.
+  std::size_t max_sessions = 64;
+
+  /// A session untouched for this many global commit ticks is eligible
+  /// for evict_idle(). 0 disables age-based eviction (capacity-pressure
+  /// eviction of the least-recently-active idle session still applies).
+  std::uint64_t idle_eviction_age = 0;
+
+  /// Matcher for new sessions (Treat or ParallelTreat).
+  MatcherKind matcher = MatcherKind::ParallelTreat;
+
+  /// Sink for (printout ...) actions across all sessions; null discards.
+  std::ostream* output = nullptr;
+};
+
+/// One queued external operation.
+struct Request {
+  enum class Kind : std::uint8_t { Assert, Retract, Run };
+  Kind kind = Kind::Run;
+  TemplateId tmpl = kInvalidTemplate;  // Assert
+  std::vector<Value> slots;            // Assert
+  FactId fact = kInvalidFact;          // Retract
+  std::uint64_t enqueued_ns = 0;       // stamped by submit()
+
+  static Request make_assert(TemplateId tmpl, std::vector<Value> slots) {
+    Request r;
+    r.kind = Kind::Assert;
+    r.tmpl = tmpl;
+    r.slots = std::move(slots);
+    return r;
+  }
+  static Request make_retract(FactId fact) {
+    Request r;
+    r.kind = Kind::Retract;
+    r.fact = fact;
+    return r;
+  }
+  static Request make_run() { return Request{}; }
+};
+
+enum class SubmitResult : std::uint8_t {
+  Accepted,
+  QueueFull,      ///< backpressure: per-session queue at capacity
+  NoSuchSession,  ///< unknown or closing session id
+};
+
+class RuleService {
+ public:
+  explicit RuleService(ServiceConfig config);
+  ~RuleService();
+
+  RuleService(const RuleService&) = delete;
+  RuleService& operator=(const RuleService&) = delete;
+
+  /// Open a session over `program` (which must outlive it). Returns 0
+  /// when the service is at max_sessions and nothing could be evicted.
+  SessionId open_session(const Program& program);
+
+  /// Close and destroy a session; blocks until in-flight work on it
+  /// finishes. Pending queued requests are dropped.
+  bool close_session(SessionId id);
+
+  /// Enqueue one request. Never blocks: a full queue rejects.
+  SubmitResult submit(SessionId id, Request request);
+
+  /// Block until `id`'s queue is drained and no commit is in flight.
+  /// In synchronous mode this performs the commits on this thread.
+  /// Returns false for an unknown session.
+  bool flush(SessionId id);
+
+  /// flush() every open session.
+  void flush_all();
+
+  /// Run `fn` with exclusive access to the session (no queued commit is
+  /// concurrent with it). For synchronous operations: query, snapshot,
+  /// restore, counters. Returns false for an unknown session.
+  bool with_session(SessionId id, const std::function<void(Session&)>& fn);
+
+  /// Evict sessions idle for >= idle_eviction_age commit ticks (no
+  /// pending requests, no in-flight commit). Returns how many closed.
+  std::size_t evict_idle();
+
+  /// Pending requests in `id`'s queue (0 for unknown sessions).
+  std::size_t queue_depth(SessionId id) const;
+
+  std::size_t session_count() const;
+
+  /// Aggregate counters + latency percentiles from the reservoir.
+  ServiceStats stats_snapshot() const;
+
+  ThreadPool& pool() { return pool_; }
+  const ServiceConfig& config() const { return config_; }
+
+ private:
+  struct Entry {
+    SessionId id = 0;
+    std::unique_ptr<Session> session;
+    std::mutex session_mutex;      ///< serializes Session access
+    std::deque<Request> queue;     ///< guarded by service mutex_
+    bool scheduled = false;        ///< in ready_ (guarded by mutex_)
+    unsigned busy = 0;             ///< commits/with_session in flight
+    bool closing = false;
+    std::uint64_t last_active_tick = 0;
+  };
+
+  void worker_loop();
+  /// Drain one batch from `entry` and commit it. Called with mutex_
+  /// held; releases and re-acquires it around the session work.
+  void commit_batch(std::unique_lock<std::mutex>& lock, Entry& entry);
+  /// Close `entry` under mutex_ (waits for busy == 0). `lock` held.
+  void close_locked(std::unique_lock<std::mutex>& lock, Entry& entry,
+                    bool evicting);
+  /// Age-based eviction; with `force_one`, also sacrifice the
+  /// least-recently-active idle session under capacity pressure.
+  std::size_t evict_idle_locked(std::unique_lock<std::mutex>& lock,
+                                bool force_one);
+  void record_latency(std::uint64_t ns);
+  static std::uint64_t now_ns();
+
+  ServiceConfig config_;
+  ThreadPool pool_;
+  std::mutex pool_mutex_;  ///< one commit on the shared pool at a time
+
+  mutable std::mutex mutex_;
+  std::condition_variable work_cv_;   ///< workers: ready_ non-empty
+  std::condition_variable idle_cv_;   ///< flush/close: work drained
+  std::unordered_map<SessionId, std::unique_ptr<Entry>> sessions_;
+  std::deque<SessionId> ready_;       ///< sessions with pending requests
+  SessionId next_id_ = 1;
+  std::uint64_t tick_ = 0;            ///< global commit counter
+  bool stopping_ = false;
+
+  // Aggregate counters (guarded by mutex_). Latencies live in a bounded
+  // ring so percentile math is O(reservoir), not O(request history).
+  ServiceStats stats_;
+  std::vector<std::uint64_t> latency_ring_;
+  std::size_t latency_next_ = 0;
+
+  std::vector<std::jthread> workers_;
+};
+
+}  // namespace parulel::service

@@ -1,0 +1,119 @@
+#include "service/session.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "support/timer.hpp"
+
+namespace parulel::service {
+
+std::unique_ptr<ParallelEngine> Session::make_engine() const {
+  EngineConfig cfg;
+  cfg.matcher = config_.matcher;
+  cfg.threads = config_.threads;
+  cfg.pool = config_.pool;
+  // The session enforces its own per-run cycle quota; the engine-level
+  // valve stays wide open so it never truncates a run behind our back.
+  cfg.max_cycles = std::numeric_limits<std::uint64_t>::max();
+  cfg.output = config_.output;
+  cfg.trace = config_.trace;
+  return std::make_unique<ParallelEngine>(program_, cfg);
+}
+
+Session::Session(const Program& program, SessionConfig config)
+    : program_(program), config_(config), engine_(nullptr) {
+  engine_ = make_engine();
+  if (config_.assert_initial_facts) {
+    engine_->assert_initial_facts();
+    counters_.asserts += program_.initial_facts.size();
+  }
+}
+
+Session::AssertOutcome Session::assert_fact(TemplateId tmpl,
+                                            std::vector<Value> slots,
+                                            FactId* id_out) {
+  if (id_out) *id_out = kInvalidFact;
+  if (config_.fact_quota != 0 &&
+      engine_->wm().alive_count() >= config_.fact_quota) {
+    ++counters_.quota_rejected;
+    return AssertOutcome::QuotaRejected;
+  }
+  ++counters_.asserts;
+  const FactId id = engine_->wm().assert_fact(tmpl, std::move(slots));
+  if (id == kInvalidFact) return AssertOutcome::Absorbed;
+  if (id_out) *id_out = id;
+  return AssertOutcome::New;
+}
+
+bool Session::retract(FactId id) {
+  ++counters_.retracts;
+  return engine_->wm().retract(id);
+}
+
+FactId Session::modify(FactId id,
+                       const std::vector<std::pair<int, Value>>& updates) {
+  ++counters_.modifies;
+  return engine_->wm().modify(id, updates);
+}
+
+RunStats Session::run_to_quiescence() {
+  Timer wall;
+  engine_->absorb_external_delta();
+  RunStats stats;
+  while (stats.cycles < config_.cycle_quota) {
+    if (!engine_->step(stats)) break;
+  }
+  stats.wall_ns = wall.elapsed_ns();
+  stats.termination = stats.halted      ? TerminationReason::Halted
+                      : stats.quiescent ? TerminationReason::Quiescent
+                                        : TerminationReason::CycleLimit;
+  ++counters_.batches;
+  counters_.cycles += stats.cycles;
+  counters_.firings += stats.total_firings;
+  last_run_ = stats;
+  return stats;
+}
+
+std::vector<FactId> Session::query(TemplateId tmpl,
+                                   const std::vector<SlotFilter>& filters) {
+  ++counters_.queries;
+  const WorkingMemory& wm = engine_->wm();
+  std::vector<FactId> out;
+  for (FactId id : wm.extent(tmpl)) {
+    const Fact& fact = wm.fact(id);
+    bool ok = true;
+    for (const SlotFilter& f : filters) {
+      if (fact.slots[static_cast<std::size_t>(f.slot)] != f.value) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) out.push_back(id);
+  }
+  // Extents are swap-remove ordered; sort for a deterministic answer.
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::optional<TemplateId> Session::find_template(std::string_view name) const {
+  return program_.schema.find(program_.symbols->intern(name));
+}
+
+std::optional<int> Session::find_slot(TemplateId tmpl,
+                                      std::string_view name) const {
+  return program_.schema.at(tmpl).slot_index(program_.symbols->intern(name));
+}
+
+SiteCheckpoint Session::snapshot() const {
+  return capture_checkpoint(counters_.cycles, engine_->wm(), {});
+}
+
+void Session::restore(const SiteCheckpoint& checkpoint) {
+  engine_ = make_engine();
+  for (const auto& [tmpl, slots] : checkpoint.facts) {
+    engine_->wm().assert_fact(tmpl, slots);
+  }
+  ++counters_.rebuilds;
+}
+
+}  // namespace parulel::service

@@ -1,0 +1,155 @@
+// A long-lived rule session: the unit of state the rule service serves.
+//
+// Every engine elsewhere in the tree is batch-only — assert the initial
+// facts, run to quiescence, done. A Session turns that into a server
+// shape: it owns a working memory, a PARULEL engine, and — the point —
+// *retained* matcher state. External callers assert/retract/modify facts
+// between runs; each run_to_quiescence() feeds only the delta since the
+// last fixpoint into the retained TREAT network (via the matcher-level
+// apply_external_delta hook) instead of rebuilding match state from
+// scratch. For confluent programs, any interleaving of external batches
+// reaches the same final working memory as one batch run containing all
+// facts at cycle 0 — tests/test_service.cpp sweeps exactly that.
+//
+// Delta-reuse invariant: the engine and matcher are constructed once and
+// survive across batches; `counters().rebuilds` counts the only two
+// events that replace them (restore from a checkpoint; nothing else) and
+// stays 0 on the pure incremental path, while the matcher's
+// external_deltas counter grows by one per ingested batch.
+//
+// Sessions are NOT thread-safe; RuleService (service.hpp) serializes all
+// access to one session behind a per-session lock.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "distrib/checkpoint.hpp"
+#include "engine/par_engine.hpp"
+#include "lang/program.hpp"
+
+namespace parulel::service {
+
+struct SessionConfig {
+  /// Treat or ParallelTreat (the PARULEL engine's matcher family).
+  MatcherKind matcher = MatcherKind::ParallelTreat;
+
+  /// Worker threads when `pool` is null (a private pool is built).
+  unsigned threads = 1;
+
+  /// Shared fork-join pool (RuleService points every session at one
+  /// machine-sized pool). Must outlive the session; the caller
+  /// guarantees at most one session runs on it at a time.
+  ThreadPool* pool = nullptr;
+
+  /// Per-run cycle quota: one run_to_quiescence() stops after this many
+  /// recognize-act cycles (termination = CycleLimit) so a runaway
+  /// program cannot monopolize the service.
+  std::uint64_t cycle_quota = 1'000'000;
+
+  /// Alive-fact ceiling; asserts beyond it are rejected. 0 = unlimited.
+  std::uint64_t fact_quota = 0;
+
+  /// Assert the program's deffacts on construction (into the pending
+  /// delta — nothing runs until the first run_to_quiescence()).
+  bool assert_initial_facts = true;
+
+  /// Sink for (printout ...) actions; null discards.
+  std::ostream* output = nullptr;
+
+  /// Per-cycle trace events for this session's runs (see src/obs/).
+  obs::TraceSink* trace = nullptr;
+};
+
+/// Cumulative per-session accounting across all batches.
+struct SessionCounters {
+  std::uint64_t asserts = 0;         ///< facts asserted (incl. absorbed)
+  std::uint64_t retracts = 0;
+  std::uint64_t modifies = 0;
+  std::uint64_t queries = 0;
+  std::uint64_t quota_rejected = 0;  ///< asserts refused by fact_quota
+  std::uint64_t batches = 0;         ///< run_to_quiescence() calls
+  std::uint64_t cycles = 0;          ///< recognize-act cycles, all batches
+  std::uint64_t firings = 0;
+  std::uint64_t rebuilds = 0;        ///< engine+matcher reconstructions
+};
+
+class Session {
+ public:
+  enum class AssertOutcome : std::uint8_t {
+    New,           ///< a fresh fact entered working memory
+    Absorbed,      ///< identical alive fact existed (set semantics)
+    QuotaRejected  ///< fact_quota reached; nothing asserted
+  };
+
+  /// `program` must outlive the session.
+  Session(const Program& program, SessionConfig config);
+
+  // -- external operations (buffered into the WM pending delta; the
+  //    retained matcher sees them as one batch on the next run) --
+
+  AssertOutcome assert_fact(TemplateId tmpl, std::vector<Value> slots,
+                            FactId* id_out = nullptr);
+  bool retract(FactId id);
+  /// OPS5 modify; returns the new FactId or kInvalidFact.
+  FactId modify(FactId id, const std::vector<std::pair<int, Value>>& updates);
+
+  /// Fold the pending external delta into the retained matcher, then
+  /// run recognize-act cycles to quiescence, halt, or the cycle quota.
+  /// Returns this batch's stats; counters() accumulates across batches.
+  RunStats run_to_quiescence();
+
+  // -- queries over current working memory --
+
+  struct SlotFilter {
+    int slot;
+    Value value;
+  };
+  /// Alive facts of `tmpl` whose filtered slots equal the given values,
+  /// in ascending FactId order (deterministic).
+  std::vector<FactId> query(TemplateId tmpl,
+                            const std::vector<SlotFilter>& filters);
+
+  /// Name-based lookups through the program's symbol table.
+  std::optional<TemplateId> find_template(std::string_view name) const;
+  std::optional<int> find_slot(TemplateId tmpl, std::string_view name) const;
+
+  // -- checkpointing (reuses the distributed engine's snapshot type) --
+
+  /// Capture the alive fact set (cycle = cumulative cycle count).
+  SiteCheckpoint snapshot() const;
+
+  /// Replace working memory and matcher with the checkpointed state.
+  /// This is the ONE operation that rebuilds match state (counted in
+  /// counters().rebuilds): the fresh matcher re-derives the conflict
+  /// set from the restored facts on the next run, refraction reset
+  /// included — the same recovery contract as a distributed-site
+  /// restore (src/distrib/checkpoint.hpp).
+  void restore(const SiteCheckpoint& checkpoint);
+
+  // -- introspection --
+
+  const WorkingMemory& wm() const { return engine_->wm(); }
+  const Program& program() const { return program_; }
+  const SessionCounters& counters() const { return counters_; }
+  const MatchStats& match_stats() const { return engine_->matcher().stats(); }
+  const RunStats& last_run() const { return last_run_; }
+  bool halted() const { return engine_->halted(); }
+  std::uint64_t fingerprint() const {
+    return engine_->wm().content_fingerprint();
+  }
+
+ private:
+  std::unique_ptr<ParallelEngine> make_engine() const;
+
+  const Program& program_;
+  SessionConfig config_;
+  std::unique_ptr<ParallelEngine> engine_;
+  SessionCounters counters_;
+  RunStats last_run_;
+};
+
+}  // namespace parulel::service

@@ -19,6 +19,8 @@
 #include <sstream>
 
 #include "engine/par_engine.hpp"
+#include "lang/parser.hpp"
+#include "lang/printer.hpp"
 #include "match/parallel_treat.hpp"
 #include "match/rete.hpp"
 #include "match/treat.hpp"
@@ -344,6 +346,164 @@ TEST_P(RandomEngineTest, ParallelEngineTraceIdenticalAcrossThreads) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RandomEngineTest, ::testing::Range(0, 25));
+
+// ---------------------------- printer round-trip, randomized programs
+
+bool exprs_equal(const ExprAst& a, const ExprAst& b) {
+  if (a.kind != b.kind) return false;
+  switch (a.kind) {
+    case ExprAst::Kind::Const: return a.constant == b.constant;
+    case ExprAst::Kind::Var: return a.var == b.var;
+    case ExprAst::Kind::Call:
+      if (a.op != b.op || a.args.size() != b.args.size()) return false;
+      for (std::size_t i = 0; i < a.args.size(); ++i) {
+        if (!exprs_equal(a.args[i], b.args[i])) return false;
+      }
+      return true;
+  }
+  return false;
+}
+
+bool patterns_equal(const PatternCEAst& a, const PatternCEAst& b) {
+  if (a.tmpl != b.tmpl || a.negated != b.negated || a.exists != b.exists ||
+      a.fact_var != b.fact_var || a.slots.size() != b.slots.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < a.slots.size(); ++i) {
+    const SlotPatternAst& x = a.slots[i];
+    const SlotPatternAst& y = b.slots[i];
+    if (x.slot != y.slot || x.kind != y.kind) return false;
+    if (x.kind == SlotPatternAst::Kind::Const && x.constant != y.constant) {
+      return false;
+    }
+    if (x.kind == SlotPatternAst::Kind::Var && x.var != y.var) return false;
+  }
+  return true;
+}
+
+bool ces_equal(const CEAst& a, const CEAst& b) {
+  if (a.index() != b.index()) return false;
+  if (const auto* ta = std::get_if<TestCEAst>(&a)) {
+    return exprs_equal(ta->expr, std::get<TestCEAst>(b).expr);
+  }
+  return patterns_equal(std::get<PatternCEAst>(a),
+                        std::get<PatternCEAst>(b));
+}
+
+bool actions_equal(const ActionAst& a, const ActionAst& b) {
+  if (a.kind != b.kind || a.tmpl != b.tmpl || a.fact_var != b.fact_var ||
+      a.bind_var != b.bind_var ||
+      a.slot_exprs.size() != b.slot_exprs.size() ||
+      a.args.size() != b.args.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < a.slot_exprs.size(); ++i) {
+    if (a.slot_exprs[i].first != b.slot_exprs[i].first ||
+        !exprs_equal(a.slot_exprs[i].second, b.slot_exprs[i].second)) {
+      return false;
+    }
+  }
+  for (std::size_t i = 0; i < a.args.size(); ++i) {
+    if (!exprs_equal(a.args[i], b.args[i])) return false;
+  }
+  return true;
+}
+
+/// Structural equality over whole ASTs, line numbers ignored.
+bool asts_equal(const ProgramAst& a, const ProgramAst& b) {
+  if (a.templates.size() != b.templates.size() ||
+      a.rules.size() != b.rules.size() || a.facts.size() != b.facts.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < a.templates.size(); ++i) {
+    if (a.templates[i].name != b.templates[i].name ||
+        a.templates[i].slots != b.templates[i].slots) {
+      return false;
+    }
+  }
+  for (std::size_t i = 0; i < a.rules.size(); ++i) {
+    const RuleAst& x = a.rules[i];
+    const RuleAst& y = b.rules[i];
+    if (x.name != y.name || x.salience != y.salience ||
+        x.is_meta != y.is_meta || x.lhs.size() != y.lhs.size() ||
+        x.rhs.size() != y.rhs.size()) {
+      return false;
+    }
+    for (std::size_t j = 0; j < x.lhs.size(); ++j) {
+      if (!ces_equal(x.lhs[j], y.lhs[j])) return false;
+    }
+    for (std::size_t j = 0; j < x.rhs.size(); ++j) {
+      if (!actions_equal(x.rhs[j], y.rhs[j])) return false;
+    }
+  }
+  for (std::size_t i = 0; i < a.facts.size(); ++i) {
+    if (a.facts[i].name != b.facts[i].name ||
+        a.facts[i].facts.size() != b.facts[i].facts.size()) {
+      return false;
+    }
+    for (std::size_t j = 0; j < a.facts[i].facts.size(); ++j) {
+      if (!patterns_equal(a.facts[i].facts[j], b.facts[i].facts[j])) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+/// parse -> print -> parse must reproduce the AST, and a second print
+/// must reproduce the text (the printer is a fixpoint of its own
+/// output).
+void expect_round_trip(const std::string& source) {
+  SymbolTable symbols;
+  const ProgramAst first = parse_ast(source, symbols);
+  const std::string printed = print_ast(first, symbols);
+  const ProgramAst second = parse_ast(printed, symbols);
+  EXPECT_TRUE(asts_equal(first, second))
+      << "round-trip changed the AST\n--- original:\n"
+      << source << "--- printed:\n" << printed;
+  EXPECT_EQ(printed, print_ast(second, symbols))
+      << "printer is not idempotent on its own output";
+}
+
+class RoundTripTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RoundTripTest, PrintedProgramReparsesToSameAst) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 6271 + 31);
+  const bool active = GetParam() % 2 == 0;
+  expect_round_trip(generate_program(rng, active).source);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RoundTripTest, ::testing::Range(0, 40));
+
+TEST(RoundTrip, CoversEveryAstNodeKind) {
+  // Salience, not/exists, fact vars, wildcards, floats, strings,
+  // modify/bind/halt/printout, meta rules with redact — one program
+  // touching every printable node.
+  expect_round_trip(R"((deftemplate point (slot x) (slot y))
+(deftemplate label (slot text) (slot weight))
+(defrule tag
+  (declare (salience 5))
+  ?p <- (point (x ?x) (y ?))
+  (not (label (text done) (weight ?x)))
+  (exists (point (x 0) (y ?x)))
+  (test (> ?x 1.5))
+  =>
+  (bind ?w (+ ?x 0.25))
+  (assert (label (text "two words") (weight ?w)))
+  (modify ?p (x (- ?x 1)))
+  (printout tagged ?x)
+  (halt))
+(defmetarule dedup
+  (inst-tag (id ?a) (x ?x1))
+  (inst-tag (id ?b) (x ?x2))
+  (test (and (== ?x1 ?x2) (< ?a ?b)))
+  =>
+  (redact ?b))
+(deffacts seed
+  (point (x 2.75) (y 1))
+  (label (text "a b") (weight -3)))
+)");
+}
 
 }  // namespace
 }  // namespace parulel
