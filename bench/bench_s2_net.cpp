@@ -1,0 +1,220 @@
+// R-S2 — Networked rule service: TCP throughput and client-visible
+// latency as connections x pipelining depth x batch size vary.
+//
+// An in-process NetServer fronts one shared RuleService; C client
+// threads each dial it with the blocking NetClient, open a private
+// session, and stream `assert`s with a `run` every B ops, keeping D
+// commands in flight (send a window of D, then collect the D responses
+// in order — the server guarantees 1:1 request:response ordering).
+//
+// Reported shapes:
+//   - throughput (protocol ops/s) should rise with connections until
+//     the single-threaded event loop + synchronous service saturate —
+//     the poll loop multiplexes the sockets, but recognize-act work is
+//     serialized, so scaling flattens rather than climbing forever;
+//   - pipelining depth D amortizes round trips: D=1 pays a full RTT
+//     per command, deeper windows approach the server's service rate;
+//   - batch size B trades per-run fixpoint amortization against the
+//     latency of the window that carries the run.
+//
+// Latency is measured client-side per pipeline window (send first byte
+// of the window -> last response of the window read); p50/p99 are over
+// all windows of all clients. Server-side NetStats for every
+// configuration land in BENCH_R-S2.json through the shared net_fields()
+// schema.
+#include <algorithm>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "support/timer.hpp"
+
+using namespace parulel;
+using namespace parulel::bench;
+
+namespace {
+
+// Each asserted (item ID new) yields one promote firing at the next
+// run, so server work scales with the feed and every run has real
+// match/fire work to do.
+constexpr const char* kProgram = R"((deftemplate item (slot id) (slot state))
+(deftemplate seen (slot id))
+(defrule promote
+  (item (id ?i) (state new))
+  (not (seen (id ?i)))
+  =>
+  (assert (seen (id ?i))))
+)";
+
+constexpr const char* kProgramPath = "bench_s2_program.clp";
+constexpr std::size_t kOpsPerClient = 256;
+
+struct ClientResult {
+  std::uint64_t ops = 0;                 ///< protocol commands completed
+  std::uint64_t errors = 0;              ///< `err` responses seen
+  std::vector<std::uint64_t> window_ns;  ///< per-window round trips
+  bool io_ok = true;
+};
+
+ClientResult run_client(std::uint16_t port, unsigned conn_id,
+                        std::size_t depth, std::size_t batch) {
+  ClientResult result;
+  net::NetClient client;
+  if (!client.connect("127.0.0.1", port)) {
+    result.io_ok = false;
+    return result;
+  }
+
+  // The command stream: open, a batched assert/run feed, close.
+  std::vector<std::string> cmds;
+  cmds.push_back("open s " + std::string(kProgramPath));
+  for (std::size_t i = 0; i < kOpsPerClient; ++i) {
+    cmds.push_back("assert s item " +
+                   std::to_string(conn_id * 1'000'000 + i) + " new");
+    if ((i + 1) % batch == 0) cmds.push_back("run s");
+  }
+  cmds.push_back("run s");
+  cmds.push_back("close s");
+
+  std::size_t i = 0;
+  net::Response response;
+  while (i < cmds.size()) {
+    const std::size_t window = std::min(depth, cmds.size() - i);
+    Timer t;
+    for (std::size_t j = 0; j < window; ++j) {
+      if (!client.send_line(cmds[i + j])) {
+        result.io_ok = false;
+        return result;
+      }
+    }
+    for (std::size_t j = 0; j < window; ++j) {
+      if (!client.read_response(response)) {
+        result.io_ok = false;
+        return result;
+      }
+      if (!response.ok()) ++result.errors;
+      ++result.ops;
+    }
+    result.window_ns.push_back(t.elapsed_ns());
+    i += window;
+  }
+  return result;
+}
+
+std::uint64_t percentile(std::vector<std::uint64_t>& v, double q) {
+  if (v.empty()) return 0;
+  std::sort(v.begin(), v.end());
+  const std::size_t idx =
+      static_cast<std::size_t>(q * static_cast<double>(v.size() - 1));
+  return v[idx];
+}
+
+struct SweepResult {
+  double wall_ms = 0;
+  double ops_per_sec = 0;
+  std::uint64_t p50_ns = 0;
+  std::uint64_t p99_ns = 0;
+  std::uint64_t errors = 0;
+  NetStats net;
+  bool ok = true;
+};
+
+SweepResult run_config(unsigned connections, std::size_t depth,
+                       std::size_t batch) {
+  net::NetServerConfig cfg;
+  cfg.max_connections = connections + 8;
+  net::NetServer server(cfg);
+  SweepResult result;
+  if (!server.start()) {
+    std::fprintf(stderr, "error: %s\n", server.error().c_str());
+    result.ok = false;
+    return result;
+  }
+  std::thread server_thread([&server] { server.run(); });
+
+  Timer wall;
+  std::vector<std::thread> threads;
+  std::vector<ClientResult> clients(connections);
+  for (unsigned c = 0; c < connections; ++c) {
+    threads.emplace_back([&clients, c, depth, batch, port = server.port()] {
+      clients[c] = run_client(port, c, depth, batch);
+    });
+  }
+  for (auto& t : threads) t.join();
+  result.wall_ms = ms(wall.elapsed_ns());
+
+  server.stop();
+  server_thread.join();
+  result.net = server.stats_snapshot();
+
+  std::uint64_t total_ops = 0;
+  std::vector<std::uint64_t> windows;
+  for (ClientResult& c : clients) {
+    result.ok = result.ok && c.io_ok;
+    total_ops += c.ops;
+    result.errors += c.errors;
+    windows.insert(windows.end(), c.window_ns.begin(), c.window_ns.end());
+  }
+  result.ops_per_sec =
+      static_cast<double>(total_ops) / (result.wall_ms / 1e3);
+  result.p50_ns = percentile(windows, 0.50);
+  result.p99_ns = percentile(windows, 0.99);
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  header("R-S2", "networked rule service: connections x depth x batch");
+
+  {
+    std::ofstream program(kProgramPath);
+    if (!program) {
+      std::fprintf(stderr, "error: cannot write %s\n", kProgramPath);
+      return 1;
+    }
+    program << kProgram;
+  }
+
+  JsonReport json("R-S2");
+  std::printf("\nfeed: %zu asserts/connection, window latency is one "
+              "pipeline round trip\n\n",
+              kOpsPerClient);
+  std::printf("%6s %6s %6s %9s %11s %10s %10s %5s\n", "conns", "depth",
+              "batch", "wall_ms", "ops/s", "p50_us", "p99_us", "errs");
+
+  bool all_ok = true;
+  for (const unsigned connections : {1u, 2u, 4u, 8u}) {
+    for (const std::size_t depth : {1u, 8u, 32u}) {
+      for (const std::size_t batch : {8u, 64u}) {
+        const SweepResult r = run_config(connections, depth, batch);
+        all_ok = all_ok && r.ok && r.errors == 0;
+        std::printf("%6u %6zu %6zu %9.2f %11.0f %10.1f %10.1f %5llu\n",
+                    connections, depth, batch, r.wall_ms, r.ops_per_sec,
+                    static_cast<double>(r.p50_ns) / 1e3,
+                    static_cast<double>(r.p99_ns) / 1e3,
+                    static_cast<unsigned long long>(r.errors));
+        json.add_net("net/c" + std::to_string(connections) + "/d" +
+                         std::to_string(depth) + "/b" +
+                         std::to_string(batch),
+                     r.net,
+                     {{"connections", static_cast<double>(connections)},
+                      {"depth", static_cast<double>(depth)},
+                      {"batch", static_cast<double>(batch)},
+                      {"wall_ms", r.wall_ms},
+                      {"ops_per_sec", r.ops_per_sec},
+                      {"window_p50_us", static_cast<double>(r.p50_ns) / 1e3},
+                      {"window_p99_us", static_cast<double>(r.p99_ns) / 1e3},
+                      {"client_errors", static_cast<double>(r.errors)}});
+      }
+    }
+  }
+
+  if (!all_ok) {
+    std::fprintf(stderr, "error: a client saw I/O failures or `err` "
+                         "responses\n");
+    return 1;
+  }
+  return 0;
+}

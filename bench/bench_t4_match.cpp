@@ -45,21 +45,12 @@ Loaded load(int which) {
 
 const char* kNames[] = {"synth3", "synth5", "waltz8", "tc72"};
 
-std::unique_ptr<Matcher> make_matcher(const Loaded& l, int kind) {
-  switch (kind) {
-    case 0:
-      return std::make_unique<ReteMatcher>(l.program.rules,
-                                           l.program.alphas,
-                                           l.program.schema.size());
-    case 1:
-      return std::make_unique<TreatMatcher>(l.program.rules,
-                                            l.program.alphas,
-                                            l.program.schema.size());
-    default:
-      return std::make_unique<ParallelTreatMatcher>(
-          l.program.rules, l.program.alphas, l.program.schema.size(),
-          *l.pool);
-  }
+constexpr MatcherKind kKinds[] = {MatcherKind::Rete, MatcherKind::Treat,
+                                  MatcherKind::ParallelTreat};
+
+std::unique_ptr<Matcher> build_matcher(const Loaded& l, int kind) {
+  // One shared switch for the whole tree: the match-layer factory.
+  return make_matcher(kKinds[kind], l.program, l.pool.get());
 }
 
 void BM_InitialMatch(benchmark::State& state) {
@@ -72,7 +63,7 @@ void BM_InitialMatch(benchmark::State& state) {
     for (const auto& f : l.program.initial_facts) {
       wm.assert_fact(f.tmpl, f.slots);
     }
-    auto matcher = make_matcher(l, kind);
+    auto matcher = build_matcher(l, kind);
     state.ResumeTiming();
 
     matcher->apply_delta(wm, wm.drain_delta());
@@ -96,7 +87,7 @@ void BM_IncrementalRetractAssert(benchmark::State& state) {
   for (const auto& f : l.program.initial_facts) {
     wm.assert_fact(f.tmpl, f.slots);
   }
-  auto matcher = make_matcher(l, kind);
+  auto matcher = build_matcher(l, kind);
   matcher->apply_delta(wm, wm.drain_delta());
 
   // Pick a rotating victim set of facts to churn.
@@ -142,7 +133,7 @@ namespace {
 /// stable machine-readable record the other benches emit too).
 void write_json_report() {
   parulel::bench::JsonReport json("R-T4");
-  const char* kMatcherNames[] = {"rete", "treat", "parallel-treat"};
+
   for (int which = 0; which < 4; ++which) {
     for (int kind = 0; kind < 3; ++kind) {
       const Loaded l = load(which);
@@ -150,12 +141,12 @@ void write_json_report() {
       for (const auto& f : l.program.initial_facts) {
         wm.assert_fact(f.tmpl, f.slots);
       }
-      auto matcher = make_matcher(l, kind);
+      auto matcher = build_matcher(l, kind);
       const Timer t;
       matcher->apply_delta(wm, wm.drain_delta());
       const double match_ms = t.elapsed_ms();
       json.add_row(
-          std::string(kNames[which]) + "/" + kMatcherNames[kind],
+          std::string(kNames[which]) + "/" + matcher_kind_name(kKinds[kind]),
           {{"initial_match_ms", match_ms},
            {"conflict_set",
             static_cast<double>(matcher->conflict_set().size())},

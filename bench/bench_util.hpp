@@ -119,6 +119,23 @@ class JsonReport {
     rows_.push_back(w.str());
   }
 
+  /// One row for a TCP front-end measurement: label + every
+  /// net_fields() entry (connection lifecycle, wire volume, protection
+  /// counters), same shared schema as the metrics exporter.
+  void add_net(
+      const std::string& label, const NetStats& stats,
+      std::initializer_list<std::pair<const char*, double>> extras = {}) {
+    obs::JsonWriter w;
+    w.begin_object();
+    w.field("label", label);
+    for (const auto& f : obs::net_fields()) {
+      w.field(f.name, stats.*f.member);
+    }
+    for (const auto& [k, v] : extras) w.field(k, v);
+    w.end_object();
+    rows_.push_back(w.str());
+  }
+
   /// One free-form row of bench-specific numbers.
   void add_row(const std::string& label,
                std::initializer_list<std::pair<const char*, double>> fields) {

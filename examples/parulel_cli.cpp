@@ -1,30 +1,29 @@
-// parulel_cli: load a PARULEL program from a file and run it.
+// parulel_cli: load a PARULEL program from a file and run it — or serve
+// the rule-service line protocol, locally or over TCP.
 //
-// Usage:
-//   parulel_cli <program.clp> [--engine seq|par|dist] [--threads N]
-//               [--strategy lex|mea|first|random] [--matcher rete|treat]
-//               [--max-cycles N] [--trace] [--trace-json <file>]
-//               [--metrics] [--metrics-json <file>] [--dump-wm]
-//               [--sites N] [--partition tmpl=slot,...]
-//               [--fault-plan SPEC] [--checkpoint-every N]
-//   parulel_cli --serve [--threads N] [--queue-capacity N] [--batch-max N]
-//               [--max-sessions N] [--fact-quota N] [--echo]
+// Modes:
+//   parulel_cli <program.clp> [options]    run a program file
+//   parulel_cli --serve [options]          line protocol on stdin/stdout
+//   parulel_cli --listen [options]         line protocol over TCP
+//   parulel_cli --connect HOST:PORT        drive a TCP server from stdin
 //
-// --serve speaks the rule-service line protocol (src/service/serve.hpp)
-// on stdin/stdout: open sessions over program files, feed incremental
-// assert/retract batches into their retained matchers, run, query.
+// Every flag lives in one table (kFlags below): the parser, `--help`,
+// and the README's flag table (`--help-markdown`) are all generated from
+// it, so a flag cannot exist without being documented.
 //
 // Exit codes:
 //   0  success
-//   1  I/O error (unreadable program, unwritable output file)
-//   2  usage error (bad flag or flag value)
+//   1  I/O error (unreadable program, unwritable output file, bind or
+//      connect failure, connection lost)
+//   2  usage error (bad flag, bad flag value, flag in the wrong mode)
 //   3  parse error (program text or fault-plan spec)
-//   4  runtime error (engine refused the configuration; in --serve mode,
-//      one or more protocol commands answered `err`)
+//   4  runtime error (engine refused the configuration; in serve or
+//      connect mode, one or more protocol commands answered `err`)
 //   5  the run hit --max-cycles without quiescing or halting
 //
 // The hello-world of the repository:
 //   ./parulel_cli ../examples/programs/greetings.clp --engine par
+#include <csignal>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -53,36 +52,6 @@ struct UsageError : std::runtime_error {
 struct IoError : std::runtime_error {
   using std::runtime_error::runtime_error;
 };
-
-void print_usage(std::ostream& os) {
-  os << "usage: parulel_cli <program.clp> [options]\n"
-        "  --engine seq|par|dist  engine (default par)\n"
-        "  --threads N            worker threads for par (default: cores)\n"
-        "  --strategy lex|mea|first|random   seq conflict resolution\n"
-        "  --matcher rete|treat   seq match algorithm (default rete)\n"
-        "  --max-cycles N         cycle cap (default 1000000)\n"
-        "  --trace                print per-cycle stats\n"
-        "  --trace-json FILE      write one JSON object per cycle (JSONL)\n"
-        "  --metrics              print engine/matcher/pool metrics\n"
-        "  --metrics-json FILE    write the metrics registry as JSON\n"
-        "  --dump-wm              print final working memory\n"
-        "  --sites N              dist: number of simulated sites "
-        "(default 4)\n"
-        "  --partition T=S,...    dist: partition template T on slot S;\n"
-        "                         unlisted templates are replicated\n"
-        "  --fault-plan SPEC      dist: inject faults, e.g.\n"
-        "                         loss=0.2,dup=0.05,delay=0.1,seed=7,"
-        "crash=1@5+4\n"
-        "  --checkpoint-every N   dist: snapshot sites every N cycles\n"
-        "\n"
-        "serve mode: parulel_cli --serve [options]\n"
-        "  --threads N            shared match/fire pool threads\n"
-        "  --queue-capacity N     per-session request cap (default 256)\n"
-        "  --batch-max N          max requests per commit (default 128)\n"
-        "  --max-sessions N       open session cap (default 64)\n"
-        "  --fact-quota N         per-session alive-fact cap (default off)\n"
-        "  --echo                 echo each protocol line before replies\n";
-}
 
 std::uint64_t parse_count(const std::string& flag, const std::string& value) {
   try {
@@ -114,8 +83,25 @@ std::unordered_map<std::string, std::string> parse_partition(
   return slot_by_template;
 }
 
-struct CliOptions {
-  std::string program_path;
+enum class Mode { Run, Serve, Listen, Connect };
+
+const char* mode_name(Mode m) {
+  switch (m) {
+    case Mode::Run: return "run";
+    case Mode::Serve: return "serve";
+    case Mode::Listen: return "listen";
+    case Mode::Connect: return "connect";
+  }
+  return "?";
+}
+
+/// Everything the CLI can be told, across all four modes.
+struct Options {
+  Mode mode = Mode::Run;
+  std::string program_path;    // run
+  std::string connect_target;  // connect, "HOST:PORT"
+
+  // run
   std::string engine_kind = "par";
   unsigned threads = parulel::ThreadPool::default_threads();
   parulel::Strategy strategy = parulel::Strategy::Lex;
@@ -123,68 +109,275 @@ struct CliOptions {
   std::uint64_t max_cycles = 1'000'000;
   bool trace = false, dump_wm = false, metrics = false;
   std::string trace_json_path, metrics_json_path;
-
   unsigned sites = 4;
   std::unordered_map<std::string, std::string> partition;
   std::string fault_plan_spec;
   std::uint64_t checkpoint_every = 0;
+
+  // serve + listen (the fronted service)
+  parulel::service::ServiceConfig service;
+  bool echo = false;
+
+  // listen
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  std::string port_file;
+  std::size_t max_conns = 64;
+  std::uint64_t idle_timeout_ms = 0;
+  std::uint64_t drain_timeout_ms = 2'000;
 };
 
-CliOptions parse_args(int argc, char** argv) {
-  if (argc < 2) throw UsageError("missing program file");
-  CliOptions opt;
-  opt.program_path = argv[1];
+// Mode-applicability bits for a flag.
+constexpr unsigned kRun = 1u << 0;
+constexpr unsigned kServe = 1u << 1;
+constexpr unsigned kListen = 1u << 2;
+constexpr unsigned kConnect = 1u << 3;
 
-  for (int i = 2; i < argc; ++i) {
-    const std::string arg = argv[i];
-    auto value = [&]() -> std::string {
-      if (i + 1 >= argc) throw UsageError("missing value for " + arg);
-      return argv[++i];
-    };
-    if (arg == "--engine") {
-      opt.engine_kind = value();
-      if (opt.engine_kind != "seq" && opt.engine_kind != "par" &&
-          opt.engine_kind != "dist") {
-        throw UsageError("unknown engine '" + opt.engine_kind + "'");
-      }
-    } else if (arg == "--threads") {
-      opt.threads = static_cast<unsigned>(parse_count(arg, value()));
-    } else if (arg == "--strategy") {
-      const std::string s = value();
-      if (s == "lex") opt.strategy = parulel::Strategy::Lex;
-      else if (s == "mea") opt.strategy = parulel::Strategy::Mea;
-      else if (s == "first") opt.strategy = parulel::Strategy::First;
-      else if (s == "random") opt.strategy = parulel::Strategy::Random;
-      else throw UsageError("unknown strategy '" + s + "'");
-    } else if (arg == "--matcher") {
-      const std::string m = value();
-      if (m == "rete") opt.seq_matcher = parulel::MatcherKind::Rete;
-      else if (m == "treat") opt.seq_matcher = parulel::MatcherKind::Treat;
-      else throw UsageError("unknown matcher '" + m + "'");
-    } else if (arg == "--max-cycles") {
-      opt.max_cycles = parse_count(arg, value());
-    } else if (arg == "--trace") {
-      opt.trace = true;
-    } else if (arg == "--trace-json") {
-      opt.trace_json_path = value();
-    } else if (arg == "--metrics") {
-      opt.metrics = true;
-    } else if (arg == "--metrics-json") {
-      opt.metrics_json_path = value();
-    } else if (arg == "--dump-wm") {
-      opt.dump_wm = true;
-    } else if (arg == "--sites") {
-      opt.sites = static_cast<unsigned>(parse_count(arg, value()));
-      if (opt.sites == 0) throw UsageError("--sites must be >= 1");
-    } else if (arg == "--partition") {
-      opt.partition = parse_partition(value());
-    } else if (arg == "--fault-plan") {
-      opt.fault_plan_spec = value();
-    } else if (arg == "--checkpoint-every") {
-      opt.checkpoint_every = parse_count(arg, value());
-    } else {
-      throw UsageError("unknown option '" + arg + "'");
+/// One CLI flag: its name, value shape, the modes it applies to, the
+/// help line, and the parse action. The single source for parsing,
+/// --help, and the README table (--help-markdown).
+struct FlagSpec {
+  const char* name;
+  const char* metavar;  ///< nullptr: boolean flag, takes no value
+  unsigned modes;
+  const char* help;
+  void (*apply)(Options&, const std::string& value);
+};
+
+const FlagSpec kFlags[] = {
+    {"--engine", "seq|par|dist", kRun, "engine (default par)",
+     [](Options& o, const std::string& v) {
+       if (v != "seq" && v != "par" && v != "dist") {
+         throw UsageError("unknown engine '" + v + "'");
+       }
+       o.engine_kind = v;
+     }},
+    {"--threads", "N", kRun | kServe | kListen,
+     "worker threads: par engine / service pool (default: cores)",
+     [](Options& o, const std::string& v) {
+       o.threads = static_cast<unsigned>(parse_count("--threads", v));
+       o.service.pool_threads = o.threads;
+     }},
+    {"--strategy", "lex|mea|first|random", kRun,
+     "seq conflict resolution (default lex)",
+     [](Options& o, const std::string& v) {
+       if (v == "lex") o.strategy = parulel::Strategy::Lex;
+       else if (v == "mea") o.strategy = parulel::Strategy::Mea;
+       else if (v == "first") o.strategy = parulel::Strategy::First;
+       else if (v == "random") o.strategy = parulel::Strategy::Random;
+       else throw UsageError("unknown strategy '" + v + "'");
+     }},
+    {"--matcher", "rete|treat", kRun, "seq match algorithm (default rete)",
+     [](Options& o, const std::string& v) {
+       const auto kind = parulel::parse_matcher_kind(v);
+       if (!kind) throw UsageError("unknown matcher '" + v + "'");
+       o.seq_matcher = *kind;
+     }},
+    {"--max-cycles", "N", kRun, "cycle cap (default 1000000)",
+     [](Options& o, const std::string& v) {
+       o.max_cycles = parse_count("--max-cycles", v);
+     }},
+    {"--trace", nullptr, kRun, "print per-cycle stats",
+     [](Options& o, const std::string&) { o.trace = true; }},
+    {"--trace-json", "FILE", kRun,
+     "write one JSON object per cycle (JSONL)",
+     [](Options& o, const std::string& v) { o.trace_json_path = v; }},
+    {"--metrics", nullptr, kRun, "print engine/matcher/pool metrics",
+     [](Options& o, const std::string&) { o.metrics = true; }},
+    {"--metrics-json", "FILE", kRun,
+     "write the metrics registry as JSON",
+     [](Options& o, const std::string& v) { o.metrics_json_path = v; }},
+    {"--dump-wm", nullptr, kRun, "print final working memory",
+     [](Options& o, const std::string&) { o.dump_wm = true; }},
+    {"--sites", "N", kRun, "dist: number of simulated sites (default 4)",
+     [](Options& o, const std::string& v) {
+       o.sites = static_cast<unsigned>(parse_count("--sites", v));
+       if (o.sites == 0) throw UsageError("--sites must be >= 1");
+     }},
+    {"--partition", "T=S,...", kRun,
+     "dist: partition template T on slot S; unlisted templates are "
+     "replicated",
+     [](Options& o, const std::string& v) { o.partition = parse_partition(v); }},
+    {"--fault-plan", "SPEC", kRun,
+     "dist: inject faults, e.g. loss=0.2,dup=0.05,delay=0.1,seed=7,"
+     "crash=1@5+4",
+     [](Options& o, const std::string& v) { o.fault_plan_spec = v; }},
+    {"--checkpoint-every", "N", kRun,
+     "dist: snapshot sites every N cycles",
+     [](Options& o, const std::string& v) {
+       o.checkpoint_every = parse_count("--checkpoint-every", v);
+     }},
+    {"--queue-capacity", "N", kServe | kListen,
+     "per-session request cap (default 256)",
+     [](Options& o, const std::string& v) {
+       o.service.queue_capacity = parse_count("--queue-capacity", v);
+       if (o.service.queue_capacity == 0) {
+         throw UsageError("--queue-capacity must be >= 1");
+       }
+     }},
+    {"--batch-max", "N", kServe | kListen,
+     "max requests per commit (default 128)",
+     [](Options& o, const std::string& v) {
+       o.service.batch_max = parse_count("--batch-max", v);
+       if (o.service.batch_max == 0) {
+         throw UsageError("--batch-max must be >= 1");
+       }
+     }},
+    {"--max-sessions", "N", kServe | kListen,
+     "open session cap (default 64)",
+     [](Options& o, const std::string& v) {
+       o.service.max_sessions = parse_count("--max-sessions", v);
+     }},
+    {"--fact-quota", "N", kServe | kListen,
+     "per-session alive-fact cap (default off)",
+     [](Options& o, const std::string& v) {
+       o.service.fact_quota = parse_count("--fact-quota", v);
+     }},
+    {"--echo", nullptr, kServe | kListen | kConnect,
+     "echo each protocol line before its response",
+     [](Options& o, const std::string&) { o.echo = true; }},
+    {"--host", "ADDR", kListen,
+     "bind address (default 127.0.0.1)",
+     [](Options& o, const std::string& v) { o.host = v; }},
+    {"--port", "N", kListen,
+     "TCP port; 0 = kernel-assigned (default 0)",
+     [](Options& o, const std::string& v) {
+       const std::uint64_t p = parse_count("--port", v);
+       if (p > 65535) throw UsageError("--port must be <= 65535");
+       o.port = static_cast<std::uint16_t>(p);
+     }},
+    {"--port-file", "FILE", kListen,
+     "write the bound port to FILE once listening",
+     [](Options& o, const std::string& v) { o.port_file = v; }},
+    {"--max-conns", "N", kListen,
+     "connection cap; beyond it arrivals get `err server-full` "
+     "(default 64)",
+     [](Options& o, const std::string& v) {
+       o.max_conns = parse_count("--max-conns", v);
+       if (o.max_conns == 0) throw UsageError("--max-conns must be >= 1");
+     }},
+    {"--idle-timeout-ms", "N", kListen,
+     "close connections idle this long; 0 = never (default 0)",
+     [](Options& o, const std::string& v) {
+       o.idle_timeout_ms = parse_count("--idle-timeout-ms", v);
+     }},
+    {"--drain-timeout-ms", "N", kListen,
+     "graceful-shutdown flush budget (default 2000)",
+     [](Options& o, const std::string& v) {
+       o.drain_timeout_ms = parse_count("--drain-timeout-ms", v);
+     }},
+};
+
+void print_usage(std::ostream& os) {
+  os << "usage:\n"
+        "  parulel_cli <program.clp> [options]   run a program file\n"
+        "  parulel_cli --serve [options]         line protocol on "
+        "stdin/stdout\n"
+        "  parulel_cli --listen [options]        line protocol over TCP\n"
+        "  parulel_cli --connect HOST:PORT       drive a TCP server from "
+        "stdin\n"
+        "\noptions (marked with the modes that accept them):\n";
+  for (const FlagSpec& f : kFlags) {
+    std::string left = f.name;
+    if (f.metavar) {
+      left += ' ';
+      left += f.metavar;
     }
+    std::string modes;
+    for (Mode m : {Mode::Run, Mode::Serve, Mode::Listen, Mode::Connect}) {
+      if (f.modes & (1u << static_cast<unsigned>(m))) {
+        if (!modes.empty()) modes += ',';
+        modes += mode_name(m);
+      }
+    }
+    os << "  " << left;
+    for (std::size_t i = left.size(); i < 34; ++i) os << ' ';
+    os << "[" << modes << "] " << f.help << "\n";
+  }
+}
+
+/// The README's flag table, generated from the same kFlags source.
+void print_usage_markdown(std::ostream& os) {
+  auto escape = [](std::string s) {
+    std::string out;
+    for (char c : s) {
+      if (c == '|') out += "\\|";
+      else out += c;
+    }
+    return out;
+  };
+  os << "| Flag | Modes | Description |\n|---|---|---|\n";
+  for (const FlagSpec& f : kFlags) {
+    std::string left = f.name;
+    if (f.metavar) {
+      left += ' ';
+      left += f.metavar;
+    }
+    std::string modes;
+    for (Mode m : {Mode::Run, Mode::Serve, Mode::Listen, Mode::Connect}) {
+      if (f.modes & (1u << static_cast<unsigned>(m))) {
+        if (!modes.empty()) modes += ", ";
+        modes += mode_name(m);
+      }
+    }
+    os << "| `" << escape(left) << "` | " << modes << " | "
+       << escape(f.help) << " |\n";
+  }
+}
+
+/// Parse everything after the mode selector through the flag table.
+Options parse_args(int argc, char** argv) {
+  Options opt;
+  opt.service.pool_threads = parulel::ThreadPool::default_threads();
+
+  int i = 1;
+  if (argc < 2) throw UsageError("missing program file or mode flag");
+  const std::string first = argv[1];
+  if (first == "--serve") {
+    opt.mode = Mode::Serve;
+    i = 2;
+  } else if (first == "--listen") {
+    opt.mode = Mode::Listen;
+    i = 2;
+  } else if (first == "--connect") {
+    opt.mode = Mode::Connect;
+    if (argc < 3) throw UsageError("--connect needs HOST:PORT");
+    opt.connect_target = argv[2];
+    i = 3;
+  } else if (first.rfind("--", 0) == 0) {
+    throw UsageError("unknown mode or misplaced option '" + first +
+                     "' (the program file must come first)");
+  } else {
+    opt.program_path = first;
+    i = 2;
+  }
+  const unsigned mode_bit = 1u << static_cast<unsigned>(opt.mode);
+
+  for (; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const FlagSpec* spec = nullptr;
+    for (const FlagSpec& f : kFlags) {
+      if (arg == f.name) {
+        spec = &f;
+        break;
+      }
+    }
+    if (!spec) throw UsageError("unknown option '" + arg + "'");
+    if (!(spec->modes & mode_bit)) {
+      throw UsageError(arg + std::string(" is not valid in ") +
+                       mode_name(opt.mode) + " mode");
+    }
+    std::string value;
+    if (spec->metavar) {
+      if (i + 1 >= argc) throw UsageError("missing value for " + arg);
+      value = argv[++i];
+    }
+    spec->apply(opt, value);
+  }
+
+  if ((opt.mode == Mode::Serve || opt.mode == Mode::Listen) &&
+      opt.service.pool_threads == 0) {
+    throw UsageError("--threads must be >= 1");
   }
   return opt;
 }
@@ -199,52 +392,101 @@ void dump_working_memory(const parulel::WorkingMemory& wm,
   }
 }
 
-/// `parulel_cli --serve`: the rule-service line protocol on stdin/stdout.
-int run_serve(int argc, char** argv) {
-  parulel::service::ServeOptions opt;
-  opt.service.pool_threads = parulel::ThreadPool::default_threads();
-  opt.service.output = &std::cout;
-
-  for (int i = 2; i < argc; ++i) {
-    const std::string arg = argv[i];
-    auto value = [&]() -> std::string {
-      if (i + 1 >= argc) throw UsageError("missing value for " + arg);
-      return argv[++i];
-    };
-    if (arg == "--threads") {
-      opt.service.pool_threads =
-          static_cast<unsigned>(parse_count(arg, value()));
-      if (opt.service.pool_threads == 0) {
-        throw UsageError("--threads must be >= 1");
-      }
-    } else if (arg == "--queue-capacity") {
-      opt.service.queue_capacity = parse_count(arg, value());
-      if (opt.service.queue_capacity == 0) {
-        throw UsageError("--queue-capacity must be >= 1");
-      }
-    } else if (arg == "--batch-max") {
-      opt.service.batch_max = parse_count(arg, value());
-      if (opt.service.batch_max == 0) {
-        throw UsageError("--batch-max must be >= 1");
-      }
-    } else if (arg == "--max-sessions") {
-      opt.service.max_sessions = parse_count(arg, value());
-    } else if (arg == "--fact-quota") {
-      opt.service.fact_quota = parse_count(arg, value());
-    } else if (arg == "--echo") {
-      opt.echo = true;
-    } else {
-      throw UsageError("unknown --serve option '" + arg + "'");
-    }
-  }
-
-  const int errors = parulel::service::serve(std::cin, std::cout, opt);
+/// `--serve`: the rule-service line protocol on stdin/stdout.
+int run_serve(const Options& opt) {
+  parulel::service::ServeOptions serve_opt;
+  serve_opt.service = opt.service;
+  serve_opt.service.output = &std::cout;
+  serve_opt.echo = opt.echo;
+  const int errors = parulel::service::serve(std::cin, std::cout, serve_opt);
   return errors == 0 ? kExitOk : kExitRuntime;
 }
 
-int run_cli(int argc, char** argv) {
-  const CliOptions opt = parse_args(argc, argv);
+parulel::net::NetServer* g_server = nullptr;
 
+extern "C" void handle_stop_signal(int) {
+  // NetServer::stop() is async-signal-safe: one write on a self-pipe.
+  if (g_server != nullptr) g_server->stop();
+}
+
+/// `--listen`: the same protocol over TCP, until SIGINT/SIGTERM.
+int run_listen(const Options& opt) {
+  parulel::net::NetServerConfig cfg;
+  cfg.host = opt.host;
+  cfg.port = opt.port;
+  cfg.max_connections = opt.max_conns;
+  cfg.idle_timeout_ms = opt.idle_timeout_ms;
+  cfg.drain_timeout_ms = opt.drain_timeout_ms;
+  cfg.service = opt.service;
+  cfg.echo = opt.echo;
+
+  parulel::net::NetServer server(cfg);
+  if (!server.start()) throw IoError(server.error());
+  if (!opt.port_file.empty()) {
+    std::ofstream pf(opt.port_file);
+    if (!pf) throw IoError("cannot open " + opt.port_file + " for writing");
+    pf << server.port() << "\n";
+  }
+  std::cout << "listening on " << opt.host << ":" << server.port() << "\n"
+            << std::flush;
+
+  g_server = &server;
+  std::signal(SIGINT, handle_stop_signal);
+  std::signal(SIGTERM, handle_stop_signal);
+  server.run();
+  g_server = nullptr;
+
+  const parulel::NetStats stats = server.stats_snapshot();
+  std::cout << "net:";
+  for (const auto& f : parulel::obs::net_fields()) {
+    std::cout << ' ' << f.name << '=' << stats.*f.member;
+  }
+  std::cout << "\n";
+  return kExitOk;
+}
+
+/// `--connect HOST:PORT`: read command lines from stdin, print each
+/// response; same exit-code contract as --serve.
+int run_connect(const Options& opt) {
+  const std::size_t colon = opt.connect_target.rfind(':');
+  if (colon == std::string::npos || colon == 0 ||
+      colon + 1 == opt.connect_target.size()) {
+    throw UsageError("--connect target must be HOST:PORT, got '" +
+                     opt.connect_target + "'");
+  }
+  const std::string host = opt.connect_target.substr(0, colon);
+  const std::uint64_t port =
+      parse_count("--connect", opt.connect_target.substr(colon + 1));
+  if (port == 0 || port > 65535) {
+    throw UsageError("--connect port must be 1..65535");
+  }
+
+  parulel::net::NetClient client;
+  if (!client.connect(host, static_cast<std::uint16_t>(port))) {
+    throw IoError(client.error());
+  }
+
+  int errors = 0;
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    // Blank and comment-only lines produce no response; skip them so
+    // request:response stays 1:1.
+    const std::size_t start = line.find_first_not_of(" \t\r");
+    if (start == std::string::npos || line[start] == '#') continue;
+    if (opt.echo) std::cout << "> " << line << "\n";
+    parulel::net::Response response;
+    if (!client.request(line, response)) throw IoError(client.error());
+    std::cout << response.status << "\n";
+    for (const std::string& detail : response.details) {
+      std::cout << detail << "\n";
+    }
+    if (!response.ok()) ++errors;
+    if (response.status == "ok quit") break;  // server closes after this
+  }
+  return errors == 0 ? kExitOk : kExitRuntime;
+}
+
+int run_cli(const Options& opt) {
   std::ifstream in(opt.program_path);
   if (!in) throw IoError("cannot open " + opt.program_path);
   std::stringstream buffer;
@@ -376,10 +618,23 @@ int run_cli(int argc, char** argv) {
 
 int main(int argc, char** argv) {
   try {
-    if (argc >= 2 && std::strcmp(argv[1], "--serve") == 0) {
-      return run_serve(argc, argv);
+    if (argc >= 2 && (std::strcmp(argv[1], "--help") == 0 ||
+                      std::strcmp(argv[1], "-h") == 0)) {
+      print_usage(std::cout);
+      return kExitOk;
     }
-    return run_cli(argc, argv);
+    if (argc >= 2 && std::strcmp(argv[1], "--help-markdown") == 0) {
+      print_usage_markdown(std::cout);
+      return kExitOk;
+    }
+    const Options opt = parse_args(argc, argv);
+    switch (opt.mode) {
+      case Mode::Serve: return run_serve(opt);
+      case Mode::Listen: return run_listen(opt);
+      case Mode::Connect: return run_connect(opt);
+      case Mode::Run: break;
+    }
+    return run_cli(opt);
   } catch (const UsageError& e) {
     std::cerr << "usage error: " << e.what() << "\n\n";
     print_usage(std::cerr);

@@ -7,7 +7,6 @@
 #include <unordered_set>
 
 #include "distrib/checkpoint.hpp"
-#include "match/treat.hpp"
 #include "obs/report.hpp"
 #include "support/error.hpp"
 #include "support/timer.hpp"
@@ -69,11 +68,10 @@ struct DistributedEngine::Site {
 
   explicit Site(const Program& program)
       : wm(std::make_unique<WorkingMemory>(program.schema)),
-        matcher(std::make_unique<TreatMatcher>(program.rules, program.alphas,
-                                               program.schema.size())) {}
+        matcher(make_matcher(MatcherKind::Treat, program)) {}
 
   std::unique_ptr<WorkingMemory> wm;
-  std::unique_ptr<TreatMatcher> matcher;
+  std::unique_ptr<Matcher> matcher;
   std::vector<Message> inbox;
   std::vector<PendingOps> pending;  ///< this cycle's buffered firings
   std::uint64_t firings = 0;
@@ -284,8 +282,7 @@ void DistributedEngine::crash_site(unsigned site_idx,
   site.inbox.clear();
   site.pending.clear();
   site.wm = std::make_unique<WorkingMemory>(program_.schema);
-  site.matcher = std::make_unique<TreatMatcher>(
-      program_.rules, program_.alphas, program_.schema.size());
+  site.matcher = make_matcher(MatcherKind::Treat, program_);
   site.recv.assign(config_.sites, ChannelRecvState{});
   site.out.assign(config_.sites, Site::ChannelOut{});
   site.busy_ns = 0;
@@ -302,8 +299,7 @@ void DistributedEngine::restore_site(unsigned site_idx, DistStats& stats) {
   // seqs the old incarnation handed out before dying.
   site.epoch += 1;
   site.wm = restore_working_memory(program_.schema, site.checkpoint);
-  site.matcher = std::make_unique<TreatMatcher>(
-      program_.rules, program_.alphas, program_.schema.size());
+  site.matcher = make_matcher(MatcherKind::Treat, program_);
   site.recv = site.checkpoint.recv;
   if (site.recv.size() != config_.sites) site.recv.resize(config_.sites);
   site.out.assign(config_.sites, Site::ChannelOut{});

@@ -20,8 +20,6 @@ class TraceSink;
 class MetricsRegistry;
 }  // namespace obs
 
-enum class MatcherKind : std::uint8_t { Rete, Treat, ParallelTreat };
-
 /// One fired instantiation, for audit/explanation tooling.
 struct FiringRecord {
   std::uint64_t cycle = 0;

@@ -3,8 +3,6 @@
 #include <algorithm>
 
 #include "engine/actions.hpp"
-#include "match/parallel_treat.hpp"
-#include "match/treat.hpp"
 #include "obs/report.hpp"
 #include "support/error.hpp"
 #include "support/timer.hpp"
@@ -33,19 +31,11 @@ ParallelEngine::ParallelEngine(const Program& program, EngineConfig config)
                       : std::make_unique<ThreadPool>(std::max(1u, config.threads))),
       pool_(config.pool ? config.pool : owned_pool_.get()),
       meta_(program) {
-  switch (config_.matcher) {
-    case MatcherKind::ParallelTreat:
-      matcher_ = std::make_unique<ParallelTreatMatcher>(
-          program_.rules, program_.alphas, program_.schema.size(), *pool_);
-      break;
-    case MatcherKind::Treat:
-      matcher_ = std::make_unique<TreatMatcher>(
-          program_.rules, program_.alphas, program_.schema.size());
-      break;
-    case MatcherKind::Rete:
-      throw RuntimeError(
-          "the parallel engine requires a TREAT-family matcher");
+  if (config_.matcher == MatcherKind::Rete) {
+    throw RuntimeError(
+        "the parallel engine requires a TREAT-family matcher");
   }
+  matcher_ = make_matcher(config_.matcher, program_, pool_);
 }
 
 void ParallelEngine::assert_initial_facts() {

@@ -1,8 +1,6 @@
 #include "engine/seq_engine.hpp"
 
 #include "engine/actions.hpp"
-#include "match/rete.hpp"
-#include "match/treat.hpp"
 #include "obs/report.hpp"
 #include "support/error.hpp"
 #include "support/timer.hpp"
@@ -25,19 +23,11 @@ SequentialEngine::SequentialEngine(const Program& program,
       config_(config),
       wm_(program.schema),
       rng_(config.seed) {
-  switch (config_.matcher) {
-    case MatcherKind::Rete:
-      matcher_ = std::make_unique<ReteMatcher>(
-          program_.rules, program_.alphas, program_.schema.size());
-      break;
-    case MatcherKind::Treat:
-      matcher_ = std::make_unique<TreatMatcher>(
-          program_.rules, program_.alphas, program_.schema.size());
-      break;
-    case MatcherKind::ParallelTreat:
-      throw RuntimeError(
-          "the sequential engine cannot use the parallel matcher");
+  if (config_.matcher == MatcherKind::ParallelTreat) {
+    throw RuntimeError(
+        "the sequential engine cannot use the parallel matcher");
   }
+  matcher_ = make_matcher(config_.matcher, program_);
 }
 
 void SequentialEngine::assert_initial_facts() {

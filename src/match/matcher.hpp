@@ -9,11 +9,29 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <optional>
+#include <string_view>
 
 #include "match/conflict_set.hpp"
 #include "wm/working_memory.hpp"
 
 namespace parulel {
+
+class ThreadPool;
+struct Program;
+
+/// Which match algorithm to construct. The single source of truth for
+/// the string spelling is matcher_kind_name()/parse_matcher_kind();
+/// construction goes through make_matcher() below — engines, the CLI,
+/// the service layer, benches, and tests all share one switch.
+enum class MatcherKind : std::uint8_t { Rete, Treat, ParallelTreat };
+
+/// Stable export/CLI name: "rete", "treat", "parallel-treat".
+const char* matcher_kind_name(MatcherKind kind);
+
+/// Inverse of matcher_kind_name(); nullopt for unknown spellings.
+std::optional<MatcherKind> parse_matcher_kind(std::string_view name);
 
 /// Matcher-side counters (for the match-algorithm comparison benches
 /// and the obs layer's per-cycle trace events).
@@ -66,5 +84,14 @@ class Matcher {
   /// Mutable counter access for the base-class external-delta hook.
   virtual MatchStats& stats_mut() = 0;
 };
+
+/// Construct a matcher over `program`'s object-level rules and alphas.
+/// ParallelTreat requires `pool` (it fans derivation out as fork-join
+/// batches); the other kinds ignore it. Throws RuntimeError when
+/// ParallelTreat is requested without a pool. `program` (and `pool`,
+/// when used) must outlive the matcher.
+std::unique_ptr<Matcher> make_matcher(MatcherKind kind,
+                                      const Program& program,
+                                      ThreadPool* pool = nullptr);
 
 }  // namespace parulel

@@ -1,0 +1,150 @@
+#include "net/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <charconv>
+#include <cstring>
+
+#include "service/protocol.hpp"
+
+namespace parulel::net {
+
+NetClient::~NetClient() { close(); }
+
+void NetClient::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  rbuf_.clear();
+}
+
+bool NetClient::fail(std::string msg) {
+  error_ = std::move(msg);
+  close();
+  return false;
+}
+
+bool NetClient::connect(const std::string& host, std::uint16_t port) {
+  close();
+  error_.clear();
+  server_version_.clear();
+
+  fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) {
+    return fail(std::string("socket: ") + std::strerror(errno));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return fail("bad address: " + host);
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    return fail("connect " + host + ":" + std::to_string(port) + ": " +
+                std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+  // Versioned handshake: refuse to talk to a server speaking something
+  // we don't.
+  Response hello;
+  std::string greeting = "hello ";
+  greeting += service::ServeProtocol::kProtocolVersion;
+  if (!request(greeting, hello)) return false;
+  if (!hello.ok()) {
+    return fail("handshake refused: " + hello.status);
+  }
+  const std::size_t space = hello.status.rfind(' ');
+  server_version_ = space == std::string::npos
+                        ? std::string()
+                        : hello.status.substr(space + 1);
+  if (server_version_ != service::ServeProtocol::kProtocolVersion) {
+    return fail("server speaks " + server_version_ + ", client speaks " +
+                std::string(service::ServeProtocol::kProtocolVersion));
+  }
+  return true;
+}
+
+bool NetClient::send_line(std::string_view line) {
+  if (fd_ < 0) {
+    error_ = "not connected";
+    return false;
+  }
+  std::string frame(line);
+  frame += '\n';
+  std::size_t off = 0;
+  while (off < frame.size()) {
+    const ssize_t n = ::send(fd_, frame.data() + off, frame.size() - off,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return fail(std::string("send: ") + std::strerror(errno));
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool NetClient::read_line(std::string& out) {
+  for (;;) {
+    const std::size_t nl = rbuf_.find('\n');
+    if (nl != std::string::npos) {
+      out = rbuf_.substr(0, nl);
+      rbuf_.erase(0, nl + 1);
+      if (!out.empty() && out.back() == '\r') out.pop_back();
+      return true;
+    }
+    char buf[4096];
+    const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n > 0) {
+      rbuf_.append(buf, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return fail(n == 0 ? "connection closed by server"
+                       : std::string("recv: ") + std::strerror(errno));
+  }
+}
+
+bool NetClient::read_response(Response& out) {
+  out.status.clear();
+  out.details.clear();
+  if (fd_ < 0) {
+    error_ = "not connected";
+    return false;
+  }
+  if (!read_line(out.status)) return false;
+
+  // `ok query n=N` is the one multi-line response: N `fact` lines follow.
+  constexpr std::string_view kQuery = "ok query n=";
+  if (out.status.rfind(kQuery, 0) == 0) {
+    std::size_t n = 0;
+    const char* first = out.status.data() + kQuery.size();
+    const char* last = out.status.data() + out.status.size();
+    auto [p, ec] = std::from_chars(first, last, n);
+    if (ec != std::errc() || p != last) {
+      return fail("bad query response: " + out.status);
+    }
+    out.details.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      std::string detail;
+      if (!read_line(detail)) return false;
+      out.details.push_back(std::move(detail));
+    }
+  }
+  return true;
+}
+
+bool NetClient::request(std::string_view line, Response& out) {
+  return send_line(line) && read_response(out);
+}
+
+}  // namespace parulel::net

@@ -1,0 +1,424 @@
+#include "net/net_server.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <exception>
+
+#include "service/protocol.hpp"
+
+namespace parulel::net {
+
+namespace {
+
+constexpr std::string_view kServerFull = "err server-full\n";
+constexpr std::string_view kLineTooLong = "err line-too-long\n";
+constexpr std::string_view kBackpressure = "err backpressure\n";
+
+}  // namespace
+
+/// One live client connection: socket, its protocol conversation, the
+/// framing buffers, and per-connection accounting.
+struct NetServer::Conn {
+  int fd = -1;
+  std::unique_ptr<service::ServeProtocol> protocol;
+
+  std::string rbuf;       ///< bytes received, not yet framed into lines
+  std::string wbuf;       ///< response bytes not yet written
+  std::size_t woff = 0;   ///< consumed prefix of wbuf
+
+  std::uint64_t last_active_ms = 0;
+  bool read_done = false;          ///< client half-closed (EOF seen)
+  bool closing = false;            ///< flush wbuf, then close
+  bool skipping_oversize = false;  ///< discarding up to the next newline
+  bool dead = false;               ///< swept by the event loop
+  int prev_errors = 0;             ///< protocol error count already folded
+
+  std::size_t pending_write() const { return wbuf.size() - woff; }
+};
+
+NetServer::NetServer(NetServerConfig config) : config_(std::move(config)) {
+  config_.service.workers = 0;  // synchronous: responses are a pure
+                                // function of each connection's stream
+  service_ = std::make_unique<service::RuleService>(config_.service);
+}
+
+NetServer::~NetServer() {
+  for (auto& conn : conns_) {
+    if (conn->fd >= 0) ::close(conn->fd);
+  }
+  conns_.clear();
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  if (stop_read_fd_ >= 0) ::close(stop_read_fd_);
+  if (stop_write_fd_ >= 0) ::close(stop_write_fd_);
+}
+
+std::uint64_t NetServer::now_ms() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+bool NetServer::start() {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC,
+                        0);
+  if (listen_fd_ < 0) {
+    error_ = std::string("socket: ") + std::strerror(errno);
+    return false;
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(config_.port);
+  if (::inet_pton(AF_INET, config_.host.c_str(), &addr.sin_addr) != 1) {
+    error_ = "bad bind address: " + config_.host;
+    return false;
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    error_ = "bind " + config_.host + ":" + std::to_string(config_.port) +
+             ": " + std::strerror(errno);
+    return false;
+  }
+  if (::listen(listen_fd_, config_.backlog) != 0) {
+    error_ = std::string("listen: ") + std::strerror(errno);
+    return false;
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) ==
+      0) {
+    port_ = ntohs(addr.sin_port);
+  }
+
+  int pipefds[2];
+  if (::pipe2(pipefds, O_NONBLOCK | O_CLOEXEC) != 0) {
+    error_ = std::string("pipe2: ") + std::strerror(errno);
+    return false;
+  }
+  stop_read_fd_ = pipefds[0];
+  stop_write_fd_ = pipefds[1];
+  return true;
+}
+
+void NetServer::stop() {
+  if (stop_write_fd_ < 0) return;
+  const char byte = 's';
+  // Async-signal-safe by construction: one write, result ignored (the
+  // pipe being full already means a stop is pending).
+  [[maybe_unused]] ssize_t n = ::write(stop_write_fd_, &byte, 1);
+}
+
+NetStats NetServer::stats_snapshot() const {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  return stats_;
+}
+
+void NetServer::begin_drain() {
+  if (draining_) return;
+  draining_ = true;
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  // Stop reading everywhere; connections with nothing queued close now,
+  // the rest get until drain_timeout_ms to absorb their responses.
+  for (auto& conn : conns_) {
+    conn->closing = true;
+    if (conn->pending_write() == 0) conn->dead = true;
+  }
+}
+
+void NetServer::accept_ready() {
+  for (;;) {
+    const int fd = ::accept4(listen_fd_, nullptr, nullptr,
+                             SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) return;  // EAGAIN (or a transient error): done for now
+    if (conns_.size() >= config_.max_connections) {
+      // Reject-not-block at the accept layer too: a one-line structured
+      // refusal, then close. Best effort — the write may short-circuit.
+      [[maybe_unused]] ssize_t n =
+          ::write(fd, kServerFull.data(), kServerFull.size());
+      ::close(fd);
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.rejected_full;
+      continue;
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    auto conn = std::make_unique<Conn>();
+    conn->fd = fd;
+    service::ServeProtocol::Options popts;
+    popts.echo = config_.echo;
+    conn->protocol =
+        std::make_unique<service::ServeProtocol>(*service_, popts);
+    conn->last_active_ms = now_ms();
+    conns_.push_back(std::move(conn));
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.accepted;
+    stats_.active = conns_.size();
+  }
+}
+
+void NetServer::handle_line(Conn& conn, std::string_view line) {
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.lines_in;
+  }
+  if (conn.pending_write() >= config_.write_buffer_reject) {
+    conn.wbuf += kBackpressure;
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.backpressure_rejects;
+    return;
+  }
+  const std::size_t before = conn.wbuf.size();
+  service::ServeProtocol::Status status;
+  try {
+    status = conn.protocol->handle_line(line, conn.wbuf);
+  } catch (const std::exception& e) {
+    // One client's runtime failure must never take the server down —
+    // surface it as a structured error on that connection only.
+    conn.wbuf.resize(before);
+    conn.wbuf += "err internal: ";
+    conn.wbuf += e.what();
+    conn.wbuf += '\n';
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.protocol_errors;
+    ++stats_.responses_out;
+    return;
+  }
+  const int errors_now = conn.protocol->errors();
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    if (conn.wbuf.size() > before) ++stats_.responses_out;
+    stats_.protocol_errors +=
+        static_cast<std::uint64_t>(errors_now - conn.prev_errors);
+  }
+  conn.prev_errors = errors_now;
+  if (status == service::ServeProtocol::Status::Quit) {
+    conn.closing = true;
+  }
+}
+
+void NetServer::process_lines(Conn& conn) {
+  while (!conn.closing) {
+    if (conn.skipping_oversize) {
+      const std::size_t nl = conn.rbuf.find('\n');
+      if (nl == std::string::npos) {
+        conn.rbuf.clear();
+        return;
+      }
+      conn.rbuf.erase(0, nl + 1);
+      conn.skipping_oversize = false;
+      continue;
+    }
+    const std::size_t nl = conn.rbuf.find('\n');
+    if (nl == std::string::npos) {
+      if (conn.rbuf.size() > config_.max_line_bytes) {
+        // The line already exceeds the cap with no end in sight:
+        // answer now, discard until the newline eventually arrives.
+        conn.rbuf.clear();
+        conn.skipping_oversize = true;
+        conn.wbuf += kLineTooLong;
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        ++stats_.oversize_lines;
+      }
+      return;
+    }
+    std::string line = conn.rbuf.substr(0, nl);
+    conn.rbuf.erase(0, nl + 1);
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    conn.last_active_ms = now_ms();
+    if (line.size() > config_.max_line_bytes) {
+      conn.wbuf += kLineTooLong;
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.oversize_lines;
+      continue;
+    }
+    handle_line(conn, line);
+  }
+}
+
+void NetServer::conn_readable(Conn& conn) {
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(conn.fd, buf, sizeof(buf), 0);
+    if (n > 0) {
+      conn.rbuf.append(buf, static_cast<std::size_t>(n));
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      stats_.bytes_in += static_cast<std::uint64_t>(n);
+      continue;
+    }
+    if (n == 0) {
+      // Half-close: the client sent everything and shut down its write
+      // side. Finish the lines we have, flush responses, then close.
+      conn.read_done = true;
+      break;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    conn.dead = true;  // reset / hard error: nothing left to salvage
+    return;
+  }
+  process_lines(conn);
+  if (conn.read_done) conn.closing = true;
+}
+
+void NetServer::conn_writable(Conn& conn) {
+  while (conn.pending_write() > 0) {
+    const ssize_t n = ::send(conn.fd, conn.wbuf.data() + conn.woff,
+                             conn.pending_write(), MSG_NOSIGNAL);
+    if (n > 0) {
+      conn.woff += static_cast<std::size_t>(n);
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      stats_.bytes_out += static_cast<std::uint64_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    conn.dead = true;  // EPIPE / reset: the reader is gone
+    return;
+  }
+  if (conn.pending_write() == 0) {
+    conn.wbuf.clear();
+    conn.woff = 0;
+    if (conn.closing) conn.dead = true;
+  } else if (conn.pending_write() > config_.write_buffer_close) {
+    conn.dead = true;
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.overflow_closed;
+  }
+}
+
+void NetServer::run() {
+  std::uint64_t drain_deadline = 0;
+  std::vector<pollfd> pfds;
+  std::vector<Conn*> polled;
+
+  for (;;) {
+    // Sweep connections closed in the previous round.
+    const std::size_t before = conns_.size();
+    std::erase_if(conns_, [&](const std::unique_ptr<Conn>& conn) {
+      if (!conn->dead) return false;
+      ::close(conn->fd);
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.closed;
+      if (draining_) ++stats_.drained;
+      return true;
+    });
+    if (conns_.size() != before) {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      stats_.active = conns_.size();
+    }
+
+    if (draining_ && conns_.empty()) return;
+    if (draining_ && drain_deadline == 0) {
+      drain_deadline = now_ms() + config_.drain_timeout_ms;
+    }
+
+    pfds.clear();
+    polled.clear();
+    if (!draining_) {
+      pfds.push_back({stop_read_fd_, POLLIN, 0});
+      pfds.push_back({listen_fd_, POLLIN, 0});
+    }
+    for (auto& conn : conns_) {
+      short events = 0;
+      if (!conn->closing && !conn->read_done) events |= POLLIN;
+      if (conn->pending_write() > 0) events |= POLLOUT;
+      if (events == 0) {
+        // closing with nothing left to write: close on the next sweep
+        conn->dead = true;
+        continue;
+      }
+      pfds.push_back({conn->fd, events, 0});
+      polled.push_back(conn.get());
+    }
+
+    if (pfds.empty()) continue;  // drain marked every conn dead: re-sweep
+
+    int timeout = -1;
+    const std::uint64_t now = now_ms();
+    if (draining_) {
+      timeout = drain_deadline > now
+                    ? static_cast<int>(drain_deadline - now)
+                    : 0;
+    } else if (config_.idle_timeout_ms > 0) {
+      std::uint64_t next = config_.idle_timeout_ms;
+      for (const auto& conn : conns_) {
+        const std::uint64_t age = now - conn->last_active_ms;
+        const std::uint64_t left =
+            age >= config_.idle_timeout_ms ? 0
+                                           : config_.idle_timeout_ms - age;
+        next = std::min(next, left);
+      }
+      timeout = static_cast<int>(next);
+    }
+
+    const int ready = ::poll(pfds.data(), pfds.size(), timeout);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      error_ = std::string("poll: ") + std::strerror(errno);
+      begin_drain();
+      continue;
+    }
+
+    std::size_t base = 0;
+    if (!draining_) {
+      if (pfds[0].revents & POLLIN) {
+        char buf[64];
+        while (::read(stop_read_fd_, buf, sizeof(buf)) > 0) {
+        }
+        begin_drain();
+        continue;  // re-enter with drain bookkeeping in place
+      }
+      if (pfds[1].revents & (POLLIN | POLLERR)) accept_ready();
+      base = 2;
+    }
+
+    for (std::size_t i = 0; i < polled.size(); ++i) {
+      Conn& conn = *polled[i];
+      if (conn.dead) continue;
+      const short revents = pfds[base + i].revents;
+      if (revents & (POLLERR | POLLHUP | POLLNVAL)) {
+        // POLLHUP with readable data still pending is delivered along
+        // with POLLIN; drain reads first, then let recv() see the EOF.
+        if (!(revents & POLLIN)) {
+          conn.dead = true;
+          continue;
+        }
+      }
+      if (revents & POLLIN) conn_readable(conn);
+      if (!conn.dead && (conn.pending_write() > 0 || conn.closing)) {
+        conn_writable(conn);
+      }
+    }
+
+    // Idle collection (not during drain — drain has its own deadline).
+    if (!draining_ && config_.idle_timeout_ms > 0) {
+      const std::uint64_t cutoff = now_ms();
+      for (auto& conn : conns_) {
+        if (conn->dead || conn->closing) continue;
+        if (cutoff - conn->last_active_ms >= config_.idle_timeout_ms) {
+          conn->dead = true;
+          std::lock_guard<std::mutex> lock(stats_mutex_);
+          ++stats_.idle_closed;
+        }
+      }
+    }
+    if (draining_ && now_ms() >= drain_deadline) {
+      for (auto& conn : conns_) conn->dead = true;
+    }
+  }
+}
+
+}  // namespace parulel::net

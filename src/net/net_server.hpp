@@ -1,0 +1,153 @@
+// NetServer: the rule service on a TCP socket.
+//
+// A single-threaded poll(2) event loop fronting ONE shared RuleService:
+// a multi-client accept loop, newline-framed requests with pipelining
+// (any number of commands may be in flight per connection; responses
+// come back in order), per-connection write buffering, and the
+// protections that keep one client from hurting the rest:
+//
+//   - backpressure is reject-not-block, the same contract as the
+//     service's bounded queues: while a connection's pending write
+//     buffer is past `write_buffer_reject`, further complete lines get
+//     a cheap `err backpressure` instead of being executed — the server
+//     thread never blocks on a slow reader, and the request:response
+//     1:1 pipelining contract is preserved;
+//   - a connection whose write buffer passes `write_buffer_close` (the
+//     client stopped reading entirely) is closed;
+//   - request lines longer than `max_line_bytes` are discarded up to
+//     the next newline and answered with `err line-too-long`;
+//   - connections idle past `idle_timeout_ms` are closed;
+//   - at `max_connections`, new arrivals get `err server-full` and an
+//     immediate close.
+//
+// Protocol handling is the same transport-agnostic ServeProtocol the
+// stdin `--serve` loop wraps (service/protocol.hpp), one instance per
+// connection: session NAMEs are a per-connection namespace, and a
+// dropped connection closes exactly the sessions it opened. Because the
+// loop is single-threaded and the service synchronous (workers == 0),
+// responses on one connection are a pure function of that connection's
+// request stream — byte-identical with stdin serving, which
+// tests/test_net.cpp proves over the example scripts.
+//
+// Shutdown is a graceful drain: stop() (async-signal-safe: one write to
+// a self-pipe) stops the accept loop, already-queued responses are
+// flushed for up to `drain_timeout_ms`, then everything closes and
+// run() returns.
+//
+// Aggregate counters export through the obs layer (NetStats /
+// net_fields() → metrics, bench JSON); per-connection counters drive
+// the idle/backpressure decisions and fold into the aggregate on close.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/stats.hpp"
+#include "service/service.hpp"
+
+namespace parulel::net {
+
+struct NetServerConfig {
+  /// Bind address. The protocol's `open` reads server-side files, so
+  /// binding beyond loopback is an explicit, considered act.
+  std::string host = "127.0.0.1";
+
+  /// 0 = ephemeral: the kernel picks; NetServer::port() reports it.
+  std::uint16_t port = 0;
+
+  int backlog = 64;
+  std::size_t max_connections = 64;
+
+  /// Longest accepted request line; longer ones are discarded up to the
+  /// next newline and answered with `err line-too-long`.
+  std::size_t max_line_bytes = 64 * 1024;
+
+  /// Pending-write threshold past which new request lines are rejected
+  /// with `err backpressure` instead of executed (reject-not-block).
+  std::size_t write_buffer_reject = 256 * 1024;
+
+  /// Pending-write hard cap: a client this far behind on reading is
+  /// disconnected.
+  std::size_t write_buffer_close = 4 * 1024 * 1024;
+
+  /// Close connections with no complete request for this long.
+  /// 0 disables idle collection.
+  std::uint64_t idle_timeout_ms = 0;
+
+  /// How long a graceful stop() keeps flushing queued responses before
+  /// force-closing what remains.
+  std::uint64_t drain_timeout_ms = 2'000;
+
+  /// Tuning for the fronted RuleService. `workers` is forced to 0 —
+  /// commands execute synchronously on the event loop, which is what
+  /// makes per-connection responses deterministic.
+  service::ServiceConfig service;
+
+  /// Echo each command line (prefixed "> ") before its response.
+  bool echo = false;
+};
+
+class NetServer {
+ public:
+  explicit NetServer(NetServerConfig config);
+  ~NetServer();
+
+  NetServer(const NetServer&) = delete;
+  NetServer& operator=(const NetServer&) = delete;
+
+  /// Bind + listen + arm the stop pipe. False on failure (see error()).
+  bool start();
+
+  /// The bound port (resolves config.port == 0), valid after start().
+  std::uint16_t port() const { return port_; }
+
+  /// Serve until stop(); returns once every connection is drained and
+  /// closed. Call from exactly one thread, after start().
+  void run();
+
+  /// Request a graceful drain. Callable from any thread and from signal
+  /// handlers (it performs one write() on a self-pipe, nothing else).
+  void stop();
+
+  /// Aggregate counters; callable from any thread while run() is live.
+  NetStats stats_snapshot() const;
+
+  /// The fronted service. Touch only when run() is not executing — the
+  /// event loop owns it while serving.
+  service::RuleService& service() { return *service_; }
+
+  const std::string& error() const { return error_; }
+  const NetServerConfig& config() const { return config_; }
+
+ private:
+  struct Conn;
+
+  void accept_ready();
+  void conn_readable(Conn& conn);
+  void conn_writable(Conn& conn);
+  void process_lines(Conn& conn);
+  void handle_line(Conn& conn, std::string_view line);
+  void begin_drain();
+  static std::uint64_t now_ms();
+
+  NetServerConfig config_;
+  std::unique_ptr<service::RuleService> service_;
+  std::string error_;
+
+  int listen_fd_ = -1;
+  int stop_read_fd_ = -1;
+  int stop_write_fd_ = -1;
+  std::uint16_t port_ = 0;
+  bool draining_ = false;
+
+  std::vector<std::unique_ptr<Conn>> conns_;
+
+  mutable std::mutex stats_mutex_;
+  NetStats stats_;
+};
+
+}  // namespace parulel::net

@@ -103,6 +103,16 @@ void ServiceStats::publish(obs::MetricsRegistry& registry,
   }
 }
 
+void NetStats::publish(obs::MetricsRegistry& registry,
+                       std::string_view prefix) const {
+  std::string name;
+  for (const auto& f : obs::net_fields()) {
+    name.assign(prefix);
+    name += f.name;
+    registry.set(name, this->*f.member);
+  }
+}
+
 namespace obs {
 
 namespace {
@@ -175,6 +185,23 @@ constexpr FieldDef<ServiceStats> kServiceFields[] = {
     {"latency_max_ns", &ServiceStats::latency_max_ns},
 };
 
+constexpr FieldDef<NetStats> kNetFields[] = {
+    {"accepted", &NetStats::accepted},
+    {"rejected_full", &NetStats::rejected_full},
+    {"closed", &NetStats::closed},
+    {"active", &NetStats::active},
+    {"lines_in", &NetStats::lines_in},
+    {"responses_out", &NetStats::responses_out},
+    {"bytes_in", &NetStats::bytes_in},
+    {"bytes_out", &NetStats::bytes_out},
+    {"protocol_errors", &NetStats::protocol_errors},
+    {"oversize_lines", &NetStats::oversize_lines},
+    {"backpressure_rejects", &NetStats::backpressure_rejects},
+    {"overflow_closed", &NetStats::overflow_closed},
+    {"idle_closed", &NetStats::idle_closed},
+    {"drained", &NetStats::drained},
+};
+
 }  // namespace
 
 std::span<const FieldDef<CycleStats>> cycle_fields() { return kCycleFields; }
@@ -186,6 +213,8 @@ std::span<const FieldDef<FaultStats>> fault_fields() { return kFaultFields; }
 std::span<const FieldDef<ServiceStats>> service_fields() {
   return kServiceFields;
 }
+
+std::span<const FieldDef<NetStats>> net_fields() { return kNetFields; }
 
 }  // namespace obs
 

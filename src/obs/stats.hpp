@@ -160,6 +160,33 @@ struct ServiceStats {
                std::string_view prefix = "service.") const;
 };
 
+/// TCP front-end accounting (src/net/net_server.hpp): connection
+/// lifecycle, wire volume, and the protections that keep one client
+/// from hurting the rest (backpressure rejects, oversize-line drops,
+/// write-buffer overflow closes, idle timeouts). Filled by
+/// NetServer::stats_snapshot(); the net_fields() table feeds metrics
+/// publication and the bench JSON rows like every other stat family.
+struct NetStats {
+  std::uint64_t accepted = 0;       ///< connections accepted
+  std::uint64_t rejected_full = 0;  ///< refused at max_connections
+  std::uint64_t closed = 0;         ///< connections fully closed
+  std::uint64_t active = 0;         ///< open connections (gauge)
+  std::uint64_t lines_in = 0;       ///< request lines parsed
+  std::uint64_t responses_out = 0;  ///< response payloads emitted
+  std::uint64_t bytes_in = 0;
+  std::uint64_t bytes_out = 0;
+  std::uint64_t protocol_errors = 0;     ///< `err` responses emitted
+  std::uint64_t oversize_lines = 0;      ///< lines over max_line_bytes
+  std::uint64_t backpressure_rejects = 0;  ///< lines refused: write buffer full
+  std::uint64_t overflow_closed = 0;     ///< closed: write buffer past hard cap
+  std::uint64_t idle_closed = 0;         ///< closed by idle timeout
+  std::uint64_t drained = 0;             ///< closed by graceful shutdown drain
+
+  /// Push every net_fields() entry into `registry` as "<prefix><name>".
+  void publish(obs::MetricsRegistry& registry,
+               std::string_view prefix = "net.") const;
+};
+
 namespace obs {
 
 /// Schema entry: a stat field's export name and member pointer.
@@ -180,6 +207,9 @@ std::span<const FieldDef<FaultStats>> fault_fields();
 
 /// Every numeric ServiceStats field, in export order.
 std::span<const FieldDef<ServiceStats>> service_fields();
+
+/// Every numeric NetStats field, in export order.
+std::span<const FieldDef<NetStats>> net_fields();
 
 }  // namespace obs
 

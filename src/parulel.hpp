@@ -25,9 +25,12 @@
 #include "match/treat.hpp"
 #include "match/parallel_treat.hpp"
 #include "meta/meta_engine.hpp"
+#include "net/client.hpp"
+#include "net/net_server.hpp"
 #include "obs/metrics.hpp"
 #include "obs/stats.hpp"
 #include "obs/trace.hpp"
+#include "service/protocol.hpp"
 #include "service/serve.hpp"
 #include "service/service.hpp"
 #include "service/session.hpp"

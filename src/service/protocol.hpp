@@ -1,0 +1,94 @@
+// ServeProtocol: the rule-service line protocol, transport-agnostic.
+//
+// One instance is one protocol conversation: feed request lines in with
+// handle_line(), get response text appended to a caller-owned buffer.
+// The stdin `--serve` loop (serve.hpp) and every TCP connection of the
+// network server (net/net_server.hpp) wrap the same implementation, so
+// for identical request streams they produce byte-identical responses —
+// tests/test_net.cpp sweeps exactly that equivalence.
+//
+// The conversation state a ServeProtocol owns is its *session
+// namespace*: the NAME → session bindings created by `open`. The
+// RuleService behind it is shared — the stdin server fronts a private
+// one, the TCP server fronts one service across all connections — and
+// destroying a protocol closes the sessions it opened, so a dropped
+// connection can never leak sessions or corrupt another conversation.
+//
+// Versioning: the optional `hello` handshake names the protocol
+// revision (kProtocolVersion, currently "parulel/1"). Clients that skip
+// it — every pre-handshake script — get the same responses as before,
+// byte for byte; clients that send it learn the server's revision and
+// get a structured error instead of garbage when they ask for one the
+// server does not speak.
+//
+// See PROTOCOL.md for the full wire specification.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "service/service.hpp"
+
+namespace parulel::service {
+
+class ServeProtocol {
+ public:
+  /// Wire-protocol revision implemented by this server.
+  static constexpr std::string_view kProtocolVersion = "parulel/1";
+
+  struct Options {
+    /// Echo each command line (prefixed "> ") before its response.
+    bool echo = false;
+  };
+
+  enum class Status : std::uint8_t {
+    Ok,     ///< command handled (including no-op blank/comment lines)
+    Error,  ///< an `err` response was emitted
+    Quit,   ///< the client asked to stop; `ok quit` has been emitted
+  };
+
+  /// `service` must outlive the protocol and, for deterministic
+  /// responses, should run in synchronous mode (workers == 0).
+  explicit ServeProtocol(RuleService& service);
+  ServeProtocol(RuleService& service, Options options);
+
+  /// Closes every session this conversation opened.
+  ~ServeProtocol();
+
+  ServeProtocol(const ServeProtocol&) = delete;
+  ServeProtocol& operator=(const ServeProtocol&) = delete;
+
+  /// Handle one request line, appending response lines (each
+  /// newline-terminated) to `out`. Blank and comment-only lines produce
+  /// no response. Never throws on malformed input — every protocol
+  /// violation is an `err ...` response.
+  Status handle_line(std::string_view line, std::string& out);
+
+  /// Number of `err` responses emitted so far.
+  int errors() const { return errors_; }
+
+  /// Open sessions in this conversation's namespace.
+  std::size_t session_count() const { return clients_.size(); }
+
+ private:
+  /// One named client session: the service holds the Session, we hold
+  /// the Program it runs (sessions reference their program by address).
+  struct Client {
+    std::unique_ptr<Program> program;
+    SessionId id = 0;
+    std::optional<SiteCheckpoint> snapshot;
+  };
+
+  Client* find_client(const std::string& name);
+  void emit_error(std::string& out, const std::string& msg);
+
+  RuleService& service_;
+  Options options_;
+  std::unordered_map<std::string, Client> clients_;
+  int errors_ = 0;
+};
+
+}  // namespace parulel::service

@@ -1,289 +1,30 @@
 #include "service/serve.hpp"
 
-#include <charconv>
-#include <cstdio>
-#include <fstream>
 #include <istream>
-#include <optional>
 #include <ostream>
-#include <sstream>
 #include <string>
-#include <unordered_map>
-#include <vector>
 
-#include "lang/printer.hpp"
-#include "support/error.hpp"
+#include "service/protocol.hpp"
 
 namespace parulel::service {
-
-namespace {
-
-/// One named client session: the service holds the Session, we hold the
-/// Program it runs (sessions reference their program by address).
-struct Client {
-  std::unique_ptr<Program> program;
-  SessionId id = 0;
-  std::optional<SiteCheckpoint> snapshot;
-};
-
-std::vector<std::string> tokenize(const std::string& line) {
-  std::vector<std::string> tokens;
-  std::istringstream in(line);
-  std::string tok;
-  while (in >> tok) {
-    if (tok.front() == '#') break;  // comment to end of line
-    tokens.push_back(std::move(tok));
-  }
-  return tokens;
-}
-
-/// int64 → double → interned symbol, in that order. Full-token parses
-/// only: "12x" is a symbol, not the integer 12.
-Value parse_value(const std::string& tok, SymbolTable& symbols) {
-  std::int64_t i = 0;
-  auto [ip, iec] = std::from_chars(tok.data(), tok.data() + tok.size(), i);
-  if (iec == std::errc() && ip == tok.data() + tok.size()) {
-    return Value::integer(i);
-  }
-  double d = 0.0;
-  auto [dp, dec] = std::from_chars(tok.data(), tok.data() + tok.size(), d);
-  if (dec == std::errc() && dp == tok.data() + tok.size()) {
-    return Value::real(d);
-  }
-  return Value::symbol(symbols.intern(tok));
-}
-
-std::string hex64(std::uint64_t v) {
-  char buf[19];
-  std::snprintf(buf, sizeof(buf), "0x%016llx",
-                static_cast<unsigned long long>(v));
-  return buf;
-}
-
-const char* submit_error(SubmitResult r) {
-  return r == SubmitResult::QueueFull ? "queue-full" : "no-such-session";
-}
-
-}  // namespace
 
 int serve(std::istream& in, std::ostream& out, ServeOptions options) {
   options.service.workers = 0;  // synchronous: the protocol is a pure
                                 // function of the command stream
   RuleService service(options.service);
-  std::unordered_map<std::string, Client> clients;
-  int errors = 0;
-
-  auto err = [&](const std::string& msg) {
-    out << "err " << msg << '\n';
-    ++errors;
-  };
-  auto find_client = [&](const std::string& name) -> Client* {
-    auto it = clients.find(name);
-    return it == clients.end() ? nullptr : &it->second;
-  };
+  ServeProtocol::Options popts;
+  popts.echo = options.echo;
+  ServeProtocol protocol(service, popts);
 
   std::string line;
+  std::string response;
   while (std::getline(in, line)) {
-    const std::vector<std::string> tok = tokenize(line);
-    if (tok.empty()) continue;
-    if (options.echo) out << "> " << line << '\n';
-    const std::string& cmd = tok[0];
-
-    if (cmd == "quit") {
-      out << "ok quit\n";
-      break;
-    }
-
-    if (cmd == "stats" && tok.size() == 1) {
-      const ServiceStats s = service.stats_snapshot();
-      out << "ok service";
-      for (const auto& f : obs::service_fields()) {
-        out << ' ' << f.name << '=' << s.*f.member;
-      }
-      out << '\n';
-      continue;
-    }
-
-    if (cmd == "open") {
-      if (tok.size() != 3) {
-        err("usage: open NAME FILE");
-        continue;
-      }
-      if (clients.count(tok[1])) {
-        err("session exists: " + tok[1]);
-        continue;
-      }
-      std::ifstream file(tok[2]);
-      if (!file) {
-        err("cannot read: " + tok[2]);
-        continue;
-      }
-      std::ostringstream text;
-      text << file.rdbuf();
-      Client client;
-      try {
-        client.program = std::make_unique<Program>(parse_program(text.str()));
-      } catch (const ParseError& e) {
-        err(std::string("parse: ") + e.what());
-        continue;
-      }
-      client.id = service.open_session(*client.program);
-      if (client.id == 0) {
-        err("service full");
-        continue;
-      }
-      out << "ok open " << tok[1] << " id=" << client.id << '\n';
-      clients.emplace(tok[1], std::move(client));
-      continue;
-    }
-
-    // Everything below addresses an existing session.
-    if (cmd != "assert" && cmd != "retract" && cmd != "run" &&
-        cmd != "query" && cmd != "snapshot" && cmd != "restore" &&
-        cmd != "stats" && cmd != "close") {
-      err("unknown command: " + cmd);
-      continue;
-    }
-    if (tok.size() < 2) {
-      err("usage: " + cmd + " NAME ...");
-      continue;
-    }
-    Client* client = find_client(tok[1]);
-    if (!client) {
-      err("no session: " + tok[1]);
-      continue;
-    }
-
-    if (cmd == "assert") {
-      if (tok.size() < 3) {
-        err("usage: assert NAME TMPL V...");
-        continue;
-      }
-      SymbolTable& symbols = *client->program->symbols;
-      const auto tmpl = client->program->schema.find(symbols.intern(tok[2]));
-      if (!tmpl) {
-        err("no template: " + tok[2]);
-        continue;
-      }
-      const auto& def = client->program->schema.at(*tmpl);
-      if (tok.size() - 3 != static_cast<std::size_t>(def.arity())) {
-        err("arity: " + tok[2] + " takes " + std::to_string(def.arity()) +
-            " values");
-        continue;
-      }
-      std::vector<Value> slots;
-      slots.reserve(tok.size() - 3);
-      for (std::size_t i = 3; i < tok.size(); ++i) {
-        slots.push_back(parse_value(tok[i], symbols));
-      }
-      const SubmitResult r = service.submit(
-          client->id, Request::make_assert(*tmpl, std::move(slots)));
-      if (r != SubmitResult::Accepted) {
-        err(submit_error(r));
-        continue;
-      }
-      out << "ok assert depth=" << service.queue_depth(client->id) << '\n';
-    } else if (cmd == "retract") {
-      if (tok.size() != 3) {
-        err("usage: retract NAME FACTID");
-        continue;
-      }
-      std::uint64_t id = 0;
-      auto [p, ec] =
-          std::from_chars(tok[2].data(), tok[2].data() + tok[2].size(), id);
-      if (ec != std::errc() || p != tok[2].data() + tok[2].size()) {
-        err("bad fact id: " + tok[2]);
-        continue;
-      }
-      const SubmitResult r =
-          service.submit(client->id, Request::make_retract(FactId{id}));
-      if (r != SubmitResult::Accepted) {
-        err(submit_error(r));
-        continue;
-      }
-      out << "ok retract depth=" << service.queue_depth(client->id) << '\n';
-    } else if (cmd == "run") {
-      service.submit(client->id, Request::make_run());
-      service.flush(client->id);
-      service.with_session(client->id, [&](Session& s) {
-        const RunStats& run = s.last_run();
-        out << "ok run cycles=" << run.cycles
-            << " firings=" << run.total_firings
-            << " facts=" << s.wm().alive_count()
-            << " termination=" << termination_name(run.termination)
-            << " fingerprint=" << hex64(s.fingerprint()) << '\n';
-      });
-    } else if (cmd == "query") {
-      if (tok.size() < 3) {
-        err("usage: query NAME TMPL [SLOT=V]...");
-        continue;
-      }
-      bool bad = false;
-      service.with_session(client->id, [&](Session& s) {
-        const auto tmpl = s.find_template(tok[2]);
-        if (!tmpl) {
-          err("no template: " + tok[2]);
-          bad = true;
-          return;
-        }
-        SymbolTable& symbols = *client->program->symbols;
-        std::vector<Session::SlotFilter> filters;
-        for (std::size_t i = 3; i < tok.size(); ++i) {
-          const auto eq = tok[i].find('=');
-          if (eq == std::string::npos) {
-            err("bad filter (want SLOT=V): " + tok[i]);
-            bad = true;
-            return;
-          }
-          const auto slot = s.find_slot(*tmpl, tok[i].substr(0, eq));
-          if (!slot) {
-            err("no slot: " + tok[i].substr(0, eq));
-            bad = true;
-            return;
-          }
-          filters.push_back(
-              {*slot, parse_value(tok[i].substr(eq + 1), symbols)});
-        }
-        const std::vector<FactId> hits = s.query(*tmpl, filters);
-        out << "ok query n=" << hits.size() << '\n';
-        for (FactId id : hits) {
-          out << "fact " << id << ' '
-              << print_fact(s.wm().fact(id), s.program().schema, symbols)
-              << '\n';
-        }
-      });
-    } else if (cmd == "snapshot") {
-      service.with_session(client->id, [&](Session& s) {
-        client->snapshot = s.snapshot();
-        out << "ok snapshot facts=" << client->snapshot->facts.size() << '\n';
-      });
-    } else if (cmd == "restore") {
-      if (!client->snapshot) {
-        err("no snapshot for: " + tok[1]);
-        continue;
-      }
-      service.with_session(client->id, [&](Session& s) {
-        s.restore(*client->snapshot);
-        out << "ok restore facts=" << client->snapshot->facts.size()
-            << " rebuilds=" << s.counters().rebuilds << '\n';
-      });
-    } else if (cmd == "stats") {
-      service.with_session(client->id, [&](Session& s) {
-        const SessionCounters& c = s.counters();
-        out << "ok session asserts=" << c.asserts
-            << " retracts=" << c.retracts << " queries=" << c.queries
-            << " quota_rejected=" << c.quota_rejected
-            << " batches=" << c.batches << " cycles=" << c.cycles
-            << " firings=" << c.firings << " rebuilds=" << c.rebuilds
-            << " external_deltas=" << s.match_stats().external_deltas << '\n';
-      });
-    } else {  // close
-      service.close_session(client->id);
-      clients.erase(tok[1]);
-      out << "ok close " << tok[1] << '\n';
-    }
+    response.clear();
+    const ServeProtocol::Status status = protocol.handle_line(line, response);
+    out << response;
+    if (status == ServeProtocol::Status::Quit) break;
   }
-  return errors;
+  return protocol.errors();
 }
 
 }  // namespace parulel::service

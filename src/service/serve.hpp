@@ -1,12 +1,17 @@
-// --serve: a deterministic line protocol over RuleService.
+// --serve: the rule-service line protocol on stdin/stdout.
 //
 // One command per line on stdin, one `ok ...` or `err ...` response (plus
 // optional `fact ...` detail lines) on stdout. The service runs in
 // synchronous mode (workers == 0) so responses are a pure function of the
 // command stream — scriptable from CI and replayable byte-for-byte.
 //
-// Commands (NAME is a client-chosen session name; `#` starts a comment):
+// This is a thin transport wrapper: the command handling lives in
+// ServeProtocol (service/protocol.hpp), shared byte-for-byte with the
+// TCP front-end (net/net_server.hpp). PROTOCOL.md documents the wire
+// format; the command set in one line each (NAME is a client-chosen
+// session name; `#` starts a comment):
 //
+//   hello [VERSION]           optional versioned handshake (parulel/1)
 //   open NAME FILE            load program text from FILE, open a session
 //   assert NAME TMPL V...     queue an assert (values: int, float, symbol)
 //   retract NAME FACTID       queue a retract

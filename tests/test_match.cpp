@@ -5,7 +5,9 @@
 // property being verified.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
+#include <string>
 
 #include "match/parallel_treat.hpp"
 #include "match/rete.hpp"
@@ -97,28 +99,15 @@ TEST(ConflictSet, AliveIdsAscending) {
 
 // -------------------------------------------------------------- matchers
 
-enum class Kind { Rete, Treat, Par };
-
-class MatcherTest : public ::testing::TestWithParam<Kind> {
+class MatcherTest : public ::testing::TestWithParam<MatcherKind> {
  protected:
   void load(const std::string& source) {
     program_ = parse_program(source);
     wm_ = std::make_unique<WorkingMemory>(program_.schema);
-    switch (GetParam()) {
-      case Kind::Rete:
-        matcher_ = std::make_unique<ReteMatcher>(
-            program_.rules, program_.alphas, program_.schema.size());
-        break;
-      case Kind::Treat:
-        matcher_ = std::make_unique<TreatMatcher>(
-            program_.rules, program_.alphas, program_.schema.size());
-        break;
-      case Kind::Par:
-        pool_ = std::make_unique<ThreadPool>(4);
-        matcher_ = std::make_unique<ParallelTreatMatcher>(
-            program_.rules, program_.alphas, program_.schema.size(), *pool_);
-        break;
+    if (GetParam() == MatcherKind::ParallelTreat) {
+      pool_ = std::make_unique<ThreadPool>(4);
     }
+    matcher_ = make_matcher(GetParam(), program_, pool_.get());
     for (const auto& fact : program_.initial_facts) {
       wm_->assert_fact(fact.tmpl, fact.slots);
     }
@@ -499,18 +488,18 @@ TEST_P(MatcherTest, StatsCountDerivations) {
   EXPECT_GE(matcher_->stats().deltas_processed, 1u);
 }
 
-std::string matcher_case_name(const ::testing::TestParamInfo<Kind>& info) {
-  switch (info.param) {
-    case Kind::Rete: return "rete";
-    case Kind::Treat: return "treat";
-    case Kind::Par: return "parallel";
-  }
-  return "unknown";
+std::string matcher_case_name(
+    const ::testing::TestParamInfo<MatcherKind>& info) {
+  std::string name = matcher_kind_name(info.param);
+  // gtest parameter names must be alphanumeric.
+  name.erase(std::remove(name.begin(), name.end(), '-'), name.end());
+  return name;
 }
 
 INSTANTIATE_TEST_SUITE_P(AllMatchers, MatcherTest,
-                         ::testing::Values(Kind::Rete, Kind::Treat,
-                                           Kind::Par),
+                         ::testing::Values(MatcherKind::Rete,
+                                           MatcherKind::Treat,
+                                           MatcherKind::ParallelTreat),
                          matcher_case_name);
 
 }  // namespace

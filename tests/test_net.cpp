@@ -1,0 +1,465 @@
+// TCP front-end tests: protocol robustness and stdin/TCP equivalence.
+//
+// Two gates. The robustness half throws hostile inputs at a live
+// NetServer — malformed frames, partial writes, oversized lines,
+// mid-request disconnects, interleaved pipelined clients, connection
+// caps, idle timeouts — and requires structured `err` responses and a
+// healthy server afterwards, never a crash or cross-client corruption.
+//
+// The equivalence half is the contract that makes the TCP front-end
+// trustworthy: the same command script fed through the stdin serve()
+// loop and through a TCP connection must produce byte-identical
+// response streams, because both wrap the same ServeProtocol over a
+// synchronous service. Swept over the orderbook and monitor example
+// programs (paths resolved via the PARULEL_SOURCE_DIR compile
+// definition).
+#include <gtest/gtest.h>
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <arpa/inet.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/client.hpp"
+#include "net/net_server.hpp"
+#include "service/protocol.hpp"
+#include "service/serve.hpp"
+
+namespace parulel::net {
+namespace {
+
+constexpr const char* kCopySource = R"((deftemplate item (slot id))
+(deftemplate seen (slot id))
+(defrule copy
+  (item (id ?i))
+  (not (seen (id ?i)))
+  =>
+  (assert (seen (id ?i))))
+)";
+
+std::string write_temp_program() {
+  const std::string path = "/tmp/parulel_test_net.clp";
+  std::ofstream out(path);
+  out << kCopySource;
+  return path;
+}
+
+/// A NetServer on an ephemeral port with its run() loop on a thread.
+struct ServerFixture {
+  explicit ServerFixture(NetServerConfig cfg = {}) : server(std::move(cfg)) {
+    start_ok = server.start();
+    EXPECT_TRUE(start_ok) << server.error();
+    if (start_ok) {
+      thread = std::thread([this] { server.run(); });
+    }
+  }
+  ~ServerFixture() {
+    if (start_ok) {
+      server.stop();
+      thread.join();
+    }
+  }
+  NetServer server;
+  std::thread thread;
+  bool start_ok = false;
+};
+
+/// A deliberately low-level client for sending hostile byte sequences
+/// the well-behaved NetClient cannot produce.
+struct RawClient {
+  int fd = -1;
+
+  ~RawClient() { close(); }
+
+  bool connect(std::uint16_t port) {
+    fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) return false;
+    timeval tv{5, 0};  // every recv in these tests is bounded
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    return ::connect(fd, reinterpret_cast<sockaddr*>(&addr),
+                     sizeof(addr)) == 0;
+  }
+
+  bool send(std::string_view bytes) {
+    std::size_t off = 0;
+    while (off < bytes.size()) {
+      const ssize_t n = ::send(fd, bytes.data() + off, bytes.size() - off,
+                               MSG_NOSIGNAL);
+      if (n <= 0) return false;
+      off += static_cast<std::size_t>(n);
+    }
+    return true;
+  }
+
+  /// Read until `lines` newline-terminated lines arrived (or timeout /
+  /// EOF); returns everything read.
+  std::string recv_lines(std::size_t lines) {
+    std::string out;
+    std::size_t seen = 0;
+    char buf[4096];
+    while (seen < lines) {
+      const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+      if (n <= 0) break;
+      for (ssize_t i = 0; i < n; ++i) {
+        if (buf[i] == '\n') ++seen;
+      }
+      out.append(buf, static_cast<std::size_t>(n));
+    }
+    return out;
+  }
+
+  /// Read until the server closes the connection (or timeout).
+  std::string recv_all() {
+    std::string out;
+    char buf[4096];
+    for (;;) {
+      const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+      if (n <= 0) break;
+      out.append(buf, static_cast<std::size_t>(n));
+    }
+    return out;
+  }
+
+  void close() {
+    if (fd >= 0) {
+      ::close(fd);
+      fd = -1;
+    }
+  }
+};
+
+// ------------------------------------------------------------ handshake
+
+TEST(NetHello, VersionNegotiation) {
+  ServerFixture fx;
+  RawClient c;
+  ASSERT_TRUE(c.connect(fx.server.port()));
+  ASSERT_TRUE(c.send("hello\nhello parulel/1\nhello parulel/99\n"));
+  const std::string out = c.recv_lines(3);
+  EXPECT_EQ(out,
+            "ok hello parulel/1\n"
+            "ok hello parulel/1\n"
+            "err unsupported protocol version: parulel/99 "
+            "(server speaks parulel/1)\n");
+}
+
+TEST(NetHello, NetClientHandshakesOnConnect) {
+  ServerFixture fx;
+  NetClient client;
+  ASSERT_TRUE(client.connect("127.0.0.1", fx.server.port()))
+      << client.error();
+  EXPECT_EQ(client.server_version(),
+            service::ServeProtocol::kProtocolVersion);
+}
+
+// ----------------------------------------------------------- robustness
+
+TEST(NetRobustness, MalformedFramesGetStructuredErrors) {
+  ServerFixture fx;
+  RawClient c;
+  ASSERT_TRUE(c.connect(fx.server.port()));
+  // Garbage command, binary bytes, missing arguments, bogus session —
+  // every one must produce exactly one `err` line, and the connection
+  // must stay usable afterwards.
+  ASSERT_TRUE(c.send("frobnicate\n"));
+  ASSERT_TRUE(c.send("\x01\x02\xff\xfe\n"));
+  ASSERT_TRUE(c.send("open\n"));
+  ASSERT_TRUE(c.send("assert nosuch item 1\n"));
+  const std::string errors = c.recv_lines(4);
+  EXPECT_EQ(4u, static_cast<std::size_t>(
+                    std::count(errors.begin(), errors.end(), '\n')));
+  std::istringstream lines(errors);
+  std::string line;
+  while (std::getline(lines, line)) {
+    EXPECT_EQ(line.rfind("err ", 0), 0u) << line;
+  }
+  ASSERT_TRUE(c.send("hello\n"));
+  EXPECT_EQ(c.recv_lines(1), "ok hello parulel/1\n");
+}
+
+TEST(NetRobustness, PartialWritesReassembleIntoOneRequest) {
+  ServerFixture fx;
+  RawClient c;
+  ASSERT_TRUE(c.connect(fx.server.port()));
+  for (const char* piece : {"hel", "lo par", "ulel/1"}) {
+    ASSERT_TRUE(c.send(piece));
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  ASSERT_TRUE(c.send("\n"));
+  EXPECT_EQ(c.recv_lines(1), "ok hello parulel/1\n");
+}
+
+TEST(NetRobustness, OversizedLinesAreDiscardedWithError) {
+  NetServerConfig cfg;
+  cfg.max_line_bytes = 64;
+  ServerFixture fx(cfg);
+  RawClient c;
+  ASSERT_TRUE(c.connect(fx.server.port()));
+
+  // Terminated oversize line: one error, then normal service resumes.
+  ASSERT_TRUE(c.send(std::string(200, 'x') + "\nhello\n"));
+  EXPECT_EQ(c.recv_lines(2), "err line-too-long\nok hello parulel/1\n");
+
+  // Unterminated flood: the error arrives as soon as the cap is blown,
+  // everything up to the eventual newline is discarded, and the line
+  // after it is served normally.
+  ASSERT_TRUE(c.send(std::string(300, 'y')));
+  EXPECT_EQ(c.recv_lines(1), "err line-too-long\n");
+  ASSERT_TRUE(c.send(std::string(100, 'y') + "\nhello\n"));
+  EXPECT_EQ(c.recv_lines(1), "ok hello parulel/1\n");
+
+  const NetStats stats = fx.server.stats_snapshot();
+  EXPECT_EQ(stats.oversize_lines, 2u);
+}
+
+TEST(NetRobustness, MidRequestDisconnectLeavesServerHealthy) {
+  const std::string program = write_temp_program();
+  ServerFixture fx;
+  {
+    RawClient dropper;
+    ASSERT_TRUE(dropper.connect(fx.server.port()));
+    ASSERT_TRUE(dropper.send("open s " + program + "\n"));
+    EXPECT_EQ(dropper.recv_lines(1).rfind("ok open", 0), 0u);
+    // Die mid-line, with a request fragment in the server's buffer and
+    // a session open in this connection's namespace.
+    ASSERT_TRUE(dropper.send("assert s it"));
+    dropper.close();
+  }
+
+  // The server must keep serving, and the dropped connection's session
+  // must be reaped (sessions_closed catches up with sessions_opened).
+  NetClient client;
+  ASSERT_TRUE(client.connect("127.0.0.1", fx.server.port()));
+  Response r;
+  for (int attempt = 0; attempt < 100; ++attempt) {
+    ASSERT_TRUE(client.request("stats", r)) << client.error();
+    ASSERT_TRUE(r.ok()) << r.status;
+    if (r.status.find("sessions_opened=1") != std::string::npos &&
+        r.status.find("sessions_closed=1") != std::string::npos) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_NE(r.status.find("sessions_closed=1"), std::string::npos)
+      << r.status;
+
+  // And a fresh connection can reuse the dropped client's session name.
+  ASSERT_TRUE(client.request("open s " + program, r));
+  EXPECT_TRUE(r.ok()) << r.status;
+}
+
+TEST(NetRobustness, InterleavedPipelinedClientsStayIsolated) {
+  const std::string program = write_temp_program();
+  ServerFixture fx;
+
+  // Both clients use the session name "s": names are per-connection
+  // namespaces, so their working memories must never mix.
+  NetClient a, b;
+  ASSERT_TRUE(a.connect("127.0.0.1", fx.server.port()));
+  ASSERT_TRUE(b.connect("127.0.0.1", fx.server.port()));
+  Response r;
+  ASSERT_TRUE(a.request("open s " + program, r));
+  ASSERT_TRUE(r.ok()) << r.status;
+  ASSERT_TRUE(b.request("open s " + program, r));
+  ASSERT_TRUE(r.ok()) << r.status;
+
+  // Interleave pipelined bursts: each client sends its whole batch,
+  // then reads its responses, with the other client's traffic in
+  // flight on the shared event loop.
+  ASSERT_TRUE(a.send_line("assert s item 1"));
+  ASSERT_TRUE(b.send_line("assert s item 2"));
+  ASSERT_TRUE(a.send_line("run s"));
+  ASSERT_TRUE(b.send_line("run s"));
+  ASSERT_TRUE(a.send_line("query s seen"));
+  ASSERT_TRUE(b.send_line("query s seen"));
+  for (NetClient* c : {&a, &b}) {
+    for (int i = 0; i < 2; ++i) {
+      ASSERT_TRUE(c->read_response(r)) << c->error();
+      EXPECT_TRUE(r.ok()) << r.status;
+    }
+  }
+  ASSERT_TRUE(a.read_response(r));
+  ASSERT_EQ(r.status, "ok query n=1");
+  ASSERT_EQ(r.details.size(), 1u);
+  EXPECT_NE(r.details[0].find("(id 1)"), std::string::npos) << r.details[0];
+  ASSERT_TRUE(b.read_response(r));
+  ASSERT_EQ(r.status, "ok query n=1");
+  ASSERT_EQ(r.details.size(), 1u);
+  EXPECT_NE(r.details[0].find("(id 2)"), std::string::npos) << r.details[0];
+}
+
+TEST(NetRobustness, ServerFullRejectsWithStructuredError) {
+  NetServerConfig cfg;
+  cfg.max_connections = 1;
+  ServerFixture fx(cfg);
+
+  NetClient first;
+  ASSERT_TRUE(first.connect("127.0.0.1", fx.server.port()));
+
+  RawClient second;
+  ASSERT_TRUE(second.connect(fx.server.port()));
+  EXPECT_EQ(second.recv_all(), "err server-full\n");
+
+  // The admitted connection is unaffected.
+  Response r;
+  ASSERT_TRUE(first.request("hello", r));
+  EXPECT_TRUE(r.ok());
+  const NetStats stats = fx.server.stats_snapshot();
+  EXPECT_EQ(stats.rejected_full, 1u);
+}
+
+TEST(NetRobustness, IdleConnectionsAreCollected) {
+  NetServerConfig cfg;
+  cfg.idle_timeout_ms = 50;
+  ServerFixture fx(cfg);
+
+  RawClient c;
+  ASSERT_TRUE(c.connect(fx.server.port()));
+  ASSERT_TRUE(c.send("hello\n"));
+  EXPECT_EQ(c.recv_lines(1), "ok hello parulel/1\n");
+  // Go quiet; the server must close us.
+  EXPECT_EQ(c.recv_all(), "");
+  const NetStats stats = fx.server.stats_snapshot();
+  EXPECT_EQ(stats.idle_closed, 1u);
+}
+
+TEST(NetShutdown, DrainFlushesQueuedResponses) {
+  ServerFixture fx;
+  RawClient c;
+  ASSERT_TRUE(c.connect(fx.server.port()));
+
+  // Pipeline a burst; once the first response is back, the server has
+  // processed the whole buffered burst (the loop drains a readable
+  // connection's buffer before writing). stop() must still deliver
+  // every queued response before closing.
+  constexpr int kBurst = 100;
+  std::string burst;
+  for (int i = 0; i < kBurst; ++i) burst += "hello\n";
+  ASSERT_TRUE(c.send(burst));
+  const std::string first = c.recv_lines(1);
+  EXPECT_EQ(first.rfind("ok hello parulel/1\n", 0), 0u) << first;
+  fx.server.stop();
+  const std::string rest = c.recv_all();
+  EXPECT_EQ(static_cast<int>(std::count(first.begin(), first.end(), '\n')) +
+                static_cast<int>(std::count(rest.begin(), rest.end(), '\n')),
+            kBurst);
+}
+
+// --------------------------------------------- stdin / TCP equivalence
+
+std::string serve_via_stdin(const std::string& script) {
+  std::istringstream in(script);
+  std::ostringstream out;
+  service::serve(in, out);
+  return out.str();
+}
+
+std::string serve_via_tcp(const std::string& script) {
+  ServerFixture fx;
+  RawClient c;
+  EXPECT_TRUE(c.connect(fx.server.port()));
+  EXPECT_TRUE(c.send(script));
+  // Every script ends in `quit`, so the server closes after flushing.
+  return c.recv_all();
+}
+
+std::string example_path(const char* name) {
+  return std::string(PARULEL_SOURCE_DIR) + "/examples/programs/" + name;
+}
+
+TEST(NetEquivalence, OrderbookScriptIsByteIdentical) {
+  const std::string script =
+      "hello parulel/1\n"
+      "open book " + example_path("orderbook.clp") + "\n"
+      "run book\n"
+      "assert book buy 101 acme 55 10\n"
+      "assert book buy 102 acme 48 20\n"
+      "assert book sell 201 acme 50 10\n"
+      "run book\n"
+      "query book trade\n"
+      "query book trade sym=acme\n"
+      "query book buy sym=acme\n"
+      "snapshot book\n"
+      "assert book sell 202 acme 40 20\n"
+      "run book\n"
+      "query book trade\n"
+      "restore book\n"
+      "query book trade\n"
+      "stats book\n"
+      "# bare `stats` is omitted: its latency percentiles are wall-clock\n"
+      "# a comment line produces no response\n"
+      "\n"
+      "bogus-command book\n"
+      "close book\n"
+      "quit\n";
+  const std::string via_stdin = serve_via_stdin(script);
+  const std::string via_tcp = serve_via_tcp(script);
+  EXPECT_EQ(via_stdin, via_tcp);
+  EXPECT_NE(via_stdin.find("ok open book"), std::string::npos) << via_stdin;
+  EXPECT_NE(via_stdin.find("ok query"), std::string::npos) << via_stdin;
+  EXPECT_NE(via_stdin.find("err unknown command"), std::string::npos)
+      << via_stdin;
+}
+
+TEST(NetEquivalence, MonitorScriptIsByteIdentical) {
+  const std::string script =
+      "open mon " + example_path("monitor.clp") + "\n"
+      "run mon\n"
+      "assert mon event mallory fail 10\n"
+      "assert mon event mallory fail 11\n"
+      "assert mon event mallory fail 12\n"
+      "run mon\n"
+      "query mon alert\n"
+      "assert mon event mallory login 20\n"
+      "run mon\n"
+      "query mon incident\n"
+      "query mon incident user=mallory\n"
+      "stats mon\n"
+      "close mon\n"
+      "quit\n";
+  const std::string via_stdin = serve_via_stdin(script);
+  const std::string via_tcp = serve_via_tcp(script);
+  EXPECT_EQ(via_stdin, via_tcp);
+  EXPECT_NE(via_stdin.find("ok query n=1"), std::string::npos) << via_stdin;
+}
+
+TEST(NetEquivalence, EchoModeMatchesToo) {
+  const std::string program = write_temp_program();
+  const std::string script =
+      "open s " + program + "\n"
+      "assert s item 7\n"
+      "run s\n"
+      "query s seen\n"
+      "quit\n";
+
+  std::istringstream in(script);
+  std::ostringstream out;
+  service::ServeOptions sopts;
+  sopts.echo = true;
+  service::serve(in, out, sopts);
+
+  NetServerConfig cfg;
+  cfg.echo = true;
+  ServerFixture fx(cfg);
+  RawClient c;
+  ASSERT_TRUE(c.connect(fx.server.port()));
+  ASSERT_TRUE(c.send(script));
+  EXPECT_EQ(out.str(), c.recv_all());
+}
+
+}  // namespace
+}  // namespace parulel::net
