@@ -1,0 +1,235 @@
+// R-S3 — Durability: what the write-ahead journal costs and what
+// recovery buys back.
+//
+// Part A: commit-path throughput over the same batched feed (K asserts
+// + one run per commit) in three durability modes — journal off,
+// journal on with fsync off (kill -9 safe), journal on with fsync on
+// (power-loss safe). The gap between the last two is the price of the
+// fsync barrier alone; the gap to the first is serialization + write().
+//
+// Part B: startup recovery wall time as the journal grows, batches x
+// snapshot interval. Replay-from-zero recovery is linear in logged
+// batches; snapshot truncation bounds both the file and the replay, at
+// the cost of a periodic rewrite. Every recovered session is checked
+// against the fingerprint the builder saw — a mismatch is a bench bug.
+#include <unistd.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "support/timer.hpp"
+
+using namespace parulel;
+using namespace parulel::bench;
+namespace fs = std::filesystem;
+
+namespace {
+
+// Rewrite workload: every batch's items are each rewritten to a done
+// fact (one firing per item, no cross-item joins), so working memory
+// grows linearly and the measured cost is the commit machinery (queue,
+// fixpoint, journal record, fsync) rather than match work.
+constexpr const char* kSource = R"((deftemplate item (slot v))
+(deftemplate done (slot v))
+(defrule rewrite
+  ?i <- (item (v ?x))
+  =>
+  (retract ?i)
+  (assert (done (v (+ ?x 1))))))";
+
+struct TempDir {
+  fs::path path;
+  explicit TempDir(const std::string& tag)
+      : path(fs::temp_directory_path() /
+             ("parulel_bench_s3_" + tag + "_" + std::to_string(::getpid()))) {
+    fs::remove_all(path);
+    fs::create_directories(path);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(path, ec);
+  }
+  std::string str() const { return path.string(); }
+};
+
+service::ServiceConfig base_config() {
+  service::ServiceConfig cfg;
+  cfg.workers = 0;  // synchronous: the mode durable sessions require
+  cfg.queue_capacity = 1024;
+  return cfg;
+}
+
+void submit_spin(service::RuleService& svc, service::SessionId id,
+                 service::Request req) {
+  while (svc.submit(id, std::move(req)) == service::SubmitResult::QueueFull) {
+    std::this_thread::yield();
+  }
+}
+
+struct FeedResult {
+  double wall_ms = 0;
+  std::uint64_t fingerprint = 0;
+};
+
+/// Drive `batches` commits of `ops_per_batch` asserts + one run through
+/// an already-open session. The durable path mirrors protocol.cpp's
+/// run handler: response bytes are fixed before durable_commit so the
+/// record carries the exact ack.
+FeedResult drive(service::RuleService& svc, service::SessionId id,
+                 TemplateId item, std::uint64_t batches,
+                 std::uint64_t ops_per_batch, bool durable) {
+  Timer wall;
+  for (std::uint64_t b = 0; b < batches; ++b) {
+    for (std::uint64_t k = 0; k < ops_per_batch; ++k) {
+      submit_spin(svc, id,
+                  service::Request::make_assert(
+                      item, {Value::integer(static_cast<std::int64_t>(
+                                (b * ops_per_batch + k) % 97))}));
+    }
+    submit_spin(svc, id, service::Request::make_run());
+    svc.flush(id);
+    if (durable) {
+      std::string why;
+      if (!svc.durable_commit(id, b + 1, "ok run committed=bench\n", &why)) {
+        std::fprintf(stderr, "error: durable_commit: %s\n", why.c_str());
+        std::exit(1);
+      }
+    }
+  }
+  FeedResult out;
+  out.wall_ms = ms(wall.elapsed_ns());
+  svc.with_session(id,
+                   [&](service::Session& s) { out.fingerprint = s.fingerprint(); });
+  return out;
+}
+
+struct DurableRun {
+  FeedResult feed;
+  JournalStats journal;
+  std::uint64_t file_bytes = 0;
+};
+
+DurableRun run_durable(const TempDir& dir, std::uint64_t batches,
+                       std::uint64_t ops_per_batch, bool fsync,
+                       std::uint64_t snapshot_every) {
+  service::ServiceConfig cfg = base_config();
+  cfg.journal.dir = dir.str();
+  cfg.journal.fsync = fsync;
+  cfg.journal.snapshot_every = snapshot_every;
+  service::RuleService svc(cfg);
+  std::string err;
+  const service::SessionId id = svc.open_durable(
+      "bench", std::make_unique<Program>(parse_program(kSource)), kSource,
+      &err);
+  if (id == 0) {
+    std::fprintf(stderr, "error: open_durable: %s\n", err.c_str());
+    std::exit(1);
+  }
+  const Program* prog = svc.durable_program(id);
+  const TemplateId item = *prog->schema.find(prog->symbols->intern("item"));
+  DurableRun out;
+  out.feed = drive(svc, id, item, batches, ops_per_batch, /*durable=*/true);
+  out.journal = svc.journal_stats_snapshot();
+  std::error_code ec;
+  out.file_bytes = fs::file_size(dir.path / "bench.wal", ec);
+  svc.release_session(id);  // detach: keep the journal for recovery
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  const std::uint64_t kBatches = 512;
+  const std::uint64_t kOps = 16;
+
+  JsonReport json("R-S3");
+
+  header("R-S3a", "durability tax: commit throughput by journal mode");
+  std::printf("%-14s %10s %12s %12s %12s %10s\n", "mode", "wall_ms",
+              "batches/s", "ops/s", "bytes", "fsyncs");
+
+  double baseline_ms = 0;
+  {
+    // Journal off: same synchronous service, no durability.
+    const Program program = parse_program(kSource);
+    service::RuleService svc(base_config());
+    const service::SessionId id = svc.open_session(program);
+    const TemplateId item =
+        *program.schema.find(program.symbols->intern("item"));
+    const FeedResult r =
+        drive(svc, id, item, kBatches, kOps, /*durable=*/false);
+    baseline_ms = r.wall_ms;
+    std::printf("%-14s %10.2f %12.0f %12.0f %12s %10s\n", "off", r.wall_ms,
+                kBatches / (r.wall_ms / 1e3),
+                kBatches * kOps / (r.wall_ms / 1e3), "-", "-");
+    json.add_row("mode/off",
+                 {{"wall_ms", r.wall_ms},
+                  {"batches", double(kBatches)},
+                  {"ops_per_batch", double(kOps)},
+                  {"batches_per_sec", kBatches / (r.wall_ms / 1e3)}});
+  }
+  for (const bool fsync : {false, true}) {
+    TempDir dir(fsync ? "a_sync" : "a_nosync");
+    const DurableRun r =
+        run_durable(dir, kBatches, kOps, fsync, /*snapshot_every=*/0);
+    const char* label = fsync ? "fsync-on" : "fsync-off";
+    std::printf("%-14s %10.2f %12.0f %12.0f %12llu %10llu\n", label,
+                r.feed.wall_ms, kBatches / (r.feed.wall_ms / 1e3),
+                kBatches * kOps / (r.feed.wall_ms / 1e3),
+                static_cast<unsigned long long>(r.journal.bytes_written),
+                static_cast<unsigned long long>(r.journal.fsyncs));
+    json.add_row(std::string("mode/") + label,
+                 {{"wall_ms", r.feed.wall_ms},
+                  {"batches", double(kBatches)},
+                  {"ops_per_batch", double(kOps)},
+                  {"batches_per_sec", kBatches / (r.feed.wall_ms / 1e3)},
+                  {"bytes_written", double(r.journal.bytes_written)},
+                  {"fsyncs", double(r.journal.fsyncs)},
+                  {"slowdown_vs_off", r.feed.wall_ms / baseline_ms}});
+  }
+
+  header("R-S3b", "recovery wall time: batches x snapshot interval");
+  std::printf("%-22s %10s %12s %12s %10s\n", "config", "file_kb",
+              "recover_ms", "replayed", "snapshot");
+  for (const std::uint64_t batches : {64ull, 256ull}) {
+    for (const std::uint64_t every : {0ull, 8ull, 32ull}) {
+      TempDir dir("b" + std::to_string(batches) + "_" +
+                  std::to_string(every));
+      const DurableRun built =
+          run_durable(dir, batches, kOps, /*fsync=*/false, every);
+      // The builder's service is gone; a cold service must rebuild the
+      // session purely from the file.
+      service::ServiceConfig cfg = base_config();
+      cfg.journal.dir = dir.str();
+      cfg.journal.fsync = false;
+      service::RuleService svc(cfg);
+      Timer t;
+      const auto reports = svc.recover_journals();
+      const double recover_ms = ms(t.elapsed_ns());
+      if (reports.size() != 1 || !reports[0].ok ||
+          reports[0].fingerprint != built.feed.fingerprint) {
+        std::fprintf(stderr, "error: recovery diverged from the builder\n");
+        return 1;
+      }
+      const std::string label =
+          "b=" + std::to_string(batches) + "/snap=" + std::to_string(every);
+      std::printf("%-22s %10.1f %12.3f %12llu %10s\n", label.c_str(),
+                  built.file_bytes / 1024.0, recover_ms,
+                  static_cast<unsigned long long>(reports[0].batches),
+                  reports[0].from_snapshot ? "yes" : "no");
+      json.add_row("recovery/" + label,
+                   {{"batches", double(batches)},
+                    {"snapshot_every", double(every)},
+                    {"file_bytes", double(built.file_bytes)},
+                    {"recover_ms", recover_ms},
+                    {"replayed_batches", double(reports[0].batches)},
+                    {"from_snapshot", reports[0].from_snapshot ? 1.0 : 0.0}});
+    }
+  }
+  return 0;
+}

@@ -125,6 +125,13 @@ struct Options {
   std::size_t max_conns = 64;
   std::uint64_t idle_timeout_ms = 0;
   std::uint64_t drain_timeout_ms = 2'000;
+  std::string net_fault_spec;
+
+  // connect
+  std::uint64_t connect_timeout_ms = 0;
+  std::uint64_t io_timeout_ms = 0;
+  unsigned retry_attempts = 0;  // 0 = plain client, no retry
+  std::uint64_t retry_seed = 1;
 };
 
 // Mode-applicability bits for a flag.
@@ -265,6 +272,51 @@ const FlagSpec kFlags[] = {
      "graceful-shutdown flush budget (default 2000)",
      [](Options& o, const std::string& v) {
        o.drain_timeout_ms = parse_count("--drain-timeout-ms", v);
+     }},
+    {"--journal-dir", "DIR", kServe | kListen,
+     "write-ahead journal directory; enables durable sessions "
+     "(open/resume survive crashes)",
+     [](Options& o, const std::string& v) { o.service.journal.dir = v; }},
+    {"--snapshot-every", "N", kServe | kListen,
+     "truncate each journal to one snapshot after N batches; 0 = never "
+     "(default 32)",
+     [](Options& o, const std::string& v) {
+       o.service.journal.snapshot_every = parse_count("--snapshot-every", v);
+     }},
+    {"--journal-fsync", "on|off", kServe | kListen,
+     "fsync each journal record before acking (default on; off trades "
+     "the power-loss guarantee for throughput)",
+     [](Options& o, const std::string& v) {
+       if (v == "on") o.service.journal.fsync = true;
+       else if (v == "off") o.service.journal.fsync = false;
+       else throw UsageError("--journal-fsync wants on or off, got '" + v +
+                             "'");
+     }},
+    {"--net-fault-plan", "SPEC", kListen,
+     "inject connection faults, e.g. seed=7,drop=0.01,ackloss=0.01,"
+     "delay=0.05,maxdelay=50",
+     [](Options& o, const std::string& v) { o.net_fault_spec = v; }},
+    {"--connect-timeout-ms", "N", kConnect,
+     "give up dialing after N ms; 0 = OS default (default 0)",
+     [](Options& o, const std::string& v) {
+       o.connect_timeout_ms = parse_count("--connect-timeout-ms", v);
+     }},
+    {"--io-timeout-ms", "N", kConnect,
+     "per-request send/recv timeout; 0 = block forever (default 0)",
+     [](Options& o, const std::string& v) {
+       o.io_timeout_ms = parse_count("--io-timeout-ms", v);
+     }},
+    {"--retry", "N", kConnect,
+     "exactly-once retry: up to N transport attempts per command, with "
+     "reconnect + resume + replay (default off)",
+     [](Options& o, const std::string& v) {
+       o.retry_attempts = static_cast<unsigned>(parse_count("--retry", v));
+       if (o.retry_attempts == 0) throw UsageError("--retry must be >= 1");
+     }},
+    {"--retry-seed", "N", kConnect,
+     "backoff jitter seed for --retry (default 1)",
+     [](Options& o, const std::string& v) {
+       o.retry_seed = parse_count("--retry-seed", v);
      }},
 };
 
@@ -419,9 +471,21 @@ int run_listen(const Options& opt) {
   cfg.drain_timeout_ms = opt.drain_timeout_ms;
   cfg.service = opt.service;
   cfg.echo = opt.echo;
+  if (!opt.net_fault_spec.empty()) {
+    cfg.faults = parulel::net::NetFaultPlan::parse(opt.net_fault_spec);
+  }
 
   parulel::net::NetServer server(cfg);
   if (!server.start()) throw IoError(server.error());
+  for (const auto& report : server.recovery_reports()) {
+    if (report.ok) {
+      std::cout << "recovered " << report.name << " batches=" << report.batches
+                << " ops=" << report.ops << " facts=" << report.facts << "\n";
+    } else {
+      std::cout << "quarantined " << report.name << ": " << report.error
+                << "\n";
+    }
+  }
   if (!opt.port_file.empty()) {
     std::ofstream pf(opt.port_file);
     if (!pf) throw IoError("cannot open " + opt.port_file + " for writing");
@@ -442,11 +506,29 @@ int run_listen(const Options& opt) {
     std::cout << ' ' << f.name << '=' << stats.*f.member;
   }
   std::cout << "\n";
+  if (opt.service.journal.enabled()) {
+    const parulel::JournalStats jstats =
+        server.service().journal_stats_snapshot();
+    std::cout << "journal:";
+    for (const auto& f : parulel::obs::journal_fields()) {
+      std::cout << ' ' << f.name << '=' << jstats.*f.member;
+    }
+    std::cout << "\n";
+  }
   return kExitOk;
 }
 
+void print_response(const parulel::net::Response& response) {
+  std::cout << response.status << "\n";
+  for (const std::string& detail : response.details) {
+    std::cout << detail << "\n";
+  }
+}
+
 /// `--connect HOST:PORT`: read command lines from stdin, print each
-/// response; same exit-code contract as --serve.
+/// response; same exit-code contract as --serve. With `--retry N` the
+/// exactly-once RetryClient drives each line instead of a plain
+/// request/response, surviving server restarts mid-script.
 int run_connect(const Options& opt) {
   const std::size_t colon = opt.connect_target.rfind(':');
   if (colon == std::string::npos || colon == 0 ||
@@ -461,13 +543,47 @@ int run_connect(const Options& opt) {
     throw UsageError("--connect port must be 1..65535");
   }
 
-  parulel::net::NetClient client;
+  int errors = 0;
+  std::string line;
+
+  if (opt.retry_attempts > 0) {
+    parulel::net::RetryConfig rcfg;
+    rcfg.host = host;
+    rcfg.port = static_cast<std::uint16_t>(port);
+    rcfg.max_attempts = opt.retry_attempts;
+    if (opt.connect_timeout_ms > 0) {
+      rcfg.connect_timeout_ms = opt.connect_timeout_ms;
+    }
+    if (opt.io_timeout_ms > 0) rcfg.io_timeout_ms = opt.io_timeout_ms;
+    rcfg.seed = opt.retry_seed;
+    parulel::net::RetryClient client(rcfg);
+    while (std::getline(std::cin, line)) {
+      const std::size_t start = line.find_first_not_of(" \t\r");
+      if (start == std::string::npos || line[start] == '#') continue;
+      if (opt.echo) std::cout << "> " << line << "\n";
+      parulel::net::Response response;
+      if (!client.exec(line, response)) throw IoError(client.error());
+      print_response(response);
+      if (!response.ok()) ++errors;
+      if (response.status == "ok quit") break;
+    }
+    const parulel::RetryStats& rs = client.stats();
+    std::cerr << "retry:";
+    for (const auto& f : parulel::obs::retry_fields()) {
+      std::cerr << ' ' << f.name << '=' << rs.*f.member;
+    }
+    std::cerr << "\n";
+    return errors == 0 ? kExitOk : kExitRuntime;
+  }
+
+  parulel::net::NetClient::Options copts;
+  copts.connect_timeout_ms = opt.connect_timeout_ms;
+  copts.io_timeout_ms = opt.io_timeout_ms;
+  parulel::net::NetClient client(copts);
   if (!client.connect(host, static_cast<std::uint16_t>(port))) {
     throw IoError(client.error());
   }
 
-  int errors = 0;
-  std::string line;
   while (std::getline(std::cin, line)) {
     // Blank and comment-only lines produce no response; skip them so
     // request:response stays 1:1.
@@ -476,10 +592,7 @@ int run_connect(const Options& opt) {
     if (opt.echo) std::cout << "> " << line << "\n";
     parulel::net::Response response;
     if (!client.request(line, response)) throw IoError(client.error());
-    std::cout << response.status << "\n";
-    for (const std::string& detail : response.details) {
-      std::cout << detail << "\n";
-    }
+    print_response(response);
     if (!response.ok()) ++errors;
     if (response.status == "ok quit") break;  // server closes after this
   }

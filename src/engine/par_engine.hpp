@@ -54,6 +54,11 @@ class ParallelEngine : public Engine {
   unsigned threads() const { return pool_->thread_count(); }
   bool halted() const { return halted_; }
 
+  /// Journal recovery (service/journal.hpp): reinstate the pre-crash
+  /// halted flag after a session rebuild — a halted session must come
+  /// back halted, not runnable.
+  void set_halted(bool halted) { halted_ = halted; }
+
  private:
   /// Emit this cycle's trace event (tracing enabled only): CycleStats
   /// plus matcher/pool activity differenced against the previous cycle.

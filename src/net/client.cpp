@@ -1,9 +1,12 @@
 #include "net/client.hpp"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -13,6 +16,17 @@
 #include "service/protocol.hpp"
 
 namespace parulel::net {
+
+namespace {
+
+timeval to_timeval(std::uint64_t ms) {
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(ms / 1000);
+  tv.tv_usec = static_cast<suseconds_t>((ms % 1000) * 1000);
+  return tv;
+}
+
+}  // namespace
 
 NetClient::~NetClient() { close(); }
 
@@ -30,10 +44,46 @@ bool NetClient::fail(std::string msg) {
   return false;
 }
 
+bool NetClient::connect_with_timeout(const void* addr, std::size_t addr_len,
+                                     const std::string& where) {
+  // Bounded connect: flip to non-blocking, start the connect, poll for
+  // writability, read SO_ERROR for the verdict, flip back to blocking.
+  const int flags = ::fcntl(fd_, F_GETFL, 0);
+  ::fcntl(fd_, F_SETFL, flags | O_NONBLOCK);
+  int rc = ::connect(fd_, static_cast<const sockaddr*>(addr),
+                     static_cast<socklen_t>(addr_len));
+  if (rc != 0 && errno != EINPROGRESS) {
+    return fail("connect " + where + ": " + std::strerror(errno));
+  }
+  if (rc != 0) {
+    pollfd pfd{fd_, POLLOUT, 0};
+    do {
+      rc = ::poll(&pfd, 1, static_cast<int>(options_.connect_timeout_ms));
+    } while (rc < 0 && errno == EINTR);
+    if (rc == 0) {
+      timed_out_ = true;
+      return fail("connect " + where + ": timed out after " +
+                  std::to_string(options_.connect_timeout_ms) + "ms");
+    }
+    if (rc < 0) {
+      return fail("connect " + where + ": " + std::strerror(errno));
+    }
+    int so_error = 0;
+    socklen_t len = sizeof(so_error);
+    ::getsockopt(fd_, SOL_SOCKET, SO_ERROR, &so_error, &len);
+    if (so_error != 0) {
+      return fail("connect " + where + ": " + std::strerror(so_error));
+    }
+  }
+  ::fcntl(fd_, F_SETFL, flags);
+  return true;
+}
+
 bool NetClient::connect(const std::string& host, std::uint16_t port) {
   close();
   error_.clear();
   server_version_.clear();
+  timed_out_ = false;
 
   fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
   if (fd_ < 0) {
@@ -45,28 +95,42 @@ bool NetClient::connect(const std::string& host, std::uint16_t port) {
   if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
     return fail("bad address: " + host);
   }
-  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
-      0) {
-    return fail("connect " + host + ":" + std::to_string(port) + ": " +
-                std::strerror(errno));
+  const std::string where = host + ":" + std::to_string(port);
+  if (options_.connect_timeout_ms > 0) {
+    if (!connect_with_timeout(&addr, sizeof(addr), where)) return false;
+  } else if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr),
+                       sizeof(addr)) != 0) {
+    return fail("connect " + where + ": " + std::strerror(errno));
   }
   const int one = 1;
   ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  if (options_.io_timeout_ms > 0) {
+    const timeval tv = to_timeval(options_.io_timeout_ms);
+    ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    ::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+  }
 
   // Versioned handshake: refuse to talk to a server speaking something
-  // we don't.
+  // we don't. The current revision and the legacy one are both fine —
+  // parulel/2 is a superset of parulel/1.
   Response hello;
   std::string greeting = "hello ";
   greeting += service::ServeProtocol::kProtocolVersion;
   if (!request(greeting, hello)) return false;
   if (!hello.ok()) {
-    return fail("handshake refused: " + hello.status);
+    // Downgrade path: an old server refuses parulel/2 with a structured
+    // error naming what it does speak; try the legacy revision once.
+    std::string legacy = "hello ";
+    legacy += service::ServeProtocol::kProtocolVersionLegacy;
+    if (!request(legacy, hello)) return false;
+    if (!hello.ok()) return fail("handshake refused: " + hello.status);
   }
   const std::size_t space = hello.status.rfind(' ');
   server_version_ = space == std::string::npos
                         ? std::string()
                         : hello.status.substr(space + 1);
-  if (server_version_ != service::ServeProtocol::kProtocolVersion) {
+  if (server_version_ != service::ServeProtocol::kProtocolVersion &&
+      server_version_ != service::ServeProtocol::kProtocolVersionLegacy) {
     return fail("server speaks " + server_version_ + ", client speaks " +
                 std::string(service::ServeProtocol::kProtocolVersion));
   }
@@ -78,6 +142,7 @@ bool NetClient::send_line(std::string_view line) {
     error_ = "not connected";
     return false;
   }
+  timed_out_ = false;
   std::string frame(line);
   frame += '\n';
   std::size_t off = 0;
@@ -86,6 +151,10 @@ bool NetClient::send_line(std::string_view line) {
                              MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        timed_out_ = true;
+        return fail("send: timed out");
+      }
       return fail(std::string("send: ") + std::strerror(errno));
     }
     off += static_cast<std::size_t>(n);
@@ -109,6 +178,10 @@ bool NetClient::read_line(std::string& out) {
       continue;
     }
     if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      timed_out_ = true;
+      return fail("recv: timed out");
+    }
     return fail(n == 0 ? "connection closed by server"
                        : std::string("recv: ") + std::strerror(errno));
   }

@@ -37,7 +37,21 @@ struct Response {
 
 class NetClient {
  public:
+  struct Options {
+    /// Give up on connect() after this long; 0 = the OS default
+    /// (minutes of kernel SYN retries — set this for anything
+    /// interactive or retried).
+    std::uint64_t connect_timeout_ms = 0;
+
+    /// Per-send/recv timeout once connected (SO_SNDTIMEO/SO_RCVTIMEO);
+    /// 0 = block forever. A timed-out call fails the request and sets
+    /// timed_out() so retry loops can tell a slow server from a dead
+    /// one.
+    std::uint64_t io_timeout_ms = 0;
+  };
+
   NetClient() = default;
+  explicit NetClient(Options options) : options_(options) {}
   ~NetClient();
 
   NetClient(const NetClient&) = delete;
@@ -56,6 +70,9 @@ class NetClient {
 
   const std::string& error() const { return error_; }
 
+  /// True when the LAST failure was an I/O or connect timeout.
+  bool timed_out() const { return timed_out_; }
+
   /// Write one command line (a '\n' is appended). False on I/O failure.
   bool send_line(std::string_view line);
 
@@ -69,11 +86,15 @@ class NetClient {
  private:
   bool read_line(std::string& out);
   bool fail(std::string msg);
+  bool connect_with_timeout(const void* addr, std::size_t addr_len,
+                            const std::string& where);
 
+  Options options_;
   int fd_ = -1;
   std::string rbuf_;
   std::string server_version_;
   std::string error_;
+  bool timed_out_ = false;
 };
 
 }  // namespace parulel::net

@@ -10,11 +10,15 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <charconv>
 #include <chrono>
 #include <cstring>
 #include <exception>
+#include <sstream>
 
+#include "distrib/faults.hpp"
 #include "service/protocol.hpp"
+#include "support/error.hpp"
 
 namespace parulel::net {
 
@@ -24,7 +28,60 @@ constexpr std::string_view kServerFull = "err server-full\n";
 constexpr std::string_view kLineTooLong = "err line-too-long\n";
 constexpr std::string_view kBackpressure = "err backpressure\n";
 
+double parse_rate(const std::string& key, const std::string& value) {
+  double rate = 0.0;
+  auto [p, ec] =
+      std::from_chars(value.data(), value.data() + value.size(), rate);
+  if (ec != std::errc() || p != value.data() + value.size() || rate < 0.0 ||
+      rate >= 1.0) {
+    throw ParseError("net-fault-plan: " + key + " wants a rate in [0, 1), got " +
+                     value);
+  }
+  return rate;
+}
+
+std::uint64_t parse_u64(const std::string& key, const std::string& value) {
+  std::uint64_t out = 0;
+  auto [p, ec] =
+      std::from_chars(value.data(), value.data() + value.size(), out);
+  if (ec != std::errc() || p != value.data() + value.size()) {
+    throw ParseError("net-fault-plan: " + key + " wants an integer, got " +
+                     value);
+  }
+  return out;
+}
+
 }  // namespace
+
+NetFaultPlan NetFaultPlan::parse(const std::string& spec) {
+  NetFaultPlan plan;
+  std::istringstream in(spec);
+  std::string pair;
+  while (std::getline(in, pair, ',')) {
+    if (pair.empty()) continue;
+    const std::size_t eq = pair.find('=');
+    if (eq == std::string::npos) {
+      throw ParseError("net-fault-plan: want key=value, got " + pair);
+    }
+    const std::string key = pair.substr(0, eq);
+    const std::string value = pair.substr(eq + 1);
+    if (key == "seed") {
+      plan.seed = parse_u64(key, value);
+    } else if (key == "drop") {
+      plan.drop_rate = parse_rate(key, value);
+    } else if (key == "ackloss") {
+      plan.ack_loss_rate = parse_rate(key, value);
+    } else if (key == "delay") {
+      plan.delay_rate = parse_rate(key, value);
+    } else if (key == "maxdelay") {
+      plan.max_delay_ms =
+          static_cast<unsigned>(std::max<std::uint64_t>(1, parse_u64(key, value)));
+    } else {
+      throw ParseError("net-fault-plan: unknown key: " + key);
+    }
+  }
+  return plan;
+}
 
 /// One live client connection: socket, its protocol conversation, the
 /// framing buffers, and per-connection accounting.
@@ -37,6 +94,7 @@ struct NetServer::Conn {
   std::size_t woff = 0;   ///< consumed prefix of wbuf
 
   std::uint64_t last_active_ms = 0;
+  std::uint64_t hold_until_ms = 0;  ///< fault-injected response delay
   bool read_done = false;          ///< client half-closed (EOF seen)
   bool closing = false;            ///< flush wbuf, then close
   bool skipping_oversize = false;  ///< discarding up to the next newline
@@ -50,6 +108,18 @@ NetServer::NetServer(NetServerConfig config) : config_(std::move(config)) {
   config_.service.workers = 0;  // synchronous: responses are a pure
                                 // function of each connection's stream
   service_ = std::make_unique<service::RuleService>(config_.service);
+  if (config_.faults.enabled()) {
+    // Reuse the distributed engine's seed-driven injector: loss maps to
+    // a pre-execution drop, duplication to post-execution ack loss, and
+    // delay cycles to milliseconds of response hold.
+    FaultPlan plan;
+    plan.seed = config_.faults.seed;
+    plan.loss_rate = config_.faults.drop_rate;
+    plan.duplicate_rate = config_.faults.ack_loss_rate;
+    plan.delay_rate = config_.faults.delay_rate;
+    plan.max_delay_cycles = config_.faults.max_delay_ms;
+    injector_ = std::make_unique<FaultInjector>(plan);
+  }
 }
 
 NetServer::~NetServer() {
@@ -109,6 +179,12 @@ bool NetServer::start() {
   }
   stop_read_fd_ = pipefds[0];
   stop_write_fd_ = pipefds[1];
+
+  if (config_.service.journal.enabled()) {
+    // Rebuild durable sessions before the first connection: a client
+    // may lead with `resume NAME` the moment we accept.
+    recovery_reports_ = service_->recover_journals();
+  }
   return true;
 }
 
@@ -134,8 +210,10 @@ void NetServer::begin_drain() {
   }
   // Stop reading everywhere; connections with nothing queued close now,
   // the rest get until drain_timeout_ms to absorb their responses.
+  // Fault-injected response holds are void during drain.
   for (auto& conn : conns_) {
     conn->closing = true;
+    conn->hold_until_ms = 0;
     if (conn->pending_write() == 0) conn->dead = true;
   }
 }
@@ -182,6 +260,16 @@ void NetServer::handle_line(Conn& conn, std::string_view line) {
     ++stats_.backpressure_rejects;
     return;
   }
+  FaultVerdict verdict;
+  if (injector_) verdict = injector_->roll();
+  if (verdict.drop) {
+    // Cut BEFORE the request executes: the client sees a dead
+    // connection with no state change — a plain resend is safe.
+    conn.dead = true;
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.fault_dropped;
+    return;
+  }
   const std::size_t before = conn.wbuf.size();
   service::ServeProtocol::Status status;
   try {
@@ -208,6 +296,21 @@ void NetServer::handle_line(Conn& conn, std::string_view line) {
   conn.prev_errors = errors_now;
   if (status == service::ServeProtocol::Status::Quit) {
     conn.closing = true;
+  }
+  if (verdict.duplicate) {
+    // Ack loss, the nastiest case for exactly-once: the request RAN
+    // (durable state changed, journal written) but its response is
+    // discarded and the connection cut — the client must retry the same
+    // request id and be answered from the dedup window.
+    conn.wbuf.resize(before);
+    conn.dead = true;
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.fault_dropped;
+  } else if (verdict.delay > 0) {
+    conn.hold_until_ms =
+        std::max(conn.hold_until_ms, now_ms() + verdict.delay);
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.fault_delayed;
   }
 }
 
@@ -331,7 +434,18 @@ void NetServer::run() {
       pfds.push_back({stop_read_fd_, POLLIN, 0});
       pfds.push_back({listen_fd_, POLLIN, 0});
     }
+    const std::uint64_t poll_now = now_ms();
+    std::uint64_t hold_wake = 0;  ///< earliest fault-hold expiry, 0 = none
     for (auto& conn : conns_) {
+      if (conn->hold_until_ms > poll_now) {
+        // Fault-injected delay: the response (and further reads) wait
+        // until the hold expires; the poll timeout wakes us for it.
+        if (hold_wake == 0 || conn->hold_until_ms < hold_wake) {
+          hold_wake = conn->hold_until_ms;
+        }
+        continue;
+      }
+      conn->hold_until_ms = 0;
       short events = 0;
       if (!conn->closing && !conn->read_done) events |= POLLIN;
       if (conn->pending_write() > 0) events |= POLLOUT;
@@ -344,7 +458,9 @@ void NetServer::run() {
       polled.push_back(conn.get());
     }
 
-    if (pfds.empty()) continue;  // drain marked every conn dead: re-sweep
+    if (pfds.empty() && hold_wake == 0) {
+      continue;  // drain marked every conn dead: re-sweep
+    }
 
     int timeout = -1;
     const std::uint64_t now = now_ms();
@@ -362,6 +478,12 @@ void NetServer::run() {
         next = std::min(next, left);
       }
       timeout = static_cast<int>(next);
+    }
+    if (hold_wake != 0) {
+      const std::uint64_t left = hold_wake > now ? hold_wake - now : 0;
+      if (timeout < 0 || static_cast<std::uint64_t>(timeout) > left) {
+        timeout = static_cast<int>(left);
+      }
     }
 
     const int ready = ::poll(pfds.data(), pfds.size(), timeout);

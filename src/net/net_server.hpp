@@ -49,7 +49,36 @@
 #include "obs/stats.hpp"
 #include "service/service.hpp"
 
+namespace parulel {
+class FaultInjector;
+}
+
 namespace parulel::net {
+
+/// Seed-driven connection-level fault injection, for hardening the
+/// retry/recovery stack under test: a rolled fault can DROP a
+/// connection before a request executes, lose the acknowledgement
+/// AFTER it executes (the nastiest case for exactly-once — the state
+/// changed, the client never heard), or delay a response. Verdicts come
+/// from the same splitmix64 injector the distributed engine uses
+/// (distrib/faults.hpp), so a (load, seed) pair replays the same fault
+/// schedule every run.
+struct NetFaultPlan {
+  std::uint64_t seed = 1;
+  double drop_rate = 0.0;      ///< P(connection cut before the request runs)
+  double ack_loss_rate = 0.0;  ///< P(request runs, response lost, conn cut)
+  double delay_rate = 0.0;     ///< P(response held back before sending)
+  unsigned max_delay_ms = 50;  ///< delay uniform in [1, max] milliseconds
+
+  bool enabled() const {
+    return drop_rate > 0.0 || ack_loss_rate > 0.0 || delay_rate > 0.0;
+  }
+
+  /// Parse the CLI spec: comma-separated key=value pairs, e.g.
+  ///   seed=7,drop=0.01,ackloss=0.01,delay=0.05,maxdelay=50
+  /// Rates must be in [0, 1). Throws ParseError on malformed input.
+  static NetFaultPlan parse(const std::string& spec);
+};
 
 struct NetServerConfig {
   /// Bind address. The protocol's `open` reads server-side files, so
@@ -89,6 +118,9 @@ struct NetServerConfig {
 
   /// Echo each command line (prefixed "> ") before its response.
   bool echo = false;
+
+  /// Connection-level fault injection (off unless a rate is set).
+  NetFaultPlan faults;
 };
 
 class NetServer {
@@ -99,8 +131,15 @@ class NetServer {
   NetServer(const NetServer&) = delete;
   NetServer& operator=(const NetServer&) = delete;
 
-  /// Bind + listen + arm the stop pipe. False on failure (see error()).
+  /// Bind + listen + arm the stop pipe; when the service is journaled,
+  /// recover durable sessions BEFORE accepting traffic (reports kept in
+  /// recovery_reports()). False on failure (see error()).
   bool start();
+
+  /// What start() recovered (empty unless journaling is enabled).
+  const std::vector<service::RecoveryReport>& recovery_reports() const {
+    return recovery_reports_;
+  }
 
   /// The bound port (resolves config.port == 0), valid after start().
   std::uint16_t port() const { return port_; }
@@ -136,6 +175,8 @@ class NetServer {
 
   NetServerConfig config_;
   std::unique_ptr<service::RuleService> service_;
+  std::unique_ptr<FaultInjector> injector_;  ///< null = no fault plan
+  std::vector<service::RecoveryReport> recovery_reports_;
   std::string error_;
 
   int listen_fd_ = -1;

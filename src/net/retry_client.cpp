@@ -1,0 +1,247 @@
+#include "net/retry_client.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <chrono>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+namespace parulel::net {
+
+namespace {
+
+std::pair<std::string, std::string> cmd_and_name(const std::string& line) {
+  std::istringstream in(line);
+  std::string cmd;
+  std::string name;
+  in >> cmd >> name;
+  return {cmd, name};
+}
+
+bool is_mutating(const std::string& cmd) {
+  return cmd == "assert" || cmd == "retract" || cmd == "run";
+}
+
+}  // namespace
+
+RetryClient::RetryClient(RetryConfig config)
+    : config_(std::move(config)),
+      client_(NetClient::Options{config_.connect_timeout_ms,
+                                 config_.io_timeout_ms}),
+      rng_(config_.seed) {}
+
+std::uint64_t RetryClient::parse_field(const std::string& status,
+                                       std::string_view key) {
+  const std::size_t at = status.find(key);
+  if (at == std::string::npos) return 0;
+  const char* first = status.data() + at + key.size();
+  const char* last = status.data() + status.size();
+  std::uint64_t k = 0;
+  std::from_chars(first, last, k);
+  return k;
+}
+
+std::uint64_t RetryClient::parse_committed(const std::string& status) {
+  return parse_field(status, " committed=");
+}
+
+void RetryClient::prune_committed(SessionState& s, const std::string& status) {
+  const std::uint64_t k = parse_committed(status);
+  while (k > 0 && !s.replay.empty() && s.replay.front().first <= k) {
+    s.replay.pop_front();
+  }
+}
+
+void RetryClient::backoff(unsigned attempt) {
+  const unsigned shift = std::min(attempt - 1, 20u);
+  std::uint64_t ms =
+      std::min(config_.backoff_base_ms << shift, config_.backoff_max_ms);
+  if (config_.backoff_base_ms > 0) ms += rng_.below(config_.backoff_base_ms);
+  stats_.backoff_ms += ms;
+  std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
+std::size_t RetryClient::unacked() const {
+  std::size_t n = 0;
+  for (const auto& [name, s] : sessions_) n += s.replay.size();
+  return n;
+}
+
+bool RetryClient::reconnect_and_resume(const std::string& session,
+                                       std::uint64_t req, Response* out,
+                                       bool* handled) {
+  ++stats_.reconnects;
+  if (!client_.connect(config_.host, config_.port)) {
+    error_ = client_.error();
+    return false;
+  }
+  for (auto& [name, s] : sessions_) {
+    Response r;
+    if (!client_.request("resume " + name, r)) {
+      error_ = client_.error();
+      return false;
+    }
+    if (r.ok()) {
+      ++stats_.resumed;
+      prune_committed(s, r.status);
+      s.next_req =
+          std::max(s.next_req, parse_field(r.status, " acked=") + 1);
+    } else if (r.status.find("no durable session") != std::string::npos &&
+               !s.open_line.empty()) {
+      // The server genuinely lost the state (fresh journal directory):
+      // rebuild from the original open line, then replay everything
+      // still buffered.
+      Response ro;
+      if (!client_.request(s.open_line, ro)) {
+        error_ = client_.error();
+        return false;
+      }
+      if (!ro.ok()) {
+        error_ = "reopen " + name + ": " + ro.status;
+        client_.close();
+        return false;
+      }
+      ++stats_.reopened;
+    } else {
+      // "attached to another conversation" is transient — the server
+      // may not have reaped our dead connection yet; quarantined
+      // journals and the like burn through max_attempts and give up.
+      error_ = "resume " + name + ": " + r.status;
+      client_.close();
+      return false;
+    }
+
+    // Replay the unacked suffix in order. The server's dedup window
+    // makes this exactly-once: an id whose effect survived is answered
+    // from the cached response, a fresh id executes normally. Iterate
+    // a copy — pruning mutates the deque.
+    const std::vector<std::pair<std::uint64_t, std::string>> lines(
+        s.replay.begin(), s.replay.end());
+    std::uint64_t committed = 0;
+    std::vector<std::uint64_t> refused;
+    for (const auto& [id, wire] : lines) {
+      Response rr;
+      if (!client_.request(wire, rr)) {
+        error_ = client_.error();
+        return false;
+      }
+      ++stats_.replayed;
+      if (rr.ok()) {
+        committed = std::max(committed, parse_committed(rr.status));
+      } else {
+        // Refused (or stale): either it never applied, or it applied
+        // and its id aged out of the dedup window — committed either
+        // way, so it must not be replayed again.
+        refused.push_back(id);
+      }
+      if (name == session && id == req && out != nullptr) {
+        *out = rr;
+        *handled = true;
+      }
+    }
+    while (committed > 0 && !s.replay.empty() &&
+           s.replay.front().first <= committed) {
+      s.replay.pop_front();
+    }
+    for (const std::uint64_t id : refused) {
+      std::erase_if(s.replay, [id](const auto& e) { return e.first == id; });
+    }
+  }
+  return true;
+}
+
+void RetryClient::finish(const std::string& cmd, const std::string& name,
+                         std::uint64_t req, const std::string& line,
+                         Response& out) {
+  auto sit = sessions_.find(name);
+  if (!out.ok()) {
+    // A delivered refusal: the op did NOT apply (the server records
+    // acks only for ok responses). Drop it from the replay buffer —
+    // resending it after a reconnect would apply an op the user saw
+    // fail.
+    if (req != 0 && sit != sessions_.end()) {
+      std::erase_if(sit->second.replay,
+                    [req](const auto& e) { return e.first == req; });
+    }
+    if (cmd == "open" &&
+        out.status.find("durable session exists") != std::string::npos) {
+      // Our earlier open applied but its ack was lost: adopt the
+      // session via resume instead of failing the caller.
+      Response r;
+      if (client_.request("resume " + name, r) && r.ok()) {
+        ++stats_.resumed;
+        SessionState s;
+        s.open_line = line;
+        s.next_req = parse_field(r.status, " acked=") + 1;
+        sessions_[name] = std::move(s);
+        out = r;
+      }
+    }
+    return;
+  }
+  if (cmd == "open" || cmd == "resume") {
+    SessionState s;
+    s.open_line = line;
+    // A resumed session already consumed request ids: continue the
+    // sequence ABOVE the server's acked watermark, or fresh commands
+    // would hit the dedup window and replay stale cached responses.
+    s.next_req = parse_field(out.status, " acked=") + 1;
+    sessions_[name] = std::move(s);
+  } else if (cmd == "close") {
+    sessions_.erase(name);
+  } else if (sit != sessions_.end()) {
+    prune_committed(sit->second, out.status);
+  }
+}
+
+bool RetryClient::exec(const std::string& line, Response& out) {
+  ++stats_.requests;
+  const auto [cmd, name] = cmd_and_name(line);
+  std::string wire = line;
+  std::uint64_t req = 0;
+  if (is_mutating(cmd)) {
+    auto sit = sessions_.find(name);
+    if (sit != sessions_.end()) {
+      req = sit->second.next_req++;
+      wire = "@" + std::to_string(req) + " " + line;
+      sit->second.replay.emplace_back(req, wire);
+    }
+  }
+  bool counted_retry = false;
+  for (unsigned attempt = 0; attempt < config_.max_attempts; ++attempt) {
+    if (attempt > 0) {
+      if (!counted_retry) {
+        ++stats_.retries;
+        counted_retry = true;
+      }
+      backoff(attempt);
+    }
+    if (!client_.connected()) {
+      bool handled = false;
+      if (!reconnect_and_resume(name, req, &out, &handled)) {
+        if (client_.timed_out()) ++stats_.timeouts;
+        client_.close();
+        continue;
+      }
+      if (handled) {
+        // The current line was replayed as part of the resume sweep;
+        // its response is already captured.
+        finish(cmd, name, req, line, out);
+        return true;
+      }
+    }
+    if (!client_.request(wire, out)) {
+      if (client_.timed_out()) ++stats_.timeouts;
+      error_ = client_.error();
+      client_.close();
+      continue;
+    }
+    finish(cmd, name, req, line, out);
+    return true;
+  }
+  ++stats_.giveups;
+  return false;
+}
+
+}  // namespace parulel::net

@@ -1,0 +1,114 @@
+// RetryClient: exactly-once request delivery over a flaky network.
+//
+// Wraps NetClient with the client half of the parulel/2 contract:
+// every mutating command (assert/retract/run) on a known session is
+// stamped with a monotonically increasing `@N` request id and kept in a
+// per-session replay buffer until the server reports it committed.
+// When the connection dies — reset, timeout, server crash — exec()
+// backs off (bounded exponential + seed-driven jitter), redials,
+// reattaches each session with `resume NAME` (falling back to replaying
+// the original `open` line if the server lost the durable state), and
+// resends the buffered lines in order. The server's dedup window makes
+// the resends safe: an id whose effect survived the crash is answered
+// from the cached response instead of re-executing, so a batch is
+// applied exactly once no matter how many times the wire ate its ack.
+//
+// Buffer pruning, the part that keeps this exactly-once rather than
+// at-least-once:
+//   - `committed=K` (on run/resume responses) prunes every id <= K —
+//     those are journaled server-side and will survive any crash;
+//   - an `err` response prunes that id immediately: the request was
+//     REFUSED, the user saw the failure, and silently replaying it
+//     after a reconnect would apply an op the user believes failed.
+//
+// Non-mutating commands (query, stats, ...) are retried unstamped —
+// they are idempotent reads. Used by `parulel_cli --connect --retry N`
+// and the crash-recovery tests (tests/test_net.cpp).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <utility>
+
+#include "net/client.hpp"
+#include "obs/stats.hpp"
+#include "support/rng.hpp"
+
+namespace parulel::net {
+
+struct RetryConfig {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+
+  /// Transport attempts per exec() before giving up.
+  unsigned max_attempts = 8;
+
+  /// Backoff before attempt k (k >= 1): min(base << (k-1), max) plus
+  /// jitter uniform in [0, base).
+  std::uint64_t backoff_base_ms = 10;
+  std::uint64_t backoff_max_ms = 2'000;
+
+  std::uint64_t connect_timeout_ms = 2'000;
+  std::uint64_t io_timeout_ms = 5'000;
+
+  /// Jitter stream seed (deterministic backoff schedules under test).
+  std::uint64_t seed = 1;
+};
+
+class RetryClient {
+ public:
+  explicit RetryClient(RetryConfig config);
+
+  RetryClient(const RetryClient&) = delete;
+  RetryClient& operator=(const RetryClient&) = delete;
+
+  /// Send one protocol line with retry/reconnect/replay. Returns true
+  /// when A response was obtained (out.ok() may still be false — an
+  /// `err` response is a delivered answer, not a transport failure);
+  /// false after max_attempts transport failures (see error()).
+  bool exec(const std::string& line, Response& out);
+
+  /// Unacknowledged stamped lines across all sessions (0 = everything
+  /// the user was told `ok` about is journaled server-side).
+  std::size_t unacked() const;
+
+  const std::string& error() const { return error_; }
+  const RetryStats& stats() const { return stats_; }
+  bool connected() const { return client_.connected(); }
+
+ private:
+  struct SessionState {
+    std::string open_line;   ///< replayed when the server lost the state
+    std::uint64_t next_req = 1;
+    /// Stamped lines sent but not yet known committed, oldest first.
+    std::deque<std::pair<std::uint64_t, std::string>> replay;
+  };
+
+  /// Dial + resume every session + replay buffers. When the current
+  /// exec()'s stamped line is replayed along the way, its response is
+  /// captured into *out and *handled set.
+  bool reconnect_and_resume(const std::string& session, std::uint64_t req,
+                            Response* out, bool* handled);
+  /// Post-delivery bookkeeping: session registration, buffer pruning,
+  /// the open-collision -> resume fallback.
+  void finish(const std::string& cmd, const std::string& name,
+              std::uint64_t req, const std::string& line, Response& out);
+  void backoff(unsigned attempt);
+  void prune_committed(SessionState& s, const std::string& status);
+  /// " key=" integer extraction from a status line; 0 when absent.
+  static std::uint64_t parse_field(const std::string& status,
+                                   std::string_view key);
+  static std::uint64_t parse_committed(const std::string& status);
+
+  RetryConfig config_;
+  NetClient client_;
+  Rng rng_;
+  /// Ordered map: resume/replay order is deterministic.
+  std::map<std::string, SessionState> sessions_;
+  RetryStats stats_;
+  std::string error_;
+};
+
+}  // namespace parulel::net

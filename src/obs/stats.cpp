@@ -113,6 +113,26 @@ void NetStats::publish(obs::MetricsRegistry& registry,
   }
 }
 
+void JournalStats::publish(obs::MetricsRegistry& registry,
+                           std::string_view prefix) const {
+  std::string name;
+  for (const auto& f : obs::journal_fields()) {
+    name.assign(prefix);
+    name += f.name;
+    registry.set(name, this->*f.member);
+  }
+}
+
+void RetryStats::publish(obs::MetricsRegistry& registry,
+                         std::string_view prefix) const {
+  std::string name;
+  for (const auto& f : obs::retry_fields()) {
+    name.assign(prefix);
+    name += f.name;
+    registry.set(name, this->*f.member);
+  }
+}
+
 namespace obs {
 
 namespace {
@@ -200,6 +220,35 @@ constexpr FieldDef<NetStats> kNetFields[] = {
     {"overflow_closed", &NetStats::overflow_closed},
     {"idle_closed", &NetStats::idle_closed},
     {"drained", &NetStats::drained},
+    {"fault_dropped", &NetStats::fault_dropped},
+    {"fault_delayed", &NetStats::fault_delayed},
+};
+
+constexpr FieldDef<JournalStats> kJournalFields[] = {
+    {"records_written", &JournalStats::records_written},
+    {"bytes_written", &JournalStats::bytes_written},
+    {"fsyncs", &JournalStats::fsyncs},
+    {"batches_logged", &JournalStats::batches_logged},
+    {"ops_logged", &JournalStats::ops_logged},
+    {"snapshots", &JournalStats::snapshots},
+    {"recovered_sessions", &JournalStats::recovered_sessions},
+    {"recovered_batches", &JournalStats::recovered_batches},
+    {"recovered_ops", &JournalStats::recovered_ops},
+    {"torn_tails", &JournalStats::torn_tails},
+    {"recovery_failures", &JournalStats::recovery_failures},
+    {"recovery_wall_ns", &JournalStats::recovery_wall_ns},
+};
+
+constexpr FieldDef<RetryStats> kRetryFields[] = {
+    {"requests", &RetryStats::requests},
+    {"retries", &RetryStats::retries},
+    {"reconnects", &RetryStats::reconnects},
+    {"replayed", &RetryStats::replayed},
+    {"resumed", &RetryStats::resumed},
+    {"reopened", &RetryStats::reopened},
+    {"timeouts", &RetryStats::timeouts},
+    {"giveups", &RetryStats::giveups},
+    {"backoff_ms", &RetryStats::backoff_ms},
 };
 
 }  // namespace
@@ -215,6 +264,12 @@ std::span<const FieldDef<ServiceStats>> service_fields() {
 }
 
 std::span<const FieldDef<NetStats>> net_fields() { return kNetFields; }
+
+std::span<const FieldDef<JournalStats>> journal_fields() {
+  return kJournalFields;
+}
+
+std::span<const FieldDef<RetryStats>> retry_fields() { return kRetryFields; }
 
 }  // namespace obs
 

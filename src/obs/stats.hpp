@@ -181,10 +181,58 @@ struct NetStats {
   std::uint64_t overflow_closed = 0;     ///< closed: write buffer past hard cap
   std::uint64_t idle_closed = 0;         ///< closed by idle timeout
   std::uint64_t drained = 0;             ///< closed by graceful shutdown drain
+  std::uint64_t fault_dropped = 0;       ///< conns killed by --net-fault-plan
+  std::uint64_t fault_delayed = 0;       ///< responses held by --net-fault-plan
 
   /// Push every net_fields() entry into `registry` as "<prefix><name>".
   void publish(obs::MetricsRegistry& registry,
                std::string_view prefix = "net.") const;
+};
+
+/// Write-ahead-journal accounting (src/service/journal.hpp): the write
+/// path (records framed, bytes, fsyncs, snapshots taken) and the
+/// startup-recovery path (sessions rebuilt, batches/ops replayed, torn
+/// tails tolerated, journals quarantined). Filled by
+/// RuleService::journal_stats_snapshot(); the journal_fields() table
+/// feeds metrics publication, the CLI's exit summary, and the bench
+/// JSON rows like every other stat family.
+struct JournalStats {
+  std::uint64_t records_written = 0;  ///< CRC-framed records appended
+  std::uint64_t bytes_written = 0;    ///< record bytes incl. framing
+  std::uint64_t fsyncs = 0;           ///< fsync(2) calls issued
+  std::uint64_t batches_logged = 0;   ///< batch records appended
+  std::uint64_t ops_logged = 0;       ///< assert/retract ops inside them
+  std::uint64_t snapshots = 0;        ///< snapshot rewrites (truncations)
+  std::uint64_t recovered_sessions = 0;  ///< sessions rebuilt at startup
+  std::uint64_t recovered_batches = 0;   ///< batch records replayed
+  std::uint64_t recovered_ops = 0;       ///< ops re-applied in replay
+  std::uint64_t torn_tails = 0;       ///< journals with a dropped torn tail
+  std::uint64_t recovery_failures = 0;  ///< journals quarantined (fail closed)
+  std::uint64_t recovery_wall_ns = 0;   ///< total startup-recovery time
+
+  /// Push every journal_fields() entry into `registry` as "<prefix><name>".
+  void publish(obs::MetricsRegistry& registry,
+               std::string_view prefix = "journal.") const;
+};
+
+/// Client-side retry accounting (src/net/retry_client.hpp): how many
+/// requests needed retransmission, reconnects with bounded exponential
+/// backoff, sessions resumed vs reopened after reconnect, and replayed
+/// request lines deduplicated server-side by parulel/2 request ids.
+struct RetryStats {
+  std::uint64_t requests = 0;    ///< exec() calls
+  std::uint64_t retries = 0;     ///< requests that needed >= 1 retransmit
+  std::uint64_t reconnects = 0;  ///< dial attempts after a lost connection
+  std::uint64_t replayed = 0;    ///< buffered lines resent after resume
+  std::uint64_t resumed = 0;     ///< sessions reattached via `resume`
+  std::uint64_t reopened = 0;    ///< sessions rebuilt via their open line
+  std::uint64_t timeouts = 0;    ///< I/O timeouts observed
+  std::uint64_t giveups = 0;     ///< requests abandoned after max attempts
+  std::uint64_t backoff_ms = 0;  ///< total time slept backing off
+
+  /// Push every retry_fields() entry into `registry` as "<prefix><name>".
+  void publish(obs::MetricsRegistry& registry,
+               std::string_view prefix = "retry.") const;
 };
 
 namespace obs {
@@ -210,6 +258,12 @@ std::span<const FieldDef<ServiceStats>> service_fields();
 
 /// Every numeric NetStats field, in export order.
 std::span<const FieldDef<NetStats>> net_fields();
+
+/// Every numeric JournalStats field, in export order.
+std::span<const FieldDef<JournalStats>> journal_fields();
+
+/// Every numeric RetryStats field, in export order.
+std::span<const FieldDef<RetryStats>> retry_fields();
 
 }  // namespace obs
 

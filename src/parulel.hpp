@@ -27,9 +27,11 @@
 #include "meta/meta_engine.hpp"
 #include "net/client.hpp"
 #include "net/net_server.hpp"
+#include "net/retry_client.hpp"
 #include "obs/metrics.hpp"
 #include "obs/stats.hpp"
 #include "obs/trace.hpp"
+#include "service/journal.hpp"
 #include "service/protocol.hpp"
 #include "service/serve.hpp"
 #include "service/service.hpp"

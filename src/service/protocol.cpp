@@ -61,7 +61,7 @@ ServeProtocol::ServeProtocol(RuleService& service, Options options)
 
 ServeProtocol::~ServeProtocol() {
   for (auto& [name, client] : clients_) {
-    service_.close_session(client.id);
+    service_.release_session(client.id);
   }
 }
 
@@ -79,19 +79,41 @@ void ServeProtocol::emit_error(std::string& out, const std::string& msg) {
 
 ServeProtocol::Status ServeProtocol::handle_line(std::string_view line,
                                                  std::string& out) {
-  const std::vector<std::string> tok = tokenize(line);
+  std::vector<std::string> tok = tokenize(line);
   if (tok.empty()) return Status::Ok;
   if (options_.echo) {
     out += "> ";
     out += line;
     out += '\n';
   }
-  const std::string& cmd = tok[0];
-  std::ostringstream os;
   // Track errors emitted by this line so the return Status is accurate.
   const int errors_before = errors_;
   auto err = [&](const std::string& msg) { emit_error(out, msg); };
+
+  // parulel/2 request-id prefix: `@N CMD ...`. Parsed up front so the
+  // dedup window can answer a replay before anything executes.
+  std::uint64_t req_id = 0;
+  if (tok[0].front() == '@') {
+    const std::string& t = tok[0];
+    auto [p, ec] = std::from_chars(t.data() + 1, t.data() + t.size(), req_id);
+    if (ec != std::errc() || p != t.data() + t.size() || req_id == 0) {
+      err("bad request id: " + t);
+      return Status::Error;
+    }
+    tok.erase(tok.begin());
+    if (tok.empty()) {
+      err("usage: @N CMD NAME ...");
+      return Status::Error;
+    }
+  }
+  const std::string& cmd = tok[0];
+  std::ostringstream os;
   auto flush_ok = [&] { out += os.str(); };
+
+  if (req_id != 0 && cmd != "assert" && cmd != "retract" && cmd != "run") {
+    err("request id not allowed on: " + cmd);
+    return Status::Error;
+  }
 
   if (cmd == "quit") {
     out += "ok quit\n";
@@ -99,17 +121,24 @@ ServeProtocol::Status ServeProtocol::handle_line(std::string_view line,
   }
 
   if (cmd == "hello") {
-    // Versioned handshake. Bare `hello` and an exact version match both
-    // succeed; anything else is a structured refusal naming what the
-    // server does speak, so a future client can downgrade cleanly.
-    if (tok.size() == 1 ||
-        (tok.size() == 2 && tok[1] == kProtocolVersion)) {
+    // Versioned handshake. Bare `hello` answers with the current
+    // revision; an exact match of a spoken revision is echoed BACK AS
+    // REQUESTED (a parulel/1 script keeps its byte-identical responses);
+    // anything else is a structured refusal naming what the server does
+    // speak, so a future client can downgrade cleanly.
+    if (tok.size() == 1) {
       out += "ok hello ";
       out += kProtocolVersion;
       out += '\n';
+    } else if (tok.size() == 2 && (tok[1] == kProtocolVersion ||
+                                   tok[1] == kProtocolVersionLegacy)) {
+      out += "ok hello ";
+      out += tok[1];
+      out += '\n';
     } else if (tok.size() == 2) {
       err("unsupported protocol version: " + tok[1] + " (server speaks " +
-          std::string(kProtocolVersion) + ")");
+          std::string(kProtocolVersion) + ", " +
+          std::string(kProtocolVersionLegacy) + ")");
     } else {
       err("usage: hello [VERSION]");
     }
@@ -144,18 +173,72 @@ ServeProtocol::Status ServeProtocol::handle_line(std::string_view line,
     std::ostringstream text;
     text << file.rdbuf();
     Client client;
+    std::unique_ptr<Program> program;
     try {
-      client.program = std::make_unique<Program>(parse_program(text.str()));
+      program = std::make_unique<Program>(parse_program(text.str()));
     } catch (const ParseError& e) {
       err(std::string("parse: ") + e.what());
       return Status::Error;
     }
-    client.id = service_.open_session(*client.program);
-    if (client.id == 0) {
-      err("service full");
-      return Status::Error;
+    if (service_.config().journal.enabled()) {
+      // A journal-enabled server makes every opened session durable:
+      // the service takes the program (recovery outlives us) and starts
+      // the session's write-ahead journal.
+      std::string why;
+      client.id = service_.open_durable(tok[1], std::move(program),
+                                        text.str(), &why);
+      if (client.id == 0) {
+        err(why);
+        return Status::Error;
+      }
+      client.prog = service_.durable_program(client.id);
+      client.durable = true;
+    } else {
+      client.program = std::move(program);
+      client.prog = client.program.get();
+      client.id = service_.open_session(*client.program);
+      if (client.id == 0) {
+        err("service full");
+        return Status::Error;
+      }
     }
     os << "ok open " << tok[1] << " id=" << client.id << '\n';
+    clients_.emplace(tok[1], std::move(client));
+    flush_ok();
+    return Status::Ok;
+  }
+
+  if (cmd == "resume") {
+    if (tok.size() != 2) {
+      err("usage: resume NAME");
+      return Status::Error;
+    }
+    if (clients_.count(tok[1])) {
+      err("session exists: " + tok[1]);
+      return Status::Error;
+    }
+    std::string why;
+    Client client;
+    client.id = service_.resume_durable(tok[1], &why);
+    if (client.id == 0) {
+      err(why);
+      return Status::Error;
+    }
+    client.prog = service_.durable_program(client.id);
+    client.durable = true;
+    DurableStatus st;
+    service_.durable_status(client.id, &st);
+    // `acked` is the highest request id this session ever acknowledged:
+    // a resuming client MUST restart its id sequence above it, or fresh
+    // commands would collide with the dedup window and replay stale
+    // cached responses instead of executing.
+    service_.with_session(client.id, [&](Session& s) {
+      os << "ok resume " << tok[1] << " id=" << client.id
+         << " facts=" << s.wm().alive_count()
+         << " committed=" << st.last_committed
+         << " acked=" << st.last_req
+         << " fingerprint=" << hex64(s.fingerprint()) << '\n';
+    });
     clients_.emplace(tok[1], std::move(client));
     flush_ok();
     return Status::Ok;
@@ -178,18 +261,37 @@ ServeProtocol::Status ServeProtocol::handle_line(std::string_view line,
     return Status::Error;
   }
 
+  if (req_id != 0) {
+    // Exactly-once gate: a replayed id answers from the dedup window
+    // with the ORIGINAL response bytes, before anything executes.
+    std::string cached;
+    switch (service_.dedup_check(client->id, req_id, &cached)) {
+      case DedupOutcome::NotDurable:
+        err("request ids require a durable session: " + tok[1]);
+        return Status::Error;
+      case DedupOutcome::Replay:
+        out += cached;
+        return Status::Ok;
+      case DedupOutcome::Stale:
+        err("stale request id: @" + std::to_string(req_id));
+        return Status::Error;
+      case DedupOutcome::Fresh:
+        break;
+    }
+  }
+
   if (cmd == "assert") {
     if (tok.size() < 3) {
       err("usage: assert NAME TMPL V...");
       return Status::Error;
     }
-    SymbolTable& symbols = *client->program->symbols;
-    const auto tmpl = client->program->schema.find(symbols.intern(tok[2]));
+    SymbolTable& symbols = *client->prog->symbols;
+    const auto tmpl = client->prog->schema.find(symbols.intern(tok[2]));
     if (!tmpl) {
       err("no template: " + tok[2]);
       return Status::Error;
     }
-    const auto& def = client->program->schema.at(*tmpl);
+    const auto& def = client->prog->schema.at(*tmpl);
     if (tok.size() - 3 != static_cast<std::size_t>(def.arity())) {
       err("arity: " + tok[2] + " takes " + std::to_string(def.arity()) +
           " values");
@@ -207,6 +309,7 @@ ServeProtocol::Status ServeProtocol::handle_line(std::string_view line,
       return Status::Error;
     }
     os << "ok assert depth=" << service_.queue_depth(client->id) << '\n';
+    if (req_id != 0) service_.dedup_record(client->id, req_id, os.str());
   } else if (cmd == "retract") {
     if (tok.size() != 3) {
       err("usage: retract NAME FACTID");
@@ -226,17 +329,39 @@ ServeProtocol::Status ServeProtocol::handle_line(std::string_view line,
       return Status::Error;
     }
     os << "ok retract depth=" << service_.queue_depth(client->id) << '\n';
+    if (req_id != 0) service_.dedup_record(client->id, req_id, os.str());
   } else if (cmd == "run") {
     service_.submit(client->id, Request::make_run());
     service_.flush(client->id);
+    std::uint64_t committed = 0;
+    if (client->durable) {
+      // The response is built BEFORE the journal write because its
+      // exact bytes ride the batch record as the run's cached ack.
+      DurableStatus st;
+      service_.durable_status(client->id, &st);
+      committed = std::max(st.last_req, req_id);
+    }
     service_.with_session(client->id, [&](Session& s) {
       const RunStats& run = s.last_run();
       os << "ok run cycles=" << run.cycles
          << " firings=" << run.total_firings
          << " facts=" << s.wm().alive_count()
          << " termination=" << termination_name(run.termination)
-         << " fingerprint=" << hex64(s.fingerprint()) << '\n';
+         << " fingerprint=" << hex64(s.fingerprint());
+      if (client->durable) os << " committed=" << committed;
+      os << '\n';
     });
+    if (client->durable) {
+      // Exactly-once ordering: the batch record must be durable before
+      // the `ok` leaves the process. On journal failure the response is
+      // DISCARDED — the state applied in memory but is not durable, so
+      // the client must see a retryable error, never an ack.
+      std::string why;
+      if (!service_.durable_commit(client->id, req_id, os.str(), &why)) {
+        err("journal: " + why);
+        return Status::Error;
+      }
+    }
   } else if (cmd == "query") {
     if (tok.size() < 3) {
       err("usage: query NAME TMPL [SLOT=V]...");
@@ -250,7 +375,7 @@ ServeProtocol::Status ServeProtocol::handle_line(std::string_view line,
         bad = true;
         return;
       }
-      SymbolTable& symbols = *client->program->symbols;
+      SymbolTable& symbols = *client->prog->symbols;
       std::vector<Session::SlotFilter> filters;
       for (std::size_t i = 3; i < tok.size(); ++i) {
         const auto eq = tok[i].find('=');
@@ -283,6 +408,12 @@ ServeProtocol::Status ServeProtocol::handle_line(std::string_view line,
       os << "ok snapshot facts=" << client->snapshot->facts.size() << '\n';
     });
   } else if (cmd == "restore") {
+    if (client->durable) {
+      // SiteCheckpoint restore renumbers FactIds — it would diverge the
+      // live state from what journal replay reproduces after a crash.
+      err("restore is not supported on durable sessions: " + tok[1]);
+      return Status::Error;
+    }
     if (!client->snapshot) {
       err("no snapshot for: " + tok[1]);
       return Status::Error;

@@ -15,13 +15,20 @@
 // connection can never leak sessions or corrupt another conversation.
 //
 // Versioning: the optional `hello` handshake names the protocol
-// revision (kProtocolVersion, currently "parulel/1"). Clients that skip
-// it — every pre-handshake script — get the same responses as before,
-// byte for byte; clients that send it learn the server's revision and
-// get a structured error instead of garbage when they ask for one the
-// server does not speak.
+// revision (kProtocolVersion, currently "parulel/2"; the server still
+// speaks kProtocolVersionLegacy and echoes whichever the client asked
+// for). Clients that skip it — every pre-handshake script — get the
+// same responses as before, byte for byte; clients that send it learn
+// the server's revision and get a structured error instead of garbage
+// when they ask for one the server does not speak.
 //
-// See PROTOCOL.md for the full wire specification.
+// parulel/2 adds exactly-once semantics over durable sessions: when the
+// backing service runs with a journal directory, `open` creates a
+// journaled session, `resume NAME` reattaches one (across reconnects
+// and server restarts), and a mutating command may carry an `@N`
+// request-id prefix — a replayed id is answered from the dedup window
+// with the original response bytes instead of re-executing (see
+// PROTOCOL.md for the full wire specification).
 #pragma once
 
 #include <memory>
@@ -37,7 +44,10 @@ namespace parulel::service {
 class ServeProtocol {
  public:
   /// Wire-protocol revision implemented by this server.
-  static constexpr std::string_view kProtocolVersion = "parulel/1";
+  static constexpr std::string_view kProtocolVersion = "parulel/2";
+
+  /// Older revision still accepted by the `hello` handshake.
+  static constexpr std::string_view kProtocolVersionLegacy = "parulel/1";
 
   struct Options {
     /// Echo each command line (prefixed "> ") before its response.
@@ -55,7 +65,8 @@ class ServeProtocol {
   explicit ServeProtocol(RuleService& service);
   ServeProtocol(RuleService& service, Options options);
 
-  /// Closes every session this conversation opened.
+  /// Releases every session this conversation opened: plain sessions
+  /// close, durable sessions detach and stay resumable.
   ~ServeProtocol();
 
   ServeProtocol(const ServeProtocol&) = delete;
@@ -74,11 +85,16 @@ class ServeProtocol {
   std::size_t session_count() const { return clients_.size(); }
 
  private:
-  /// One named client session: the service holds the Session, we hold
-  /// the Program it runs (sessions reference their program by address).
+  /// One named client session: the service holds the Session. For a
+  /// plain session we own the Program it runs (sessions reference their
+  /// program by address); for a durable session the SERVICE owns it —
+  /// recovery must outlive any one conversation — and `prog` is a view
+  /// either way.
   struct Client {
-    std::unique_ptr<Program> program;
+    std::unique_ptr<Program> program;  ///< null for durable sessions
+    const Program* prog = nullptr;     ///< always valid
     SessionId id = 0;
+    bool durable = false;
     std::optional<SiteCheckpoint> snapshot;
   };
 

@@ -12,6 +12,19 @@ int serve(std::istream& in, std::ostream& out, ServeOptions options) {
   options.service.workers = 0;  // synchronous: the protocol is a pure
                                 // function of the command stream
   RuleService service(options.service);
+  if (options.service.journal.enabled()) {
+    // Rebuild durable sessions before the first command: a script may
+    // lead with `resume NAME`. Reports go to the response stream so a
+    // recovering operator sees what came back (and what quarantined).
+    for (const RecoveryReport& r : service.recover_journals()) {
+      if (r.ok) {
+        out << "recovered " << r.name << " batches=" << r.batches
+            << " ops=" << r.ops << " facts=" << r.facts << '\n';
+      } else {
+        out << "quarantined " << r.name << ": " << r.error << '\n';
+      }
+    }
+  }
   ServeProtocol::Options popts;
   popts.echo = options.echo;
   ServeProtocol protocol(service, popts);

@@ -11,11 +11,18 @@
 // format; the command set in one line each (NAME is a client-chosen
 // session name; `#` starts a comment):
 //
-//   hello [VERSION]           optional versioned handshake (parulel/1)
+//   hello [VERSION]           optional handshake (parulel/2; /1 accepted)
 //   open NAME FILE            load program text from FILE, open a session
+//                             (durable — journaled — when --journal-dir)
+//   resume NAME               reattach a durable session after a restart
 //   assert NAME TMPL V...     queue an assert (values: int, float, symbol)
 //   retract NAME FACTID       queue a retract
 //   run NAME                  commit the queued batch, run to quiescence
+//                             (durable: journaled+fsynced before the ok)
+//
+// parulel/2: assert/retract/run may carry an `@N` request-id prefix on
+// durable sessions; a replayed id answers from the dedup window with
+// the original response instead of re-executing (exactly-once retry).
 //   query NAME TMPL [S=V]...  list alive facts, optionally slot-filtered
 //   snapshot NAME             save the session's fact set (in memory)
 //   restore NAME              restore the last snapshot (rebuilds matcher)

@@ -1,8 +1,14 @@
 #include "service/service.hpp"
 
+#include <unistd.h>
+
 #include <algorithm>
+#include <cctype>
 #include <chrono>
+#include <filesystem>
 #include <iterator>
+
+#include "lang/parser.hpp"
 
 namespace parulel::service {
 
@@ -10,6 +16,20 @@ namespace {
 /// Bounded latency reservoir: percentile math stays O(64k) no matter
 /// how many requests the service has served.
 constexpr std::size_t kLatencyReservoir = 1 << 16;
+
+/// Durable session names become journal filenames; restrict them so a
+/// name can never traverse out of the journal directory.
+bool valid_durable_name(const std::string& name) {
+  if (name.empty() || name.size() > 128 || name.front() == '.') return false;
+  for (char c : name) {
+    if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_' &&
+        c != '-' && c != '.') {
+      return false;
+    }
+  }
+  return true;
+}
+
 }  // namespace
 
 std::uint64_t RuleService::now_ns() {
@@ -21,10 +41,29 @@ std::uint64_t RuleService::now_ns() {
 
 RuleService::RuleService(ServiceConfig config)
     : config_(config), pool_(std::max(1u, config.pool_threads)) {
+  if (config_.journal.enabled()) {
+    std::error_code ec;
+    std::filesystem::create_directories(config_.journal.dir, ec);
+  }
   workers_.reserve(config_.workers);
   for (unsigned w = 0; w < config_.workers; ++w) {
     workers_.emplace_back([this] { worker_loop(); });
   }
+}
+
+SessionConfig RuleService::session_config() {
+  SessionConfig scfg;
+  scfg.matcher = config_.matcher;
+  scfg.pool = &pool_;
+  scfg.cycle_quota = config_.cycle_quota;
+  scfg.fact_quota = config_.fact_quota;
+  scfg.output = config_.output;
+  return scfg;
+}
+
+std::string RuleService::journal_path(const std::string& name) const {
+  return (std::filesystem::path(config_.journal.dir) / (name + ".wal"))
+      .string();
 }
 
 RuleService::~RuleService() {
@@ -44,13 +83,7 @@ SessionId RuleService::open_session(const Program& program) {
   }
   auto entry = std::make_unique<Entry>();
   entry->id = next_id_++;
-  SessionConfig scfg;
-  scfg.matcher = config_.matcher;
-  scfg.pool = &pool_;
-  scfg.cycle_quota = config_.cycle_quota;
-  scfg.fact_quota = config_.fact_quota;
-  scfg.output = config_.output;
-  entry->session = std::make_unique<Session>(program, scfg);
+  entry->session = std::make_unique<Session>(program, session_config());
   entry->last_active_tick = tick_;
   ++stats_.sessions_opened;
   const SessionId id = entry->id;
@@ -72,6 +105,19 @@ void RuleService::close_locked(std::unique_lock<std::mutex>& lock,
   idle_cv_.wait(lock, [&entry] { return entry.busy == 0; });
   ++stats_.sessions_closed;
   if (evicting) ++stats_.evicted;
+  if (entry.durable) {
+    // Explicit close ends the durable state: keep the write/recovery
+    // totals, drop the registry entry, delete the journal file.
+    for (const auto& f : obs::journal_fields()) {
+      jstats_.*f.member += entry.durable->jstats.*f.member;
+    }
+    durable_by_name_.erase(entry.durable->name);
+    if (entry.durable->journal) {
+      const std::string path = entry.durable->journal->path();
+      entry.durable->journal.reset();
+      ::unlink(path.c_str());
+    }
+  }
   const SessionId id = entry.id;
   sessions_.erase(id);  // entry dangles from here on
   idle_cv_.notify_all();
@@ -149,15 +195,33 @@ void RuleService::commit_batch(std::unique_lock<std::mutex>& lock,
   std::uint64_t commit_end_ns = 0;
   {
     std::scoped_lock session_lock(session_mutex);
+    // Durable sessions journal every op AS SUBMITTED (absorbed and
+    // quota-rejected asserts included): replay re-decides each through
+    // the same Session entry points, reproducing state and counters.
+    BatchSegment seg;
+    const bool durable = entry.durable != nullptr;
     for (Request& request : batch) {
       switch (request.kind) {
         case Request::Kind::Assert:
+          if (durable) {
+            JournalOp op;
+            op.kind = JournalOp::Kind::Assert;
+            op.tmpl = request.tmpl;
+            op.slots = request.slots;  // copy: assert_fact consumes them
+            seg.ops.push_back(std::move(op));
+          }
           if (session.assert_fact(request.tmpl, std::move(request.slots)) ==
               Session::AssertOutcome::QuotaRejected) {
             ++quota_rejected;
           }
           break;
         case Request::Kind::Retract:
+          if (durable) {
+            JournalOp op;
+            op.kind = JournalOp::Kind::Retract;
+            op.fact = request.fact;
+            seg.ops.push_back(std::move(op));
+          }
           session.retract(request.fact);
           break;
         case Request::Kind::Run:
@@ -169,6 +233,15 @@ void RuleService::commit_batch(std::unique_lock<std::mutex>& lock,
       // recognize-act commit on it at a time, service-wide.
       std::scoped_lock pool_lock(pool_mutex_);
       session.run_to_quiescence();
+    }
+    if (durable) {
+      // One segment per commit: replay must reproduce the exact
+      // run_to_quiescence boundaries (and with them FactId assignment),
+      // so a protocol batch split across commits journals as several
+      // segments inside the next batch record.
+      seg.fingerprint = session.fingerprint();
+      seg.high_water = session.wm().high_water();
+      entry.durable->pending_segments.push_back(std::move(seg));
     }
     commit_end_ns = now_ns();
   }
@@ -251,7 +324,10 @@ std::size_t RuleService::evict_idle() {
 std::size_t RuleService::evict_idle_locked(std::unique_lock<std::mutex>& lock,
                                            bool force_one) {
   auto idle = [this](const Entry& e) {
-    return !e.closing && e.busy == 0 && !e.scheduled && e.queue.empty();
+    // Durable sessions are never eviction fodder: evicting one would
+    // delete its journal, destroying durable state on a timeout.
+    return !e.closing && !e.durable && e.busy == 0 && !e.scheduled &&
+           e.queue.empty();
   };
   std::vector<SessionId> victims;
   if (config_.idle_eviction_age > 0) {
@@ -304,6 +380,417 @@ void RuleService::record_latency(std::uint64_t ns) {
     latency_ring_[latency_next_] = ns;
     latency_next_ = (latency_next_ + 1) % kLatencyReservoir;
   }
+}
+
+SessionId RuleService::open_durable(const std::string& name,
+                                    std::unique_ptr<Program> program,
+                                    std::string text, std::string* err) {
+  auto fail = [&](std::string why) {
+    if (err) *err = std::move(why);
+    return SessionId{0};
+  };
+  if (!config_.journal.enabled()) {
+    return fail("journaling is disabled (start with --journal-dir)");
+  }
+  if (config_.workers != 0) {
+    return fail("durable sessions require synchronous mode (workers=0)");
+  }
+  if (!valid_durable_name(name)) {
+    return fail("invalid durable session name: " + name);
+  }
+  std::unique_lock lock(mutex_);
+  if (auto q = quarantined_.find(name); q != quarantined_.end()) {
+    return fail("journal-corrupt: " + q->second);
+  }
+  if (durable_by_name_.count(name)) {
+    return fail("durable session exists: " + name);
+  }
+  if (sessions_.size() >= config_.max_sessions) {
+    evict_idle_locked(lock, /*force_one=*/true);
+    if (sessions_.size() >= config_.max_sessions) return fail("service full");
+  }
+  auto durable = std::make_unique<DurableState>();
+  durable->name = name;
+  durable->program = std::move(program);
+  durable->program_text = std::move(text);
+  try {
+    durable->journal =
+        SessionJournal::create(journal_path(name), name,
+                               durable->program_text, config_.journal.fsync,
+                               &durable->jstats);
+  } catch (const JournalError& e) {
+    return fail(e.what());
+  }
+  auto entry = std::make_unique<Entry>();
+  entry->id = next_id_++;
+  entry->session =
+      std::make_unique<Session>(*durable->program, session_config());
+  entry->durable = std::move(durable);
+  entry->last_active_tick = tick_;
+  ++stats_.sessions_opened;
+  const SessionId id = entry->id;
+  durable_by_name_[name] = id;
+  sessions_.emplace(id, std::move(entry));
+  return id;
+}
+
+SessionId RuleService::resume_durable(const std::string& name,
+                                      std::string* err) {
+  auto fail = [&](std::string why) {
+    if (err) *err = std::move(why);
+    return SessionId{0};
+  };
+  std::scoped_lock lock(mutex_);
+  if (auto q = quarantined_.find(name); q != quarantined_.end()) {
+    return fail("journal-corrupt: " + q->second);
+  }
+  auto it = durable_by_name_.find(name);
+  if (it == durable_by_name_.end()) {
+    return fail("no durable session: " + name);
+  }
+  Entry& entry = *sessions_.at(it->second);
+  if (entry.closing) return fail("no durable session: " + name);
+  if (entry.durable->attached) {
+    return fail("session attached to another conversation: " + name);
+  }
+  entry.durable->attached = true;
+  entry.last_active_tick = tick_;
+  return entry.id;
+}
+
+void RuleService::release_session(SessionId id) {
+  {
+    std::scoped_lock lock(mutex_);
+    auto it = sessions_.find(id);
+    if (it == sessions_.end()) return;
+    if (it->second->durable && !it->second->closing) {
+      it->second->durable->attached = false;
+      it->second->last_active_tick = tick_;
+      return;
+    }
+  }
+  close_session(id);
+}
+
+bool RuleService::is_durable(SessionId id) const {
+  std::scoped_lock lock(mutex_);
+  auto it = sessions_.find(id);
+  return it != sessions_.end() && it->second->durable != nullptr;
+}
+
+const Program* RuleService::durable_program(SessionId id) const {
+  std::scoped_lock lock(mutex_);
+  auto it = sessions_.find(id);
+  if (it == sessions_.end() || !it->second->durable) return nullptr;
+  return it->second->durable->program.get();
+}
+
+bool RuleService::durable_status(SessionId id, DurableStatus* out) const {
+  std::scoped_lock lock(mutex_);
+  auto it = sessions_.find(id);
+  if (it == sessions_.end() || !it->second->durable) return false;
+  const DurableState& d = *it->second->durable;
+  if (out) {
+    out->name = d.name;
+    out->last_req = d.last_req;
+    out->last_committed = d.last_committed;
+  }
+  return true;
+}
+
+void RuleService::window_insert(DurableState& d, std::uint64_t req,
+                                std::string response) {
+  if (!d.dedup.emplace(req, std::move(response)).second) return;
+  d.dedup_order.push_back(req);
+  while (d.dedup_order.size() > config_.journal.dedup_window) {
+    d.dedup.erase(d.dedup_order.front());
+    d.dedup_order.pop_front();
+  }
+}
+
+DedupOutcome RuleService::dedup_check(SessionId id, std::uint64_t req,
+                                      std::string* cached) {
+  std::scoped_lock lock(mutex_);
+  auto it = sessions_.find(id);
+  if (it == sessions_.end() || !it->second->durable) {
+    return DedupOutcome::NotDurable;
+  }
+  DurableState& d = *it->second->durable;
+  if (auto hit = d.dedup.find(req); hit != d.dedup.end()) {
+    if (cached) *cached = hit->second;
+    return DedupOutcome::Replay;
+  }
+  if (req <= d.last_req) return DedupOutcome::Stale;
+  return DedupOutcome::Fresh;
+}
+
+bool RuleService::dedup_record(SessionId id, std::uint64_t req,
+                               std::string_view response) {
+  std::scoped_lock lock(mutex_);
+  auto it = sessions_.find(id);
+  if (it == sessions_.end() || !it->second->durable) return false;
+  DurableState& d = *it->second->durable;
+  window_insert(d, req, std::string(response));
+  d.pending_acks.push_back(JournalAck{req, std::string(response)});
+  if (req > d.last_req) d.last_req = req;
+  return true;
+}
+
+bool RuleService::durable_commit(SessionId id, std::uint64_t run_req,
+                                 std::string_view run_response,
+                                 std::string* err) {
+  std::unique_lock lock(mutex_);
+  auto it = sessions_.find(id);
+  if (it == sessions_.end() || !it->second->durable) {
+    if (err) *err = "not a durable session";
+    return false;
+  }
+  Entry& entry = *it->second;
+  DurableState& d = *entry.durable;
+  ++entry.busy;  // pins the entry across the unlocked journal write
+  lock.unlock();
+
+  bool wrote = false;
+  {
+    std::scoped_lock session_lock(entry.session_mutex);
+    BatchRecord rec;
+    rec.seq = d.batch_seq + 1;
+    rec.segments = std::move(d.pending_segments);
+    d.pending_segments.clear();
+    rec.acks = std::move(d.pending_acks);
+    d.pending_acks.clear();
+    if (run_req != 0) {
+      rec.acks.push_back(JournalAck{run_req, std::string(run_response)});
+    }
+    try {
+      d.journal->append(encode_batch(rec, *d.program->symbols));
+      wrote = true;
+      d.batch_seq = rec.seq;
+      ++d.jstats.batches_logged;
+      for (const BatchSegment& seg : rec.segments) {
+        d.jstats.ops_logged += seg.ops.size();
+      }
+    } catch (const JournalError& e) {
+      if (err) *err = e.what();
+      // Put everything back so a retried `run` re-attempts the
+      // identical record — the state is applied in memory but NOT
+      // durable, so it must not be acknowledged.
+      if (run_req != 0) rec.acks.pop_back();
+      d.pending_segments = std::move(rec.segments);
+      d.pending_acks = std::move(rec.acks);
+    }
+  }
+
+  lock.lock();
+  --entry.busy;
+  entry.last_active_tick = tick_;
+  bool snapshot_due = false;
+  SnapshotRecord snap;
+  if (wrote) {
+    if (run_req != 0) {
+      window_insert(d, run_req, std::string(run_response));
+      if (run_req > d.last_req) d.last_req = run_req;
+    }
+    d.last_committed = d.last_req;
+    ++d.batches_since_snapshot;
+    if (config_.journal.snapshot_every > 0 &&
+        d.batches_since_snapshot >= config_.journal.snapshot_every) {
+      snapshot_due = true;
+      snap.seq = d.batch_seq;
+      snap.last_req = d.last_req;
+      snap.dedup.reserve(d.dedup_order.size());
+      for (std::uint64_t r : d.dedup_order) {
+        snap.dedup.push_back(JournalAck{r, d.dedup.at(r)});
+      }
+      ++entry.busy;
+    }
+  }
+  idle_cv_.notify_all();
+  if (!snapshot_due) return wrote;
+  lock.unlock();
+
+  bool truncated = false;
+  {
+    std::scoped_lock session_lock(entry.session_mutex);
+    snap.state = entry.session->snapshot_exact();
+    snap.fingerprint = entry.session->fingerprint();
+    try {
+      d.journal->rewrite_with_snapshot(
+          d.name, d.program_text, encode_snapshot(snap, *d.program->symbols));
+      truncated = true;
+    } catch (const JournalError&) {
+      // Non-fatal: truncation failed, the journal keeps growing and
+      // recovery replays the longer record stream instead.
+    }
+  }
+
+  lock.lock();
+  --entry.busy;
+  if (truncated) d.batches_since_snapshot = 0;
+  idle_cv_.notify_all();
+  return wrote;
+}
+
+std::vector<RecoveryReport> RuleService::recover_journals() {
+  std::vector<RecoveryReport> reports;
+  if (!config_.journal.enabled()) return reports;
+  std::vector<std::string> files;
+  std::error_code ec;
+  for (const auto& de :
+       std::filesystem::directory_iterator(config_.journal.dir, ec)) {
+    if (de.path().extension() == ".wal") files.push_back(de.path().string());
+  }
+  std::sort(files.begin(), files.end());
+  const std::uint64_t t0 = now_ns();
+  reports.reserve(files.size());
+  for (const std::string& path : files) reports.push_back(recover_one(path));
+  std::scoped_lock lock(mutex_);
+  jstats_.recovery_wall_ns += now_ns() - t0;
+  return reports;
+}
+
+RecoveryReport RuleService::recover_one(const std::string& path) {
+  RecoveryReport rep;
+  rep.name = std::filesystem::path(path).stem().string();
+  try {
+    JournalScan scan = scan_journal(path);
+    if (scan.header.name != rep.name) {
+      throw JournalError("journal header names '" + scan.header.name +
+                         "' but the file is '" + rep.name + ".wal'");
+    }
+    auto durable = std::make_unique<DurableState>();
+    durable->name = scan.header.name;
+    durable->program =
+        std::make_unique<Program>(parse_program(scan.header.program_text));
+    durable->program_text = scan.header.program_text;
+    SymbolTable& symbols = *durable->program->symbols;
+
+    // A snapshot carries the deffacts' effects inside its exact state;
+    // replay-from-zero must re-assert them like the original open did.
+    rep.from_snapshot = !scan.payloads.empty() &&
+                        record_type(scan.payloads.front()) ==
+                            RecordType::Snapshot;
+    SessionConfig scfg = session_config();
+    scfg.assert_initial_facts = !rep.from_snapshot;
+    auto session = std::make_unique<Session>(*durable->program, scfg);
+
+    std::uint64_t prev_seq = 0;
+    bool at_head = true;
+    for (const std::string& payload : scan.payloads) {
+      switch (record_type(payload)) {
+        case RecordType::Header:
+          throw JournalError("duplicate header record");
+        case RecordType::Snapshot: {
+          if (!at_head) {
+            throw JournalError("snapshot record not at journal head");
+          }
+          SnapshotRecord snap = decode_snapshot(payload, symbols);
+          {
+            std::scoped_lock pool_lock(pool_mutex_);
+            session->restore_exact(snap.state);
+          }
+          if (session->fingerprint() != snap.fingerprint ||
+              session->wm().high_water() != snap.state.high_water) {
+            throw JournalError(
+                "snapshot settle run diverged — program is not "
+                "snapshot-compatible; rerun with --snapshot-every 0");
+          }
+          for (JournalAck& a : snap.dedup) {
+            window_insert(*durable, a.req, std::move(a.response));
+          }
+          durable->last_req = snap.last_req;
+          durable->last_committed = snap.last_req;
+          durable->batch_seq = snap.seq;
+          prev_seq = snap.seq;
+          break;
+        }
+        case RecordType::Batch: {
+          BatchRecord rec = decode_batch(payload, symbols);
+          if (rec.seq != prev_seq + 1) {
+            throw JournalError("batch sequence gap: expected " +
+                               std::to_string(prev_seq + 1) + ", found " +
+                               std::to_string(rec.seq));
+          }
+          for (const BatchSegment& seg : rec.segments) {
+            for (const JournalOp& op : seg.ops) {
+              if (op.kind == JournalOp::Kind::Assert) {
+                session->assert_fact(op.tmpl, op.slots);
+              } else {
+                session->retract(op.fact);
+              }
+              ++rep.ops;
+            }
+            {
+              std::scoped_lock pool_lock(pool_mutex_);
+              session->run_to_quiescence();
+            }
+            if (session->fingerprint() != seg.fingerprint ||
+                session->wm().high_water() != seg.high_water) {
+              throw JournalError(
+                  "replay diverged from the journaled state digest at "
+                  "batch seq " +
+                  std::to_string(rec.seq));
+            }
+          }
+          for (JournalAck& a : rec.acks) {
+            if (a.req > durable->last_req) durable->last_req = a.req;
+            window_insert(*durable, a.req, std::move(a.response));
+          }
+          durable->last_committed = durable->last_req;
+          durable->batch_seq = rec.seq;
+          prev_seq = rec.seq;
+          ++rep.batches;
+          break;
+        }
+      }
+      at_head = false;
+    }
+
+    rep.facts = session->wm().alive_count();
+    rep.fingerprint = session->fingerprint();
+    rep.torn_bytes = scan.torn_bytes;
+    durable->journal = SessionJournal::open_append(
+        path, config_.journal.fsync, &durable->jstats);
+    durable->attached = false;  // waits for a `resume`
+
+    std::scoped_lock lock(mutex_);
+    auto entry = std::make_unique<Entry>();
+    entry->id = next_id_++;
+    entry->session = std::move(session);
+    entry->durable = std::move(durable);
+    entry->last_active_tick = tick_;
+    ++stats_.sessions_opened;
+    durable_by_name_[rep.name] = entry->id;
+    rep.session = entry->id;
+    sessions_.emplace(entry->id, std::move(entry));
+    ++jstats_.recovered_sessions;
+    jstats_.recovered_batches += rep.batches;
+    jstats_.recovered_ops += rep.ops;
+    if (rep.torn_bytes > 0) ++jstats_.torn_tails;
+    rep.ok = true;
+  } catch (const std::exception& e) {
+    // Fail closed: the journal file is left exactly as found, and the
+    // name answers `err journal-corrupt` until an operator intervenes.
+    rep.ok = false;
+    rep.error = e.what();
+    std::scoped_lock lock(mutex_);
+    quarantined_[rep.name] = rep.error;
+    ++jstats_.recovery_failures;
+  }
+  return rep;
+}
+
+JournalStats RuleService::journal_stats_snapshot() const {
+  std::scoped_lock lock(mutex_);
+  JournalStats out = jstats_;
+  for (const auto& [id, entry] : sessions_) {
+    if (!entry->durable) continue;
+    std::scoped_lock session_lock(entry->session_mutex);
+    for (const auto& f : obs::journal_fields()) {
+      out.*f.member += entry->durable->jstats.*f.member;
+    }
+  }
+  return out;
 }
 
 ServiceStats RuleService::stats_snapshot() const {

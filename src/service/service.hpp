@@ -40,6 +40,7 @@
 
 #include "obs/stats.hpp"
 #include "runtime/thread_pool.hpp"
+#include "service/journal.hpp"
 #include "service/session.hpp"
 
 namespace parulel::service {
@@ -80,6 +81,11 @@ struct ServiceConfig {
 
   /// Sink for (printout ...) actions across all sessions; null discards.
   std::ostream* output = nullptr;
+
+  /// Write-ahead-journal policy; journal.dir empty = durability off and
+  /// the whole durable path compiled out of the hot loop (one null
+  /// pointer check per commit).
+  JournalConfig journal;
 };
 
 /// One queued external operation.
@@ -113,6 +119,35 @@ enum class SubmitResult : std::uint8_t {
   NoSuchSession,  ///< unknown or closing session id
 };
 
+/// Verdict on a parulel/2 request id (see dedup_check).
+enum class DedupOutcome : std::uint8_t {
+  Fresh,       ///< never seen: execute it
+  Replay,      ///< committed earlier: answer from the cached response
+  Stale,       ///< older than the dedup window: fail closed
+  NotDurable,  ///< session has no journal; request ids are meaningless
+};
+
+/// What recover_journals() did with one journal file.
+struct RecoveryReport {
+  std::string name;
+  bool ok = false;
+  std::string error;        ///< quarantine reason when !ok
+  SessionId session = 0;    ///< registered (detached) session when ok
+  bool from_snapshot = false;
+  std::uint64_t batches = 0;  ///< batch records replayed
+  std::uint64_t ops = 0;      ///< assert/retract ops re-applied
+  std::uint64_t facts = 0;    ///< alive facts after recovery
+  std::uint64_t fingerprint = 0;
+  std::uint64_t torn_bytes = 0;  ///< torn-tail bytes dropped, if any
+};
+
+/// Introspection for the protocol's `resume`/`run committed=` fields.
+struct DurableStatus {
+  std::string name;
+  std::uint64_t last_req = 0;        ///< highest acknowledged request id
+  std::uint64_t last_committed = 0;  ///< highest JOURNALED request id
+};
+
 class RuleService {
  public:
   explicit RuleService(ServiceConfig config);
@@ -126,8 +161,80 @@ class RuleService {
   SessionId open_session(const Program& program);
 
   /// Close and destroy a session; blocks until in-flight work on it
-  /// finishes. Pending queued requests are dropped.
+  /// finishes. Pending queued requests are dropped. Closing a durable
+  /// session also UNLINKS its journal — close is the deliberate end of
+  /// the durable state, detach (release_session) the way to keep it.
   bool close_session(SessionId id);
+
+  // -- durable sessions (write-ahead journal; see journal.hpp) --
+  //
+  // A durable session is a journaled session addressed by a server-wide
+  // NAME. It requires journaling enabled and synchronous mode
+  // (workers == 0): commits must happen on the conversation's thread so
+  // the batch record can be written before the acknowledgement leaves
+  // the process. Durable sessions are exempt from idle eviction, and a
+  // conversation ending detaches rather than closes them — `resume`
+  // reattaches, across reconnects and across server restarts.
+
+  /// Create a durable session. The service takes ownership of the
+  /// parsed program (recovery must outlive any conversation); `text` is
+  /// its source, journaled so recovery can re-parse it. On failure
+  /// returns 0 with a structured message in *err.
+  SessionId open_durable(const std::string& name,
+                         std::unique_ptr<Program> program, std::string text,
+                         std::string* err);
+
+  /// Reattach a detached durable session by name. Fails (returns 0,
+  /// message in *err) for unknown names, sessions attached to another
+  /// conversation, and quarantined journals.
+  SessionId resume_durable(const std::string& name, std::string* err);
+
+  /// Conversation teardown: detach a durable session (keeping it
+  /// resumable), close anything else.
+  void release_session(SessionId id);
+
+  bool is_durable(SessionId id) const;
+
+  /// The program a durable session runs (service-owned; stable until
+  /// the session closes). Null for unknown/non-durable sessions.
+  const Program* durable_program(SessionId id) const;
+
+  bool durable_status(SessionId id, DurableStatus* out) const;
+
+  /// Classify a parulel/2 request id against the session's dedup
+  /// window. Replay fills *cached with the exact response bytes the
+  /// original execution acknowledged.
+  DedupOutcome dedup_check(SessionId id, std::uint64_t req,
+                           std::string* cached);
+
+  /// Record an acknowledged (ok) response for `req`: enters the dedup
+  /// window now and rides the next batch record to disk. Returns false
+  /// for non-durable sessions.
+  bool dedup_record(SessionId id, std::uint64_t req,
+                    std::string_view response);
+
+  /// Make everything since the last commit durable: write ONE batch
+  /// record holding the pending commit segments and pending acks (plus
+  /// `run_req`/`run_response`, the `run` that triggered this), fsync
+  /// per policy, then fold the run into the dedup window. On journal
+  /// failure the pending state is retained so a retried `run` attempts
+  /// the identical record again, and *err carries the reason — the
+  /// caller must discard the response and answer `err` instead (the
+  /// exactly-once ordering: nothing un-journaled is ever acked).
+  /// Triggers the snapshot-every truncation rewrite when due.
+  bool durable_commit(SessionId id, std::uint64_t run_req,
+                      std::string_view run_response, std::string* err);
+
+  /// Startup recovery: scan journal.dir for *.wal files and rebuild
+  /// each as a detached durable session, verifying every replayed
+  /// commit against its journaled fingerprint/high-water digest.
+  /// Journals that fail ANY check are quarantined: the file is left
+  /// untouched and the name answers `err journal-corrupt` until an
+  /// operator intervenes. Call once, before serving traffic.
+  std::vector<RecoveryReport> recover_journals();
+
+  /// Journal + recovery counters aggregated across durable sessions.
+  JournalStats journal_stats_snapshot() const;
 
   /// Enqueue one request. Never blocks: a full queue rejects.
   SubmitResult submit(SessionId id, Request request);
@@ -161,6 +268,32 @@ class RuleService {
   const ServiceConfig& config() const { return config_; }
 
  private:
+  /// Journal-side state of a durable session. Confined to the owning
+  /// conversation's thread in practice (durable requires workers == 0);
+  /// the registry fields (name lookups, attach flag) are guarded by
+  /// mutex_, the pending/dedup state follows the commit path's locks.
+  struct DurableState {
+    std::string name;
+    std::unique_ptr<Program> program;  ///< service-owned for recovery
+    std::string program_text;
+    std::unique_ptr<SessionJournal> journal;
+    bool attached = true;  ///< bound to a live conversation
+
+    // Exactly-once bookkeeping.
+    std::deque<std::uint64_t> dedup_order;  ///< window eviction order
+    std::unordered_map<std::uint64_t, std::string> dedup;  ///< req -> resp
+    std::uint64_t last_req = 0;        ///< highest acked request id
+    std::uint64_t last_committed = 0;  ///< highest journaled request id
+
+    // Accumulates between durable_commit()s.
+    std::vector<BatchSegment> pending_segments;
+    std::vector<JournalAck> pending_acks;
+    std::uint64_t batch_seq = 0;
+    std::uint64_t batches_since_snapshot = 0;
+
+    JournalStats jstats;
+  };
+
   struct Entry {
     SessionId id = 0;
     std::unique_ptr<Session> session;
@@ -170,9 +303,17 @@ class RuleService {
     unsigned busy = 0;             ///< commits/with_session in flight
     bool closing = false;
     std::uint64_t last_active_tick = 0;
+    std::unique_ptr<DurableState> durable;  ///< null = plain session
   };
 
   void worker_loop();
+  SessionConfig session_config();
+  std::string journal_path(const std::string& name) const;
+  /// Insert into the bounded dedup window, evicting the oldest ids.
+  void window_insert(DurableState& d, std::uint64_t req,
+                     std::string response);
+  /// Recover one journal file; quarantines on any failure.
+  RecoveryReport recover_one(const std::string& path);
   /// Drain one batch from `entry` and commit it. Called with mutex_
   /// held; releases and re-acquires it around the session work.
   void commit_batch(std::unique_lock<std::mutex>& lock, Entry& entry);
@@ -204,6 +345,11 @@ class RuleService {
   ServiceStats stats_;
   std::vector<std::uint64_t> latency_ring_;
   std::size_t latency_next_ = 0;
+
+  // Durable registry (guarded by mutex_).
+  std::unordered_map<std::string, SessionId> durable_by_name_;
+  std::unordered_map<std::string, std::string> quarantined_;  ///< name -> why
+  JournalStats jstats_;  ///< recovery totals + folded closed sessions
 
   std::vector<std::jthread> workers_;
 };

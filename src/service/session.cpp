@@ -116,4 +116,35 @@ void Session::restore(const SiteCheckpoint& checkpoint) {
   ++counters_.rebuilds;
 }
 
+ExactSnapshot Session::snapshot_exact() const {
+  const WorkingMemory& wm = engine_->wm();
+  ExactSnapshot snap;
+  snap.high_water = wm.high_water();
+  snap.halted = engine_->halted();
+  snap.counters = counters_;
+  for (FactId id = 1; id <= snap.high_water; ++id) {
+    if (wm.alive(id)) snap.facts.push_back(wm.fact(id));
+  }
+  return snap;
+}
+
+void Session::restore_exact(const ExactSnapshot& snapshot) {
+  engine_ = make_engine();
+  WorkingMemory& wm = engine_->wm();
+  for (const Fact& f : snapshot.facts) {
+    wm.assert_fact_at(f.id, f.tmpl, f.slots);
+  }
+  wm.reserve_ids(snapshot.high_water);
+  engine_->set_halted(snapshot.halted);
+  // Settle run: re-derive the retained matcher's state at the restored
+  // fixpoint. Snapshots are taken only at quiescence, where every
+  // derivable instantiation already fired pre-crash, so for
+  // snapshot-compatible programs this leaves working memory untouched
+  // (re-asserted content is absorbed by set semantics). The counters
+  // are reinstated afterwards so the settle run is invisible in stats.
+  run_to_quiescence();
+  counters_ = snapshot.counters;
+  ++counters_.rebuilds;
+}
+
 }  // namespace parulel::service

@@ -77,6 +77,21 @@ struct SessionCounters {
   std::uint64_t rebuilds = 0;        ///< engine+matcher reconstructions
 };
 
+/// Exact-state checkpoint for journal recovery (service/journal.hpp).
+/// SiteCheckpoint (snapshot()/restore() below) is content-only and
+/// renumbers FactIds on restore — fine for the distributed engine,
+/// fatal for durable sessions, where clients hold FactIds across server
+/// restarts and journal-replay determinism keys off the id (time-tag)
+/// order. ExactSnapshot therefore captures the alive facts WITH their
+/// ids, the id high-water mark, the halted flag, and the cumulative
+/// counters, so restore_exact() reproduces the session state exactly.
+struct ExactSnapshot {
+  FactId high_water = 0;  ///< largest id ever handed out
+  bool halted = false;
+  SessionCounters counters;
+  std::vector<Fact> facts;  ///< alive facts, ascending id
+};
+
 class Session {
  public:
   enum class AssertOutcome : std::uint8_t {
@@ -129,6 +144,19 @@ class Session {
   /// included — the same recovery contract as a distributed-site
   /// restore (src/distrib/checkpoint.hpp).
   void restore(const SiteCheckpoint& checkpoint);
+
+  /// Capture exact state (ids included) for the write-ahead journal.
+  ExactSnapshot snapshot_exact() const;
+
+  /// Rebuild to the exact captured state: facts keep their pre-crash
+  /// ids, skipped ids stay tombstoned, the id counter resumes at the
+  /// captured high-water mark, and counters/halted are reinstated.
+  /// Ends with a settle run that re-derives match state at the restored
+  /// fixpoint; snapshots are only taken at quiescence, so that run must
+  /// leave the state bit-identical — the recovery caller verifies the
+  /// fingerprint and high-water mark afterwards and fails closed on
+  /// programs that violate it (see ARCHITECTURE.md, durability).
+  void restore_exact(const ExactSnapshot& snapshot);
 
   // -- introspection --
 

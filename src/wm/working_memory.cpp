@@ -41,6 +41,49 @@ FactId WorkingMemory::assert_fact(TemplateId tmpl, std::vector<Value> slots) {
   return id;
 }
 
+FactId WorkingMemory::assert_fact_at(FactId id, TemplateId tmpl,
+                                     std::vector<Value> slots) {
+  assert(tmpl < schema_.size());
+  if (id <= high_water()) {
+    throw RuntimeError("assert_fact_at: id not above high-water mark");
+  }
+  if (static_cast<int>(slots.size()) != schema_.at(tmpl).arity()) {
+    throw RuntimeError("assert_fact_at: arity mismatch");
+  }
+  Fact probe{0, tmpl, std::move(slots)};
+  const std::size_t h = probe.content_hash();
+  auto [lo, hi] = content_index_.equal_range(h);
+  for (auto it = lo; it != hi; ++it) {
+    const Fact& existing = facts_[it->second - 1];
+    if (alive_[it->second - 1] && existing.same_content(probe)) {
+      throw RuntimeError("assert_fact_at: duplicate alive content");
+    }
+  }
+
+  reserve_ids(id - 1);
+  probe.id = id;
+  next_id_ = id + 1;
+  facts_.push_back(std::move(probe));
+  alive_.push_back(true);
+  extent_pos_.push_back(extents_[tmpl].size());
+  extents_[tmpl].push_back(id);
+  content_index_.emplace(h, id);
+  ++alive_count_;
+  pending_.added.push_back(id);
+  return id;
+}
+
+void WorkingMemory::reserve_ids(FactId high_water) {
+  while (next_id_ <= high_water) {
+    // Permanent tombstone: never alive, never in an extent or the
+    // content index, so no code path beyond fact()/alive() can see it.
+    facts_.push_back(Fact{next_id_, kInvalidTemplate, {}});
+    alive_.push_back(false);
+    extent_pos_.push_back(0);
+    ++next_id_;
+  }
+}
+
 bool WorkingMemory::retract(FactId id) {
   if (id == kInvalidFact || id >= next_id_ || !alive_[id - 1]) return false;
   alive_[id - 1] = false;

@@ -50,6 +50,22 @@ class WorkingMemory {
   /// Retract by id. Returns false when the id is unknown or already dead.
   bool retract(FactId id);
 
+  /// Assert a fact under a caller-chosen id — the journal-recovery path
+  /// (service/journal.hpp), which must rebuild a store whose FactIds
+  /// match the pre-crash run exactly (clients hold ids across restarts,
+  /// and replay determinism depends on the time-tag order). `id` must be
+  /// above high_water(); skipped ids in between become permanent
+  /// tombstones, exactly as if those facts had lived and been retracted.
+  /// Unlike assert_fact, a live duplicate is an error (the journal never
+  /// records absorbed asserts), so this throws RuntimeError instead of
+  /// absorbing.
+  FactId assert_fact_at(FactId id, TemplateId tmpl, std::vector<Value> slots);
+
+  /// Advance the id counter so high_water() == `high_water`, tombstoning
+  /// the skipped ids. Recovery calls this last so post-restore asserts
+  /// continue the pre-crash numbering.
+  void reserve_ids(FactId high_water);
+
   /// OPS5 modify: retract `id` and assert a copy with `slot` replaced.
   /// Returns the new FactId (or kInvalidFact if absorbed / id dead).
   FactId modify(FactId id, const std::vector<std::pair<int, Value>>& updates);

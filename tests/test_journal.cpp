@@ -1,0 +1,654 @@
+// Durability tests: the write-ahead journal, crash recovery, and the
+// parulel/2 exactly-once contract.
+//
+// The tentpole gate is the crash-equivalence sweep: drive a durable
+// session through a scripted load, "crash" the service at every point
+// in the script (with and without losing the last acknowledgement),
+// recover from the journal into a fresh service, resume, replay the
+// client's unacknowledged suffix, finish the script — and require the
+// final working-memory fingerprint to equal an uninterrupted run's,
+// across snapshot-truncation intervals. The workload is a consume rule
+// (items are retracted into a running tally), so a single double-apply
+// or lost batch shifts the tally and the fingerprints diverge.
+//
+// Around it: record round-trips, CRC framing, torn-tail tolerance vs
+// fail-closed corruption, future-format rejection, snapshot truncation,
+// dedup-window replay/stale semantics, and quarantine behavior.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "service/journal.hpp"
+#include "service/protocol.hpp"
+#include "service/service.hpp"
+#include "service/session.hpp"
+
+namespace parulel::service {
+namespace {
+
+namespace fs = std::filesystem;
+
+// Items are consumed (retracted) into a tally: re-applying a batch that
+// already committed changes the sum, so the fingerprint catches any
+// double-apply. One item is in flight per run, which keeps the rule's
+// firings sequential and the tally a plain accumulator.
+constexpr const char* kConsumeSource = R"((deftemplate item (slot v))
+(deftemplate tally (slot n))
+(defrule consume
+  ?i <- (item (v ?x))
+  ?t <- (tally (n ?c))
+  =>
+  (retract ?i)
+  (retract ?t)
+  (assert (tally (n (+ ?c ?x)))))
+(deffacts init (tally (n 0))))";
+
+/// A fresh journal directory per test, removed on teardown.
+struct TempDir {
+  fs::path path;
+  explicit TempDir(const std::string& tag) {
+    path = fs::temp_directory_path() /
+           ("parulel_journal_" + tag + "_" + std::to_string(::getpid()));
+    fs::remove_all(path);
+    fs::create_directories(path);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(path, ec);
+  }
+  std::string str() const { return path.string(); }
+};
+
+std::string write_program_file(const std::string& tag) {
+  const std::string path =
+      (fs::temp_directory_path() / ("parulel_journal_" + tag + ".clp"))
+          .string();
+  std::ofstream out(path);
+  out << kConsumeSource;
+  return path;
+}
+
+ServiceConfig durable_config(const TempDir& dir,
+                             std::uint64_t snapshot_every = 0,
+                             std::size_t dedup_window = 256) {
+  ServiceConfig cfg;
+  cfg.journal.dir = dir.str();
+  cfg.journal.snapshot_every = snapshot_every;
+  cfg.journal.dedup_window = dedup_window;
+  // fsync off in tests: kill -9 durability (what the sweep emulates)
+  // only needs the write() ordering, and the sweep opens hundreds of
+  // services.
+  cfg.journal.fsync = false;
+  return cfg;
+}
+
+/// Resume the (detached) durable session `name` just long enough to
+/// read its fingerprint, then detach again.
+std::uint64_t detached_fingerprint(RuleService& svc,
+                                   const std::string& name) {
+  std::string err;
+  const SessionId id = svc.resume_durable(name, &err);
+  EXPECT_NE(id, 0u) << err;
+  if (id == 0) return 0;
+  std::uint64_t fp = 0;
+  svc.with_session(id, [&](Session& s) { fp = s.fingerprint(); });
+  svc.release_session(id);
+  return fp;
+}
+
+// ------------------------------------------------------- encode/decode
+
+TEST(JournalCodec, Crc32MatchesKnownVector) {
+  // The zlib polynomial's canonical check value.
+  EXPECT_EQ(crc32("123456789", 9), 0xCBF43926u);
+  EXPECT_EQ(crc32("", 0), 0u);
+}
+
+TEST(JournalCodec, BatchRecordRoundTrips) {
+  SymbolTable symbols;
+  BatchRecord record;
+  record.seq = 7;
+  BatchSegment seg;
+  JournalOp op;
+  op.kind = JournalOp::Kind::Assert;
+  op.tmpl = 3;
+  op.slots = {Value::integer(42), Value::symbol(symbols.intern("acme")),
+              Value::real(2.5)};
+  seg.ops.push_back(op);
+  JournalOp retract;
+  retract.kind = JournalOp::Kind::Retract;
+  retract.fact = 19;
+  seg.ops.push_back(retract);
+  seg.fingerprint = 0xDEADBEEFCAFE1234ull;
+  seg.high_water = 23;
+  record.segments.push_back(seg);
+  record.acks.push_back({4, "ok assert depth=1\n"});
+  record.acks.push_back({5, "ok run cycles=2 committed=5\n"});
+
+  const std::string payload = encode_batch(record, symbols);
+  ASSERT_EQ(record_type(payload), RecordType::Batch);
+
+  // Decode through a FRESH symbol table: symbol ids are interning-order
+  // dependent, so the codec must carry symbols as text.
+  SymbolTable fresh;
+  const BatchRecord back = decode_batch(payload, fresh);
+  EXPECT_EQ(back.seq, 7u);
+  ASSERT_EQ(back.segments.size(), 1u);
+  ASSERT_EQ(back.segments[0].ops.size(), 2u);
+  EXPECT_EQ(back.segments[0].ops[0].tmpl, 3u);
+  ASSERT_EQ(back.segments[0].ops[0].slots.size(), 3u);
+  EXPECT_EQ(back.segments[0].ops[0].slots[0], Value::integer(42));
+  EXPECT_EQ(back.segments[0].ops[0].slots[1],
+            Value::symbol(fresh.intern("acme")));
+  EXPECT_EQ(back.segments[0].ops[1].kind, JournalOp::Kind::Retract);
+  EXPECT_EQ(back.segments[0].ops[1].fact, 19u);
+  EXPECT_EQ(back.segments[0].fingerprint, 0xDEADBEEFCAFE1234ull);
+  EXPECT_EQ(back.segments[0].high_water, 23u);
+  ASSERT_EQ(back.acks.size(), 2u);
+  EXPECT_EQ(back.acks[0].req, 4u);
+  EXPECT_EQ(back.acks[1].response, "ok run cycles=2 committed=5\n");
+}
+
+TEST(JournalCodec, HeaderRoundTripsAndFutureVersionFailsClosed) {
+  const std::string payload = encode_header("sess", kConsumeSource);
+  ASSERT_EQ(record_type(payload), RecordType::Header);
+  const JournalHeader h = decode_header(payload);
+  EXPECT_EQ(h.version, kJournalFormatVersion);
+  EXPECT_EQ(h.name, "sess");
+  EXPECT_EQ(h.program_text, kConsumeSource);
+
+  const std::string future =
+      encode_header("sess", kConsumeSource, kJournalFormatVersion + 1);
+  EXPECT_THROW(decode_header(future), JournalError);
+}
+
+TEST(JournalCodec, UnknownRecordTypeFailsClosed) {
+  EXPECT_THROW(record_type(""), JournalError);
+  EXPECT_THROW(record_type(std::string(1, '\x7f')), JournalError);
+}
+
+// --------------------------------------------------- file-level framing
+
+/// Append one batch journal via the real writer and return its bytes.
+std::string build_journal(const TempDir& dir, std::size_t batches) {
+  JournalStats stats;
+  const std::string path = (dir.path / "s.wal").string();
+  auto journal =
+      SessionJournal::create(path, "s", kConsumeSource, false, &stats);
+  SymbolTable symbols;
+  for (std::size_t i = 0; i < batches; ++i) {
+    BatchRecord record;
+    record.seq = i + 1;
+    BatchSegment seg;
+    JournalOp op;
+    op.tmpl = 1;
+    op.slots = {Value::integer(static_cast<std::int64_t>(i))};
+    seg.ops.push_back(op);
+    record.segments.push_back(seg);
+    record.acks.push_back({i + 1, "ok run\n"});
+    journal->append(encode_batch(record, symbols));
+  }
+  journal.reset();
+  std::ifstream in(path, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  return bytes;
+}
+
+void write_bytes(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+TEST(JournalScanTest, TruncationSweepTornTailOnly) {
+  TempDir dir("torn");
+  const std::string bytes = build_journal(dir, 3);
+  const std::string path = (dir.path / "s.wal").string();
+
+  const JournalScan full = scan_journal(path);
+  EXPECT_EQ(full.payloads.size(), 3u);
+  EXPECT_EQ(full.torn_bytes, 0u);
+  const std::size_t header_end = bytes.size() -
+      [&] {  // total batch-record bytes = file minus the header record
+        std::size_t n = 0;
+        for (const std::string& p : full.payloads) n += 8 + p.size();
+        return n;
+      }();
+
+  // Chop the file at every byte past the header record: the scan must
+  // never throw and never invent records — it salvages the complete
+  // prefix and counts the rest as the torn tail.
+  for (std::size_t cut = bytes.size() - 1; cut >= header_end; --cut) {
+    write_bytes(path, bytes.substr(0, cut));
+    const JournalScan scan = scan_journal(path);
+    EXPECT_LE(scan.payloads.size(), 3u);
+    std::size_t complete = header_end;
+    for (const std::string& p : scan.payloads) complete += 8 + p.size();
+    EXPECT_EQ(scan.torn_bytes, cut - complete) << "cut=" << cut;
+  }
+
+  // Chopping inside the header record destroys the journal's identity:
+  // that is corruption, not a torn tail.
+  write_bytes(path, bytes.substr(0, header_end - 1));
+  EXPECT_THROW(scan_journal(path), JournalError);
+}
+
+TEST(JournalScanTest, FlippedCrcMidFileFailsClosed) {
+  TempDir dir("crc");
+  const std::string bytes = build_journal(dir, 3);
+  const std::string path = (dir.path / "s.wal").string();
+
+  // Corrupt a payload byte of the FIRST batch record: valid records
+  // follow, so this is real corruption and must throw, not be
+  // "torn-tailed" away. (The offset math mirrors the framing: the
+  // header record ends at file size minus the three framed batches.)
+  const JournalScan intact = scan_journal(path);
+  std::size_t batch_bytes = 0;
+  for (const std::string& p : intact.payloads) batch_bytes += 8 + p.size();
+  const std::size_t first_payload = bytes.size() - batch_bytes + 8;
+  std::string corrupt = bytes;
+  corrupt[first_payload] ^= 0x01;
+  write_bytes(path, corrupt);
+  EXPECT_THROW(scan_journal(path), JournalError);
+
+  // The same flip in the LAST byte is a torn tail: the damaged record
+  // reaches EOF, exactly what a crash mid-write leaves behind.
+  corrupt = bytes;
+  corrupt.back() ^= 0x01;
+  write_bytes(path, corrupt);
+  const JournalScan scan = scan_journal(path);
+  EXPECT_EQ(scan.payloads.size(), 2u);
+  EXPECT_GT(scan.torn_bytes, 0u);
+}
+
+TEST(JournalScanTest, BadMagicAndFutureVersionFailClosed) {
+  TempDir dir("magic");
+  const std::string path = (dir.path / "s.wal").string();
+  write_bytes(path, "this is not a journal at all, sorry");
+  EXPECT_THROW(scan_journal(path), JournalError);
+
+  // A well-framed file whose header claims a future format version must
+  // fail closed too: this build cannot know what the records mean.
+  const std::string payload =
+      encode_header("s", kConsumeSource, kJournalFormatVersion + 1);
+  std::string framed;
+  const std::uint32_t len = static_cast<std::uint32_t>(payload.size());
+  const std::uint32_t crc = crc32(payload.data(), payload.size());
+  framed.append(reinterpret_cast<const char*>(&len), 4);
+  framed.append(reinterpret_cast<const char*>(&crc), 4);
+  framed += payload;
+  write_bytes(path, framed);
+  EXPECT_THROW(scan_journal(path), JournalError);
+}
+
+TEST(JournalScanTest, CreateRefusesToClobberExistingJournal) {
+  TempDir dir("clobber");
+  build_journal(dir, 1);
+  JournalStats stats;
+  EXPECT_THROW(SessionJournal::create((dir.path / "s.wal").string(), "s",
+                                      kConsumeSource, false, &stats),
+               JournalError);
+}
+
+// ------------------------------------------------ exact-state snapshots
+
+TEST(ExactSnapshotTest, RoundTripReproducesFingerprintAndIds) {
+  const Program program = parse_program(kConsumeSource);
+  const TemplateId item =
+      *program.schema.find(program.symbols->intern("item"));
+  SessionConfig cfg;
+  Session a(program, cfg);
+  a.assert_fact(item, {Value::integer(5)});
+  a.run_to_quiescence();
+  a.assert_fact(item, {Value::integer(9)});
+  a.run_to_quiescence();
+
+  const ExactSnapshot snap = a.snapshot_exact();
+  SessionConfig bcfg;
+  bcfg.assert_initial_facts = false;
+  Session b(program, bcfg);
+  b.restore_exact(snap);
+  EXPECT_EQ(b.fingerprint(), a.fingerprint());
+  EXPECT_EQ(b.wm().high_water(), a.wm().high_water());
+
+  // FactId assignment must continue identically after a restore.
+  FactId ida = kInvalidFact, idb = kInvalidFact;
+  a.assert_fact(item, {Value::integer(2)}, &ida);
+  b.assert_fact(item, {Value::integer(2)}, &idb);
+  EXPECT_EQ(ida, idb);
+  a.run_to_quiescence();
+  b.run_to_quiescence();
+  EXPECT_EQ(b.fingerprint(), a.fingerprint());
+}
+
+// --------------------------------------------- protocol-level durability
+
+/// Drive one line through a protocol, returning the response bytes.
+std::string drive(ServeProtocol& proto, const std::string& line) {
+  std::string out;
+  proto.handle_line(line, out);
+  return out;
+}
+
+TEST(DurableProtocol, OpenRunRecoverResume) {
+  TempDir dir("roundtrip");
+  const std::string prog = write_program_file("roundtrip");
+  std::uint64_t fp_before = 0;
+  {
+    RuleService svc(durable_config(dir));
+    {
+      ServeProtocol proto(svc);
+      EXPECT_EQ(drive(proto, "open s " + prog).substr(0, 7), "ok open");
+      EXPECT_EQ(drive(proto, "@1 assert s item 5"),
+                "ok assert depth=1\n");
+      const std::string run = drive(proto, "@2 run s");
+      EXPECT_EQ(run.substr(0, 6), "ok run") << run;
+      EXPECT_NE(run.find(" committed=2"), std::string::npos) << run;
+    }  // conversation ends: durable session detaches, stays resumable
+    fp_before = detached_fingerprint(svc, "s");
+  }  // service dies with the session detached — the journal survives
+
+  RuleService svc(durable_config(dir));
+  const std::vector<RecoveryReport> reports = svc.recover_journals();
+  ASSERT_EQ(reports.size(), 1u);
+  EXPECT_TRUE(reports[0].ok) << reports[0].error;
+  EXPECT_EQ(reports[0].name, "s");
+  EXPECT_EQ(reports[0].batches, 1u);
+  EXPECT_EQ(reports[0].fingerprint, fp_before);
+
+  ServeProtocol proto(svc);
+  const std::string resumed = drive(proto, "resume s");
+  EXPECT_EQ(resumed.substr(0, 11), "ok resume s") << resumed;
+  EXPECT_NE(resumed.find(" committed=2"), std::string::npos) << resumed;
+  const std::string q = drive(proto, "query s tally");
+  EXPECT_NE(q.find("(n 5)"), std::string::npos) << q;
+}
+
+TEST(DurableProtocol, ReplayAnswersFromCacheWithoutReExecuting) {
+  TempDir dir("replay");
+  const std::string prog = write_program_file("replay");
+  RuleService svc(durable_config(dir));
+  ServeProtocol proto(svc);
+  drive(proto, "open s " + prog);
+  drive(proto, "@1 assert s item 5");
+  const std::string first = drive(proto, "@2 run s");
+  EXPECT_EQ(first.substr(0, 6), "ok run");
+
+  // Same ids again — a client retrying after a lost ack. The responses
+  // must be byte-identical AND the tally must not move: the item was
+  // consumed, so a real re-execution would change it.
+  EXPECT_EQ(drive(proto, "@1 assert s item 5"), "ok assert depth=1\n");
+  EXPECT_EQ(drive(proto, "@2 run s"), first);
+  const std::string q = drive(proto, "query s tally");
+  EXPECT_NE(q.find("(n 5)"), std::string::npos) << q;
+}
+
+TEST(DurableProtocol, StaleIdsBeyondTheWindowFailClosed) {
+  TempDir dir("stale");
+  const std::string prog = write_program_file("stale");
+  RuleService svc(durable_config(dir, 0, /*dedup_window=*/2));
+  ServeProtocol proto(svc);
+  drive(proto, "open s " + prog);
+  drive(proto, "@1 assert s item 1");
+  drive(proto, "@2 run s");
+  drive(proto, "@3 assert s item 2");
+  drive(proto, "@4 run s");
+  // ids 1 and 2 have been evicted from the 2-deep window: replaying
+  // them cannot be answered exactly-once anymore, so it must be an
+  // error, never a silent re-execution.
+  EXPECT_EQ(drive(proto, "@1 assert s item 1"),
+            "err stale request id: @1\n");
+  const std::string q = drive(proto, "query s tally");
+  EXPECT_NE(q.find("(n 3)"), std::string::npos) << q;
+}
+
+TEST(DurableProtocol, RequestIdsRequireDurableSessions) {
+  ServiceConfig cfg;  // no journal dir
+  RuleService svc(cfg);
+  ServeProtocol proto(svc);
+  const std::string prog = write_program_file("plain");
+  drive(proto, "open s " + prog);
+  const std::string out = drive(proto, "@1 assert s item 1");
+  EXPECT_EQ(out.substr(0, 3), "err") << out;
+  EXPECT_NE(out.find("durable"), std::string::npos) << out;
+  // resume needs journaling too.
+  EXPECT_EQ(drive(proto, "resume t").substr(0, 3), "err");
+}
+
+TEST(DurableProtocol, CorruptJournalQuarantinesAndFailsClosed) {
+  TempDir dir("quarantine");
+  const std::string prog = write_program_file("quarantine");
+  {
+    RuleService svc(durable_config(dir));
+    ServeProtocol proto(svc);
+    drive(proto, "open s " + prog);
+    drive(proto, "@1 assert s item 5");
+    drive(proto, "@2 run s");
+    drive(proto, "@3 assert s item 7");
+    drive(proto, "@4 run s");
+  }
+  // Flip a byte in the middle of the journal: mid-file corruption.
+  const std::string path = (dir.path / "s.wal").string();
+  std::ifstream in(path, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  in.close();
+  bytes[bytes.size() / 2] ^= 0x40;
+  write_bytes(path, bytes);
+
+  RuleService svc(durable_config(dir));
+  const std::vector<RecoveryReport> reports = svc.recover_journals();
+  ASSERT_EQ(reports.size(), 1u);
+  EXPECT_FALSE(reports[0].ok);
+  EXPECT_FALSE(reports[0].error.empty());
+
+  // The name answers err (fail closed), for resume AND for re-open —
+  // silently rebuilding over a corrupt journal would destroy evidence.
+  ServeProtocol proto(svc);
+  EXPECT_NE(drive(proto, "resume s").find("journal-corrupt"),
+            std::string::npos);
+  EXPECT_NE(drive(proto, "open s " + prog).find("journal-corrupt"),
+            std::string::npos);
+  // And the file is left untouched for the operator.
+  std::ifstream back(path, std::ios::binary);
+  std::string after((std::istreambuf_iterator<char>(back)),
+                    std::istreambuf_iterator<char>());
+  EXPECT_EQ(after, bytes);
+  EXPECT_EQ(svc.journal_stats_snapshot().recovery_failures, 1u);
+}
+
+TEST(DurableProtocol, CloseUnlinksTheJournal) {
+  TempDir dir("close");
+  const std::string prog = write_program_file("close");
+  RuleService svc(durable_config(dir));
+  ServeProtocol proto(svc);
+  drive(proto, "open s " + prog);
+  EXPECT_TRUE(fs::exists(dir.path / "s.wal"));
+  EXPECT_EQ(drive(proto, "close s"), "ok close s\n");
+  EXPECT_FALSE(fs::exists(dir.path / "s.wal"));
+}
+
+TEST(DurableProtocol, SnapshotTruncationBoundsTheFileAndKeepsState) {
+  TempDir dir("snapshot");
+  const std::string prog = write_program_file("snapshot");
+  std::uint64_t fp = 0;
+  {
+    RuleService svc(durable_config(dir, /*snapshot_every=*/2));
+    ServeProtocol proto(svc);
+    drive(proto, "open s " + prog);
+    std::uint64_t req = 1;
+    for (int v : {3, 1, 4, 1, 5, 9}) {
+      drive(proto, "@" + std::to_string(req++) + " assert s item " +
+                       std::to_string(v));
+      const std::string run =
+          drive(proto, "@" + std::to_string(req++) + " run s");
+      EXPECT_EQ(run.substr(0, 6), "ok run") << run;
+    }
+    EXPECT_GE(svc.journal_stats_snapshot().snapshots, 2u);
+    {
+      ServeProtocol reader(svc);
+      // still attached to `proto` — the name is taken
+      EXPECT_EQ(drive(reader, "resume s").substr(0, 3), "err");
+    }
+  }
+  {
+    RuleService svc(durable_config(dir, 2));
+    const auto reports = svc.recover_journals();
+    ASSERT_EQ(reports.size(), 1u);
+    EXPECT_TRUE(reports[0].ok) << reports[0].error;
+    EXPECT_TRUE(reports[0].from_snapshot);
+    fp = reports[0].fingerprint;
+    ServeProtocol proto(svc);
+    const std::string q = drive(proto, "query s tally");
+    EXPECT_EQ(drive(proto, "resume s").substr(0, 3), "ok ");
+    EXPECT_NE(drive(proto, "query s tally").find("(n 23)"),
+              std::string::npos);
+  }
+  // The truncated journal recovers to the same state an untruncated one
+  // would have: compare against a no-snapshot control run of the same
+  // script in a fresh directory.
+  TempDir control_dir("snapshot_control");
+  RuleService control(durable_config(control_dir, 0));
+  {
+    ServeProtocol proto(control);
+    drive(proto, "open s " + prog);
+    std::uint64_t req = 1;
+    for (int v : {3, 1, 4, 1, 5, 9}) {
+      drive(proto, "@" + std::to_string(req++) + " assert s item " +
+                       std::to_string(v));
+      drive(proto, "@" + std::to_string(req++) + " run s");
+    }
+  }
+  EXPECT_EQ(detached_fingerprint(control, "s"), fp);
+}
+
+// ------------------------------------- tentpole: crash-equivalence sweep
+
+/// The client half of the exactly-once contract, emulated in-process:
+/// stamped lines stay buffered until a response's `committed=K` covers
+/// them, exactly like net::RetryClient.
+struct EmulatedClient {
+  std::vector<std::pair<std::uint64_t, std::string>> buffer;
+
+  static std::uint64_t committed_of(const std::string& response) {
+    const std::size_t at = response.find(" committed=");
+    if (at == std::string::npos) return 0;
+    return std::strtoull(response.c_str() + at + 11, nullptr, 10);
+  }
+
+  void sent(std::uint64_t req, const std::string& line) {
+    buffer.emplace_back(req, line);
+  }
+  void acked(const std::string& response) {
+    const std::uint64_t k = committed_of(response);
+    while (!buffer.empty() && buffer.front().first <= k) {
+      buffer.erase(buffer.begin());
+    }
+  }
+};
+
+struct ScriptLine {
+  std::uint64_t req;
+  std::string line;
+};
+
+std::vector<ScriptLine> make_script() {
+  std::vector<ScriptLine> script;
+  std::uint64_t req = 1;
+  for (int v : {3, 1, 4, 1, 5, 9, 2, 6}) {
+    script.push_back({req, "@" + std::to_string(req) + " assert s item " +
+                               std::to_string(v)});
+    ++req;
+    script.push_back({req, "@" + std::to_string(req) + " run s"});
+    ++req;
+  }
+  return script;
+}
+
+TEST(CrashEquivalence, EveryKillPointRecoversToTheUninterruptedState) {
+  const std::string prog = write_program_file("sweep");
+  const std::vector<ScriptLine> script = make_script();
+
+  // Reference: the uninterrupted run.
+  std::uint64_t reference = 0;
+  {
+    TempDir dir("sweep_ref");
+    RuleService svc(durable_config(dir));
+    {
+      ServeProtocol proto(svc);
+      ASSERT_EQ(drive(proto, "open s " + prog).substr(0, 3), "ok ");
+      for (const ScriptLine& l : script) {
+        ASSERT_EQ(drive(proto, l.line).substr(0, 3), "ok ") << l.line;
+      }
+    }
+    reference = detached_fingerprint(svc, "s");
+    ASSERT_NE(reference, 0u);
+  }
+
+  for (const std::uint64_t snapshot_every : {0ull, 1ull, 4ull}) {
+    for (std::size_t kill = 1; kill <= script.size(); ++kill) {
+      for (const bool lose_last_ack : {false, true}) {
+        TempDir dir("sweep");
+        EmulatedClient client;
+
+        // Phase 1: feed the prefix, then "crash" — the service object
+        // dies; only what reached the journal before each ack exists.
+        {
+          RuleService svc(durable_config(dir, snapshot_every));
+          ServeProtocol proto(svc);
+          ASSERT_EQ(drive(proto, "open s " + prog).substr(0, 3), "ok ");
+          for (std::size_t i = 0; i < kill; ++i) {
+            client.sent(script[i].req, script[i].line);
+            const std::string r = drive(proto, script[i].line);
+            ASSERT_EQ(r.substr(0, 3), "ok ") << script[i].line;
+            // Losing the final ack means the client never saw its
+            // committed= watermark — the line stays buffered and must
+            // be replayed, where only the dedup window keeps it from
+            // double-applying.
+            if (!(lose_last_ack && i + 1 == kill)) client.acked(r);
+          }
+        }
+
+        // Phase 2: recover, resume, replay the unacked suffix, finish.
+        RuleService svc(durable_config(dir, snapshot_every));
+        const auto reports = svc.recover_journals();
+        ASSERT_EQ(reports.size(), 1u);
+        ASSERT_TRUE(reports[0].ok)
+            << reports[0].error << " snap=" << snapshot_every
+            << " kill=" << kill;
+        {
+          ServeProtocol proto(svc);
+          const std::string resumed = drive(proto, "resume s");
+          ASSERT_EQ(resumed.substr(0, 3), "ok ") << resumed;
+          client.acked(resumed);
+          const auto replay = client.buffer;
+          for (const auto& [req, line] : replay) {
+            const std::string r = drive(proto, line);
+            ASSERT_EQ(r.substr(0, 3), "ok ")
+                << r << " replaying " << line;
+            client.acked(r);
+          }
+          for (std::size_t i = kill; i < script.size(); ++i) {
+            client.sent(script[i].req, script[i].line);
+            const std::string r = drive(proto, script[i].line);
+            ASSERT_EQ(r.substr(0, 3), "ok ") << script[i].line;
+            client.acked(r);
+          }
+        }
+        EXPECT_EQ(detached_fingerprint(svc, "s"), reference)
+            << "snap=" << snapshot_every << " kill=" << kill
+            << " lose_last_ack=" << lose_last_ack;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace parulel::service

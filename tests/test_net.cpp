@@ -24,6 +24,8 @@
 #include <algorithm>
 #include <chrono>
 #include <cstring>
+#include <filesystem>
+#include <memory>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -32,8 +34,10 @@
 
 #include "net/client.hpp"
 #include "net/net_server.hpp"
+#include "net/retry_client.hpp"
 #include "service/protocol.hpp"
 #include "service/serve.hpp"
+#include "support/error.hpp"
 
 namespace parulel::net {
 namespace {
@@ -148,13 +152,18 @@ TEST(NetHello, VersionNegotiation) {
   ServerFixture fx;
   RawClient c;
   ASSERT_TRUE(c.connect(fx.server.port()));
-  ASSERT_TRUE(c.send("hello\nhello parulel/1\nhello parulel/99\n"));
-  const std::string out = c.recv_lines(3);
+  // Bare hello gets the current revision; an explicit version is echoed
+  // back (a parulel/1 client keeps seeing parulel/1); unknown versions
+  // are refused with the full menu.
+  ASSERT_TRUE(c.send("hello\nhello parulel/1\nhello parulel/2\n"
+                     "hello parulel/99\n"));
+  const std::string out = c.recv_lines(4);
   EXPECT_EQ(out,
+            "ok hello parulel/2\n"
             "ok hello parulel/1\n"
-            "ok hello parulel/1\n"
+            "ok hello parulel/2\n"
             "err unsupported protocol version: parulel/99 "
-            "(server speaks parulel/1)\n");
+            "(server speaks parulel/2, parulel/1)\n");
 }
 
 TEST(NetHello, NetClientHandshakesOnConnect) {
@@ -188,7 +197,7 @@ TEST(NetRobustness, MalformedFramesGetStructuredErrors) {
     EXPECT_EQ(line.rfind("err ", 0), 0u) << line;
   }
   ASSERT_TRUE(c.send("hello\n"));
-  EXPECT_EQ(c.recv_lines(1), "ok hello parulel/1\n");
+  EXPECT_EQ(c.recv_lines(1), "ok hello parulel/2\n");
 }
 
 TEST(NetRobustness, PartialWritesReassembleIntoOneRequest) {
@@ -212,7 +221,7 @@ TEST(NetRobustness, OversizedLinesAreDiscardedWithError) {
 
   // Terminated oversize line: one error, then normal service resumes.
   ASSERT_TRUE(c.send(std::string(200, 'x') + "\nhello\n"));
-  EXPECT_EQ(c.recv_lines(2), "err line-too-long\nok hello parulel/1\n");
+  EXPECT_EQ(c.recv_lines(2), "err line-too-long\nok hello parulel/2\n");
 
   // Unterminated flood: the error arrives as soon as the cap is blown,
   // everything up to the eventual newline is discarded, and the line
@@ -220,7 +229,7 @@ TEST(NetRobustness, OversizedLinesAreDiscardedWithError) {
   ASSERT_TRUE(c.send(std::string(300, 'y')));
   EXPECT_EQ(c.recv_lines(1), "err line-too-long\n");
   ASSERT_TRUE(c.send(std::string(100, 'y') + "\nhello\n"));
-  EXPECT_EQ(c.recv_lines(1), "ok hello parulel/1\n");
+  EXPECT_EQ(c.recv_lines(1), "ok hello parulel/2\n");
 
   const NetStats stats = fx.server.stats_snapshot();
   EXPECT_EQ(stats.oversize_lines, 2u);
@@ -330,7 +339,7 @@ TEST(NetRobustness, IdleConnectionsAreCollected) {
   RawClient c;
   ASSERT_TRUE(c.connect(fx.server.port()));
   ASSERT_TRUE(c.send("hello\n"));
-  EXPECT_EQ(c.recv_lines(1), "ok hello parulel/1\n");
+  EXPECT_EQ(c.recv_lines(1), "ok hello parulel/2\n");
   // Go quiet; the server must close us.
   EXPECT_EQ(c.recv_all(), "");
   const NetStats stats = fx.server.stats_snapshot();
@@ -351,7 +360,7 @@ TEST(NetShutdown, DrainFlushesQueuedResponses) {
   for (int i = 0; i < kBurst; ++i) burst += "hello\n";
   ASSERT_TRUE(c.send(burst));
   const std::string first = c.recv_lines(1);
-  EXPECT_EQ(first.rfind("ok hello parulel/1\n", 0), 0u) << first;
+  EXPECT_EQ(first.rfind("ok hello parulel/2\n", 0), 0u) << first;
   fx.server.stop();
   const std::string rest = c.recv_all();
   EXPECT_EQ(static_cast<int>(std::count(first.begin(), first.end(), '\n')) +
@@ -459,6 +468,173 @@ TEST(NetEquivalence, EchoModeMatchesToo) {
   ASSERT_TRUE(c.connect(fx.server.port()));
   ASSERT_TRUE(c.send(script));
   EXPECT_EQ(out.str(), c.recv_all());
+}
+
+// ------------------------------------------------- fault-plan parsing
+
+TEST(NetFaultPlan, ParsesSpecs) {
+  const NetFaultPlan plan =
+      NetFaultPlan::parse("seed=7,drop=0.25,ackloss=0.1,delay=0.5,maxdelay=80");
+  EXPECT_EQ(plan.seed, 7u);
+  EXPECT_DOUBLE_EQ(plan.drop_rate, 0.25);
+  EXPECT_DOUBLE_EQ(plan.ack_loss_rate, 0.1);
+  EXPECT_DOUBLE_EQ(plan.delay_rate, 0.5);
+  EXPECT_EQ(plan.max_delay_ms, 80u);
+  EXPECT_TRUE(plan.enabled());
+  EXPECT_FALSE(NetFaultPlan{}.enabled());
+
+  EXPECT_THROW(NetFaultPlan::parse("drop=1.5"), ParseError);
+  EXPECT_THROW(NetFaultPlan::parse("frobnicate=1"), ParseError);
+  EXPECT_THROW(NetFaultPlan::parse("drop"), ParseError);
+}
+
+// --------------------------------- durable retry across server restarts
+
+constexpr const char* kConsumeSource = R"((deftemplate item (slot v))
+(deftemplate tally (slot n))
+(defrule consume
+  ?i <- (item (v ?x))
+  ?t <- (tally (n ?c))
+  =>
+  (retract ?i)
+  (retract ?t)
+  (assert (tally (n (+ ?c ?x)))))
+(deffacts init (tally (n 0))))";
+
+std::string write_consume_program() {
+  const std::string path = "/tmp/parulel_test_net_consume.clp";
+  std::ofstream out(path);
+  out << kConsumeSource;
+  return path;
+}
+
+/// Journal directory for one test, wiped on entry.
+std::string fresh_journal_dir(const char* tag) {
+  const std::string dir = std::string("/tmp/parulel_net_journal_") + tag;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+NetServerConfig durable_server_config(const std::string& dir,
+                                      std::uint16_t port = 0) {
+  NetServerConfig cfg;
+  cfg.port = port;
+  cfg.service.journal.dir = dir;
+  cfg.service.journal.fsync = false;  // kill -9 semantics are enough here
+  return cfg;
+}
+
+TEST(RetryRecovery, SurvivesServerRestartWithExactlyOnceReplay) {
+  const std::string program = write_consume_program();
+  const std::string dir = fresh_journal_dir("restart");
+
+  auto first = std::make_unique<ServerFixture>(durable_server_config(dir));
+  const std::uint16_t port = first->server.port();
+
+  RetryConfig rcfg;
+  rcfg.port = port;
+  rcfg.max_attempts = 40;  // the restart window below needs patience
+  rcfg.backoff_base_ms = 5;
+  rcfg.backoff_max_ms = 100;
+  RetryClient client(rcfg);
+  Response r;
+  ASSERT_TRUE(client.exec("open s " + program, r)) << client.error();
+  ASSERT_TRUE(r.ok()) << r.status;
+  ASSERT_TRUE(client.exec("assert s item 3", r));
+  ASSERT_TRUE(client.exec("run s", r));
+  ASSERT_TRUE(r.ok()) << r.status;
+
+  // Crash the server (the fixture join is a hard stop from the client's
+  // point of view: its connection dies), restart on the same port over
+  // the same journal directory, and keep going — the client must
+  // reconnect, resume, and the session must carry its state.
+  first.reset();
+  ServerFixture second(durable_server_config(dir, port));
+  ASSERT_TRUE(second.start_ok);
+  ASSERT_EQ(second.server.recovery_reports().size(), 1u);
+  EXPECT_TRUE(second.server.recovery_reports()[0].ok)
+      << second.server.recovery_reports()[0].error;
+
+  ASSERT_TRUE(client.exec("assert s item 4", r)) << client.error();
+  ASSERT_TRUE(r.ok()) << r.status;
+  ASSERT_TRUE(client.exec("run s", r));
+  ASSERT_TRUE(r.ok()) << r.status;
+  ASSERT_TRUE(client.exec("query s tally", r));
+  ASSERT_EQ(r.status, "ok query n=1");
+  ASSERT_EQ(r.details.size(), 1u);
+  EXPECT_NE(r.details[0].find("(n 7)"), std::string::npos) << r.details[0];
+  EXPECT_GE(client.stats().reconnects, 1u);
+  EXPECT_GE(client.stats().resumed, 1u);
+  EXPECT_EQ(client.unacked(), 0u);
+}
+
+TEST(RetryRecovery, InjectedFaultsAreHealedByRetry) {
+  const std::string program = write_consume_program();
+  const std::string dir = fresh_journal_dir("faults");
+
+  // Aggressive connection-killing faults: drops cut the connection
+  // before execution, ack losses execute then eat the response. The
+  // retry client must converge to the exact no-fault state anyway.
+  NetServerConfig cfg = durable_server_config(dir);
+  cfg.faults = NetFaultPlan::parse("seed=11,drop=0.15,ackloss=0.15");
+  ServerFixture fx(cfg);
+
+  RetryConfig rcfg;
+  rcfg.port = fx.server.port();
+  rcfg.max_attempts = 60;
+  rcfg.backoff_base_ms = 1;
+  rcfg.backoff_max_ms = 20;
+  RetryClient client(rcfg);
+  Response r;
+  ASSERT_TRUE(client.exec("open s " + program, r)) << client.error();
+  ASSERT_TRUE(r.ok()) << r.status;
+  int expected = 0;
+  for (int v : {3, 1, 4, 1, 5, 9, 2, 6}) {
+    expected += v;
+    ASSERT_TRUE(client.exec("assert s item " + std::to_string(v), r))
+        << client.error();
+    ASSERT_TRUE(r.ok()) << r.status;
+    ASSERT_TRUE(client.exec("run s", r)) << client.error();
+    ASSERT_TRUE(r.ok()) << r.status;
+  }
+  ASSERT_TRUE(client.exec("query s tally", r)) << client.error();
+  ASSERT_EQ(r.status, "ok query n=1");
+  ASSERT_EQ(r.details.size(), 1u);
+  EXPECT_NE(r.details[0].find("(n " + std::to_string(expected) + ")"),
+            std::string::npos)
+      << r.details[0];
+  EXPECT_EQ(client.unacked(), 0u);
+
+  const NetStats stats = fx.server.stats_snapshot();
+  EXPECT_GT(stats.fault_dropped, 0u) << "fault plan never fired";
+}
+
+// --------------------------------------------------- client timeouts
+
+TEST(NetTimeouts, SilentServerTripsTheIoTimeout) {
+  // A listener that accepts and then says nothing: the handshake must
+  // fail with a timeout, not hang.
+  const int lfd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(lfd, 0);
+  const int one = 1;
+  ::setsockopt(lfd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = 0;
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  ASSERT_EQ(::bind(lfd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  ASSERT_EQ(::listen(lfd, 1), 0);
+  socklen_t len = sizeof(addr);
+  ASSERT_EQ(::getsockname(lfd, reinterpret_cast<sockaddr*>(&addr), &len), 0);
+
+  NetClient::Options opts;
+  opts.connect_timeout_ms = 1'000;
+  opts.io_timeout_ms = 100;
+  NetClient client(opts);
+  EXPECT_FALSE(client.connect("127.0.0.1", ntohs(addr.sin_port)));
+  EXPECT_TRUE(client.timed_out()) << client.error();
+  ::close(lfd);
 }
 
 }  // namespace
