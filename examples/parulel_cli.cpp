@@ -125,6 +125,7 @@ struct Options {
   std::size_t max_conns = 64;
   std::uint64_t idle_timeout_ms = 0;
   std::uint64_t drain_timeout_ms = 2'000;
+  unsigned shards = 1;
   std::string net_fault_spec;
 
   // connect
@@ -272,6 +273,13 @@ const FlagSpec kFlags[] = {
      "graceful-shutdown flush budget (default 2000)",
      [](Options& o, const std::string& v) {
        o.drain_timeout_ms = parse_count("--drain-timeout-ms", v);
+     }},
+    {"--shards", "N", kListen,
+     "event-loop shards; sessions pin to shards by name hash "
+     "(default 1)",
+     [](Options& o, const std::string& v) {
+       o.shards = static_cast<unsigned>(parse_count("--shards", v));
+       if (o.shards == 0) throw UsageError("--shards must be >= 1");
      }},
     {"--journal-dir", "DIR", kServe | kListen,
      "write-ahead journal directory; enables durable sessions "
@@ -469,6 +477,7 @@ int run_listen(const Options& opt) {
   cfg.max_connections = opt.max_conns;
   cfg.idle_timeout_ms = opt.idle_timeout_ms;
   cfg.drain_timeout_ms = opt.drain_timeout_ms;
+  cfg.shards = opt.shards;
   cfg.service = opt.service;
   cfg.echo = opt.echo;
   if (!opt.net_fault_spec.empty()) {
@@ -507,8 +516,16 @@ int run_listen(const Options& opt) {
   }
   std::cout << "\n";
   if (opt.service.journal.enabled()) {
-    const parulel::JournalStats jstats =
-        server.service().journal_stats_snapshot();
+    // Sum the per-shard journal counters into one row (one shard owns
+    // each session, so the rows partition cleanly).
+    parulel::JournalStats jstats;
+    for (unsigned i = 0; i < server.shards(); ++i) {
+      const parulel::JournalStats row =
+          server.shard_service(i).journal_stats_snapshot();
+      for (const auto& f : parulel::obs::journal_fields()) {
+        jstats.*f.member += row.*f.member;
+      }
+    }
     std::cout << "journal:";
     for (const auto& f : parulel::obs::journal_fields()) {
       std::cout << ' ' << f.name << '=' << jstats.*f.member;

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Doc-lint: the README flag table must match `parulel_cli --help-markdown`.
+
+The table between the `<!-- flags:begin -->` and `<!-- flags:end -->`
+markers in README.md is a committed copy of what the CLI generates from
+its own flag table. This check regenerates it and fails if the two
+differ, so the docs cannot drift from the parser.
+
+Usage: scripts/check_flag_table.py PATH/TO/parulel_cli [README.md]
+Exit 0 when in sync; 1 with a unified diff when not.
+"""
+
+import difflib
+import pathlib
+import re
+import subprocess
+import sys
+
+BEGIN = re.compile(r"<!--\s*flags:begin\b")
+END = re.compile(r"<!--\s*flags:end\b")
+
+
+def extract_committed(readme_text: str) -> list[str]:
+    lines = readme_text.splitlines()
+    begin = [i for i, l in enumerate(lines) if BEGIN.search(l)]
+    end = [i for i, l in enumerate(lines) if END.search(l)]
+    if len(begin) != 1 or len(end) != 1 or begin[0] >= end[0]:
+        sys.exit("error: README needs exactly one flags:begin/flags:end "
+                 "marker pair, begin before end")
+    return lines[begin[0] + 1:end[0]]
+
+
+def main() -> int:
+    if len(sys.argv) not in (2, 3):
+        sys.exit(f"usage: {sys.argv[0]} PATH/TO/parulel_cli [README.md]")
+    cli = sys.argv[1]
+    readme = pathlib.Path(
+        sys.argv[2] if len(sys.argv) == 3 else
+        pathlib.Path(__file__).resolve().parent.parent / "README.md")
+
+    generated = subprocess.run(
+        [cli, "--help-markdown"], capture_output=True, text=True, check=True
+    ).stdout.splitlines()
+    committed = extract_committed(readme.read_text(encoding="utf-8"))
+
+    if committed == generated:
+        print(f"ok: README flag table matches {cli} --help-markdown "
+              f"({len(generated)} lines)")
+        return 0
+
+    print("error: README flag table is out of date. Regenerate the block "
+          "between the flags:begin/flags:end markers with "
+          "`parulel_cli --help-markdown`:\n", file=sys.stderr)
+    sys.stderr.writelines(difflib.unified_diff(
+        committed, generated, fromfile="README.md (committed)",
+        tofile="--help-markdown (generated)", lineterm=""))
+    print(file=sys.stderr)
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

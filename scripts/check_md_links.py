@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Doc-lint: every relative markdown link must point at a real file.
+
+Scans the repo's *.md files for inline links/images `[text](target)`
+and bare `see FILE.md` style references, resolves relative targets
+against the containing file, and fails listing every dangling one.
+External (scheme://, mailto:) and pure-anchor (#...) targets are
+skipped — this is a file-existence check, not a crawler.
+
+Usage: scripts/check_md_links.py [REPO_ROOT]
+Exit 0 when every link resolves; 1 otherwise.
+"""
+
+import pathlib
+import re
+import sys
+
+# [text](target) and ![alt](target); target up to the first ')' or space
+# (titles like (file.md "Title") keep only the path part).
+INLINE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+SKIP_DIRS = {".git", "build", "_build", "node_modules"}
+
+
+def md_files(root: pathlib.Path):
+    for path in sorted(root.rglob("*.md")):
+        if not SKIP_DIRS.intersection(p.name for p in path.parents):
+            yield path
+
+
+def main() -> int:
+    root = pathlib.Path(sys.argv[1] if len(sys.argv) > 1 else
+                        pathlib.Path(__file__).resolve().parent.parent)
+    dangling = []
+    checked = 0
+    for md in md_files(root):
+        text = md.read_text(encoding="utf-8")
+        # Strip fenced code blocks: shell snippets legitimately mention
+        # paths that only exist after a build.
+        text = re.sub(r"```.*?```", "", text, flags=re.DOTALL)
+        for match in INLINE.finditer(text):
+            target = match.group(1)
+            if re.match(r"^[a-z][a-z0-9+.-]*:", target) or target.startswith("#"):
+                continue  # external URL or in-page anchor
+            path_part = target.split("#", 1)[0]
+            if not path_part:
+                continue
+            checked += 1
+            resolved = (md.parent / path_part).resolve()
+            if not resolved.exists():
+                line = text[:match.start()].count("\n") + 1
+                dangling.append(f"{md.relative_to(root)}:{line}: "
+                                f"dangling link -> {target}")
+
+    if dangling:
+        print("error: dangling markdown links:", file=sys.stderr)
+        for entry in dangling:
+            print(f"  {entry}", file=sys.stderr)
+        return 1
+    print(f"ok: {checked} relative links resolve across "
+          f"{sum(1 for _ in md_files(root))} markdown files")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -6,15 +6,20 @@
 #include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
+#include <time.h>
 #include <unistd.h>
 
 #include <algorithm>
+#include <cctype>
 #include <cerrno>
 #include <charconv>
 #include <chrono>
 #include <cstring>
+#include <deque>
 #include <exception>
 #include <sstream>
+#include <thread>
+#include <unordered_map>
 
 #include "distrib/faults.hpp"
 #include "service/protocol.hpp"
@@ -51,6 +56,44 @@ std::uint64_t parse_u64(const std::string& key, const std::string& value) {
   return out;
 }
 
+/// The session NAME a request line addresses, or empty when the line is
+/// connection-local (hello/quit/bare stats), nameless, or malformed.
+/// Mirrors the protocol tokenizer: whitespace-split, '#' starts a
+/// comment, an optional '@N' request-id token precedes the command.
+std::string_view route_name(std::string_view line) {
+  std::string_view tok[3];
+  std::size_t ntok = 0;
+  std::size_t i = 0;
+  while (i < line.size() && ntok < 3) {
+    while (i < line.size() &&
+           std::isspace(static_cast<unsigned char>(line[i]))) {
+      ++i;
+    }
+    if (i >= line.size()) break;
+    std::size_t j = i;
+    while (j < line.size() &&
+           !std::isspace(static_cast<unsigned char>(line[j]))) {
+      ++j;
+    }
+    const std::string_view t = line.substr(i, j - i);
+    if (t.front() == '#') break;
+    tok[ntok++] = t;
+    i = j;
+  }
+  if (ntok == 0) return {};
+  std::size_t c = 0;
+  if (tok[0].front() == '@') c = 1;  // parulel/2 request-id prefix
+  if (ntok <= c + 1) return {};
+  const std::string_view cmd = tok[c];
+  if (cmd == "open" || cmd == "resume" || cmd == "assert" ||
+      cmd == "retract" || cmd == "run" || cmd == "query" ||
+      cmd == "snapshot" || cmd == "restore" || cmd == "close" ||
+      cmd == "stats") {
+    return tok[c + 1];
+  }
+  return {};
+}
+
 }  // namespace
 
 NetFaultPlan NetFaultPlan::parse(const std::string& spec) {
@@ -84,9 +127,11 @@ NetFaultPlan NetFaultPlan::parse(const std::string& spec) {
 }
 
 /// One live client connection: socket, its protocol conversation, the
-/// framing buffers, and per-connection accounting.
+/// framing buffers, and per-connection accounting. Owned by exactly one
+/// shard; only that shard's thread ever touches it.
 struct NetServer::Conn {
   int fd = -1;
+  std::uint64_t id = 0;  ///< server-unique; keys cross-shard conversations
   std::unique_ptr<service::ServeProtocol> protocol;
 
   std::string rbuf;       ///< bytes received, not yet framed into lines
@@ -99,34 +144,128 @@ struct NetServer::Conn {
   bool closing = false;            ///< flush wbuf, then close
   bool skipping_oversize = false;  ///< discarding up to the next newline
   bool dead = false;               ///< swept by the event loop
+  bool awaiting_forward = false;   ///< parked: a line is executing on its
+                                   ///< session's home shard
+  bool did_forward = false;        ///< remote conversations may exist
+  bool fwd_ack_loss = false;       ///< rolled verdict held for the reply
+  unsigned fwd_delay_ms = 0;       ///< rolled verdict held for the reply
   int prev_errors = 0;             ///< protocol error count already folded
 
   std::size_t pending_write() const { return wbuf.size() - woff; }
 };
 
+/// One cross-thread mailbox message. The acceptor posts NewConn, Drain,
+/// and Terminate; shards post Forward / Reply / CloseRemote to each
+/// other. Each mailbox is FIFO, which is the ordering the protocol
+/// relies on (a connection's Forwards precede its CloseRemote).
+struct NetServer::Msg {
+  enum class Kind : std::uint8_t {
+    NewConn,      ///< acceptor hands over a socket (fd, conn_id)
+    Forward,      ///< execute `line` for conn_id; reply to `origin`
+    Reply,        ///< a Forward's response bytes coming home
+    CloseRemote,  ///< conn_id died: destroy its remote conversation
+    Drain,        ///< graceful shutdown: flush and close
+    Terminate,    ///< drain complete everywhere: exit the loop
+  };
+  Kind kind = Kind::NewConn;
+  int fd = -1;
+  std::uint64_t conn_id = 0;
+  unsigned origin = 0;
+  std::string line;
+  std::string response;
+  int error_delta = 0;
+  bool quit = false;
+};
+
+/// One event-loop shard: its own RuleService, poll loop, connections,
+/// fault injector, stats row, and the remote conversations it executes
+/// on behalf of connections owned by other shards. Everything here is
+/// confined to the shard thread except the mailbox and the stats row.
+struct NetServer::Shard {
+  NetServer* server = nullptr;
+  unsigned index = 0;
+  unsigned nshards = 1;
+  std::unique_ptr<service::RuleService> service;
+  std::unique_ptr<FaultInjector> injector;  ///< null = no fault plan
+  int wake_read_fd = -1;
+  int wake_write_fd = -1;
+  std::thread thread;
+
+  std::mutex mbox_mutex;
+  std::deque<Msg> mbox;
+
+  std::vector<std::unique_ptr<Conn>> conns;
+  std::unordered_map<std::uint64_t, Conn*> by_id;
+  /// conn id -> the protocol conversation executing that connection's
+  /// forwarded lines against THIS shard's service (echo off: the origin
+  /// shard echoes). Destroyed by CloseRemote or Terminate, which
+  /// detaches durable sessions exactly like a local disconnect.
+  std::unordered_map<std::uint64_t, std::unique_ptr<service::ServeProtocol>>
+      remote;
+
+  bool draining = false;
+  bool terminate = false;
+  std::uint64_t drain_deadline = 0;
+
+  mutable std::mutex stats_mutex;
+  NetStats stats;
+
+  ~Shard() {
+    for (auto& conn : conns) {
+      if (conn->fd >= 0) ::close(conn->fd);
+    }
+    if (wake_read_fd >= 0) ::close(wake_read_fd);
+    if (wake_write_fd >= 0) ::close(wake_write_fd);
+  }
+
+  void loop();
+  void handle_msg(Msg& msg);
+  void drain_mailbox();
+  void sweep_dead();
+  void handle_line(Conn& conn, std::string_view line);
+  void execute_local(Conn& conn, std::string_view line,
+                     const FaultVerdict& verdict);
+  void forward(Conn& conn, unsigned home, std::string_view line,
+               const FaultVerdict& verdict);
+  void process_lines(Conn& conn);
+  void conn_readable(Conn& conn);
+  void conn_writable(Conn& conn);
+};
+
 NetServer::NetServer(NetServerConfig config) : config_(std::move(config)) {
   config_.service.workers = 0;  // synchronous: responses are a pure
                                 // function of each connection's stream
-  service_ = std::make_unique<service::RuleService>(config_.service);
-  if (config_.faults.enabled()) {
-    // Reuse the distributed engine's seed-driven injector: loss maps to
-    // a pre-execution drop, duplication to post-execution ack loss, and
-    // delay cycles to milliseconds of response hold.
-    FaultPlan plan;
-    plan.seed = config_.faults.seed;
-    plan.loss_rate = config_.faults.drop_rate;
-    plan.duplicate_rate = config_.faults.ack_loss_rate;
-    plan.delay_rate = config_.faults.delay_rate;
-    plan.max_delay_cycles = config_.faults.max_delay_ms;
-    injector_ = std::make_unique<FaultInjector>(plan);
+  config_.service.session_ids = &session_ids_;
+  if (config_.shards == 0) config_.shards = 1;
+  shards_.reserve(config_.shards);
+  for (unsigned i = 0; i < config_.shards; ++i) {
+    auto shard = std::make_unique<Shard>();
+    shard->server = this;
+    shard->index = i;
+    shard->nshards = config_.shards;
+    shard->service = std::make_unique<service::RuleService>(config_.service);
+    if (config_.faults.enabled()) {
+      // Reuse the distributed engine's seed-driven injector: loss maps
+      // to a pre-execution drop, duplication to post-execution ack
+      // loss, and delay cycles to milliseconds of response hold. Each
+      // shard gets its own stream (seed + index) so schedules stay
+      // deterministic per (load, seed, shard) without shards sharing a
+      // generator; with shards == 1 this is the old schedule exactly.
+      FaultPlan plan;
+      plan.seed = config_.faults.seed + i;
+      plan.loss_rate = config_.faults.drop_rate;
+      plan.duplicate_rate = config_.faults.ack_loss_rate;
+      plan.delay_rate = config_.faults.delay_rate;
+      plan.max_delay_cycles = config_.faults.max_delay_ms;
+      shard->injector = std::make_unique<FaultInjector>(plan);
+    }
+    shards_.push_back(std::move(shard));
   }
+  stats_.shards = config_.shards;
 }
 
 NetServer::~NetServer() {
-  for (auto& conn : conns_) {
-    if (conn->fd >= 0) ::close(conn->fd);
-  }
-  conns_.clear();
+  shards_.clear();  // closes shard-owned sockets and wake pipes
   if (listen_fd_ >= 0) ::close(listen_fd_);
   if (stop_read_fd_ >= 0) ::close(stop_read_fd_);
   if (stop_write_fd_ >= 0) ::close(stop_write_fd_);
@@ -137,6 +276,30 @@ std::uint64_t NetServer::now_ms() {
       std::chrono::duration_cast<std::chrono::milliseconds>(
           std::chrono::steady_clock::now().time_since_epoch())
           .count());
+}
+
+std::uint64_t NetServer::now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+std::uint64_t NetServer::busy_clock_ns() {
+  // Per-thread CPU time, not wall time: busy_ns feeds the R-S4
+  // slowest-shard makespan model, and on an oversubscribed host a shard
+  // thread preempted mid-request would otherwise charge its wait to
+  // "busy". CPU time measures the work itself wherever it's scheduled.
+  struct timespec ts;
+  if (::clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) == 0) {
+    return static_cast<std::uint64_t>(ts.tv_sec) * 1'000'000'000ull +
+           static_cast<std::uint64_t>(ts.tv_nsec);
+  }
+  return now_ns();
+}
+
+service::RuleService& NetServer::shard_service(unsigned i) {
+  return *shards_.at(i)->service;
 }
 
 bool NetServer::start() {
@@ -180,10 +343,34 @@ bool NetServer::start() {
   stop_read_fd_ = pipefds[0];
   stop_write_fd_ = pipefds[1];
 
+  for (auto& shard : shards_) {
+    if (::pipe2(pipefds, O_NONBLOCK | O_CLOEXEC) != 0) {
+      error_ = std::string("pipe2: ") + std::strerror(errno);
+      return false;
+    }
+    shard->wake_read_fd = pipefds[0];
+    shard->wake_write_fd = pipefds[1];
+  }
+
   if (config_.service.journal.enabled()) {
     // Rebuild durable sessions before the first connection: a client
-    // may lead with `resume NAME` the moment we accept.
-    recovery_reports_ = service_->recover_journals();
+    // may lead with `resume NAME` the moment we accept. Each shard's
+    // service recovers exactly the names the pinning hash assigns it,
+    // so a name's journal (and any quarantine verdict) lives on its
+    // home shard. Reports merge sorted by name for stable output.
+    for (unsigned i = 0; i < shards_.size(); ++i) {
+      const unsigned n = static_cast<unsigned>(shards_.size());
+      auto reports = shards_[i]->service->recover_journals(
+          [i, n](const std::string& name) {
+            return service::shard_for_name(name, n) == i;
+          });
+      recovery_reports_.insert(recovery_reports_.end(),
+                               std::make_move_iterator(reports.begin()),
+                               std::make_move_iterator(reports.end()));
+    }
+    std::sort(recovery_reports_.begin(), recovery_reports_.end(),
+              [](const service::RecoveryReport& a,
+                 const service::RecoveryReport& b) { return a.name < b.name; });
   }
   return true;
 }
@@ -197,25 +384,39 @@ void NetServer::stop() {
 }
 
 NetStats NetServer::stats_snapshot() const {
-  std::lock_guard<std::mutex> lock(stats_mutex_);
-  return stats_;
+  NetStats out;
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    out = stats_;
+  }
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->stats_mutex);
+    for (const auto& f : obs::net_fields()) {
+      out.*f.member += shard->stats.*f.member;
+    }
+  }
+  return out;
 }
 
-void NetServer::begin_drain() {
-  if (draining_) return;
-  draining_ = true;
-  if (listen_fd_ >= 0) {
-    ::close(listen_fd_);
-    listen_fd_ = -1;
+std::vector<NetStats> NetServer::shard_stats() const {
+  std::vector<NetStats> out;
+  out.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->stats_mutex);
+    out.push_back(shard->stats);
   }
-  // Stop reading everywhere; connections with nothing queued close now,
-  // the rest get until drain_timeout_ms to absorb their responses.
-  // Fault-injected response holds are void during drain.
-  for (auto& conn : conns_) {
-    conn->closing = true;
-    conn->hold_until_ms = 0;
-    if (conn->pending_write() == 0) conn->dead = true;
+  return out;
+}
+
+void NetServer::post(unsigned shard, Msg msg) {
+  Shard& s = *shards_[shard];
+  {
+    std::lock_guard<std::mutex> lock(s.mbox_mutex);
+    s.mbox.push_back(std::move(msg));
   }
+  const char byte = 'w';
+  // Nonblocking; a full pipe already means a wake is pending.
+  [[maybe_unused]] ssize_t n = ::write(s.wake_write_fd, &byte, 1);
 }
 
 void NetServer::accept_ready() {
@@ -223,7 +424,8 @@ void NetServer::accept_ready() {
     const int fd = ::accept4(listen_fd_, nullptr, nullptr,
                              SOCK_NONBLOCK | SOCK_CLOEXEC);
     if (fd < 0) return;  // EAGAIN (or a transient error): done for now
-    if (conns_.size() >= config_.max_connections) {
+    if (live_conns_.load(std::memory_order_relaxed) >=
+        config_.max_connections) {
       // Reject-not-block at the accept layer too: a one-line structured
       // refusal, then close. Best effort — the write may short-circuit.
       [[maybe_unused]] ssize_t n =
@@ -235,43 +437,311 @@ void NetServer::accept_ready() {
     }
     const int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-    auto conn = std::make_unique<Conn>();
-    conn->fd = fd;
-    service::ServeProtocol::Options popts;
-    popts.echo = config_.echo;
-    conn->protocol =
-        std::make_unique<service::ServeProtocol>(*service_, popts);
-    conn->last_active_ms = now_ms();
-    conns_.push_back(std::move(conn));
-    std::lock_guard<std::mutex> lock(stats_mutex_);
-    ++stats_.accepted;
-    stats_.active = conns_.size();
+    live_conns_.fetch_add(1, std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.accepted;
+    }
+    Msg msg;
+    msg.kind = Msg::Kind::NewConn;
+    msg.fd = fd;
+    msg.conn_id = next_conn_id_++;
+    post(next_shard_, std::move(msg));
+    next_shard_ = (next_shard_ + 1) % static_cast<unsigned>(shards_.size());
   }
 }
 
-void NetServer::handle_line(Conn& conn, std::string_view line) {
-  {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
-    ++stats_.lines_in;
+void NetServer::run() {
+  for (auto& shard : shards_) {
+    shard->thread = std::thread([s = shard.get()] { s->loop(); });
   }
-  if (conn.pending_write() >= config_.write_buffer_reject) {
+
+  // The acceptor: distribute sockets until stop() (or a poll failure).
+  pollfd pfds[2];
+  while (!draining_) {
+    pfds[0] = {stop_read_fd_, POLLIN, 0};
+    pfds[1] = {listen_fd_, POLLIN, 0};
+    const int ready = ::poll(pfds, 2, -1);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      {
+        std::lock_guard<std::mutex> lock(error_mutex_);
+        error_ = std::string("poll: ") + std::strerror(errno);
+      }
+      break;
+    }
+    if (pfds[0].revents & POLLIN) {
+      char buf[64];
+      while (::read(stop_read_fd_, buf, sizeof(buf)) > 0) {
+      }
+      break;
+    }
+    if (pfds[1].revents & (POLLIN | POLLERR)) accept_ready();
+  }
+  draining_ = true;
+
+  // Graceful drain: no new connections, every shard flushes what it
+  // has (forwarded replies still in flight included), then terminate
+  // once the last connection anywhere is gone. The per-shard drain
+  // deadline bounds the wait.
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  for (unsigned i = 0; i < shards_.size(); ++i) {
+    Msg msg;
+    msg.kind = Msg::Kind::Drain;
+    post(i, std::move(msg));
+  }
+  {
+    std::unique_lock<std::mutex> lock(drain_mutex_);
+    drain_cv_.wait(lock, [this] {
+      return live_conns_.load(std::memory_order_relaxed) == 0;
+    });
+  }
+  for (unsigned i = 0; i < shards_.size(); ++i) {
+    Msg msg;
+    msg.kind = Msg::Kind::Terminate;
+    post(i, std::move(msg));
+  }
+  for (auto& shard : shards_) {
+    if (shard->thread.joinable()) shard->thread.join();
+  }
+}
+
+void NetServer::Shard::handle_msg(Msg& msg) {
+  switch (msg.kind) {
+    case Msg::Kind::NewConn: {
+      auto conn = std::make_unique<Conn>();
+      conn->fd = msg.fd;
+      conn->id = msg.conn_id;
+      service::ServeProtocol::Options popts;
+      popts.echo = server->config_.echo;
+      conn->protocol =
+          std::make_unique<service::ServeProtocol>(*service, popts);
+      conn->last_active_ms = now_ms();
+      if (draining) {
+        // Raced a shutdown: nothing was served, close on the sweep.
+        conn->closing = true;
+        conn->dead = true;
+      }
+      by_id[conn->id] = conn.get();
+      conns.push_back(std::move(conn));
+      std::lock_guard<std::mutex> lock(stats_mutex);
+      stats.active = conns.size();
+      break;
+    }
+    case Msg::Kind::Forward: {
+      auto& proto = remote[msg.conn_id];
+      if (!proto) {
+        service::ServeProtocol::Options popts;
+        popts.echo = false;  // the origin shard echoes
+        proto = std::make_unique<service::ServeProtocol>(*service, popts);
+      }
+      Msg reply;
+      reply.kind = Msg::Kind::Reply;
+      reply.conn_id = msg.conn_id;
+      const int errors_before = proto->errors();
+      const std::uint64_t t0 = busy_clock_ns();
+      try {
+        const auto status = proto->handle_line(msg.line, reply.response);
+        reply.quit = status == service::ServeProtocol::Status::Quit;
+        reply.error_delta = proto->errors() - errors_before;
+      } catch (const std::exception& e) {
+        reply.response.assign("err internal: ");
+        reply.response += e.what();
+        reply.response += '\n';
+        reply.error_delta = 1;
+      }
+      {
+        std::lock_guard<std::mutex> lock(stats_mutex);
+        stats.busy_ns += busy_clock_ns() - t0;
+      }
+      server->post(msg.origin, std::move(reply));
+      break;
+    }
+    case Msg::Kind::Reply: {
+      auto it = by_id.find(msg.conn_id);
+      if (it == by_id.end()) break;  // connection already gone
+      Conn& conn = *it->second;
+      conn.awaiting_forward = false;
+      const bool ack_loss = conn.fwd_ack_loss;
+      const unsigned delay = conn.fwd_delay_ms;
+      conn.fwd_ack_loss = false;
+      conn.fwd_delay_ms = 0;
+      if (msg.error_delta != 0) {
+        std::lock_guard<std::mutex> lock(stats_mutex);
+        stats.protocol_errors += static_cast<std::uint64_t>(msg.error_delta);
+      }
+      if (conn.dead) break;
+      if (ack_loss) {
+        // Ack loss: the request RAN on its home shard but the response
+        // is discarded and the connection cut — the retry path must
+        // answer the replayed id from the dedup window.
+        conn.dead = true;
+        std::lock_guard<std::mutex> lock(stats_mutex);
+        ++stats.fault_dropped;
+        break;
+      }
+      if (!msg.response.empty()) {
+        conn.wbuf += msg.response;
+        std::lock_guard<std::mutex> lock(stats_mutex);
+        ++stats.responses_out;
+      }
+      if (msg.quit) conn.closing = true;
+      if (delay > 0) {
+        conn.hold_until_ms = std::max(conn.hold_until_ms, now_ms() + delay);
+        std::lock_guard<std::mutex> lock(stats_mutex);
+        ++stats.fault_delayed;
+      }
+      // Unparked: pipelined lines may already be buffered behind the
+      // forwarded one; resume framing where process_lines left off.
+      process_lines(conn);
+      if (conn.read_done && !conn.awaiting_forward) conn.closing = true;
+      break;
+    }
+    case Msg::Kind::CloseRemote:
+      remote.erase(msg.conn_id);  // detaches durable sessions
+      break;
+    case Msg::Kind::Drain: {
+      if (draining) break;
+      draining = true;
+      drain_deadline = now_ms() + server->config_.drain_timeout_ms;
+      // Stop reading everywhere; connections with nothing queued and
+      // nothing in flight close now, the rest get until the deadline.
+      // Fault-injected response holds are void during drain.
+      for (auto& conn : conns) {
+        conn->closing = true;
+        conn->hold_until_ms = 0;
+        if (conn->pending_write() == 0 && !conn->awaiting_forward) {
+          conn->dead = true;
+        }
+      }
+      break;
+    }
+    case Msg::Kind::Terminate:
+      terminate = true;
+      break;
+  }
+}
+
+void NetServer::Shard::drain_mailbox() {
+  std::deque<Msg> batch;
+  {
+    std::lock_guard<std::mutex> lock(mbox_mutex);
+    batch.swap(mbox);
+  }
+  for (Msg& msg : batch) handle_msg(msg);
+}
+
+void NetServer::Shard::sweep_dead() {
+  const std::size_t before = conns.size();
+  std::erase_if(conns, [&](const std::unique_ptr<Conn>& conn) {
+    if (!conn->dead) return false;
+    ::close(conn->fd);
+    conn->fd = -1;
+    by_id.erase(conn->id);
+    if (conn->did_forward) {
+      // Tear down the remote conversations (detaching their durable
+      // sessions). Mailbox FIFO ensures any in-flight Forward for this
+      // connection executes before its CloseRemote arrives.
+      for (unsigned i = 0; i < nshards; ++i) {
+        if (i == index) continue;
+        Msg msg;
+        msg.kind = Msg::Kind::CloseRemote;
+        msg.conn_id = conn->id;
+        server->post(i, std::move(msg));
+      }
+    }
+    server->live_conns_.fetch_sub(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(stats_mutex);
+    ++stats.closed;
+    if (draining) ++stats.drained;
+    return true;
+  });
+  if (conns.size() != before) {
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex);
+      stats.active = conns.size();
+    }
+    // The acceptor may be waiting for the last connection to go.
+    {
+      std::lock_guard<std::mutex> lock(server->drain_mutex_);
+    }
+    server->drain_cv_.notify_all();
+  }
+}
+
+void NetServer::Shard::forward(Conn& conn, unsigned home,
+                               std::string_view line,
+                               const FaultVerdict& verdict) {
+  if (server->config_.echo) {
+    // Echo belongs to the origin (it owns the response ordering); the
+    // remote conversation runs with echo off.
+    conn.wbuf += "> ";
+    conn.wbuf += line;
+    conn.wbuf += '\n';
+  }
+  conn.awaiting_forward = true;
+  conn.did_forward = true;
+  conn.fwd_ack_loss = verdict.duplicate;
+  conn.fwd_delay_ms = verdict.delay;
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex);
+    ++stats.forwarded;
+  }
+  Msg msg;
+  msg.kind = Msg::Kind::Forward;
+  msg.conn_id = conn.id;
+  msg.origin = index;
+  msg.line.assign(line);
+  server->post(home, std::move(msg));
+}
+
+void NetServer::Shard::handle_line(Conn& conn, std::string_view line) {
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex);
+    ++stats.lines_in;
+  }
+  if (conn.pending_write() >= server->config_.write_buffer_reject) {
     conn.wbuf += kBackpressure;
-    std::lock_guard<std::mutex> lock(stats_mutex_);
-    ++stats_.backpressure_rejects;
+    std::lock_guard<std::mutex> lock(stats_mutex);
+    ++stats.backpressure_rejects;
     return;
   }
   FaultVerdict verdict;
-  if (injector_) verdict = injector_->roll();
+  if (injector) verdict = injector->roll();
   if (verdict.drop) {
     // Cut BEFORE the request executes: the client sees a dead
     // connection with no state change — a plain resend is safe.
     conn.dead = true;
-    std::lock_guard<std::mutex> lock(stats_mutex_);
-    ++stats_.fault_dropped;
+    std::lock_guard<std::mutex> lock(stats_mutex);
+    ++stats.fault_dropped;
     return;
   }
+  if (nshards > 1 && server->config_.service.journal.enabled()) {
+    // Journaled sessions are pinned to shards by name hash; a line
+    // addressing a name homed elsewhere is forwarded and the
+    // connection parks until the reply (preserving in-order 1:1
+    // pipelining). Plain servers never route: their session names are
+    // per-connection namespaces that live and die on this shard.
+    const std::string_view name = route_name(line);
+    if (!name.empty()) {
+      const unsigned home = service::shard_for_name(name, nshards);
+      if (home != index) {
+        forward(conn, home, line, verdict);
+        return;
+      }
+    }
+  }
+  execute_local(conn, line, verdict);
+}
+
+void NetServer::Shard::execute_local(Conn& conn, std::string_view line,
+                                     const FaultVerdict& verdict) {
   const std::size_t before = conn.wbuf.size();
   service::ServeProtocol::Status status;
+  const std::uint64_t t0 = busy_clock_ns();
   try {
     status = conn.protocol->handle_line(line, conn.wbuf);
   } catch (const std::exception& e) {
@@ -281,17 +751,19 @@ void NetServer::handle_line(Conn& conn, std::string_view line) {
     conn.wbuf += "err internal: ";
     conn.wbuf += e.what();
     conn.wbuf += '\n';
-    std::lock_guard<std::mutex> lock(stats_mutex_);
-    ++stats_.protocol_errors;
-    ++stats_.responses_out;
+    std::lock_guard<std::mutex> lock(stats_mutex);
+    ++stats.protocol_errors;
+    ++stats.responses_out;
+    stats.busy_ns += busy_clock_ns() - t0;
     return;
   }
   const int errors_now = conn.protocol->errors();
   {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
-    if (conn.wbuf.size() > before) ++stats_.responses_out;
-    stats_.protocol_errors +=
+    std::lock_guard<std::mutex> lock(stats_mutex);
+    if (conn.wbuf.size() > before) ++stats.responses_out;
+    stats.protocol_errors +=
         static_cast<std::uint64_t>(errors_now - conn.prev_errors);
+    stats.busy_ns += busy_clock_ns() - t0;
   }
   conn.prev_errors = errors_now;
   if (status == service::ServeProtocol::Status::Quit) {
@@ -304,18 +776,18 @@ void NetServer::handle_line(Conn& conn, std::string_view line) {
     // request id and be answered from the dedup window.
     conn.wbuf.resize(before);
     conn.dead = true;
-    std::lock_guard<std::mutex> lock(stats_mutex_);
-    ++stats_.fault_dropped;
+    std::lock_guard<std::mutex> lock(stats_mutex);
+    ++stats.fault_dropped;
   } else if (verdict.delay > 0) {
     conn.hold_until_ms =
         std::max(conn.hold_until_ms, now_ms() + verdict.delay);
-    std::lock_guard<std::mutex> lock(stats_mutex_);
-    ++stats_.fault_delayed;
+    std::lock_guard<std::mutex> lock(stats_mutex);
+    ++stats.fault_delayed;
   }
 }
 
-void NetServer::process_lines(Conn& conn) {
-  while (!conn.closing) {
+void NetServer::Shard::process_lines(Conn& conn) {
+  while (!conn.closing && !conn.dead && !conn.awaiting_forward) {
     if (conn.skipping_oversize) {
       const std::size_t nl = conn.rbuf.find('\n');
       if (nl == std::string::npos) {
@@ -328,14 +800,14 @@ void NetServer::process_lines(Conn& conn) {
     }
     const std::size_t nl = conn.rbuf.find('\n');
     if (nl == std::string::npos) {
-      if (conn.rbuf.size() > config_.max_line_bytes) {
+      if (conn.rbuf.size() > server->config_.max_line_bytes) {
         // The line already exceeds the cap with no end in sight:
         // answer now, discard until the newline eventually arrives.
         conn.rbuf.clear();
         conn.skipping_oversize = true;
         conn.wbuf += kLineTooLong;
-        std::lock_guard<std::mutex> lock(stats_mutex_);
-        ++stats_.oversize_lines;
+        std::lock_guard<std::mutex> lock(stats_mutex);
+        ++stats.oversize_lines;
       }
       return;
     }
@@ -343,24 +815,24 @@ void NetServer::process_lines(Conn& conn) {
     conn.rbuf.erase(0, nl + 1);
     if (!line.empty() && line.back() == '\r') line.pop_back();
     conn.last_active_ms = now_ms();
-    if (line.size() > config_.max_line_bytes) {
+    if (line.size() > server->config_.max_line_bytes) {
       conn.wbuf += kLineTooLong;
-      std::lock_guard<std::mutex> lock(stats_mutex_);
-      ++stats_.oversize_lines;
+      std::lock_guard<std::mutex> lock(stats_mutex);
+      ++stats.oversize_lines;
       continue;
     }
     handle_line(conn, line);
   }
 }
 
-void NetServer::conn_readable(Conn& conn) {
+void NetServer::Shard::conn_readable(Conn& conn) {
   char buf[4096];
   for (;;) {
     const ssize_t n = ::recv(conn.fd, buf, sizeof(buf), 0);
     if (n > 0) {
       conn.rbuf.append(buf, static_cast<std::size_t>(n));
-      std::lock_guard<std::mutex> lock(stats_mutex_);
-      stats_.bytes_in += static_cast<std::uint64_t>(n);
+      std::lock_guard<std::mutex> lock(stats_mutex);
+      stats.bytes_in += static_cast<std::uint64_t>(n);
       continue;
     }
     if (n == 0) {
@@ -374,17 +846,19 @@ void NetServer::conn_readable(Conn& conn) {
     return;
   }
   process_lines(conn);
-  if (conn.read_done) conn.closing = true;
+  // A parked connection keeps its EOF pending: the forwarded reply (and
+  // any lines buffered behind it) must land before the close.
+  if (conn.read_done && !conn.awaiting_forward) conn.closing = true;
 }
 
-void NetServer::conn_writable(Conn& conn) {
+void NetServer::Shard::conn_writable(Conn& conn) {
   while (conn.pending_write() > 0) {
     const ssize_t n = ::send(conn.fd, conn.wbuf.data() + conn.woff,
                              conn.pending_write(), MSG_NOSIGNAL);
     if (n > 0) {
       conn.woff += static_cast<std::size_t>(n);
-      std::lock_guard<std::mutex> lock(stats_mutex_);
-      stats_.bytes_out += static_cast<std::uint64_t>(n);
+      std::lock_guard<std::mutex> lock(stats_mutex);
+      stats.bytes_out += static_cast<std::uint64_t>(n);
       continue;
     }
     if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
@@ -394,49 +868,45 @@ void NetServer::conn_writable(Conn& conn) {
   if (conn.pending_write() == 0) {
     conn.wbuf.clear();
     conn.woff = 0;
-    if (conn.closing) conn.dead = true;
-  } else if (conn.pending_write() > config_.write_buffer_close) {
+    if (conn.closing && !conn.awaiting_forward) conn.dead = true;
+  } else if (conn.pending_write() > server->config_.write_buffer_close) {
     conn.dead = true;
-    std::lock_guard<std::mutex> lock(stats_mutex_);
-    ++stats_.overflow_closed;
+    std::lock_guard<std::mutex> lock(stats_mutex);
+    ++stats.overflow_closed;
   }
 }
 
-void NetServer::run() {
-  std::uint64_t drain_deadline = 0;
+void NetServer::Shard::loop() {
   std::vector<pollfd> pfds;
   std::vector<Conn*> polled;
 
   for (;;) {
-    // Sweep connections closed in the previous round.
-    const std::size_t before = conns_.size();
-    std::erase_if(conns_, [&](const std::unique_ptr<Conn>& conn) {
-      if (!conn->dead) return false;
-      ::close(conn->fd);
-      std::lock_guard<std::mutex> lock(stats_mutex_);
-      ++stats_.closed;
-      if (draining_) ++stats_.drained;
-      return true;
-    });
-    if (conns_.size() != before) {
-      std::lock_guard<std::mutex> lock(stats_mutex_);
-      stats_.active = conns_.size();
+    drain_mailbox();
+    if (terminate) {
+      // Drain completed everywhere (the acceptor saw zero live
+      // connections): destroy the remote conversations (detaching
+      // their durable sessions) and exit. conns is empty by now save
+      // for pathological force-kills, which close unceremoniously.
+      for (auto& conn : conns) {
+        ::close(conn->fd);
+        conn->fd = -1;
+        server->live_conns_.fetch_sub(1, std::memory_order_relaxed);
+      }
+      conns.clear();
+      by_id.clear();
+      remote.clear();
+      std::lock_guard<std::mutex> lock(stats_mutex);
+      stats.active = 0;
+      return;
     }
-
-    if (draining_ && conns_.empty()) return;
-    if (draining_ && drain_deadline == 0) {
-      drain_deadline = now_ms() + config_.drain_timeout_ms;
-    }
+    sweep_dead();
 
     pfds.clear();
     polled.clear();
-    if (!draining_) {
-      pfds.push_back({stop_read_fd_, POLLIN, 0});
-      pfds.push_back({listen_fd_, POLLIN, 0});
-    }
+    pfds.push_back({wake_read_fd, POLLIN, 0});
     const std::uint64_t poll_now = now_ms();
     std::uint64_t hold_wake = 0;  ///< earliest fault-hold expiry, 0 = none
-    for (auto& conn : conns_) {
+    for (auto& conn : conns) {
       if (conn->hold_until_ms > poll_now) {
         // Fault-injected delay: the response (and further reads) wait
         // until the hold expires; the poll timeout wakes us for it.
@@ -447,34 +917,39 @@ void NetServer::run() {
       }
       conn->hold_until_ms = 0;
       short events = 0;
-      if (!conn->closing && !conn->read_done) events |= POLLIN;
+      if (!conn->closing && !conn->read_done && !conn->awaiting_forward) {
+        events |= POLLIN;
+      }
       if (conn->pending_write() > 0) events |= POLLOUT;
       if (events == 0) {
-        // closing with nothing left to write: close on the next sweep
-        conn->dead = true;
+        if (!conn->awaiting_forward) {
+          // closing with nothing left to write: close on the next sweep
+          conn->dead = true;
+        }
+        // parked with nothing to write: the mailbox wake unparks it
         continue;
       }
       pfds.push_back({conn->fd, events, 0});
       polled.push_back(conn.get());
     }
 
-    if (pfds.empty() && hold_wake == 0) {
-      continue;  // drain marked every conn dead: re-sweep
-    }
-
     int timeout = -1;
     const std::uint64_t now = now_ms();
-    if (draining_) {
-      timeout = drain_deadline > now
-                    ? static_cast<int>(drain_deadline - now)
-                    : 0;
-    } else if (config_.idle_timeout_ms > 0) {
-      std::uint64_t next = config_.idle_timeout_ms;
-      for (const auto& conn : conns_) {
+    if (draining) {
+      if (!conns.empty()) {
+        timeout = drain_deadline > now ? static_cast<int>(drain_deadline - now)
+                                       : 0;
+      }
+      // empty while draining: block on the wake pipe until Terminate
+      // (or a Forward from a shard still draining its connections).
+    } else if (server->config_.idle_timeout_ms > 0) {
+      std::uint64_t next = server->config_.idle_timeout_ms;
+      for (const auto& conn : conns) {
         const std::uint64_t age = now - conn->last_active_ms;
         const std::uint64_t left =
-            age >= config_.idle_timeout_ms ? 0
-                                           : config_.idle_timeout_ms - age;
+            age >= server->config_.idle_timeout_ms
+                ? 0
+                : server->config_.idle_timeout_ms - age;
         next = std::min(next, left);
       }
       timeout = static_cast<int>(next);
@@ -489,28 +964,29 @@ void NetServer::run() {
     const int ready = ::poll(pfds.data(), pfds.size(), timeout);
     if (ready < 0) {
       if (errno == EINTR) continue;
-      error_ = std::string("poll: ") + std::strerror(errno);
-      begin_drain();
+      // A shard's poll failing is a server-level failure: record it and
+      // drain everything.
+      {
+        std::lock_guard<std::mutex> lock(server->error_mutex_);
+        if (server->error_.empty()) {
+          server->error_ = std::string("poll: ") + std::strerror(errno);
+        }
+      }
+      server->stop();
       continue;
     }
 
-    std::size_t base = 0;
-    if (!draining_) {
-      if (pfds[0].revents & POLLIN) {
-        char buf[64];
-        while (::read(stop_read_fd_, buf, sizeof(buf)) > 0) {
-        }
-        begin_drain();
-        continue;  // re-enter with drain bookkeeping in place
+    if (pfds[0].revents & POLLIN) {
+      char buf[64];
+      while (::read(wake_read_fd, buf, sizeof(buf)) > 0) {
       }
-      if (pfds[1].revents & (POLLIN | POLLERR)) accept_ready();
-      base = 2;
+      // The mailbox drains at the top of the next iteration.
     }
 
     for (std::size_t i = 0; i < polled.size(); ++i) {
       Conn& conn = *polled[i];
       if (conn.dead) continue;
-      const short revents = pfds[base + i].revents;
+      const short revents = pfds[1 + i].revents;
       if (revents & (POLLERR | POLLHUP | POLLNVAL)) {
         // POLLHUP with readable data still pending is delivered along
         // with POLLIN; drain reads first, then let recv() see the EOF.
@@ -520,25 +996,28 @@ void NetServer::run() {
         }
       }
       if (revents & POLLIN) conn_readable(conn);
-      if (!conn.dead && (conn.pending_write() > 0 || conn.closing)) {
+      if (!conn.dead && (conn.pending_write() > 0 ||
+                         (conn.closing && !conn.awaiting_forward))) {
         conn_writable(conn);
       }
     }
 
-    // Idle collection (not during drain — drain has its own deadline).
-    if (!draining_ && config_.idle_timeout_ms > 0) {
+    // Idle collection (not during drain — drain has its own deadline;
+    // not while parked — a forwarded line is actively in flight).
+    if (!draining && server->config_.idle_timeout_ms > 0) {
       const std::uint64_t cutoff = now_ms();
-      for (auto& conn : conns_) {
-        if (conn->dead || conn->closing) continue;
-        if (cutoff - conn->last_active_ms >= config_.idle_timeout_ms) {
+      for (auto& conn : conns) {
+        if (conn->dead || conn->closing || conn->awaiting_forward) continue;
+        if (cutoff - conn->last_active_ms >=
+            server->config_.idle_timeout_ms) {
           conn->dead = true;
-          std::lock_guard<std::mutex> lock(stats_mutex_);
-          ++stats_.idle_closed;
+          std::lock_guard<std::mutex> lock(stats_mutex);
+          ++stats.idle_closed;
         }
       }
     }
-    if (draining_ && now_ms() >= drain_deadline) {
-      for (auto& conn : conns_) conn->dead = true;
+    if (draining && !conns.empty() && now_ms() >= drain_deadline) {
+      for (auto& conn : conns) conn->dead = true;
     }
   }
 }

@@ -1,44 +1,56 @@
-// NetServer: the rule service on a TCP socket.
+// NetServer: the rule service on a TCP socket, served by N event-loop
+// shards.
 //
-// A single-threaded poll(2) event loop fronting ONE shared RuleService:
-// a multi-client accept loop, newline-framed requests with pipelining
-// (any number of commands may be in flight per connection; responses
-// come back in order), per-connection write buffering, and the
-// protections that keep one client from hurting the rest:
+// Threading model (one acceptor + `shards` shard threads):
 //
-//   - backpressure is reject-not-block, the same contract as the
-//     service's bounded queues: while a connection's pending write
-//     buffer is past `write_buffer_reject`, further complete lines get
-//     a cheap `err backpressure` instead of being executed — the server
-//     thread never blocks on a slow reader, and the request:response
-//     1:1 pipelining contract is preserved;
-//   - a connection whose write buffer passes `write_buffer_close` (the
-//     client stopped reading entirely) is closed;
-//   - request lines longer than `max_line_bytes` are discarded up to
-//     the next newline and answered with `err line-too-long`;
-//   - connections idle past `idle_timeout_ms` are closed;
-//   - at `max_connections`, new arrivals get `err server-full` and an
-//     immediate close.
+//   - run() is the ACCEPTOR: it polls the listen socket and the
+//     self-pipe, enforces `max_connections` globally, and hands each
+//     accepted connection to a shard round-robin through that shard's
+//     mailbox (a mutex-guarded FIFO plus a wake pipe). The acceptor
+//     never touches connection or session state.
+//   - each SHARD runs the classic poll(2) loop over exactly its own
+//     connections, fronting its OWN RuleService (workers forced to 0 so
+//     responses stay a pure function of each connection's stream). A
+//     shard exclusively owns its connections' buffers, its sessions'
+//     engine state, dedup windows, and journal files — there are no
+//     cross-shard locks on the data path; shards share nothing but the
+//     acceptor's connection count and the stats snapshots.
 //
-// Protocol handling is the same transport-agnostic ServeProtocol the
-// stdin `--serve` loop wraps (service/protocol.hpp), one instance per
-// connection: session NAMEs are a per-connection namespace, and a
-// dropped connection closes exactly the sessions it opened. Because the
-// loop is single-threaded and the service synchronous (workers == 0),
-// responses on one connection are a pure function of that connection's
-// request stream — byte-identical with stdin serving, which
-// tests/test_net.cpp proves over the example scripts.
+// Durable sessions are PINNED to shards by name hash
+// (service::shard_for_name): startup recovery partitions *.wal files
+// across the shard services by the same hash, so a name's journal is
+// owned by exactly one shard forever. When a connection on shard A
+// addresses a session whose home is shard B (journaled servers only —
+// on plain servers session names are per-connection and never leave
+// their shard), the line is FORWARDED: the connection parks (preserving
+// the 1:1 in-order pipelining contract), shard B executes the line in a
+// per-connection remote conversation against its own service, and the
+// response rides a mailbox reply back to shard A's write buffer. The
+// forwarding handshake is what makes cross-shard `resume` work: any
+// connection can resume any name, wherever it lands.
+//
+// Everything else is the single-loop server's contract, per shard:
+// newline-framed pipelined requests, reject-not-block backpressure
+// (`err backpressure` past write_buffer_reject, disconnect past
+// write_buffer_close), `err line-too-long` past max_line_bytes with
+// discard-to-newline resync, idle collection, `err server-full` at the
+// accept layer, and per-connection `err internal` isolation.
 //
 // Shutdown is a graceful drain: stop() (async-signal-safe: one write to
-// a self-pipe) stops the accept loop, already-queued responses are
+// a self-pipe) stops the accept loop and broadcasts a drain to every
+// shard; queued responses (including in-flight forwarded replies) are
 // flushed for up to `drain_timeout_ms`, then everything closes and
-// run() returns.
+// run() returns once every shard is empty.
 //
 // Aggregate counters export through the obs layer (NetStats /
-// net_fields() → metrics, bench JSON); per-connection counters drive
-// the idle/backpressure decisions and fold into the aggregate on close.
+// net_fields() → metrics, bench JSON): stats_snapshot() sums the
+// per-shard counter rows plus the acceptor's own (accepted,
+// rejected_full); shard_stats() exposes the unsummed rows, which is
+// what the R-S4 bench's slowest-shard makespan model reads.
 #pragma once
 
+#include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -62,7 +74,10 @@ namespace parulel::net {
 /// changed, the client never heard), or delay a response. Verdicts come
 /// from the same splitmix64 injector the distributed engine uses
 /// (distrib/faults.hpp), so a (load, seed) pair replays the same fault
-/// schedule every run.
+/// schedule every run. Each shard rolls its own injector seeded
+/// seed + shard index; verdicts are decided on the connection's owning
+/// shard and apply to forwarded lines too (drop before the forward,
+/// ack loss / delay to the reply).
 struct NetFaultPlan {
   std::uint64_t seed = 1;
   double drop_rate = 0.0;      ///< P(connection cut before the request runs)
@@ -91,6 +106,10 @@ struct NetServerConfig {
   int backlog = 64;
   std::size_t max_connections = 64;
 
+  /// Event-loop shards. 1 (the default) reproduces the single-loop
+  /// server exactly: one thread, no forwarding. Clamped to >= 1.
+  unsigned shards = 1;
+
   /// Longest accepted request line; longer ones are discarded up to the
   /// next newline and answered with `err line-too-long`.
   std::size_t max_line_bytes = 64 * 1024;
@@ -111,9 +130,9 @@ struct NetServerConfig {
   /// force-closing what remains.
   std::uint64_t drain_timeout_ms = 2'000;
 
-  /// Tuning for the fronted RuleService. `workers` is forced to 0 —
-  /// commands execute synchronously on the event loop, which is what
-  /// makes per-connection responses deterministic.
+  /// Tuning for the per-shard RuleServices. `workers` is forced to 0 —
+  /// commands execute synchronously on their shard's event loop, which
+  /// is what makes per-connection responses deterministic.
   service::ServiceConfig service;
 
   /// Echo each command line (prefixed "> ") before its response.
@@ -131,9 +150,11 @@ class NetServer {
   NetServer(const NetServer&) = delete;
   NetServer& operator=(const NetServer&) = delete;
 
-  /// Bind + listen + arm the stop pipe; when the service is journaled,
-  /// recover durable sessions BEFORE accepting traffic (reports kept in
-  /// recovery_reports()). False on failure (see error()).
+  /// Bind + listen + arm the stop pipe and the shard wake pipes; when
+  /// the service is journaled, recover durable sessions BEFORE
+  /// accepting traffic — each shard's service recovers exactly the
+  /// names it owns under the pinning hash (reports, merged and sorted
+  /// by name, kept in recovery_reports()). False on failure (error()).
   bool start();
 
   /// What start() recovered (empty unless journaling is enabled).
@@ -144,40 +165,60 @@ class NetServer {
   /// The bound port (resolves config.port == 0), valid after start().
   std::uint16_t port() const { return port_; }
 
-  /// Serve until stop(); returns once every connection is drained and
-  /// closed. Call from exactly one thread, after start().
+  /// Serve until stop(): spawns the shard threads, runs the accept
+  /// loop, and returns once every connection is drained, closed, and
+  /// every shard thread joined. Call from exactly one thread, after
+  /// start().
   void run();
 
   /// Request a graceful drain. Callable from any thread and from signal
   /// handlers (it performs one write() on a self-pipe, nothing else).
   void stop();
 
-  /// Aggregate counters; callable from any thread while run() is live.
+  /// Aggregate counters (per-shard rows summed, plus the acceptor's);
+  /// callable from any thread while run() is live.
   NetStats stats_snapshot() const;
 
-  /// The fronted service. Touch only when run() is not executing — the
-  /// event loop owns it while serving.
-  service::RuleService& service() { return *service_; }
+  /// The unsummed per-shard counter rows, in shard order. `busy_ns` per
+  /// row is that shard thread's request-execution CPU time — the
+  /// slowest row is the R-S4 ideal-multicore makespan.
+  std::vector<NetStats> shard_stats() const;
+
+  /// Number of event-loop shards actually serving.
+  unsigned shards() const { return static_cast<unsigned>(shards_.size()); }
+
+  /// Shard 0's fronted service. Touch only when run() is not executing
+  /// — the shard's event loop owns it while serving. (With shards == 1
+  /// this is THE service, as before; sharded callers want
+  /// shard_service(i).)
+  service::RuleService& service() { return shard_service(0); }
+
+  /// Shard `i`'s fronted service; same ownership caveat as service().
+  service::RuleService& shard_service(unsigned i);
 
   const std::string& error() const { return error_; }
   const NetServerConfig& config() const { return config_; }
 
  private:
   struct Conn;
+  struct Shard;
+  struct Msg;
 
   void accept_ready();
-  void conn_readable(Conn& conn);
-  void conn_writable(Conn& conn);
-  void process_lines(Conn& conn);
-  void handle_line(Conn& conn, std::string_view line);
-  void begin_drain();
+  void post(unsigned shard, Msg msg);
   static std::uint64_t now_ms();
+  static std::uint64_t now_ns();
+  /// Calling thread's CPU time — busy_ns accounting (see the .cpp).
+  static std::uint64_t busy_clock_ns();
 
   NetServerConfig config_;
-  std::unique_ptr<service::RuleService> service_;
-  std::unique_ptr<FaultInjector> injector_;  ///< null = no fault plan
+  /// Shared SessionId source for the per-shard services: ids stay
+  /// server-unique, so `open NAME id=N` matches single-shard numbering.
+  std::atomic<std::uint64_t> session_ids_{1};
+  std::vector<std::unique_ptr<Shard>> shards_;
   std::vector<service::RecoveryReport> recovery_reports_;
   std::string error_;
+  std::mutex error_mutex_;  ///< shards may report poll failures
 
   int listen_fd_ = -1;
   int stop_read_fd_ = -1;
@@ -185,10 +226,17 @@ class NetServer {
   std::uint16_t port_ = 0;
   bool draining_ = false;
 
-  std::vector<std::unique_ptr<Conn>> conns_;
+  unsigned next_shard_ = 0;          ///< round-robin assignment cursor
+  std::uint64_t next_conn_id_ = 1;   ///< server-unique connection ids
+
+  /// Live connections across all shards: the accept-layer capacity
+  /// check, and the drain-completion condition the acceptor waits on.
+  std::atomic<std::size_t> live_conns_{0};
+  std::mutex drain_mutex_;
+  std::condition_variable drain_cv_;
 
   mutable std::mutex stats_mutex_;
-  NetStats stats_;
+  NetStats stats_;  ///< acceptor-owned counters (accepted, rejected_full)
 };
 
 }  // namespace parulel::net

@@ -222,6 +222,9 @@ constexpr FieldDef<NetStats> kNetFields[] = {
     {"drained", &NetStats::drained},
     {"fault_dropped", &NetStats::fault_dropped},
     {"fault_delayed", &NetStats::fault_delayed},
+    {"shards", &NetStats::shards},
+    {"forwarded", &NetStats::forwarded},
+    {"busy_ns", &NetStats::busy_ns},
 };
 
 constexpr FieldDef<JournalStats> kJournalFields[] = {

@@ -164,8 +164,10 @@ struct ServiceStats {
 /// lifecycle, wire volume, and the protections that keep one client
 /// from hurting the rest (backpressure rejects, oversize-line drops,
 /// write-buffer overflow closes, idle timeouts). Filled by
-/// NetServer::stats_snapshot(); the net_fields() table feeds metrics
-/// publication and the bench JSON rows like every other stat family.
+/// NetServer::stats_snapshot() as the sum across event-loop shards
+/// (NetServer::shard_stats() exposes the unsummed per-shard rows); the
+/// net_fields() table feeds metrics publication and the bench JSON rows
+/// like every other stat family.
 struct NetStats {
   std::uint64_t accepted = 0;       ///< connections accepted
   std::uint64_t rejected_full = 0;  ///< refused at max_connections
@@ -183,6 +185,11 @@ struct NetStats {
   std::uint64_t drained = 0;             ///< closed by graceful shutdown drain
   std::uint64_t fault_dropped = 0;       ///< conns killed by --net-fault-plan
   std::uint64_t fault_delayed = 0;       ///< responses held by --net-fault-plan
+  std::uint64_t shards = 0;              ///< event-loop shards serving (gauge)
+  std::uint64_t forwarded = 0;           ///< lines forwarded to a session's
+                                         ///< home shard (journaled, shards>1)
+  std::uint64_t busy_ns = 0;             ///< shard-thread time spent executing
+                                         ///< requests (drives the R-S4 model)
 
   /// Push every net_fields() entry into `registry` as "<prefix><name>".
   void publish(obs::MetricsRegistry& registry,

@@ -32,6 +32,22 @@ bool valid_durable_name(const std::string& name) {
 
 }  // namespace
 
+std::uint64_t durable_name_hash(std::string_view name) {
+  // FNV-1a 64-bit: tiny, dependency-free, and stable across platforms —
+  // the pinning must agree between a server and its own restart.
+  std::uint64_t h = 1469598103934665603ull;
+  for (unsigned char c : name) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+unsigned shard_for_name(std::string_view name, unsigned shards) {
+  if (shards <= 1) return 0;
+  return static_cast<unsigned>(durable_name_hash(name) % shards);
+}
+
 std::uint64_t RuleService::now_ns() {
   return static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(
@@ -75,6 +91,13 @@ RuleService::~RuleService() {
   // workers_ (declared last) joins first, then sessions_ destruct.
 }
 
+SessionId RuleService::alloc_id() {
+  if (config_.session_ids != nullptr) {
+    return config_.session_ids->fetch_add(1, std::memory_order_relaxed);
+  }
+  return next_id_++;
+}
+
 SessionId RuleService::open_session(const Program& program) {
   std::unique_lock lock(mutex_);
   if (sessions_.size() >= config_.max_sessions) {
@@ -82,7 +105,7 @@ SessionId RuleService::open_session(const Program& program) {
     if (sessions_.size() >= config_.max_sessions) return 0;
   }
   auto entry = std::make_unique<Entry>();
-  entry->id = next_id_++;
+  entry->id = alloc_id();
   entry->session = std::make_unique<Session>(program, session_config());
   entry->last_active_tick = tick_;
   ++stats_.sessions_opened;
@@ -392,9 +415,6 @@ SessionId RuleService::open_durable(const std::string& name,
   if (!config_.journal.enabled()) {
     return fail("journaling is disabled (start with --journal-dir)");
   }
-  if (config_.workers != 0) {
-    return fail("durable sessions require synchronous mode (workers=0)");
-  }
   if (!valid_durable_name(name)) {
     return fail("invalid durable session name: " + name);
   }
@@ -422,7 +442,7 @@ SessionId RuleService::open_durable(const std::string& name,
     return fail(e.what());
   }
   auto entry = std::make_unique<Entry>();
-  entry->id = next_id_++;
+  entry->id = alloc_id();
   entry->session =
       std::make_unique<Session>(*durable->program, session_config());
   entry->durable = std::move(durable);
@@ -631,14 +651,17 @@ bool RuleService::durable_commit(SessionId id, std::uint64_t run_req,
   return wrote;
 }
 
-std::vector<RecoveryReport> RuleService::recover_journals() {
+std::vector<RecoveryReport> RuleService::recover_journals(
+    const std::function<bool(const std::string&)>& filter) {
   std::vector<RecoveryReport> reports;
   if (!config_.journal.enabled()) return reports;
   std::vector<std::string> files;
   std::error_code ec;
   for (const auto& de :
        std::filesystem::directory_iterator(config_.journal.dir, ec)) {
-    if (de.path().extension() == ".wal") files.push_back(de.path().string());
+    if (de.path().extension() != ".wal") continue;
+    if (filter && !filter(de.path().stem().string())) continue;
+    files.push_back(de.path().string());
   }
   std::sort(files.begin(), files.end());
   const std::uint64_t t0 = now_ns();
@@ -755,7 +778,7 @@ RecoveryReport RuleService::recover_one(const std::string& path) {
 
     std::scoped_lock lock(mutex_);
     auto entry = std::make_unique<Entry>();
-    entry->id = next_id_++;
+    entry->id = alloc_id();
     entry->session = std::move(session);
     entry->durable = std::move(durable);
     entry->last_active_tick = tick_;

@@ -28,6 +28,7 @@
 // ticks) are evicted on demand and under capacity pressure.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -47,6 +48,18 @@ namespace parulel::service {
 
 /// Opaque session handle; 0 is never a valid id.
 using SessionId = std::uint64_t;
+
+/// FNV-1a 64-bit over the session name bytes. This is the durable
+/// session-pinning hash: a name's home shard is a pure function of the
+/// name, so every server (and every restart) routes a name to the same
+/// shard — which therefore exclusively owns that session's engine
+/// state, dedup window, and journal file.
+std::uint64_t durable_name_hash(std::string_view name);
+
+/// The home shard of a durable session name under `shards` event-loop
+/// shards. Stable across runs (see durable_name_hash); 0 when shards
+/// is 0 or 1.
+unsigned shard_for_name(std::string_view name, unsigned shards);
 
 struct ServiceConfig {
   /// Background commit workers. 0 = synchronous mode: commits run on
@@ -86,6 +99,12 @@ struct ServiceConfig {
   /// the whole durable path compiled out of the hot loop (one null
   /// pointer check per commit).
   JournalConfig journal;
+
+  /// Optional shared SessionId source (must outlive the service). The
+  /// sharded NetServer points every shard's service at one counter so
+  /// ids stay server-unique and `open NAME id=N` responses match the
+  /// single-service numbering. Null = service-local ids from 1.
+  std::atomic<std::uint64_t>* session_ids = nullptr;
 };
 
 /// One queued external operation.
@@ -169,12 +188,16 @@ class RuleService {
   // -- durable sessions (write-ahead journal; see journal.hpp) --
   //
   // A durable session is a journaled session addressed by a server-wide
-  // NAME. It requires journaling enabled and synchronous mode
-  // (workers == 0): commits must happen on the conversation's thread so
-  // the batch record can be written before the acknowledgement leaves
-  // the process. Durable sessions are exempt from idle eviction, and a
-  // conversation ending detaches rather than closes them — `resume`
-  // reattaches, across reconnects and across server restarts.
+  // NAME; it requires journaling enabled. The journal-before-ack commit
+  // ordering is PER SESSION, not service-global: every op is journaled
+  // under that session's lock in commit order, and durable_commit()
+  // writes the batch record under the same lock — so durable sessions
+  // work in any worker mode, and independent sessions fsync and ack
+  // concurrently. (The line-protocol front-ends still run workers == 0
+  // so responses stay a pure function of each conversation's stream.)
+  // Durable sessions are exempt from idle eviction, and a conversation
+  // ending detaches rather than closes them — `resume` reattaches,
+  // across reconnects and across server restarts.
 
   /// Create a durable session. The service takes ownership of the
   /// parsed program (recovery must outlive any conversation); `text` is
@@ -230,8 +253,12 @@ class RuleService {
   /// commit against its journaled fingerprint/high-water digest.
   /// Journals that fail ANY check are quarantined: the file is left
   /// untouched and the name answers `err journal-corrupt` until an
-  /// operator intervenes. Call once, before serving traffic.
-  std::vector<RecoveryReport> recover_journals();
+  /// operator intervenes. Call once, before serving traffic. A sharded
+  /// front-end passes `filter` so each shard's service recovers (and
+  /// quarantines) exactly the names it owns — files whose stem fails
+  /// the filter are skipped entirely.
+  std::vector<RecoveryReport> recover_journals(
+      const std::function<bool(const std::string&)>& filter = nullptr);
 
   /// Journal + recovery counters aggregated across durable sessions.
   JournalStats journal_stats_snapshot() const;
@@ -268,10 +295,12 @@ class RuleService {
   const ServiceConfig& config() const { return config_; }
 
  private:
-  /// Journal-side state of a durable session. Confined to the owning
-  /// conversation's thread in practice (durable requires workers == 0);
-  /// the registry fields (name lookups, attach flag) are guarded by
-  /// mutex_, the pending/dedup state follows the commit path's locks.
+  /// Journal-side state of a durable session. The registry fields (name
+  /// lookups, attach flag) are guarded by mutex_; the journal handle and
+  /// pending segments/acks are only touched under the owning Entry's
+  /// session_mutex (commit_batch and durable_commit both hold it), which
+  /// is what makes the journal-before-ack ordering per-session: two
+  /// sessions' journal writes and fsyncs never serialize on each other.
   struct DurableState {
     std::string name;
     std::unique_ptr<Program> program;  ///< service-owned for recovery
@@ -326,6 +355,9 @@ class RuleService {
                                 bool force_one);
   void record_latency(std::uint64_t ns);
   static std::uint64_t now_ns();
+  /// Next SessionId: the shared config.session_ids counter when set,
+  /// the service-local one otherwise. Called with mutex_ held.
+  SessionId alloc_id();
 
   ServiceConfig config_;
   ThreadPool pool_;

@@ -16,6 +16,7 @@
 // dedup-window replay/stale semantics, and quarantine behavior.
 #include <gtest/gtest.h>
 
+#include <array>
 #include <cstdint>
 #include <cstdio>
 #include <filesystem>
@@ -644,6 +645,227 @@ TEST(CrashEquivalence, EveryKillPointRecoversToTheUninterruptedState) {
         }
         EXPECT_EQ(detached_fingerprint(svc, "s"), reference)
             << "snap=" << snapshot_every << " kill=" << kill
+            << " lose_last_ack=" << lose_last_ack;
+      }
+    }
+  }
+}
+
+// ----------------------------------------- shard pinning + worker modes
+
+TEST(ShardPinning, HashIsStableAndPartitionsNames) {
+  // The pinning hash is part of the on-disk contract: a journal written
+  // by an N-shard server must recover onto the same shard next boot.
+  // These anchors (FNV-1a) must never change across releases.
+  EXPECT_EQ(shard_for_name("s", 2), 0u);
+  EXPECT_EQ(shard_for_name("t", 2), 1u);
+  EXPECT_EQ(shard_for_name("s", 4), 0u);
+  EXPECT_EQ(shard_for_name("t", 4), 1u);
+  EXPECT_EQ(shard_for_name("a", 4), 2u);
+  EXPECT_EQ(shard_for_name("b", 4), 3u);
+  // shards <= 1 degenerates to "everything on shard 0".
+  EXPECT_EQ(shard_for_name("anything", 0), 0u);
+  EXPECT_EQ(shard_for_name("anything", 1), 0u);
+  // Deterministic and in range for arbitrary names.
+  for (const char* name : {"", "x", "orderbook", "a-long-session-name"}) {
+    const unsigned home = shard_for_name(name, 8);
+    EXPECT_LT(home, 8u);
+    EXPECT_EQ(home, shard_for_name(name, 8));
+    EXPECT_EQ(durable_name_hash(name) % 8, home);
+  }
+}
+
+TEST(DurableWorkers, AsyncWorkerModeCommitsPerSession) {
+  // The journal-before-ack ordering is per session, so durable sessions
+  // no longer require workers == 0. Drive two interleaved sessions
+  // through a worker-pool service and require recovery to land on the
+  // same fingerprints as a synchronous control run.
+  const std::string prog = write_program_file("workers");
+  const std::vector<int> load = {3, 1, 4, 1, 5, 9};
+
+  auto drive_script = [&](RuleService& svc) {
+    ServeProtocol proto(svc);
+    EXPECT_EQ(drive(proto, "open s " + prog).substr(0, 3), "ok ");
+    EXPECT_EQ(drive(proto, "open t " + prog).substr(0, 3), "ok ");
+    std::uint64_t req = 1;
+    for (int v : load) {
+      for (const char* name : {"s", "t"}) {
+        const std::string a =
+            drive(proto, "@" + std::to_string(req) + " assert " + name +
+                             " item " + std::to_string(v));
+        EXPECT_EQ(a.substr(0, 3), "ok ") << a;
+        const std::string r =
+            drive(proto, "@" + std::to_string(req + 1) + " run " + name);
+        EXPECT_EQ(r.substr(0, 6), "ok run") << r;
+      }
+      req += 2;
+    }
+  };
+
+  TempDir control_dir("workers_control");
+  RuleService control(durable_config(control_dir));
+  drive_script(control);
+
+  TempDir dir("workers_async");
+  std::uint64_t fp_s = 0, fp_t = 0;
+  {
+    ServiceConfig cfg = durable_config(dir);
+    cfg.workers = 2;
+    RuleService svc(cfg);
+    drive_script(svc);
+    fp_s = detached_fingerprint(svc, "s");
+    fp_t = detached_fingerprint(svc, "t");
+  }
+  EXPECT_EQ(fp_s, detached_fingerprint(control, "s"));
+  EXPECT_EQ(fp_t, detached_fingerprint(control, "t"));
+
+  // And what reached disk is recoverable — by another worker-pool
+  // service — to the identical state.
+  ServiceConfig cfg = durable_config(dir);
+  cfg.workers = 2;
+  RuleService svc(cfg);
+  const auto reports = svc.recover_journals();
+  ASSERT_EQ(reports.size(), 2u);
+  for (const auto& report : reports) {
+    EXPECT_TRUE(report.ok) << report.name << ": " << report.error;
+    EXPECT_EQ(report.fingerprint, report.name == "s" ? fp_s : fp_t);
+  }
+}
+
+// ------------------------- tentpole: sharded crash-equivalence sweep
+
+// The sharded analogue of the kill-point sweep: two names owned by
+// DIFFERENT shards of 2 (under the pinning hash), a service per shard,
+// and recovery partitioned by the same hash filter the sharded
+// NetServer uses. Every kill point must recover both names to the
+// uninterrupted run's fingerprints — shard ownership must never leak a
+// batch across partitions or lose one inside them.
+TEST(CrashEquivalence, ShardPartitionedRecoveryMatchesUninterrupted) {
+  const std::string prog = write_program_file("shard_sweep");
+  const std::array<const char*, 2> names = {"s", "t"};
+  ASSERT_EQ(shard_for_name(names[0], 2), 0u);
+  ASSERT_EQ(shard_for_name(names[1], 2), 1u);
+
+  // The interleaved script: line i addresses names[i % 2]; request ids
+  // are per session.
+  struct ShardLine {
+    unsigned shard;
+    std::uint64_t req;
+    std::string line;
+  };
+  std::vector<ShardLine> script;
+  std::array<std::uint64_t, 2> req = {1, 1};
+  for (int v : {3, 1, 4, 1, 5, 9}) {
+    for (unsigned which = 0; which < 2; ++which) {
+      const std::string name = names[which];
+      script.push_back({which, req[which],
+                        "@" + std::to_string(req[which]) + " assert " + name +
+                            " item " + std::to_string(v + int(which))});
+      ++req[which];
+      script.push_back({which, req[which],
+                        "@" + std::to_string(req[which]) + " run " + name});
+      ++req[which];
+    }
+  }
+
+  auto shard_filter = [](unsigned shard) {
+    return [shard](const std::string& name) {
+      return shard_for_name(name, 2) == shard;
+    };
+  };
+
+  // Reference: the uninterrupted run, one service per shard.
+  std::array<std::uint64_t, 2> reference = {0, 0};
+  {
+    TempDir dir0("shard_sweep_ref0"), dir1("shard_sweep_ref1");
+    RuleService svc0(durable_config(dir0)), svc1(durable_config(dir1));
+    const std::array<RuleService*, 2> svcs = {&svc0, &svc1};
+    {
+      ServeProtocol p0(svc0), p1(svc1);
+      const std::array<ServeProtocol*, 2> protos = {&p0, &p1};
+      for (unsigned which = 0; which < 2; ++which) {
+        ASSERT_EQ(drive(*protos[which],
+                        std::string("open ") + names[which] + " " + prog)
+                      .substr(0, 3),
+                  "ok ");
+      }
+      for (const ShardLine& l : script) {
+        ASSERT_EQ(drive(*protos[l.shard], l.line).substr(0, 3), "ok ")
+            << l.line;
+      }
+    }
+    for (unsigned which = 0; which < 2; ++which) {
+      reference[which] = detached_fingerprint(*svcs[which], names[which]);
+      ASSERT_NE(reference[which], 0u);
+    }
+  }
+
+  for (std::size_t kill = 1; kill <= script.size(); ++kill) {
+    for (const bool lose_last_ack : {false, true}) {
+      TempDir dir("shard_sweep");  // both shards journal into one dir,
+                                   // exactly like one --journal-dir
+      std::array<EmulatedClient, 2> clients;
+
+      // Phase 1: feed the prefix through per-shard services, crash.
+      {
+        ServiceConfig cfg = durable_config(dir);
+        RuleService svc0(cfg), svc1(cfg);
+        ServeProtocol p0(svc0), p1(svc1);
+        const std::array<ServeProtocol*, 2> protos = {&p0, &p1};
+        for (unsigned which = 0; which < 2; ++which) {
+          ASSERT_EQ(drive(*protos[which],
+                          std::string("open ") + names[which] + " " + prog)
+                        .substr(0, 3),
+                    "ok ");
+        }
+        for (std::size_t i = 0; i < kill; ++i) {
+          const ShardLine& l = script[i];
+          clients[l.shard].sent(l.req, l.line);
+          const std::string r = drive(*protos[l.shard], l.line);
+          ASSERT_EQ(r.substr(0, 3), "ok ") << l.line;
+          if (!(lose_last_ack && i + 1 == kill)) clients[l.shard].acked(r);
+        }
+      }
+
+      // Phase 2: partitioned recovery — each shard's service sees only
+      // its own names — then resume, replay, finish.
+      ServiceConfig cfg = durable_config(dir);
+      RuleService svc0(cfg), svc1(cfg);
+      const std::array<RuleService*, 2> svcs = {&svc0, &svc1};
+      for (unsigned which = 0; which < 2; ++which) {
+        const auto reports =
+            svcs[which]->recover_journals(shard_filter(which));
+        ASSERT_EQ(reports.size(), 1u) << "shard " << which;
+        ASSERT_TRUE(reports[0].ok) << reports[0].error;
+        ASSERT_EQ(reports[0].name, names[which]);
+      }
+      {
+        ServeProtocol p0(svc0), p1(svc1);
+        const std::array<ServeProtocol*, 2> protos = {&p0, &p1};
+        for (unsigned which = 0; which < 2; ++which) {
+          const std::string resumed = drive(
+              *protos[which], std::string("resume ") + names[which]);
+          ASSERT_EQ(resumed.substr(0, 3), "ok ") << resumed;
+          clients[which].acked(resumed);
+          const auto replay = clients[which].buffer;
+          for (const auto& [rq, line] : replay) {
+            const std::string r = drive(*protos[which], line);
+            ASSERT_EQ(r.substr(0, 3), "ok ") << r << " replaying " << line;
+            clients[which].acked(r);
+          }
+        }
+        for (std::size_t i = kill; i < script.size(); ++i) {
+          const ShardLine& l = script[i];
+          clients[l.shard].sent(l.req, l.line);
+          const std::string r = drive(*protos[l.shard], l.line);
+          ASSERT_EQ(r.substr(0, 3), "ok ") << l.line;
+          clients[l.shard].acked(r);
+        }
+      }
+      for (unsigned which = 0; which < 2; ++which) {
+        EXPECT_EQ(detached_fingerprint(*svcs[which], names[which]),
+                  reference[which])
+            << "shard=" << which << " kill=" << kill
             << " lose_last_ack=" << lose_last_ack;
       }
     }

@@ -377,8 +377,9 @@ std::string serve_via_stdin(const std::string& script) {
   return out.str();
 }
 
-std::string serve_via_tcp(const std::string& script) {
-  ServerFixture fx;
+std::string serve_via_tcp(const std::string& script,
+                          NetServerConfig cfg = {}) {
+  ServerFixture fx(std::move(cfg));
   RawClient c;
   EXPECT_TRUE(c.connect(fx.server.port()));
   EXPECT_TRUE(c.send(script));
@@ -468,6 +469,229 @@ TEST(NetEquivalence, EchoModeMatchesToo) {
   ASSERT_TRUE(c.connect(fx.server.port()));
   ASSERT_TRUE(c.send(script));
   EXPECT_EQ(out.str(), c.recv_all());
+}
+
+// The sharded server's byte-identity contract: the SAME script through
+// the stdin serve() loop, a single-shard server, and multi-shard
+// servers must produce identical response streams — sharding is a
+// throughput feature, never a semantics change.
+TEST(NetEquivalence, ShardCountNeverChangesResponseBytes) {
+  const std::string script =
+      "hello parulel/2\n"
+      "open book " + example_path("orderbook.clp") + "\n"
+      "assert book buy 101 acme 55 10\n"
+      "assert book sell 201 acme 50 10\n"
+      "run book\n"
+      "query book trade\n"
+      "open mon " + example_path("monitor.clp") + "\n"
+      "assert mon event mallory fail 10\n"
+      "run mon\n"
+      "query mon alert\n"
+      "close mon\n"
+      "close book\n"
+      "quit\n";
+  const std::string via_stdin = serve_via_stdin(script);
+  for (const unsigned shards : {1u, 2u, 4u}) {
+    NetServerConfig cfg;
+    cfg.shards = shards;
+    EXPECT_EQ(via_stdin, serve_via_tcp(script, std::move(cfg)))
+        << "shards=" << shards;
+  }
+}
+
+/// Journal directory for one sweep leg, wiped on entry.
+std::string fresh_sweep_dir(const std::string& tag) {
+  const std::string dir = std::string("/tmp/parulel_net_shards_") + tag;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+// The journaled variant is the interesting one: with shards > 1 the
+// names below live on DIFFERENT shards (s->0, t->1 of 2; s->0, t->1,
+// a->2, b->3 of 4 under the pinning hash), so one connection's script
+// exercises the forwarding handshake — and the bytes still cannot
+// differ from stdin.
+TEST(NetEquivalence, ShardedDurableScriptIsByteIdentical) {
+  const std::string program = write_temp_program();
+  std::string script = "hello parulel/2\n";
+  for (const char* name : {"s", "t", "a", "b"}) {
+    script += std::string("open ") + name + " " + program + "\n";
+    script += std::string("@1 assert ") + name + " item 7\n";
+    script += std::string("@2 run ") + name + "\n";
+    script += std::string("query ") + name + " seen\n";
+  }
+  script += "quit\n";
+
+  std::string via_stdin;
+  {
+    const std::string dir = fresh_sweep_dir("stdin");
+    std::istringstream in(script);
+    std::ostringstream out;
+    service::ServeOptions sopts;
+    sopts.service.journal.dir = dir;
+    sopts.service.journal.fsync = false;
+    service::serve(in, out, sopts);
+    via_stdin = out.str();
+  }
+  ASSERT_NE(via_stdin.find("ok run"), std::string::npos) << via_stdin;
+
+  for (const unsigned shards : {1u, 2u, 4u}) {
+    NetServerConfig cfg;
+    cfg.shards = shards;
+    cfg.service.journal.dir =
+        fresh_sweep_dir("tcp" + std::to_string(shards));
+    cfg.service.journal.fsync = false;
+    EXPECT_EQ(via_stdin, serve_via_tcp(script, std::move(cfg)))
+        << "shards=" << shards;
+  }
+}
+
+// ------------------------------------------------------------ sharding
+
+TEST(NetSharding, CrossShardSessionsForwardAndStayConsistent) {
+  const std::string program = write_temp_program();
+  NetServerConfig cfg;
+  cfg.shards = 2;
+  cfg.service.journal.dir = fresh_sweep_dir("forward");
+  cfg.service.journal.fsync = false;
+  ServerFixture fx(cfg);
+  ASSERT_EQ(fx.server.shards(), 2u);
+
+  // One connection lands on one shard but addresses both names; the
+  // name homed on the other shard ("s" -> 0, "t" -> 1) must be served
+  // through the forwarding handshake.
+  ASSERT_NE(service::shard_for_name("s", 2), service::shard_for_name("t", 2));
+  NetClient client;
+  ASSERT_TRUE(client.connect("127.0.0.1", fx.server.port()));
+  Response r;
+  for (const char* name : {"s", "t"}) {
+    ASSERT_TRUE(client.request(std::string("open ") + name + " " + program,
+                               r));
+    ASSERT_TRUE(r.ok()) << r.status;
+    ASSERT_TRUE(client.request(std::string("@1 assert ") + name + " item 4",
+                               r));
+    ASSERT_TRUE(r.ok()) << r.status;
+    ASSERT_TRUE(client.request(std::string("@2 run ") + name, r));
+    ASSERT_TRUE(r.ok()) << r.status;
+    ASSERT_TRUE(client.request(std::string("query ") + name + " seen", r));
+    ASSERT_EQ(r.status, "ok query n=1") << r.status;
+  }
+  const NetStats stats = fx.server.stats_snapshot();
+  EXPECT_EQ(stats.shards, 2u);
+  EXPECT_GT(stats.forwarded, 0u) << "no line crossed shards";
+}
+
+TEST(NetSharding, CrossShardResumeAfterRestart) {
+  const std::string program = write_temp_program();
+  const std::string dir = fresh_sweep_dir("resume");
+
+  auto extract_fp = [](const std::string& status) {
+    const std::size_t at = status.find("fingerprint=");
+    EXPECT_NE(at, std::string::npos) << status;
+    if (at == std::string::npos) return std::string();
+    const std::size_t end = status.find(' ', at);
+    return status.substr(at, end == std::string::npos ? end : end - at);
+  };
+
+  std::string fp_s, fp_t;
+  NetServerConfig cfg;
+  cfg.shards = 2;
+  cfg.service.journal.dir = dir;
+  cfg.service.journal.fsync = false;
+  std::uint16_t port = 0;
+  {
+    ServerFixture fx(cfg);
+    port = fx.server.port();
+    NetClient client;
+    ASSERT_TRUE(client.connect("127.0.0.1", port));
+    Response r;
+    for (const char* name : {"s", "t"}) {
+      ASSERT_TRUE(client.request(std::string("open ") + name + " " + program,
+                                 r));
+      ASSERT_TRUE(r.ok()) << r.status;
+      ASSERT_TRUE(client.request(std::string("@1 assert ") + name + " item 9",
+                                 r));
+      ASSERT_TRUE(r.ok()) << r.status;
+      ASSERT_TRUE(client.request(std::string("@2 run ") + name, r));
+      ASSERT_TRUE(r.ok()) << r.status;
+      (name[0] == 's' ? fp_s : fp_t) = extract_fp(r.status);
+    }
+  }  // fixture teardown drains; the journals survive
+
+  // Restart over the same directory: each shard recovers its own names,
+  // and ONE connection resumes both — whichever shard it lands on, at
+  // least one resume crosses shards.
+  ServerFixture fx(cfg);
+  ASSERT_TRUE(fx.start_ok);
+  ASSERT_EQ(fx.server.recovery_reports().size(), 2u);
+  for (const auto& report : fx.server.recovery_reports()) {
+    EXPECT_TRUE(report.ok) << report.name << ": " << report.error;
+  }
+  NetClient client;
+  ASSERT_TRUE(client.connect("127.0.0.1", fx.server.port()));
+  Response r;
+  ASSERT_TRUE(client.request("resume s", r));
+  ASSERT_TRUE(r.ok()) << r.status;
+  EXPECT_NE(r.status.find(fp_s), std::string::npos) << r.status;
+  ASSERT_TRUE(client.request("resume t", r));
+  ASSERT_TRUE(r.ok()) << r.status;
+  EXPECT_NE(r.status.find(fp_t), std::string::npos) << r.status;
+  EXPECT_GT(fx.server.stats_snapshot().forwarded, 0u);
+}
+
+TEST(NetSharding, QuarantinedResumeAnswersJournalCorrupt) {
+  const std::string program = write_temp_program();
+  const std::string dir = fresh_sweep_dir("quarantine");
+
+  // Build a journal for "s", then corrupt it mid-file.
+  {
+    service::ServiceConfig scfg;
+    scfg.journal.dir = dir;
+    scfg.journal.fsync = false;
+    service::RuleService svc(scfg);
+    service::ServeProtocol proto(svc);
+    std::string out;
+    proto.handle_line("open s " + program, out);
+    proto.handle_line("@1 assert s item 5", out);
+    proto.handle_line("@2 run s", out);
+    proto.handle_line("@3 assert s item 7", out);
+    proto.handle_line("@4 run s", out);
+  }
+  const std::string wal = dir + "/s.wal";
+  std::string bytes;
+  {
+    std::ifstream in(wal, std::ios::binary);
+    bytes.assign((std::istreambuf_iterator<char>(in)),
+                 std::istreambuf_iterator<char>());
+  }
+  ASSERT_FALSE(bytes.empty());
+  bytes[bytes.size() / 2] ^= 0x40;
+  {
+    std::ofstream out(wal, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+
+  // A sharded server quarantines it on the name's home shard, and a
+  // connection on ANY shard must get the structured verdict: resume and
+  // re-open both answer `err journal-corrupt`, never `err internal`.
+  NetServerConfig cfg;
+  cfg.shards = 2;
+  cfg.service.journal.dir = dir;
+  cfg.service.journal.fsync = false;
+  ServerFixture fx(cfg);
+  ASSERT_EQ(fx.server.recovery_reports().size(), 1u);
+  EXPECT_FALSE(fx.server.recovery_reports()[0].ok);
+
+  NetClient client;
+  ASSERT_TRUE(client.connect("127.0.0.1", fx.server.port()));
+  Response r;
+  ASSERT_TRUE(client.request("resume s", r));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status.rfind("err journal-corrupt", 0), 0u) << r.status;
+  ASSERT_TRUE(client.request("open s " + program, r));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status.rfind("err journal-corrupt", 0), 0u) << r.status;
 }
 
 // ------------------------------------------------- fault-plan parsing
