@@ -12,16 +12,31 @@
 // batches; snapshot truncation bounds both the file and the replay, at
 // the cost of a periodic rewrite. Every recovered session is checked
 // against the fingerprint the builder saw — a mismatch is a bench bug.
+//
+// R-S5 (separate BENCH_R-S5.json): the semi-sync replication ack tax.
+// Same fsync-on feed through a REAL replication channel — a
+// ReplicationHub shipping to a ReplicaApplier over a loopback socket —
+// in three modes: fsync-only (no replica), semi-sync (every commit
+// waits for the replica's ack), and degraded-async (timeout 0: ship
+// and go). Each replicated leg ends with a byte-compare of the two
+// journal files; divergence is a bench bug.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <cstdlib>
+#include <cstring>
 #include <filesystem>
+#include <fstream>
 #include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "bench_util.hpp"
+#include "net/replication.hpp"
 #include "support/timer.hpp"
 
 using namespace parulel;
@@ -112,6 +127,7 @@ struct DurableRun {
   FeedResult feed;
   JournalStats journal;
   std::uint64_t file_bytes = 0;
+  ReplStats repl;  ///< replicated legs only (R-S5)
 };
 
 DurableRun run_durable(const TempDir& dir, std::uint64_t batches,
@@ -138,6 +154,133 @@ DurableRun run_durable(const TempDir& dir, std::uint64_t batches,
   std::error_code ec;
   out.file_bytes = fs::file_size(dir.path / "bench.wal", ec);
   svc.release_session(id);  // detach: keep the journal for recovery
+  return out;
+}
+
+/// A real replication channel without a full NetServer: one listening
+/// socket, the applier dials it, a tiny acceptor thread performs the
+/// repl-hello handshake and hands the connection to the hub — exactly
+/// the hand-off NetServer does on `repl-hello`.
+struct ReplPipe {
+  net::ReplicationHub hub;
+  std::unique_ptr<net::ReplicaApplier> applier;
+  int listen_fd = -1;
+  std::thread acceptor;
+
+  ReplPipe(std::uint64_t timeout_ms, const std::string& replica_dir)
+      : hub(timeout_ms, /*injector=*/nullptr) {
+    listen_fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    if (listen_fd < 0 ||
+        ::bind(listen_fd, reinterpret_cast<sockaddr*>(&addr),
+               sizeof(addr)) != 0 ||
+        ::listen(listen_fd, 1) != 0) {
+      std::fprintf(stderr, "error: repl pipe listen failed\n");
+      std::exit(1);
+    }
+    socklen_t len = sizeof(addr);
+    ::getsockname(listen_fd, reinterpret_cast<sockaddr*>(&addr), &len);
+    acceptor = std::thread([this] {
+      const int fd = ::accept(listen_fd, nullptr, nullptr);
+      if (fd < 0) return;
+      std::string line;
+      char c;
+      while (::recv(fd, &c, 1, 0) == 1 && c != '\n') line += c;
+      const char ok[] = "ok repl-hello parulel/2\n";
+      ::send(fd, ok, sizeof(ok) - 1, MSG_NOSIGNAL);
+      hub.adopt(fd);
+    });
+    net::ReplicaApplier::Config rcfg;
+    rcfg.host = "127.0.0.1";
+    rcfg.port = ntohs(addr.sin_port);
+    rcfg.journal_dir = replica_dir;
+    rcfg.fsync = true;  // mirror the primary's durability
+    applier = std::make_unique<net::ReplicaApplier>(rcfg, nullptr);
+    applier->start();
+    while (hub.stats_snapshot().replica_connects == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+
+  ~ReplPipe() {
+    applier->stop();
+    hub.shutdown();
+    if (acceptor.joinable()) acceptor.join();
+    if (listen_fd >= 0) ::close(listen_fd);
+  }
+
+  /// Every shipped frame acked, bounded wait (async legs lag by design).
+  bool drain(std::uint64_t deadline_ms) {
+    Timer t;
+    while (!hub.caught_up()) {
+      if (ms(t.elapsed_ns()) > double(deadline_ms)) return false;
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    return true;
+  }
+};
+
+std::string slurp(const fs::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  return {std::istreambuf_iterator<char>(in),
+          std::istreambuf_iterator<char>()};
+}
+
+/// One R-S5 leg: fsync-on feed with the journal shipped through `pipe`
+/// (null = the fsync-only baseline). Dies on replica divergence.
+DurableRun run_replicated(const TempDir& dir, const TempDir& rdir,
+                          std::uint64_t batches, std::uint64_t ops_per_batch,
+                          std::uint64_t repl_timeout_ms, bool replicate) {
+  std::unique_ptr<ReplPipe> pipe;
+  if (replicate) {
+    pipe = std::make_unique<ReplPipe>(repl_timeout_ms, rdir.str());
+  }
+  service::ServiceConfig cfg = base_config();
+  cfg.journal.dir = dir.str();
+  cfg.journal.fsync = true;
+  if (pipe) {
+    const std::string jdir = dir.str();
+    cfg.on_batch_durable = [&pipe, jdir](const std::string& name,
+                                         std::uint64_t seq,
+                                         const std::string& payload) {
+      pipe->hub.ship_batch(
+          name, seq, payload, (fs::path(jdir) / (name + ".wal")).string());
+    };
+    cfg.on_journal_rewritten = [&pipe](const std::string& name,
+                                       const std::string& path) {
+      pipe->hub.ship_file(name, path);
+    };
+    cfg.on_journal_removed = [&pipe](const std::string& name) {
+      pipe->hub.ship_remove(name);
+    };
+  }
+  service::RuleService svc(cfg);
+  std::string err;
+  const service::SessionId id = svc.open_durable(
+      "bench", std::make_unique<Program>(parse_program(kSource)), kSource,
+      &err);
+  if (id == 0) {
+    std::fprintf(stderr, "error: open_durable: %s\n", err.c_str());
+    std::exit(1);
+  }
+  const Program* prog = svc.durable_program(id);
+  const TemplateId item = *prog->schema.find(prog->symbols->intern("item"));
+  DurableRun out;
+  out.feed = drive(svc, id, item, batches, ops_per_batch, /*durable=*/true);
+  out.journal = svc.journal_stats_snapshot();
+  std::error_code ec;
+  out.file_bytes = fs::file_size(dir.path / "bench.wal", ec);
+  if (pipe) {
+    if (!pipe->drain(10'000) ||
+        slurp(dir.path / "bench.wal") != slurp(rdir.path / "bench.wal")) {
+      std::fprintf(stderr, "error: replica diverged from the primary\n");
+      std::exit(1);
+    }
+    out.repl = pipe->hub.stats_snapshot();
+  }
+  svc.release_session(id);
   return out;
 }
 
@@ -229,6 +372,49 @@ int main() {
                     {"recover_ms", recover_ms},
                     {"replayed_batches", double(reports[0].batches)},
                     {"from_snapshot", reports[0].from_snapshot ? 1.0 : 0.0}});
+    }
+  }
+
+  {
+    JsonReport json5("R-S5");
+    const std::uint64_t kReplBatches = 256;
+    header("R-S5", "replication ack tax: fsync-only vs semi-sync vs async");
+    std::printf("%-14s %10s %12s %10s %10s %12s\n", "mode", "wall_ms",
+                "batches/s", "sync", "async", "shipped_kb");
+    struct Leg {
+      const char* label;
+      bool replicate;
+      std::uint64_t timeout_ms;
+    };
+    const Leg legs[] = {
+        {"fsync-only", false, 0},
+        {"semi-sync", true, 1'000},
+        {"async", true, 0},  // degraded mode: ship, never wait
+    };
+    double fsync_only_ms = 0;
+    for (const Leg& leg : legs) {
+      TempDir dir(std::string("s5_") + leg.label + "_p");
+      TempDir rdir(std::string("s5_") + leg.label + "_r");
+      const DurableRun r = run_replicated(dir, rdir, kReplBatches, kOps,
+                                          leg.timeout_ms, leg.replicate);
+      if (!leg.replicate) fsync_only_ms = r.feed.wall_ms;
+      std::printf("%-14s %10.2f %12.0f %10llu %10llu %12.1f\n", leg.label,
+                  r.feed.wall_ms, kReplBatches / (r.feed.wall_ms / 1e3),
+                  static_cast<unsigned long long>(r.repl.sync_commits),
+                  static_cast<unsigned long long>(r.repl.async_commits),
+                  r.repl.bytes_shipped / 1024.0);
+      json5.add_row(std::string("repl/") + leg.label,
+                    {{"wall_ms", r.feed.wall_ms},
+                     {"batches", double(kReplBatches)},
+                     {"ops_per_batch", double(kOps)},
+                     {"batches_per_sec", kReplBatches / (r.feed.wall_ms / 1e3)},
+                     {"sync_commits", double(r.repl.sync_commits)},
+                     {"async_commits", double(r.repl.async_commits)},
+                     {"repl_degraded", double(r.repl.repl_degraded)},
+                     {"bytes_shipped", double(r.repl.bytes_shipped)},
+                     {"ack_tax_vs_fsync_only",
+                      fsync_only_ms > 0 ? r.feed.wall_ms / fsync_only_ms
+                                        : 1.0}});
     }
   }
   return 0;

@@ -5,7 +5,8 @@
 //   parulel_cli <program.clp> [options]    run a program file
 //   parulel_cli --serve [options]          line protocol on stdin/stdout
 //   parulel_cli --listen [options]         line protocol over TCP
-//   parulel_cli --connect HOST:PORT        drive a TCP server from stdin
+//   parulel_cli --connect HOST:PORT[,...]  drive a TCP server from stdin
+//                                          (extra endpoints: failover list)
 //
 // Every flag lives in one table (kFlags below): the parser, `--help`,
 // and the README's flag table (`--help-markdown`) are all generated from
@@ -31,6 +32,8 @@
 #include <stdexcept>
 #include <string>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "parulel.hpp"
 
@@ -127,6 +130,9 @@ struct Options {
   std::uint64_t drain_timeout_ms = 2'000;
   unsigned shards = 1;
   std::string net_fault_spec;
+  std::string replica_of;
+  std::uint64_t repl_timeout_ms = 1'000;
+  std::uint64_t promote_grace_ms = 2'000;
 
   // connect
   std::uint64_t connect_timeout_ms = 0;
@@ -304,6 +310,22 @@ const FlagSpec kFlags[] = {
      "inject connection faults, e.g. seed=7,drop=0.01,ackloss=0.01,"
      "delay=0.05,maxdelay=50",
      [](Options& o, const std::string& v) { o.net_fault_spec = v; }},
+    {"--replica-of", "HOST:PORT", kListen,
+     "run as a hot standby of this primary: apply its shipped journal "
+     "records; requires --journal-dir",
+     [](Options& o, const std::string& v) { o.replica_of = v; }},
+    {"--repl-timeout-ms", "N", kListen,
+     "semi-sync replication: wait N ms for the replica's ack before "
+     "degrading to async; 0 = pure async (default 1000)",
+     [](Options& o, const std::string& v) {
+       o.repl_timeout_ms = parse_count("--repl-timeout-ms", v);
+     }},
+    {"--promote-grace-ms", "N", kListen,
+     "standby promotion fence: serve a failed-over resume only after "
+     "the replication link has been down N ms (default 2000)",
+     [](Options& o, const std::string& v) {
+       o.promote_grace_ms = parse_count("--promote-grace-ms", v);
+     }},
     {"--connect-timeout-ms", "N", kConnect,
      "give up dialing after N ms; 0 = OS default (default 0)",
      [](Options& o, const std::string& v) {
@@ -326,6 +348,17 @@ const FlagSpec kFlags[] = {
      [](Options& o, const std::string& v) {
        o.retry_seed = parse_count("--retry-seed", v);
      }},
+    {"--retry-max-attempts", "N", kConnect,
+     "cap on transport attempts per command (default 8); a dead cluster "
+     "answers `err unavailable` after the cap instead of retrying "
+     "forever (implies --retry)",
+     [](Options& o, const std::string& v) {
+       o.retry_attempts =
+           static_cast<unsigned>(parse_count("--retry-max-attempts", v));
+       if (o.retry_attempts == 0) {
+         throw UsageError("--retry-max-attempts must be >= 1");
+       }
+     }},
 };
 
 void print_usage(std::ostream& os) {
@@ -334,8 +367,11 @@ void print_usage(std::ostream& os) {
         "  parulel_cli --serve [options]         line protocol on "
         "stdin/stdout\n"
         "  parulel_cli --listen [options]        line protocol over TCP\n"
-        "  parulel_cli --connect HOST:PORT       drive a TCP server from "
-        "stdin\n"
+        "  parulel_cli --connect HOST:PORT[,HOST:PORT...]\n"
+        "                                        drive a TCP server from "
+        "stdin; extra\n"
+        "                                        endpoints are the failover "
+        "list\n"
         "\noptions (marked with the modes that accept them):\n";
   for (const FlagSpec& f : kFlags) {
     std::string left = f.name;
@@ -480,6 +516,9 @@ int run_listen(const Options& opt) {
   cfg.shards = opt.shards;
   cfg.service = opt.service;
   cfg.echo = opt.echo;
+  cfg.replica_of = opt.replica_of;
+  cfg.repl_timeout_ms = opt.repl_timeout_ms;
+  cfg.promote_grace_ms = opt.promote_grace_ms;
   if (!opt.net_fault_spec.empty()) {
     cfg.faults = parulel::net::NetFaultPlan::parse(opt.net_fault_spec);
   }
@@ -531,6 +570,12 @@ int run_listen(const Options& opt) {
       std::cout << ' ' << f.name << '=' << jstats.*f.member;
     }
     std::cout << "\n";
+    const parulel::ReplStats repl = server.repl_stats_snapshot();
+    std::cout << "repl:";
+    for (const auto& f : parulel::obs::repl_fields()) {
+      std::cout << ' ' << f.name << '=' << repl.*f.member;
+    }
+    std::cout << "\n";
   }
   return kExitOk;
 }
@@ -542,23 +587,47 @@ void print_response(const parulel::net::Response& response) {
   }
 }
 
-/// `--connect HOST:PORT`: read command lines from stdin, print each
-/// response; same exit-code contract as --serve. With `--retry N` the
-/// exactly-once RetryClient drives each line instead of a plain
-/// request/response, surviving server restarts mid-script.
+/// Split "HOST:PORT[,HOST:PORT...]" into (host, port) pairs.
+std::vector<std::pair<std::string, std::uint16_t>> parse_endpoints(
+    const std::string& target) {
+  std::vector<std::pair<std::string, std::uint16_t>> endpoints;
+  std::istringstream stream(target);
+  std::string item;
+  while (std::getline(stream, item, ',')) {
+    const std::size_t colon = item.rfind(':');
+    if (colon == std::string::npos || colon == 0 ||
+        colon + 1 == item.size()) {
+      throw UsageError("--connect endpoints must be HOST:PORT, got '" + item +
+                       "'");
+    }
+    const std::uint64_t port = parse_count("--connect", item.substr(colon + 1));
+    if (port == 0 || port > 65535) {
+      throw UsageError("--connect port must be 1..65535");
+    }
+    endpoints.emplace_back(item.substr(0, colon),
+                           static_cast<std::uint16_t>(port));
+  }
+  if (endpoints.empty()) throw UsageError("--connect needs HOST:PORT");
+  return endpoints;
+}
+
+/// `--connect HOST:PORT[,HOST:PORT...]`: read command lines from stdin,
+/// print each response; same exit-code contract as --serve. With
+/// `--retry N` the exactly-once RetryClient drives each line instead of
+/// a plain request/response, surviving server restarts mid-script;
+/// extra comma-separated endpoints are its ordered failover list. When
+/// every endpoint stays dead through the attempt cap, the script gets
+/// one terminal `err unavailable` and the process exits with the I/O
+/// code.
 int run_connect(const Options& opt) {
-  const std::size_t colon = opt.connect_target.rfind(':');
-  if (colon == std::string::npos || colon == 0 ||
-      colon + 1 == opt.connect_target.size()) {
-    throw UsageError("--connect target must be HOST:PORT, got '" +
-                     opt.connect_target + "'");
+  const auto endpoints = parse_endpoints(opt.connect_target);
+  if (endpoints.size() > 1 && opt.retry_attempts == 0) {
+    throw UsageError("multiple --connect endpoints need --retry or "
+                     "--retry-max-attempts (failover is the retry "
+                     "client's job)");
   }
-  const std::string host = opt.connect_target.substr(0, colon);
-  const std::uint64_t port =
-      parse_count("--connect", opt.connect_target.substr(colon + 1));
-  if (port == 0 || port > 65535) {
-    throw UsageError("--connect port must be 1..65535");
-  }
+  const std::string& host = endpoints.front().first;
+  const std::uint16_t port = endpoints.front().second;
 
   int errors = 0;
   std::string line;
@@ -566,7 +635,8 @@ int run_connect(const Options& opt) {
   if (opt.retry_attempts > 0) {
     parulel::net::RetryConfig rcfg;
     rcfg.host = host;
-    rcfg.port = static_cast<std::uint16_t>(port);
+    rcfg.port = port;
+    rcfg.endpoints.assign(endpoints.begin() + 1, endpoints.end());
     rcfg.max_attempts = opt.retry_attempts;
     if (opt.connect_timeout_ms > 0) {
       rcfg.connect_timeout_ms = opt.connect_timeout_ms;
@@ -574,12 +644,22 @@ int run_connect(const Options& opt) {
     if (opt.io_timeout_ms > 0) rcfg.io_timeout_ms = opt.io_timeout_ms;
     rcfg.seed = opt.retry_seed;
     parulel::net::RetryClient client(rcfg);
+    bool unavailable = false;
     while (std::getline(std::cin, line)) {
       const std::size_t start = line.find_first_not_of(" \t\r");
       if (start == std::string::npos || line[start] == '#') continue;
       if (opt.echo) std::cout << "> " << line << "\n";
       parulel::net::Response response;
-      if (!client.exec(line, response)) throw IoError(client.error());
+      if (!client.exec(line, response)) {
+        // Every endpoint refused for the whole attempt budget: the
+        // cluster is dead. One terminal client-side error, then stop —
+        // retrying the rest of the script would just burn the same
+        // budget per line.
+        std::cout << "err unavailable: " << client.error() << "\n";
+        ++errors;
+        unavailable = true;
+        break;
+      }
       print_response(response);
       if (!response.ok()) ++errors;
       if (response.status == "ok quit") break;
@@ -590,6 +670,7 @@ int run_connect(const Options& opt) {
       std::cerr << ' ' << f.name << '=' << rs.*f.member;
     }
     std::cerr << "\n";
+    if (unavailable) return kExitIo;
     return errors == 0 ? kExitOk : kExitRuntime;
   }
 
@@ -597,7 +678,7 @@ int run_connect(const Options& opt) {
   copts.connect_timeout_ms = opt.connect_timeout_ms;
   copts.io_timeout_ms = opt.io_timeout_ms;
   parulel::net::NetClient client(copts);
-  if (!client.connect(host, static_cast<std::uint16_t>(port))) {
+  if (!client.connect(host, port)) {
     throw IoError(client.error());
   }
 

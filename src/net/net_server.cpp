@@ -21,7 +21,10 @@
 #include <thread>
 #include <unordered_map>
 
+#include <filesystem>
+
 #include "distrib/faults.hpp"
+#include "net/replication.hpp"
 #include "service/protocol.hpp"
 #include "support/error.hpp"
 
@@ -223,6 +226,7 @@ struct NetServer::Shard {
   void drain_mailbox();
   void sweep_dead();
   void handle_line(Conn& conn, std::string_view line);
+  void handle_repl_hello(Conn& conn, std::string_view line);
   void execute_local(Conn& conn, std::string_view line,
                      const FaultVerdict& verdict);
   void forward(Conn& conn, unsigned home, std::string_view line,
@@ -237,6 +241,54 @@ NetServer::NetServer(NetServerConfig config) : config_(std::move(config)) {
                                 // function of each connection's stream
   config_.service.session_ids = &session_ids_;
   if (config_.shards == 0) config_.shards = 1;
+  if (config_.service.journal.enabled()) {
+    // Any journaled server can be a replication primary: the hub sits
+    // idle until a replica dials in with `repl-hello`. Created before
+    // the shard services so their ship hooks can bind it. The hub's
+    // chaos injector rolls its own stream (seed + 1009, clear of the
+    // per-shard seed + i streams) so schedules stay deterministic.
+    std::unique_ptr<FaultInjector> injector;
+    if (config_.faults.enabled()) {
+      FaultPlan plan;
+      plan.seed = config_.faults.seed + 1009;
+      plan.loss_rate = config_.faults.drop_rate;
+      plan.duplicate_rate = config_.faults.ack_loss_rate;
+      plan.delay_rate = config_.faults.delay_rate;
+      plan.max_delay_cycles = config_.faults.max_delay_ms;
+      injector = std::make_unique<FaultInjector>(plan);
+    }
+    hub_ = std::make_unique<ReplicationHub>(config_.repl_timeout_ms,
+                                            std::move(injector));
+    const std::string dir = config_.service.journal.dir;
+    config_.service.on_batch_durable =
+        [this, dir](const std::string& name, std::uint64_t seq,
+                    const std::string& payload) {
+          const std::string path =
+              (std::filesystem::path(dir) / (name + ".wal")).string();
+          hub_->ship_batch(name, seq, payload, path);
+        };
+    config_.service.on_journal_rewritten =
+        [this](const std::string& name, const std::string& path) {
+          hub_->ship_file(name, path);
+        };
+    config_.service.on_journal_removed = [this](const std::string& name) {
+      hub_->ship_remove(name);
+    };
+  }
+  if (!config_.replica_of.empty()) {
+    // Promotion fence: while this standby's replication link is up (or
+    // only briefly down — a chaos cut, not a dead primary), refuse to
+    // promote shadow files or open fresh durable names. Serving a name
+    // the primary still owns is split-brain. The applier is created in
+    // start(); until then the guard reports not-replicating, which is
+    // fine — no connection is accepted before start() either.
+    config_.service.promotion_guard = [this]() -> std::string {
+      if (applier_ && applier_->replicating(config_.promote_grace_ms)) {
+        return "still replicating from " + config_.replica_of;
+      }
+      return std::string();
+    };
+  }
   shards_.reserve(config_.shards);
   for (unsigned i = 0; i < config_.shards; ++i) {
     auto shard = std::make_unique<Shard>();
@@ -265,6 +317,8 @@ NetServer::NetServer(NetServerConfig config) : config_(std::move(config)) {
 }
 
 NetServer::~NetServer() {
+  if (applier_) applier_->stop();
+  if (hub_) hub_->shutdown();
   shards_.clear();  // closes shard-owned sockets and wake pipes
   if (listen_fd_ >= 0) ::close(listen_fd_);
   if (stop_read_fd_ >= 0) ::close(stop_read_fd_);
@@ -352,7 +406,43 @@ bool NetServer::start() {
     shard->wake_write_fd = pipefds[1];
   }
 
-  if (config_.service.journal.enabled()) {
+  if (!config_.replica_of.empty()) {
+    // Hot standby: no startup recovery — the shipped *.wal files stay
+    // passive shadow copies until a failed-over client resumes a name
+    // (lazy promotion through resume_durable). Eager recovery here
+    // would fight the applier for the files it is still appending to.
+    if (!config_.service.journal.enabled()) {
+      error_ = "--replica-of requires --journal-dir";
+      return false;
+    }
+    const std::size_t colon = config_.replica_of.rfind(':');
+    std::uint16_t rport = 0;
+    if (colon != std::string::npos) {
+      const std::string p = config_.replica_of.substr(colon + 1);
+      std::uint64_t v = 0;
+      auto [end, ec] = std::from_chars(p.data(), p.data() + p.size(), v);
+      if (ec == std::errc() && end == p.data() + p.size() && v > 0 &&
+          v <= 65535) {
+        rport = static_cast<std::uint16_t>(v);
+      }
+    }
+    if (colon == std::string::npos || rport == 0) {
+      error_ = "bad --replica-of (want HOST:PORT): " + config_.replica_of;
+      return false;
+    }
+    ReplicaApplier::Config rcfg;
+    rcfg.host = config_.replica_of.substr(0, colon);
+    rcfg.port = rport;
+    rcfg.journal_dir = config_.service.journal.dir;
+    rcfg.fsync = config_.service.journal.fsync;
+    applier_ = std::make_unique<ReplicaApplier>(
+        rcfg, [this](const std::string& name) {
+          const unsigned n = static_cast<unsigned>(shards_.size());
+          return shard_service(service::shard_for_name(name, n))
+              .has_durable(name);
+        });
+    applier_->start();
+  } else if (config_.service.journal.enabled()) {
     // Rebuild durable sessions before the first connection: a client
     // may lead with `resume NAME` the moment we accept. Each shard's
     // service recovers exactly the names the pinning hash assigns it,
@@ -507,6 +597,26 @@ void NetServer::run() {
   for (auto& shard : shards_) {
     if (shard->thread.joinable()) shard->thread.join();
   }
+  if (applier_) applier_->stop();
+  if (hub_) hub_->shutdown();
+}
+
+ReplStats NetServer::repl_stats_snapshot() const {
+  ReplStats out;
+  const ReplStats rows[] = {
+      hub_ ? hub_->stats_snapshot() : ReplStats{},
+      applier_ ? applier_->stats_snapshot() : ReplStats{},
+  };
+  for (const ReplStats& row : rows) {
+    for (const auto& f : obs::repl_fields()) {
+      out.*f.member += row.*f.member;
+    }
+  }
+  return out;
+}
+
+bool NetServer::repl_caught_up() const {
+  return hub_ && hub_->caught_up();
 }
 
 void NetServer::Shard::handle_msg(Msg& msg) {
@@ -709,6 +819,14 @@ void NetServer::Shard::handle_line(Conn& conn, std::string_view line) {
     ++stats.backpressure_rejects;
     return;
   }
+  if (line.rfind("repl-hello", 0) == 0) {
+    // A replica is dialing in: this connection stops being a protocol
+    // conversation and becomes the replication channel. Never
+    // fault-injected — the chaos plan targets the channel's own frame
+    // stream (hub injector), not the handshake.
+    handle_repl_hello(conn, line);
+    return;
+  }
   FaultVerdict verdict;
   if (injector) verdict = injector->roll();
   if (verdict.drop) {
@@ -735,6 +853,77 @@ void NetServer::Shard::handle_line(Conn& conn, std::string_view line) {
     }
   }
   execute_local(conn, line, verdict);
+}
+
+void NetServer::Shard::handle_repl_hello(Conn& conn, std::string_view line) {
+  // Expect exactly "repl-hello parulel/2".
+  std::istringstream in{std::string(line)};
+  std::string cmd;
+  std::string version;
+  std::string extra;
+  in >> cmd >> version >> extra;
+  if (version != service::ServeProtocol::kProtocolVersion || !extra.empty()) {
+    conn.wbuf += "err unsupported protocol version: " + version +
+                 " (replication speaks " +
+                 std::string(service::ServeProtocol::kProtocolVersion) + ")\n";
+    std::lock_guard<std::mutex> lock(stats_mutex);
+    ++stats.protocol_errors;
+    ++stats.responses_out;
+    return;
+  }
+  if (!server->hub_) {
+    conn.wbuf += "err replication requires a journaled server\n";
+    std::lock_guard<std::mutex> lock(stats_mutex);
+    ++stats.protocol_errors;
+    ++stats.responses_out;
+    return;
+  }
+  // Detach the socket from the event loop: flip it to blocking, flush
+  // anything queued plus the handshake reply, and hand it to the hub.
+  // The Conn shell dies on the next sweep (fd -1: nothing to close).
+  const int fd = conn.fd;
+  conn.fd = -1;
+  conn.dead = true;
+  const int fl = ::fcntl(fd, F_GETFL, 0);
+  if (fl >= 0) ::fcntl(fd, F_SETFL, fl & ~O_NONBLOCK);
+  std::string response = conn.wbuf.substr(conn.woff);
+  response += "ok repl-hello ";
+  response += service::ServeProtocol::kProtocolVersion;
+  response += '\n';
+  conn.wbuf.clear();
+  conn.woff = 0;
+  const char* p = response.data();
+  std::size_t left = response.size();
+  while (left > 0) {
+    const ssize_t n = ::send(fd, p, left, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return;
+    }
+    p += n;
+    left -= static_cast<std::size_t>(n);
+  }
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex);
+    ++stats.responses_out;
+  }
+  server->hub_->adopt(fd);
+  // Initial catch-up: full-sync every durable name the new channel has
+  // not seen (all of them — the synced set is per-connection). Each
+  // file read happens under its session's lock, so concurrent commits
+  // serialize against it and nothing is lost in between: a name whose
+  // commit beats the sync ships its file inline via ship_batch, and
+  // sync_name skips names the connection already synced.
+  for (unsigned i = 0; i < nshards; ++i) {
+    auto& svc = server->shard_service(i);
+    for (const std::string& name : svc.durable_names()) {
+      std::string bytes;
+      if (svc.read_journal_file(name, &bytes)) {
+        server->hub_->sync_name(name, bytes);
+      }
+    }
+  }
 }
 
 void NetServer::Shard::execute_local(Conn& conn, std::string_view line,

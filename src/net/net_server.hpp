@@ -67,6 +67,9 @@ class FaultInjector;
 
 namespace parulel::net {
 
+class ReplicationHub;
+class ReplicaApplier;
+
 /// Seed-driven connection-level fault injection, for hardening the
 /// retry/recovery stack under test: a rolled fault can DROP a
 /// connection before a request executes, lose the acknowledgement
@@ -138,8 +141,31 @@ struct NetServerConfig {
   /// Echo each command line (prefixed "> ") before its response.
   bool echo = false;
 
-  /// Connection-level fault injection (off unless a rate is set).
+  /// Connection-level fault injection (off unless a rate is set). When
+  /// a plan is set on a journaled server, the replication channel rolls
+  /// its own verdict stream (seed + 1009) per shipped frame: drop cuts
+  /// the channel, ackloss eats a frame's ack (degrade drill), delay
+  /// holds the frame. Client-visible responses must be unaffected.
   NetFaultPlan faults;
+
+  /// Run as a hot standby of this primary ("HOST:PORT"; empty = not a
+  /// replica). Requires journaling. The server skips startup recovery,
+  /// applies the primary's shipped frames to its own journal dir, and
+  /// promotes names lazily when a failed-over client resumes them.
+  std::string replica_of;
+
+  /// Semi-sync replication: how long a durable commit waits for the
+  /// replica's ack before degrading to async (repl_degraded counts the
+  /// flips). 0 = pure async shipping.
+  std::uint64_t repl_timeout_ms = 1'000;
+
+  /// Promotion fence (replicas only): a failed-over client's resume
+  /// promotes a shadow journal ONLY once the replication link has been
+  /// down for at least this long. While the primary is reachable — or
+  /// was, this recently — the standby answers `err not-primary` and the
+  /// client goes back to the list. Guards against split-brain when a
+  /// flaky client-side network fails over from a primary that is alive.
+  std::uint64_t promote_grace_ms = 2'000;
 };
 
 class NetServer {
@@ -184,6 +210,15 @@ class NetServer {
   /// slowest row is the R-S4 ideal-multicore makespan.
   std::vector<NetStats> shard_stats() const;
 
+  /// Replication counters: the hub's shipping/ack rows on a primary,
+  /// the applier's apply rows on a replica (merged — a server is one
+  /// or the other).
+  ReplStats repl_stats_snapshot() const;
+
+  /// Primary only: a replica is connected and every shipped frame is
+  /// acked. The chaos tests poll this before killing the primary.
+  bool repl_caught_up() const;
+
   /// Number of event-loop shards actually serving.
   unsigned shards() const { return static_cast<unsigned>(shards_.size()); }
 
@@ -215,6 +250,11 @@ class NetServer {
   /// Shared SessionId source for the per-shard services: ids stay
   /// server-unique, so `open NAME id=N` matches single-shard numbering.
   std::atomic<std::uint64_t> session_ids_{1};
+  /// Primary half of the replication channel (journaled servers only);
+  /// created before the shard services so their ship hooks can bind it.
+  std::unique_ptr<ReplicationHub> hub_;
+  /// Replica half (--replica-of only): dial/apply/ack client thread.
+  std::unique_ptr<ReplicaApplier> applier_;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::vector<service::RecoveryReport> recovery_reports_;
   std::string error_;

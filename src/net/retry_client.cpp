@@ -68,12 +68,29 @@ std::size_t RetryClient::unacked() const {
   return n;
 }
 
+void RetryClient::fail_over() {
+  if (config_.endpoints.empty()) return;
+  endpoint_ = (endpoint_ + 1) % (config_.endpoints.size() + 1);
+  ++stats_.failovers;
+}
+
+bool RetryClient::refused_as_standby(const Response& r) {
+  return r.status.find("not-primary") != std::string::npos;
+}
+
 bool RetryClient::reconnect_and_resume(const std::string& session,
                                        std::uint64_t req, Response* out,
                                        bool* handled) {
   ++stats_.reconnects;
-  if (!client_.connect(config_.host, config_.port)) {
+  const std::string& host =
+      endpoint_ == 0 ? config_.host : config_.endpoints[endpoint_ - 1].first;
+  const std::uint16_t port =
+      endpoint_ == 0 ? config_.port : config_.endpoints[endpoint_ - 1].second;
+  if (!client_.connect(host, port)) {
     error_ = client_.error();
+    // Dial failure: this server may be dead for good — fail over to the
+    // next endpoint on the list before the next attempt.
+    fail_over();
     return false;
   }
   for (auto& [name, s] : sessions_) {
@@ -87,6 +104,14 @@ bool RetryClient::reconnect_and_resume(const std::string& session,
       prune_committed(s, r.status);
       s.next_req =
           std::max(s.next_req, parse_field(r.status, " acked=") + 1);
+    } else if (refused_as_standby(r)) {
+      // A hot standby fencing promotion: its primary is still alive, so
+      // this endpoint cannot serve the name YET. Not an answer — move
+      // along the list (usually straight back to the primary).
+      error_ = "resume " + name + ": " + r.status;
+      client_.close();
+      fail_over();
+      return false;
     } else if (r.status.find("no durable session") != std::string::npos &&
                !s.open_line.empty()) {
       // The server genuinely lost the state (fresh journal directory):
@@ -100,6 +125,7 @@ bool RetryClient::reconnect_and_resume(const std::string& session,
       if (!ro.ok()) {
         error_ = "reopen " + name + ": " + ro.status;
         client_.close();
+        if (refused_as_standby(ro)) fail_over();
         return false;
       }
       ++stats_.reopened;
@@ -235,6 +261,15 @@ bool RetryClient::exec(const std::string& line, Response& out) {
       if (client_.timed_out()) ++stats_.timeouts;
       error_ = client_.error();
       client_.close();
+      continue;
+    }
+    if (!out.ok() && !config_.endpoints.empty() &&
+        refused_as_standby(out)) {
+      // A fenced standby refusing an open/resume is an endpoint miss,
+      // not a delivered answer: retry on the next server in the list.
+      error_ = out.status;
+      client_.close();
+      fail_over();
       continue;
     }
     finish(cmd, name, req, line, out);

@@ -21,6 +21,17 @@
 //     REFUSED, the user saw the failure, and silently replaying it
 //     after a reconnect would apply an op the user believes failed.
 //
+// FAILOVER: RetryConfig::endpoints is an ordered list of backups tried
+// after {host, port}. A failed dial — or a standby answering
+// `err not-primary` because its replication link still sees the
+// primary (the promotion fence) — advances the endpoint cursor
+// round-robin, so when the primary is kill -9'd the same
+// resume-and-replay machinery lands on the hot standby (which promotes
+// the name from its replicated journal) and the stream continues with
+// the exactly-once guarantees intact. A dead CLUSTER — every endpoint
+// refusing — burns through max_attempts and returns false, which the
+// CLI surfaces as a terminal `err unavailable`.
+//
 // Non-mutating commands (query, stats, ...) are retried unstamped —
 // they are idempotent reads. Used by `parulel_cli --connect --retry N`
 // and the crash-recovery tests (tests/test_net.cpp).
@@ -31,6 +42,7 @@
 #include <map>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "net/client.hpp"
 #include "obs/stats.hpp"
@@ -55,6 +67,13 @@ struct RetryConfig {
 
   /// Jitter stream seed (deterministic backoff schedules under test).
   std::uint64_t seed = 1;
+
+  /// Ordered failover list, tried AFTER {host, port}: when a dial
+  /// fails, the client advances to the next endpoint (round-robin over
+  /// the whole list) before the next attempt, counting a failover.
+  /// Sessions resume on whichever server answers — a backup serves a
+  /// failed-over `resume NAME` from its replicated journal.
+  std::vector<std::pair<std::string, std::uint16_t>> endpoints;
 };
 
 class RetryClient {
@@ -96,11 +115,19 @@ class RetryClient {
   void finish(const std::string& cmd, const std::string& name,
               std::uint64_t req, const std::string& line, Response& out);
   void backoff(unsigned attempt);
+  /// Advance the endpoint cursor round-robin (counts a failover).
+  void fail_over();
+  /// `err not-primary`: a fenced hot standby whose primary still lives.
+  static bool refused_as_standby(const Response& r);
   void prune_committed(SessionState& s, const std::string& status);
   /// " key=" integer extraction from a status line; 0 when absent.
   static std::uint64_t parse_field(const std::string& status,
                                    std::string_view key);
   static std::uint64_t parse_committed(const std::string& status);
+
+  /// Endpoint the next dial targets: 0 = {host, port}, k > 0 =
+  /// endpoints[k - 1]. Advanced round-robin on dial failure.
+  std::size_t endpoint_ = 0;
 
   RetryConfig config_;
   NetClient client_;

@@ -133,6 +133,16 @@ void RetryStats::publish(obs::MetricsRegistry& registry,
   }
 }
 
+void ReplStats::publish(obs::MetricsRegistry& registry,
+                        std::string_view prefix) const {
+  std::string name;
+  for (const auto& f : obs::repl_fields()) {
+    name.assign(prefix);
+    name += f.name;
+    registry.set(name, this->*f.member);
+  }
+}
+
 namespace obs {
 
 namespace {
@@ -246,12 +256,27 @@ constexpr FieldDef<RetryStats> kRetryFields[] = {
     {"requests", &RetryStats::requests},
     {"retries", &RetryStats::retries},
     {"reconnects", &RetryStats::reconnects},
+    {"failovers", &RetryStats::failovers},
     {"replayed", &RetryStats::replayed},
     {"resumed", &RetryStats::resumed},
     {"reopened", &RetryStats::reopened},
     {"timeouts", &RetryStats::timeouts},
     {"giveups", &RetryStats::giveups},
     {"backoff_ms", &RetryStats::backoff_ms},
+};
+
+constexpr FieldDef<ReplStats> kReplFields[] = {
+    {"batches_shipped", &ReplStats::batches_shipped},
+    {"bytes_shipped", &ReplStats::bytes_shipped},
+    {"snapshots_shipped", &ReplStats::snapshots_shipped},
+    {"acks_received", &ReplStats::acks_received},
+    {"sync_commits", &ReplStats::sync_commits},
+    {"async_commits", &ReplStats::async_commits},
+    {"repl_degraded", &ReplStats::repl_degraded},
+    {"replica_connects", &ReplStats::replica_connects},
+    {"applied_batches", &ReplStats::applied_batches},
+    {"applied_snapshots", &ReplStats::applied_snapshots},
+    {"apply_errors", &ReplStats::apply_errors},
 };
 
 }  // namespace
@@ -273,6 +298,8 @@ std::span<const FieldDef<JournalStats>> journal_fields() {
 }
 
 std::span<const FieldDef<RetryStats>> retry_fields() { return kRetryFields; }
+
+std::span<const FieldDef<ReplStats>> repl_fields() { return kReplFields; }
 
 }  // namespace obs
 

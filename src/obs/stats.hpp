@@ -230,6 +230,9 @@ struct RetryStats {
   std::uint64_t requests = 0;    ///< exec() calls
   std::uint64_t retries = 0;     ///< requests that needed >= 1 retransmit
   std::uint64_t reconnects = 0;  ///< dial attempts after a lost connection
+  /// Endpoint-list advances: a failed dial, or a fenced standby's
+  /// `err not-primary` refusal.
+  std::uint64_t failovers = 0;
   std::uint64_t replayed = 0;    ///< buffered lines resent after resume
   std::uint64_t resumed = 0;     ///< sessions reattached via `resume`
   std::uint64_t reopened = 0;    ///< sessions rebuilt via their open line
@@ -240,6 +243,30 @@ struct RetryStats {
   /// Push every retry_fields() entry into `registry` as "<prefix><name>".
   void publish(obs::MetricsRegistry& registry,
                std::string_view prefix = "retry.") const;
+};
+
+/// Journal-replication accounting (src/net/net_server.hpp): the
+/// primary's shipping side (batches/snapshots sent, acks, the semi-sync
+/// vs degraded split) and the replica's apply side (records applied to
+/// its own journal files). Filled by NetServer::repl_stats_snapshot();
+/// the repl_fields() table feeds metrics publication, the CLI's exit
+/// summary, and the bench JSON rows like every other stat family.
+struct ReplStats {
+  std::uint64_t batches_shipped = 0;    ///< repl-batch frames sent
+  std::uint64_t bytes_shipped = 0;      ///< payload bytes in those frames
+  std::uint64_t snapshots_shipped = 0;  ///< repl-snapshot full-file syncs sent
+  std::uint64_t acks_received = 0;      ///< repl-ack frames received
+  std::uint64_t sync_commits = 0;       ///< commits that waited for a replica ack
+  std::uint64_t async_commits = 0;      ///< commits shipped without waiting
+  std::uint64_t repl_degraded = 0;      ///< semi-sync waits that timed out
+  std::uint64_t replica_connects = 0;   ///< replication channels accepted/made
+  std::uint64_t applied_batches = 0;    ///< replica: batch records applied
+  std::uint64_t applied_snapshots = 0;  ///< replica: full-file syncs applied
+  std::uint64_t apply_errors = 0;       ///< replica: frames that failed to apply
+
+  /// Push every repl_fields() entry into `registry` as "<prefix><name>".
+  void publish(obs::MetricsRegistry& registry,
+               std::string_view prefix = "repl.") const;
 };
 
 namespace obs {
@@ -271,6 +298,9 @@ std::span<const FieldDef<JournalStats>> journal_fields();
 
 /// Every numeric RetryStats field, in export order.
 std::span<const FieldDef<RetryStats>> retry_fields();
+
+/// Every numeric ReplStats field, in export order.
+std::span<const FieldDef<ReplStats>> repl_fields();
 
 }  // namespace obs
 

@@ -282,6 +282,17 @@ RecordType record_type(std::string_view payload) {
   }
 }
 
+std::string frame_record(std::string_view payload) {
+  std::string frame;
+  frame.reserve(8 + payload.size());
+  const auto len = static_cast<std::uint32_t>(payload.size());
+  const std::uint32_t crc = crc32(payload.data(), payload.size());
+  frame.append(reinterpret_cast<const char*>(&len), 4);
+  frame.append(reinterpret_cast<const char*>(&crc), 4);
+  frame.append(payload);
+  return frame;
+}
+
 JournalHeader decode_header(std::string_view payload) {
   ByteReader r(payload);
   if (r.u8() != static_cast<std::uint8_t>(RecordType::Header)) {
@@ -373,14 +384,32 @@ JournalScan scan_journal(const std::string& path) {
     std::uint32_t want;
     std::memcpy(&len, data.data() + off, 4);
     std::memcpy(&want, data.data() + off + 4, 4);
+    // A damaged record reaching EOF is normally a torn tail — a write
+    // the crash interrupted — but only Batch records are ever appended
+    // to a live journal. Header and Snapshot records are written solely
+    // through the atomic tmp+rename rewrite, so a torn one cannot be a
+    // crash-interrupted append: it is corruption, and tolerating it
+    // would silently drop the session's base state.
+    const auto torn_is_atomic_record = [&](std::size_t frame_off) {
+      if (data.size() - frame_off < 9) return false;  // type byte missing
+      const auto t = static_cast<std::uint8_t>(data[frame_off + 8]);
+      return t == static_cast<std::uint8_t>(RecordType::Header) ||
+             t == static_cast<std::uint8_t>(RecordType::Snapshot);
+    };
     if (data.size() - off - 8 < len) {
       // Frame runs past EOF: the crash interrupted this write.
+      if (torn_is_atomic_record(off)) {
+        throw JournalError("torn header/snapshot record at offset " +
+                           std::to_string(off) + " in '" + path +
+                           "' (these records are written atomically; "
+                           "this is corruption)");
+      }
       torn = data.size() - off;
       break;
     }
     const std::string_view payload(data.data() + off + 8, len);
     if (crc32(payload.data(), payload.size()) != want) {
-      if (off + 8 + len == data.size()) {
+      if (off + 8 + len == data.size() && !torn_is_atomic_record(off)) {
         // Bad CRC on the final record: torn tail, not corruption.
         torn = data.size() - off;
         break;
@@ -414,7 +443,7 @@ SessionJournal::~SessionJournal() {
 
 std::unique_ptr<SessionJournal> SessionJournal::create(
     std::string path, const std::string& name, const std::string& program_text,
-    bool fsync_writes, JournalStats* stats) {
+    bool fsync_writes, JournalStats* stats, std::function<int()> fail_writes) {
   const int fd = ::open(path.c_str(),
                         O_CREAT | O_EXCL | O_WRONLY | O_APPEND | O_CLOEXEC,
                         0644);
@@ -424,11 +453,12 @@ std::unique_ptr<SessionJournal> SessionJournal::create(
                          "' already exists but was not recovered; refusing "
                          "to overwrite durable state");
     }
-    throw JournalError("cannot create journal '" + path +
-                       "': " + errno_text());
+    throw JournalError(JournalError::Kind::Io, "cannot create journal '" +
+                                                   path + "': " + errno_text());
   }
   std::unique_ptr<SessionJournal> j(
       new SessionJournal(fd, std::move(path), fsync_writes, stats));
+  j->fail_writes_ = std::move(fail_writes);
   j->write_record(j->fd_, encode_header(name, program_text));
   j->sync(j->fd_);
   sync_parent_dir(j->path_);
@@ -436,11 +466,14 @@ std::unique_ptr<SessionJournal> SessionJournal::create(
 }
 
 std::unique_ptr<SessionJournal> SessionJournal::open_append(
-    std::string path, bool fsync_writes, JournalStats* stats) {
+    std::string path, bool fsync_writes, JournalStats* stats,
+    std::function<int()> fail_writes) {
   const int fd =
       open_or_throw(path, O_WRONLY | O_APPEND | O_CLOEXEC, "reopen");
-  return std::unique_ptr<SessionJournal>(
+  std::unique_ptr<SessionJournal> j(
       new SessionJournal(fd, std::move(path), fsync_writes, stats));
+  j->fail_writes_ = std::move(fail_writes);
+  return j;
 }
 
 void SessionJournal::append(std::string_view payload) {
@@ -482,21 +515,22 @@ void SessionJournal::rewrite_with_snapshot(const std::string& name,
 }
 
 void SessionJournal::write_record(int fd, std::string_view payload) {
-  std::string frame;
-  frame.reserve(8 + payload.size());
-  const auto len = static_cast<std::uint32_t>(payload.size());
-  const std::uint32_t crc = crc32(payload.data(), payload.size());
-  frame.append(reinterpret_cast<const char*>(&len), 4);
-  frame.append(reinterpret_cast<const char*>(&crc), 4);
-  frame.append(payload);
-
+  if (fail_writes_) {
+    if (const int e = fail_writes_()) {
+      errno = e;
+      throw JournalError(JournalError::Kind::Io,
+                         "journal write failed: " + errno_text());
+    }
+  }
+  const std::string frame = frame_record(payload);
   const char* p = frame.data();
   std::size_t left = frame.size();
   while (left > 0) {
     const ssize_t n = ::write(fd, p, left);
     if (n < 0) {
       if (errno == EINTR) continue;
-      throw JournalError("journal write failed: " + errno_text());
+      throw JournalError(JournalError::Kind::Io,
+                         "journal write failed: " + errno_text());
     }
     p += n;
     left -= static_cast<std::size_t>(n);
@@ -507,7 +541,8 @@ void SessionJournal::write_record(int fd, std::string_view payload) {
 
 void SessionJournal::sync(int fd) {
   if (::fsync(fd) != 0) {
-    throw JournalError("journal fsync failed: " + errno_text());
+    throw JournalError(JournalError::Kind::Io,
+                       "journal fsync failed: " + errno_text());
   }
   ++stats_->fsyncs;
 }

@@ -35,6 +35,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <stdexcept>
 #include <string>
@@ -46,10 +47,27 @@
 
 namespace parulel::service {
 
-/// Structured journal failure: corruption, version skew, I/O errors.
+/// Structured journal failure. The kind decides the service's reaction:
+/// Corrupt (CRC mismatch, bad magic, version skew — the file lies) is
+/// quarantined at recovery and retryable on the write path, while Io
+/// (write/fsync failure: ENOSPC, a dying disk) means the journal can no
+/// longer keep its ordering promise at all, so the session is
+/// quarantined immediately and answers `err journal-io` until an
+/// operator intervenes.
 class JournalError : public std::runtime_error {
  public:
-  explicit JournalError(const std::string& what) : std::runtime_error(what) {}
+  enum class Kind { Corrupt, Io };
+
+  explicit JournalError(const std::string& what)
+      : std::runtime_error(what), kind_(Kind::Corrupt) {}
+  JournalError(Kind kind, const std::string& what)
+      : std::runtime_error(what), kind_(kind) {}
+
+  Kind kind() const { return kind_; }
+  bool is_io() const { return kind_ == Kind::Io; }
+
+ private:
+  Kind kind_;
 };
 
 /// Durability knobs, carried inside ServiceConfig. Journaling is off
@@ -74,6 +92,11 @@ struct JournalConfig {
   /// ids whose cached responses a replayed request can still be
   /// answered from. Older ids answer `err stale request id`.
   std::size_t dedup_window = 256;
+
+  /// Test hook: called before every record write; a nonzero return is
+  /// treated as that errno failing the write (ENOSPC drills without a
+  /// full disk). Never set in production.
+  std::function<int()> fail_writes;
 
   bool enabled() const { return !dir.empty(); }
 };
@@ -162,6 +185,11 @@ std::string encode_snapshot(const SnapshotRecord& record,
 /// unknown-type payloads.
 RecordType record_type(std::string_view payload);
 
+/// The on-disk framing of one record: [u32 len][u32 crc32][payload].
+/// Exposed so a replication sink can append shipped record payloads to
+/// its copy of a journal byte-identically to the primary's writes.
+std::string frame_record(std::string_view payload);
+
 JournalHeader decode_header(std::string_view payload);
 BatchRecord decode_batch(std::string_view payload, SymbolTable& symbols);
 SnapshotRecord decode_snapshot(std::string_view payload, SymbolTable& symbols);
@@ -188,16 +216,15 @@ class SessionJournal {
   /// holds state that was neither recovered nor quarantined, and
   /// truncating it would silently destroy a durable session) and write
   /// its header record.
-  static std::unique_ptr<SessionJournal> create(std::string path,
-                                                const std::string& name,
-                                                const std::string& program_text,
-                                                bool fsync_writes,
-                                                JournalStats* stats);
+  static std::unique_ptr<SessionJournal> create(
+      std::string path, const std::string& name,
+      const std::string& program_text, bool fsync_writes, JournalStats* stats,
+      std::function<int()> fail_writes = {});
 
   /// Reopen a recovered journal for appending.
-  static std::unique_ptr<SessionJournal> open_append(std::string path,
-                                                     bool fsync_writes,
-                                                     JournalStats* stats);
+  static std::unique_ptr<SessionJournal> open_append(
+      std::string path, bool fsync_writes, JournalStats* stats,
+      std::function<int()> fail_writes = {});
 
   ~SessionJournal();
   SessionJournal(const SessionJournal&) = delete;
@@ -229,6 +256,7 @@ class SessionJournal {
   std::string path_;
   bool fsync_ = true;
   JournalStats* stats_ = nullptr;  ///< never null (owner outlives us)
+  std::function<int()> fail_writes_;  ///< test hook (JournalConfig)
 };
 
 }  // namespace parulel::service

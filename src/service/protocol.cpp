@@ -358,7 +358,14 @@ ServeProtocol::Status ServeProtocol::handle_line(std::string_view line,
       // the client must see a retryable error, never an ack.
       std::string why;
       if (!service_.durable_commit(client->id, req_id, os.str(), &why)) {
-        err("journal: " + why);
+        if (why.rfind("journal-io: ", 0) == 0) {
+          // I/O failure (ENOSPC, dying disk): NOT retryable — the
+          // service quarantined the session; the name answers err
+          // until an operator intervenes.
+          err(why);
+        } else {
+          err("journal: " + why);
+        }
         return Status::Error;
       }
     }

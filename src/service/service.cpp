@@ -6,6 +6,7 @@
 #include <cctype>
 #include <chrono>
 #include <filesystem>
+#include <fstream>
 #include <iterator>
 
 #include "lang/parser.hpp"
@@ -138,7 +139,14 @@ void RuleService::close_locked(std::unique_lock<std::mutex>& lock,
     if (entry.durable->journal) {
       const std::string path = entry.durable->journal->path();
       entry.durable->journal.reset();
-      ::unlink(path.c_str());
+      // A quarantined journal is evidence and surviving state — never
+      // unlink it on teardown, only on a clean explicit close.
+      if (!entry.durable->quarantined) {
+        ::unlink(path.c_str());
+        if (config_.on_journal_removed) {
+          config_.on_journal_removed(entry.durable->name);
+        }
+      }
     }
   }
   const SessionId id = entry.id;
@@ -418,6 +426,13 @@ SessionId RuleService::open_durable(const std::string& name,
   if (!valid_durable_name(name)) {
     return fail("invalid durable session name: " + name);
   }
+  if (config_.promotion_guard) {
+    // A standby shadowing a live primary must not create durable names
+    // of its own — the primary may own (or later ship) the same name.
+    if (std::string why = config_.promotion_guard(); !why.empty()) {
+      return fail("not-primary: " + why);
+    }
+  }
   std::unique_lock lock(mutex_);
   if (auto q = quarantined_.find(name); q != quarantined_.end()) {
     return fail("journal-corrupt: " + q->second);
@@ -437,7 +452,7 @@ SessionId RuleService::open_durable(const std::string& name,
     durable->journal =
         SessionJournal::create(journal_path(name), name,
                                durable->program_text, config_.journal.fsync,
-                               &durable->jstats);
+                               &durable->jstats, config_.journal.fail_writes);
   } catch (const JournalError& e) {
     return fail(e.what());
   }
@@ -451,6 +466,11 @@ SessionId RuleService::open_durable(const std::string& name,
   const SessionId id = entry->id;
   durable_by_name_[name] = id;
   sessions_.emplace(id, std::move(entry));
+  if (config_.on_journal_rewritten) {
+    // The freshly created header-only file — ship it so the replica has
+    // the name on disk even before its first batch.
+    config_.on_journal_rewritten(name, journal_path(name));
+  }
   return id;
 }
 
@@ -460,13 +480,39 @@ SessionId RuleService::resume_durable(const std::string& name,
     if (err) *err = std::move(why);
     return SessionId{0};
   };
-  std::scoped_lock lock(mutex_);
+  std::unique_lock lock(mutex_);
   if (auto q = quarantined_.find(name); q != quarantined_.end()) {
     return fail("journal-corrupt: " + q->second);
   }
   auto it = durable_by_name_.find(name);
   if (it == durable_by_name_.end()) {
-    return fail("no durable session: " + name);
+    // Failover path: no live session, but a journal file on disk — a
+    // replica's shipped copy (or a startup scan that skipped this
+    // shard). Recover it on the spot and resume the result.
+    if (!config_.journal.enabled() || !valid_durable_name(name)) {
+      return fail("no durable session: " + name);
+    }
+    const std::string path = journal_path(name);
+    std::error_code ec;
+    if (!std::filesystem::exists(path, ec)) {
+      return fail("no durable session: " + name);
+    }
+    if (config_.promotion_guard) {
+      // The file is a standby's shadow copy and the primary is (or very
+      // recently was) alive: refuse to promote. A client that lands
+      // here prematurely must go back and find the primary.
+      if (std::string why = config_.promotion_guard(); !why.empty()) {
+        return fail("not-primary: " + why);
+      }
+    }
+    lock.unlock();
+    RecoveryReport rep = recover_one(path);
+    lock.lock();
+    if (!rep.ok) return fail("journal-corrupt: " + rep.error);
+    it = durable_by_name_.find(name);
+    if (it == durable_by_name_.end()) {
+      return fail("no durable session: " + name);
+    }
   }
   Entry& entry = *sessions_.at(it->second);
   if (entry.closing) return fail("no durable session: " + name);
@@ -571,6 +617,7 @@ bool RuleService::durable_commit(SessionId id, std::uint64_t run_req,
   lock.unlock();
 
   bool wrote = false;
+  std::string io_reason;
   {
     std::scoped_lock session_lock(entry.session_mutex);
     BatchRecord rec;
@@ -582,16 +629,31 @@ bool RuleService::durable_commit(SessionId id, std::uint64_t run_req,
     if (run_req != 0) {
       rec.acks.push_back(JournalAck{run_req, std::string(run_response)});
     }
+    const std::string payload = encode_batch(rec, *d.program->symbols);
     try {
-      d.journal->append(encode_batch(rec, *d.program->symbols));
+      d.journal->append(payload);
       wrote = true;
       d.batch_seq = rec.seq;
       ++d.jstats.batches_logged;
       for (const BatchSegment& seg : rec.segments) {
         d.jstats.ops_logged += seg.ops.size();
       }
+      if (config_.on_batch_durable) {
+        // Semi-sync replication: still under the session lock, so the
+        // hook (and any replica-ack wait inside it) completes before
+        // the `ok` can leave the process.
+        config_.on_batch_durable(d.name, rec.seq, payload);
+      }
     } catch (const JournalError& e) {
-      if (err) *err = e.what();
+      if (e.is_io()) {
+        // The journal can no longer keep its ordering promise: fail
+        // closed. The caller reports `err journal-io` and the session
+        // is quarantined below.
+        io_reason = e.what();
+        if (err) *err = "journal-io: " + io_reason;
+      } else if (err) {
+        *err = e.what();
+      }
       // Put everything back so a retried `run` re-attempts the
       // identical record — the state is applied in memory but NOT
       // durable, so it must not be acknowledged.
@@ -604,6 +666,11 @@ bool RuleService::durable_commit(SessionId id, std::uint64_t run_req,
   lock.lock();
   --entry.busy;
   entry.last_active_tick = tick_;
+  if (!io_reason.empty()) {
+    d.quarantined = true;
+    quarantined_[d.name] = io_reason;
+    durable_by_name_.erase(d.name);
+  }
   bool snapshot_due = false;
   SnapshotRecord snap;
   if (wrote) {
@@ -638,6 +705,9 @@ bool RuleService::durable_commit(SessionId id, std::uint64_t run_req,
       d.journal->rewrite_with_snapshot(
           d.name, d.program_text, encode_snapshot(snap, *d.program->symbols));
       truncated = true;
+      if (config_.on_journal_rewritten) {
+        config_.on_journal_rewritten(d.name, d.journal->path());
+      }
     } catch (const JournalError&) {
       // Non-fatal: truncation failed, the journal keeps growing and
       // recovery replays the longer record stream instead.
@@ -773,7 +843,8 @@ RecoveryReport RuleService::recover_one(const std::string& path) {
     rep.fingerprint = session->fingerprint();
     rep.torn_bytes = scan.torn_bytes;
     durable->journal = SessionJournal::open_append(
-        path, config_.journal.fsync, &durable->jstats);
+        path, config_.journal.fsync, &durable->jstats,
+        config_.journal.fail_writes);
     durable->attached = false;  // waits for a `resume`
 
     std::scoped_lock lock(mutex_);
@@ -801,6 +872,46 @@ RecoveryReport RuleService::recover_one(const std::string& path) {
     ++jstats_.recovery_failures;
   }
   return rep;
+}
+
+std::vector<std::string> RuleService::durable_names() const {
+  std::scoped_lock lock(mutex_);
+  std::vector<std::string> names;
+  names.reserve(durable_by_name_.size());
+  for (const auto& [name, id] : durable_by_name_) names.push_back(name);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+bool RuleService::has_durable(const std::string& name) const {
+  std::scoped_lock lock(mutex_);
+  return durable_by_name_.count(name) > 0 || quarantined_.count(name) > 0;
+}
+
+bool RuleService::read_journal_file(const std::string& name,
+                                    std::string* bytes) {
+  std::unique_lock lock(mutex_);
+  auto it = durable_by_name_.find(name);
+  if (it == durable_by_name_.end()) return false;
+  auto sit = sessions_.find(it->second);
+  if (sit == sessions_.end() || sit->second->closing) return false;
+  Entry& entry = *sit->second;
+  ++entry.busy;  // pins the entry while we read outside mutex_
+  lock.unlock();
+  bool ok = false;
+  {
+    std::scoped_lock session_lock(entry.session_mutex);
+    std::ifstream in(journal_path(name), std::ios::binary);
+    if (in) {
+      bytes->assign(std::istreambuf_iterator<char>(in),
+                    std::istreambuf_iterator<char>());
+      ok = true;
+    }
+  }
+  lock.lock();
+  --entry.busy;
+  idle_cv_.notify_all();
+  return ok;
 }
 
 JournalStats RuleService::journal_stats_snapshot() const {

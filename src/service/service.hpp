@@ -105,6 +105,37 @@ struct ServiceConfig {
   /// ids stay server-unique and `open NAME id=N` responses match the
   /// single-service numbering. Null = service-local ids from 1.
   std::atomic<std::uint64_t>* session_ids = nullptr;
+
+  // -- replication hooks (wired by the NetServer's ReplicationHub) --
+  //
+  // Each hook runs under the session's own lock, AFTER the local append
+  // (and fsync) succeeded and BEFORE the `ok` can leave the process —
+  // blocking inside the hook is what makes semi-sync replication hold
+  // the ack until the replica confirmed. Per-session ordering only: two
+  // sessions' hooks may interleave.
+
+  /// A batch record was durably appended: (name, record seq, the exact
+  /// encoded record payload the journal framed).
+  std::function<void(const std::string&, std::uint64_t, const std::string&)>
+      on_batch_durable;
+
+  /// The journal file was atomically rewritten (snapshot truncation) or
+  /// freshly created: (name, file path). The file on disk is complete
+  /// and quiescent for the duration of the call.
+  std::function<void(const std::string&, const std::string&)>
+      on_journal_rewritten;
+
+  /// The journal file was deliberately unlinked (`close NAME`).
+  std::function<void(const std::string&)> on_journal_removed;
+
+  /// Promotion fence (hot standbys). Consulted before a durable name
+  /// would come to life from a file on disk (lazy failover promotion in
+  /// resume_durable) and before a fresh durable open. A non-empty
+  /// return is the refusal reason: the caller answers
+  /// `err not-primary: <why>` instead of promoting — a standby whose
+  /// replication link is still healthy must not start serving names the
+  /// primary owns (split-brain). Unset = never fenced.
+  std::function<std::string()> promotion_guard;
 };
 
 /// One queued external operation.
@@ -209,7 +240,10 @@ class RuleService {
 
   /// Reattach a detached durable session by name. Fails (returns 0,
   /// message in *err) for unknown names, sessions attached to another
-  /// conversation, and quarantined journals.
+  /// conversation, and quarantined journals. A name with no in-memory
+  /// session but a journal file on disk is recovered on the spot — the
+  /// failover path: a replica's shipped journals become live sessions
+  /// the moment a failed-over client resumes them.
   SessionId resume_durable(const std::string& name, std::string* err);
 
   /// Conversation teardown: detach a durable session (keeping it
@@ -262,6 +296,20 @@ class RuleService {
 
   /// Journal + recovery counters aggregated across durable sessions.
   JournalStats journal_stats_snapshot() const;
+
+  /// Names of all live durable sessions, sorted (replication catch-up
+  /// enumerates these to full-sync a fresh replica).
+  std::vector<std::string> durable_names() const;
+
+  /// Whether `name` is a live durable session or a quarantined one —
+  /// the replica applier's promotion guard: once a name is served
+  /// locally, shipped frames for it must no longer touch its file.
+  bool has_durable(const std::string& name) const;
+
+  /// Read the raw bytes of a durable session's journal file under its
+  /// session lock (no append can be concurrent), for full-file
+  /// replication sync. False for unknown names.
+  bool read_journal_file(const std::string& name, std::string* bytes);
 
   /// Enqueue one request. Never blocks: a full queue rejects.
   SubmitResult submit(SessionId id, Request request);
@@ -319,6 +367,11 @@ class RuleService {
     std::vector<JournalAck> pending_acks;
     std::uint64_t batch_seq = 0;
     std::uint64_t batches_since_snapshot = 0;
+
+    /// Journal I/O failure froze this session: the name answers err
+    /// until an operator intervenes, and teardown must NOT unlink the
+    /// file (it is the operator's evidence and the surviving state).
+    bool quarantined = false;
 
     JournalStats jstats;
   };

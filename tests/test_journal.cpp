@@ -17,8 +17,10 @@
 #include <gtest/gtest.h>
 
 #include <array>
+#include <cerrno>
 #include <cstdint>
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <memory>
@@ -528,6 +530,130 @@ TEST(DurableProtocol, SnapshotTruncationBoundsTheFileAndKeepsState) {
     }
   }
   EXPECT_EQ(detached_fingerprint(control, "s"), fp);
+}
+
+// ------------------------------- fail-closed: torn atomic records, ENOSPC
+
+TEST(JournalScanTest, TornHeaderRecordQuarantinesNotCrashes) {
+  TempDir dir("torn_header");
+  const std::string bytes = build_journal(dir, 1);
+  const std::string path = (dir.path / "s.wal").string();
+
+  // The header record spans [0, header_end); it is only ever written
+  // through the atomic create/rewrite path, so a PARTIAL header is
+  // never a crash-interrupted append — it is corruption and the scan
+  // must fail closed at every cut point, not salvage or crash.
+  std::uint32_t header_len = 0;
+  std::memcpy(&header_len, bytes.data(), 4);
+  const std::size_t header_end = 8 + header_len;
+  for (const std::size_t cut :
+       {std::size_t{3}, std::size_t{9}, header_end / 2, header_end - 1}) {
+    write_bytes(path, bytes.substr(0, cut));
+    EXPECT_THROW(scan_journal(path), JournalError) << "cut=" << cut;
+  }
+
+  // Recovery turns the throw into a quarantine: the name answers err
+  // and the damaged file stays on disk as evidence.
+  write_bytes(path, bytes.substr(0, header_end / 2));
+  RuleService svc(durable_config(dir));
+  const auto reports = svc.recover_journals();
+  ASSERT_EQ(reports.size(), 1u);
+  EXPECT_FALSE(reports[0].ok);
+  ServeProtocol proto(svc);
+  EXPECT_NE(drive(proto, "resume s").find("journal-corrupt"),
+            std::string::npos);
+  EXPECT_TRUE(fs::exists(path));
+}
+
+TEST(JournalScanTest, TornSnapshotRecordQuarantinesNotCrashes) {
+  TempDir dir("torn_snap");
+  const std::string prog = write_program_file("torn_snap");
+  {
+    RuleService svc(durable_config(dir, /*snapshot_every=*/1));
+    ServeProtocol proto(svc);
+    drive(proto, "open s " + prog);
+    drive(proto, "@1 assert s item 5");
+    EXPECT_EQ(drive(proto, "@2 run s").substr(0, 6), "ok run");
+    EXPECT_GE(svc.journal_stats_snapshot().snapshots, 1u);
+  }
+  const std::string path = (dir.path / "s.wal").string();
+  std::ifstream in(path, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  in.close();
+  // After the snapshot_every=1 truncation the file is exactly header +
+  // snapshot; like the header, the snapshot record is written atomically
+  // (tmp + rename), so a torn one is corruption, not a torn tail.
+  ASSERT_EQ(record_type(scan_journal(path).payloads.back()),
+            RecordType::Snapshot);
+  std::uint32_t header_len = 0;
+  std::memcpy(&header_len, bytes.data(), 4);
+  const std::size_t header_end = 8 + header_len;
+  for (const std::size_t cut : {header_end + 9, bytes.size() - 1}) {
+    write_bytes(path, bytes.substr(0, cut));
+    EXPECT_THROW(scan_journal(path), JournalError) << "cut=" << cut;
+  }
+
+  write_bytes(path, bytes.substr(0, bytes.size() - 1));
+  RuleService svc(durable_config(dir, 1));
+  const auto reports = svc.recover_journals();
+  ASSERT_EQ(reports.size(), 1u);
+  EXPECT_FALSE(reports[0].ok);
+  ServeProtocol proto(svc);
+  EXPECT_NE(drive(proto, "resume s").find("journal-corrupt"),
+            std::string::npos);
+}
+
+TEST(DurableProtocol, JournalIoFailureQuarantinesTheSession) {
+  TempDir dir("journal_io");
+  const std::string prog = write_program_file("journal_io");
+  ServiceConfig cfg = durable_config(dir);
+  // The injectable write-failure hook: the next `armed` journal writes
+  // fail like a full disk.
+  int armed = 0;
+  cfg.journal.fail_writes = [&armed]() -> int {
+    if (armed == 0) return 0;
+    --armed;
+    return ENOSPC;
+  };
+  {
+    RuleService svc(cfg);
+    ServeProtocol proto(svc);
+    EXPECT_EQ(drive(proto, "open s " + prog).substr(0, 3), "ok ");
+    drive(proto, "@1 assert s item 5");
+    EXPECT_EQ(drive(proto, "@2 run s").substr(0, 6), "ok run");
+
+    armed = 1;
+    drive(proto, "@3 assert s item 7");
+    const std::string r = drive(proto, "@4 run s");
+    // A dedicated, non-retryable error class: the batch is NOT durable
+    // and the session is frozen, so replaying @4 must not re-execute.
+    EXPECT_EQ(r.substr(0, 15), "err journal-io:") << r;
+    EXPECT_NE(r.find("No space left"), std::string::npos) << r;
+
+    // Quarantined: open and resume both fail closed on the name (from a
+    // fresh conversation — this one still holds the frozen session).
+    ServeProtocol other(svc);
+    EXPECT_NE(drive(other, "resume s").find("journal-corrupt"),
+              std::string::npos);
+    EXPECT_NE(drive(other, "open s " + prog).find("journal-corrupt"),
+              std::string::npos);
+  }
+  // Teardown must NOT unlink the journal — the intact prefix is the
+  // operator's evidence and holds every batch acked so far.
+  EXPECT_TRUE(fs::exists(dir.path / "s.wal"));
+
+  // What reached disk before the failure recovers cleanly elsewhere:
+  // batch @2 (tally 5) is there, the refused batch @4 is not.
+  RuleService fresh(durable_config(dir));
+  const auto reports = fresh.recover_journals();
+  ASSERT_EQ(reports.size(), 1u);
+  ASSERT_TRUE(reports[0].ok) << reports[0].error;
+  EXPECT_EQ(reports[0].batches, 1u);
+  ServeProtocol reader(fresh);
+  EXPECT_EQ(drive(reader, "resume s").substr(0, 3), "ok ");
+  EXPECT_NE(drive(reader, "query s tally").find("(n 5)"),
+            std::string::npos);
 }
 
 // ------------------------------------- tentpole: crash-equivalence sweep

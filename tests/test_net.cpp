@@ -23,7 +23,9 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdint>
 #include <cstring>
+#include <functional>
 #include <filesystem>
 #include <memory>
 #include <fstream>
@@ -832,6 +834,263 @@ TEST(RetryRecovery, InjectedFaultsAreHealedByRetry) {
 
   const NetStats stats = fx.server.stats_snapshot();
   EXPECT_GT(stats.fault_dropped, 0u) << "fault plan never fired";
+}
+
+// ------------------------------------ failover: bounded retry, replication
+
+/// A loopback port with nothing listening on it (bind ephemeral, read
+/// the number back, close — nothing re-binds it during the test).
+std::uint16_t dead_port() {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = 0;
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  EXPECT_EQ(::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  socklen_t len = sizeof(addr);
+  EXPECT_EQ(::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len), 0);
+  ::close(fd);
+  return ntohs(addr.sin_port);
+}
+
+TEST(RetryFailover, DeadClusterYieldsTerminalGiveUp) {
+  // Every endpoint refuses: exec() must rotate through the whole list,
+  // burn its bounded attempt budget, and return false — the terminal
+  // `err unavailable` path — instead of retrying forever.
+  RetryConfig rcfg;
+  rcfg.port = dead_port();
+  rcfg.endpoints = {{"127.0.0.1", dead_port()}};
+  rcfg.max_attempts = 4;
+  rcfg.backoff_base_ms = 1;
+  rcfg.backoff_max_ms = 5;
+  RetryClient client(rcfg);
+  Response r;
+  EXPECT_FALSE(client.exec("hello", r));
+  EXPECT_FALSE(client.error().empty());
+  EXPECT_EQ(client.stats().giveups, 1u);
+  // The cursor rotated: with 2 endpoints and 4 attempts each endpoint
+  // was tried, and every failed dial advanced the cursor.
+  EXPECT_GE(client.stats().failovers, 3u);
+  EXPECT_EQ(client.stats().reconnects, 4u);
+}
+
+/// Read a whole file as bytes ("" when absent).
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return {};
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
+
+/// Poll `pred` for up to `ms` milliseconds.
+bool eventually(std::uint64_t ms, const std::function<bool()>& pred) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(ms);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  return pred();
+}
+
+NetServerConfig replica_config(const std::string& dir,
+                               std::uint16_t primary_port) {
+  NetServerConfig cfg;
+  cfg.service.journal.dir = dir;
+  cfg.service.journal.fsync = false;
+  cfg.replica_of = "127.0.0.1:" + std::to_string(primary_port);
+  // Longer than a chaos cut heals (the applier redials within 200ms),
+  // much shorter than the retry budget a failed-over client brings.
+  cfg.promote_grace_ms = 600;
+  return cfg;
+}
+
+TEST(Replication, ShippedJournalsAreByteIdenticalAndRemovable) {
+  const std::string program = write_consume_program();
+  const std::string pdir = fresh_journal_dir("ship_primary");
+  const std::string rdir = fresh_journal_dir("ship_replica");
+
+  NetServerConfig pcfg = durable_server_config(pdir);
+  pcfg.service.journal.snapshot_every = 2;  // exercise rewrite shipping
+  pcfg.repl_timeout_ms = 5'000;
+  ServerFixture primary(pcfg);
+  ServerFixture replica(replica_config(rdir, primary.server.port()));
+
+  // The replica dials in and the channel comes up.
+  ASSERT_TRUE(eventually(5'000, [&] {
+    return primary.server.repl_stats_snapshot().replica_connects > 0;
+  }));
+
+  NetClient client;
+  ASSERT_TRUE(client.connect("127.0.0.1", primary.server.port()));
+  Response r;
+  ASSERT_TRUE(client.request("open s " + program, r));
+  ASSERT_TRUE(r.ok()) << r.status;
+  std::uint64_t req = 1;
+  for (int v : {3, 1, 4, 1, 5}) {
+    ASSERT_TRUE(client.request("@" + std::to_string(req++) + " assert s item " +
+                                   std::to_string(v),
+                               r));
+    ASSERT_TRUE(r.ok()) << r.status;
+    ASSERT_TRUE(client.request("@" + std::to_string(req++) + " run s", r));
+    ASSERT_TRUE(r.ok()) << r.status;
+    // Semi-sync: the `ok` above waited for the replica's ack, so the
+    // backup's file is ALREADY byte-identical — through appends and
+    // through the snapshot_every=2 whole-file rewrites.
+    ASSERT_TRUE(eventually(5'000, [&] { return primary.server.repl_caught_up(); }));
+    const std::string want = slurp(pdir + "/s.wal");
+    ASSERT_FALSE(want.empty());
+    EXPECT_EQ(slurp(rdir + "/s.wal"), want) << "after batch " << (req - 1) / 2;
+  }
+
+  const ReplStats ship = primary.server.repl_stats_snapshot();
+  EXPECT_GT(ship.batches_shipped + ship.snapshots_shipped, 0u);
+  EXPECT_GT(ship.sync_commits, 0u);
+  EXPECT_EQ(ship.repl_degraded, 0u);
+  const ReplStats apply = replica.server.repl_stats_snapshot();
+  EXPECT_GT(apply.applied_batches + apply.applied_snapshots, 0u);
+  EXPECT_EQ(apply.apply_errors, 0u);
+
+  // A clean close unlinks BOTH copies: the replica must not resurrect a
+  // session the client deliberately ended.
+  ASSERT_TRUE(client.request("close s", r));
+  ASSERT_TRUE(r.ok()) << r.status;
+  EXPECT_TRUE(eventually(5'000, [&] { return slurp(rdir + "/s.wal").empty(); }));
+}
+
+// The chaos gate: kill the primary at a batch boundary, fail the client
+// over to the hot standby, and require the exact state an uninterrupted
+// run reaches — across replication-channel fault schedules (channel
+// cuts force full resyncs, eaten acks force semi-sync degrades, delays
+// stall frames). Zero duplicate, zero lost mutations.
+TEST(Replication, KillPrimaryFailoverMatchesUninterruptedRun) {
+  const std::string program = write_consume_program();
+  const std::vector<int> load = {3, 1, 4, 1, 5, 9, 2, 6};
+
+  // Drive (assert, run) pairs [from, to) through a RetryClient.
+  auto drive_pairs = [&](RetryClient& client, std::size_t from,
+                         std::size_t to) {
+    for (std::size_t i = from; i < to; ++i) {
+      Response r;
+      const std::uint64_t req = 2 * i + 1;
+      ASSERT_TRUE(client.exec("assert s item " + std::to_string(load[i]), r))
+          << client.error();
+      ASSERT_TRUE(r.ok()) << r.status << " req " << req;
+      ASSERT_TRUE(client.exec("run s", r)) << client.error();
+      ASSERT_TRUE(r.ok()) << r.status;
+    }
+  };
+
+  // Detach-and-resume: close the driving client's connection, then read
+  // the session's resume line from a fresh connection (fingerprint and
+  // committed/acked watermarks).
+  auto final_resume_line = [&](std::uint16_t port) {
+    std::string status;
+    EXPECT_TRUE(eventually(5'000, [&] {
+      NetClient reader;
+      if (!reader.connect("127.0.0.1", port)) return false;
+      Response r;
+      if (!reader.request("resume s", r)) return false;
+      status = r.status;
+      return r.ok();  // "attached" until the server reaps the old conn
+    })) << status;
+    return status;
+  };
+
+  auto strip_id = [](std::string line) {
+    // `id=N` differs across servers (shared counter); everything else
+    // must match: facts, committed, acked, fingerprint.
+    const std::size_t at = line.find(" id=");
+    if (at == std::string::npos) return line;
+    const std::size_t end = line.find(' ', at + 1);
+    line.erase(at, end - at);
+    return line;
+  };
+
+  // Reference: the uninterrupted run on a lone durable server.
+  std::string reference;
+  {
+    const std::string dir = fresh_journal_dir("failover_ref");
+    ServerFixture fx(durable_server_config(dir));
+    {
+      RetryConfig rcfg;
+      rcfg.port = fx.server.port();
+      rcfg.backoff_base_ms = 1;
+      RetryClient client(rcfg);
+      Response r;
+      ASSERT_TRUE(client.exec("open s " + program, r)) << client.error();
+      ASSERT_TRUE(r.ok()) << r.status;
+      drive_pairs(client, 0, load.size());
+      ASSERT_EQ(client.unacked(), 0u);
+    }  // close the driving connection so the session detaches
+    reference = strip_id(final_resume_line(fx.server.port()));
+  }
+  ASSERT_NE(reference.find("fingerprint="), std::string::npos) << reference;
+
+  const std::vector<std::string> chaos = {
+      "",
+      "seed=5,drop=0.2",
+      "seed=9,ackloss=0.3",
+      "seed=13,delay=0.3,maxdelay=10",
+  };
+  for (const std::string& spec : chaos) {
+    for (const std::size_t kill : {2u, 5u}) {
+      const std::string tag =
+          "failover_" + std::to_string(kill) + "_" +
+          std::to_string(std::hash<std::string>{}(spec) % 1000);
+      const std::string pdir = fresh_journal_dir((tag + "_p").c_str());
+      const std::string rdir = fresh_journal_dir((tag + "_r").c_str());
+
+      NetServerConfig pcfg = durable_server_config(pdir);
+      pcfg.repl_timeout_ms = 200;  // an eaten ack degrades quickly
+      if (!spec.empty()) pcfg.faults = NetFaultPlan::parse(spec);
+      auto primary = std::make_unique<ServerFixture>(pcfg);
+      ASSERT_TRUE(primary->start_ok);
+      ServerFixture replica(
+          replica_config(rdir, primary->server.port()));
+      ASSERT_TRUE(replica.start_ok);
+
+      {
+        RetryConfig rcfg;
+        rcfg.port = primary->server.port();
+        rcfg.endpoints = {{"127.0.0.1", replica.server.port()}};
+        rcfg.max_attempts = 60;  // client-facing chaos rides the same plan
+        rcfg.backoff_base_ms = 1;
+        rcfg.backoff_max_ms = 20;
+        RetryClient client(rcfg);
+        Response r;
+        ASSERT_TRUE(client.exec("open s " + program, r)) << client.error();
+        ASSERT_TRUE(r.ok()) << r.status;
+        drive_pairs(client, 0, kill);
+
+        // The kill -9 contract needs the standby current at the
+        // boundary: wait until every shipped frame is acked (chaos cuts
+        // heal via reconnect + full resync), then pull the plug without
+        // drain niceties toward the client.
+        // Byte equality is the contract the kill relies on; caught_up
+        // alone would hang on an ackloss leg whose LAST ack was eaten
+        // (cumulative acks only heal when another frame flows).
+        ASSERT_TRUE(eventually(10'000, [&] {
+          const std::string p = slurp(pdir + "/s.wal");
+          return !p.empty() && p == slurp(rdir + "/s.wal");
+        })) << "spec=" << spec << " kill=" << kill;
+        primary.reset();
+
+        // Finish the script: the client fails over to the replica, which
+        // promotes `s` from its shipped journal on resume.
+        drive_pairs(client, kill, load.size());
+        EXPECT_EQ(client.unacked(), 0u);
+        EXPECT_GE(client.stats().failovers, 1u);
+        EXPECT_GE(client.stats().resumed, 1u);
+      }  // close the driving connection so the session detaches
+      const std::string line =
+          strip_id(final_resume_line(replica.server.port()));
+      EXPECT_EQ(line, reference) << "spec=" << spec << " kill=" << kill;
+      const ReplStats apply = replica.server.repl_stats_snapshot();
+      EXPECT_EQ(apply.apply_errors, 0u) << "spec=" << spec;
+    }
+  }
 }
 
 // --------------------------------------------------- client timeouts
