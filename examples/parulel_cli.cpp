@@ -109,8 +109,9 @@ struct Options {
   unsigned threads = parulel::ThreadPool::default_threads();
   parulel::Strategy strategy = parulel::Strategy::Lex;
   parulel::MatcherKind seq_matcher = parulel::MatcherKind::Rete;
+  bool matcher_explicit = false;
   std::uint64_t max_cycles = 1'000'000;
-  bool trace = false, dump_wm = false, metrics = false;
+  bool trace = false, dump_wm = false, metrics = false, compile_dump = false;
   std::string trace_json_path, metrics_json_path;
   unsigned sites = 4;
   std::unordered_map<std::string, std::string> partition;
@@ -181,12 +182,17 @@ const FlagSpec kFlags[] = {
        else if (v == "random") o.strategy = parulel::Strategy::Random;
        else throw UsageError("unknown strategy '" + v + "'");
      }},
-    {"--matcher", "rete|treat", kRun, "seq match algorithm (default rete)",
+    {"--matcher", "rete|treat|compiled", kRun,
+     "match algorithm (default: rete for seq, parallel-treat for par)",
      [](Options& o, const std::string& v) {
        const auto kind = parulel::parse_matcher_kind(v);
        if (!kind) throw UsageError("unknown matcher '" + v + "'");
        o.seq_matcher = *kind;
+       o.matcher_explicit = true;
      }},
+    {"--compile-dump", nullptr, kRun,
+     "print the compiled bytecode listing and exit without running",
+     [](Options& o, const std::string&) { o.compile_dump = true; }},
     {"--max-cycles", "N", kRun, "cycle cap (default 1000000)",
      [](Options& o, const std::string& v) {
        o.max_cycles = parse_count("--max-cycles", v);
@@ -704,6 +710,13 @@ int run_cli(const Options& opt) {
   buffer << in.rdbuf();
 
   const parulel::Program program = parulel::parse_program(buffer.str());
+  if (opt.compile_dump) {
+    // Print the bytecode listing the compiled matcher would execute and
+    // stop: the listing is deterministic, so it can be diffed across
+    // runs (the run summary cannot — it carries wall-clock times).
+    std::cout << parulel::compile_listing(program);
+    return kExitOk;
+  }
   std::cout << "loaded: " << program.rules.size() << " rules, "
             << program.meta_rules.size() << " meta-rules, "
             << program.schema.size() << " templates, "
@@ -775,7 +788,11 @@ int run_cli(const Options& opt) {
 
     std::unique_ptr<parulel::Engine> engine;
     if (opt.engine_kind == "par") {
-      cfg.matcher = parulel::MatcherKind::ParallelTreat;
+      // Any TREAT-family matcher works under the parallel engine; the
+      // sharded parallel matcher is only the default.
+      cfg.matcher = opt.matcher_explicit
+                        ? opt.seq_matcher
+                        : parulel::MatcherKind::ParallelTreat;
       engine = std::make_unique<parulel::ParallelEngine>(program, cfg);
     } else {
       cfg.matcher = opt.seq_matcher;

@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Bench regression gate: compare a fresh BENCH_R-T4.json to the
+checked-in baseline and fail on real throughput loss.
+
+The T4 report carries a calibration row (a fixed xorshift spin, timed),
+so throughput is first normalized by the spin ratio between the two
+runs: a slower CI machine does not read as a code regression, and a
+faster one does not mask a real one.
+
+Usage:
+  check_bench_regression.py CURRENT.json [--baseline PATH]
+                            [--threshold 0.10] [--update]
+
+Exit codes: 0 ok, 1 regression found, 2 usage / malformed input.
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+DEFAULT_BASELINE = Path(__file__).parent / "baselines" / "BENCH_R-T4.json"
+METRIC = "throughput_inst_per_ms"
+
+
+def load_rows(path):
+    try:
+        doc = json.loads(Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as e:
+        sys.exit(f"error: cannot read {path}: {e}")
+    rows = {r["label"]: r for r in doc.get("rows", [])}
+    if "calibration" not in rows or "spin_ms" not in rows["calibration"]:
+        sys.exit(f"error: {path} has no calibration row")
+    return rows
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("current", help="freshly generated BENCH_R-T4.json")
+    ap.add_argument("--baseline", default=str(DEFAULT_BASELINE))
+    ap.add_argument("--threshold", type=float, default=0.10,
+                    help="max allowed normalized throughput loss (default 0.10)")
+    ap.add_argument("--update", action="store_true",
+                    help="rewrite the baseline from the current report")
+    args = ap.parse_args()
+
+    if args.update:
+        Path(args.baseline).parent.mkdir(parents=True, exist_ok=True)
+        Path(args.baseline).write_text(Path(args.current).read_text())
+        print(f"baseline updated: {args.baseline}")
+        return 0
+
+    current = load_rows(args.current)
+    baseline = load_rows(args.baseline)
+
+    # Fixed work took spin_ms; a machine `scale`x slower than the
+    # baseline machine deflates raw throughput by the same factor.
+    scale = (current["calibration"]["spin_ms"]
+             / baseline["calibration"]["spin_ms"])
+
+    failures = []
+    compared = 0
+    for label, base in sorted(baseline.items()):
+        if label == "calibration" or METRIC not in base:
+            continue
+        if label not in current:
+            failures.append(f"{label}: missing from current report")
+            continue
+        cur = current[label][METRIC] * scale
+        ref = base[METRIC]
+        compared += 1
+        loss = 1.0 - cur / ref
+        marker = "FAIL" if loss > args.threshold else "ok"
+        print(f"{marker:4} {label:40} baseline={ref:10.1f} "
+              f"normalized={cur:10.1f} ({-loss:+.1%})")
+        if loss > args.threshold:
+            failures.append(f"{label}: {loss:.1%} below baseline")
+
+    if not compared:
+        sys.exit("error: baseline has no throughput rows")
+    print(f"\ncalibration scale {scale:.3f}x, "
+          f"{compared} configurations, {len(failures)} regressed")
+    if failures:
+        for f in failures:
+            print(f"regression: {f}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,203 @@
+#include "compile/bytecode.hpp"
+
+#include <sstream>
+
+#include "lang/program.hpp"
+
+namespace parulel {
+
+const char* opcode_name(OpCode op) {
+  switch (op) {
+    case OpCode::TestConst: return "test-const";
+    case OpCode::TestIntra: return "test-intra";
+    case OpCode::EmitAlpha: return "emit-alpha";
+    case OpCode::IterFixed: return "iter-fixed";
+    case OpCode::IterScan: return "iter-scan";
+    case OpCode::IterProbe: return "iter-probe";
+    case OpCode::Next: return "next";
+    case OpCode::NextVerify: return "next-verify";
+    case OpCode::TestEq: return "test-eq";
+    case OpCode::Bind: return "bind";
+    case OpCode::Guard: return "guard";
+    case OpCode::GuardCmp: return "guard-cmp";
+    case OpCode::PinLoad: return "pin-load";
+    case OpCode::PinTest: return "pin-test";
+    case OpCode::Quant: return "quant";
+    case OpCode::Emit: return "emit";
+    case OpCode::Halt: return "halt";
+  }
+  return "?";
+}
+
+std::size_t CodeImage::byte_size() const {
+  return code.size() * sizeof(Instr) + consts.size() * sizeof(Value) +
+         eqs.size() * sizeof(EqRef) +
+         key_regs.size() * sizeof(std::int32_t) +
+         key_lists.size() * sizeof(KeyList) +
+         eq_lists.size() * sizeof(KeyList) +
+         quants.size() * sizeof(QuantCheck);
+}
+
+namespace {
+
+/// Render one instruction with only its meaningful operands.
+void render_instr(std::ostream& os, const Instr& in) {
+  os << opcode_name(in.op);
+  switch (in.op) {
+    case OpCode::TestConst:
+      os << " slot=" << in.a << " const=" << in.b << " fail=@" << in.c;
+      break;
+    case OpCode::TestIntra:
+      os << " slots=(" << in.a << "," << in.b << ") fail=@" << in.c;
+      break;
+    case OpCode::EmitAlpha:
+      os << " alpha=" << in.a;
+      break;
+    case OpCode::IterFixed:
+      os << " level=" << in.a;
+      break;
+    case OpCode::IterScan:
+      os << " level=" << in.a << " alpha=" << in.b;
+      break;
+    case OpCode::IterProbe:
+      os << " level=" << in.a << " alpha=" << in.b << " index=" << in.c
+         << " key=#" << in.d;
+      break;
+    case OpCode::Next:
+      os << " level=" << in.a << " done=@" << in.b << " ce=" << in.c;
+      break;
+    case OpCode::NextVerify:
+      os << " level=" << in.a << " done=@" << in.b << " ce=" << in.c
+         << " eqs=#" << in.d;
+      break;
+    case OpCode::TestEq:
+      os << " slot=" << in.a << " reg=" << in.b << " fail=@" << in.c;
+      break;
+    case OpCode::Bind:
+      os << " slot=" << in.a << " reg=" << in.b;
+      if (in.c) os << " hashed";
+      break;
+    case OpCode::Guard:
+      os << " expr=" << in.a << " fail=@" << in.b;
+      break;
+    case OpCode::GuardCmp:
+      os << " reg=" << in.a << ((in.d & 2) ? " const=" : " reg=") << in.b
+         << " fail=@" << in.c << ((in.d & 1) ? " neq" : " eq");
+      break;
+    case OpCode::PinLoad:
+      os << " reg=" << in.a << " pivot-slot=" << in.b;
+      if (in.c) os << " hashed";
+      break;
+    case OpCode::PinTest:
+      os << " reg=" << in.a << " pin=" << in.b << " fail=@" << in.c;
+      break;
+    case OpCode::Quant:
+      os << " check=" << in.a << " fail=@" << in.b;
+      break;
+    case OpCode::Emit:
+      os << " rule=" << in.a << " resume=@" << in.b;
+      break;
+    case OpCode::Halt:
+      break;
+  }
+}
+
+/// Render a [entry, Halt] range of the code array.
+void render_range(std::ostream& os, const CodeImage& image,
+                  std::int32_t entry) {
+  for (std::size_t pc = static_cast<std::size_t>(entry);
+       pc < image.code.size(); ++pc) {
+    os << "  @" << pc << ": ";
+    render_instr(os, image.code[pc]);
+    os << "\n";
+    if (image.code[pc].op == OpCode::Halt) break;
+  }
+}
+
+}  // namespace
+
+std::string CodeImage::listing(const Program& program) const {
+  std::ostringstream os;
+  const SymbolTable& syms = *program.symbols;
+
+  os << "; parulel compiled image: " << code.size() << " instrs, "
+     << byte_size() << " bytes\n";
+  os << "; pools: consts=" << consts.size() << " exprs=" << exprs.size()
+     << " eqs=" << eqs.size() << " keys=" << key_lists.size()
+     << " verifies=" << eq_lists.size() << " quants=" << quants.size()
+     << "\n\n";
+
+  if (!consts.empty()) {
+    os << "const-pool:\n";
+    for (std::size_t i = 0; i < consts.size(); ++i) {
+      os << "  " << i << ": " << consts[i].to_string(syms) << "\n";
+    }
+    os << "\n";
+  }
+  if (!key_lists.empty()) {
+    os << "key-pool:\n";
+    for (std::size_t i = 0; i < key_lists.size(); ++i) {
+      os << "  #" << i << ": regs(";
+      for (std::uint32_t k = 0; k < key_lists[i].count; ++k) {
+        if (k) os << " ";
+        os << key_regs[key_lists[i].offset + k];
+      }
+      os << ")" << (key_lists[i].full ? " covers" : "") << "\n";
+    }
+    os << "\n";
+  }
+  if (!eq_lists.empty()) {
+    os << "verify-pool:\n";
+    for (std::size_t i = 0; i < eq_lists.size(); ++i) {
+      os << "  #" << i << ": eqs(";
+      for (std::uint32_t k = 0; k < eq_lists[i].count; ++k) {
+        if (k) os << " ";
+        os << eqs[eq_lists[i].offset + k].slot << "=r"
+           << eqs[eq_lists[i].offset + k].reg;
+      }
+      os << ")\n";
+    }
+    os << "\n";
+  }
+  if (!quants.empty()) {
+    os << "quant-pool:\n";
+    for (std::size_t i = 0; i < quants.size(); ++i) {
+      const QuantCheck& q = quants[i];
+      os << "  " << i << ": " << (q.exists ? "exists" : "not")
+         << " alpha=" << q.alpha << " index=" << q.index_handle << " eqs(";
+      for (std::uint32_t k = 0; k < q.eq_count; ++k) {
+        if (k) os << " ";
+        os << eqs[q.eq_offset + k].slot << "=r" << eqs[q.eq_offset + k].reg;
+      }
+      os << ")\n";
+    }
+    os << "\n";
+  }
+
+  for (TemplateId t = 0; t < net_entry.size(); ++t) {
+    if (net_entry[t] < 0) continue;
+    os << "net " << syms.name(program.schema.at(t).name) << ":  ; @"
+       << net_entry[t] << "\n";
+    render_range(os, *this, net_entry[t]);
+    os << "\n";
+  }
+
+  for (std::size_t r = 0; r < rules.size(); ++r) {
+    const std::string_view rule_name = syms.name(program.rules[r].name);
+    for (std::size_t p = 0; p < rules[r].derive.size(); ++p) {
+      os << "derive " << rule_name << "/" << p << ":  ; @"
+         << rules[r].derive[p] << "\n";
+      render_range(os, *this, rules[r].derive[p]);
+      os << "\n";
+    }
+    for (std::size_t n = 0; n < rules[r].rematch.size(); ++n) {
+      os << "rematch " << rule_name << "/neg" << n << ":  ; @"
+         << rules[r].rematch[n] << "\n";
+      render_range(os, *this, rules[r].rematch[n]);
+      os << "\n";
+    }
+  }
+  return os.str();
+}
+
+}  // namespace parulel

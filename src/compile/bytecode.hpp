@@ -1,0 +1,160 @@
+// Bytecode for compiled rule programs.
+//
+// The compiler (compile/compiler.hpp) lowers an analyzed rule set into
+// one flat instruction array holding three program families:
+//
+//   - a discrimination net per template: the fused alpha tests of every
+//     pattern shape, arranged as a DFA-style trie so shapes with common
+//     test prefixes run those tests once;
+//   - a derive program per (rule, positive position): the rule's
+//     seminaive join (DerivePlan) flattened into specialized iterate/
+//     test/bind/guard instructions with the join loops unrolled per
+//     level;
+//   - a rematch program per (rule, quantified CE): the constrained
+//     re-derivation that runs when a (not ...) blocker leaves or an
+//     (exists ...) witness arrives, with the blocker's join key pinned
+//     into registers above the rule's variable frame.
+//
+// Instructions are fixed-width (opcode + four int32 operands); variable
+// -length payloads — literals, guard expressions, verify lists, probe
+// key lists, quantifier checks — live in side pools referenced by
+// index. The image is a pure value type: it owns copies of everything
+// it references except alpha memories and the conflict set, which the
+// VM (compile/vm.hpp) supplies at run time.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "lang/expr.hpp"
+#include "support/value.hpp"
+
+namespace parulel {
+
+struct Program;
+
+/// VM opcodes. Keep in sync with the label table in compile/vm.cpp and
+/// the name table in bytecode.cpp.
+enum class OpCode : std::uint8_t {
+  // Discrimination net (operate on the fact under classification).
+  TestConst,   ///< a=slot, b=const-pool idx, c=fail pc
+  TestIntra,   ///< a=slot, b=slot, c=fail pc
+  EmitAlpha,   ///< a=alpha id: the fact passes this alpha's tests
+
+  // Join loops (operate on per-level iteration frames).
+  IterFixed,   ///< a=level: iterate {pivot fact}
+  IterScan,    ///< a=level, b=alpha: iterate the whole alpha memory
+  IterProbe,   ///< a=level, b=alpha, c=index handle, d=key-list id
+  Next,        ///< a=level, b=exhausted pc, c=CE position for facts[c]
+  NextVerify,  ///< Next fused with an eq-verify list: a=level,
+               ///< b=exhausted pc, c=CE position, d=eq-list id. Skips
+               ///< candidates failing any (slot, reg) equality without
+               ///< re-dispatching — the join inner loop as one handler.
+  TestEq,      ///< a=slot, b=env reg, c=fail pc (cur.slots[a] == env[b])
+  Bind,        ///< a=slot, b=env reg, c=1 if reg keys a probe (cache hash)
+  Guard,       ///< a=expr-pool idx, b=fail pc
+  GuardCmp,    ///< Specialized structural eq/neq guard: a=env reg,
+               ///< b=env reg (or const-pool idx when d bit1 is set),
+               ///< c=fail pc, d bit0=1 for neq. The common `(neq ?x ?y)`
+               ///< test as one compare instead of an expr-tree walk.
+  PinLoad,     ///< a=env reg, b=pivot slot, c=1 if reg keys a probe
+  PinTest,     ///< a=env reg, b=env reg, c=fail pc (env[a] == env[b])
+  Quant,       ///< a=quant-pool idx, b=fail pc
+  Emit,        ///< a=rule, b=resume pc: facts[]/env[] form an inst
+
+  Halt,
+};
+
+/// Number of distinct opcodes (size of the dispatch tables).
+constexpr std::size_t kOpCount = static_cast<std::size_t>(OpCode::Halt) + 1;
+
+/// Export name of an opcode ("test-const", "iter-probe", ...).
+const char* opcode_name(OpCode op);
+
+/// One fixed-width instruction. Unused operands stay 0.
+struct Instr {
+  OpCode op = OpCode::Halt;
+  std::int32_t a = 0;
+  std::int32_t b = 0;
+  std::int32_t c = 0;
+  std::int32_t d = 0;
+};
+
+/// (slot, env register) pair: verify lists for probes and quantifier
+/// checks re-check real slot equality behind the hash index.
+struct EqRef {
+  std::int32_t slot = 0;
+  std::int32_t reg = 0;
+};
+
+/// A probe key: env registers whose values key a hash index, in the
+/// index's canonical slot order. Slice of CodeImage::key_regs.
+struct KeyList {
+  std::uint32_t offset = 0;
+  std::uint32_t count = 0;
+  /// Probe keys only: 1 when the indexed slots cover the probe's whole
+  /// verify list, so a canonical-key match on a pure group at probe
+  /// time proves every candidate passes and NextVerify can skip its
+  /// per-candidate eq loop (see AlphaMemory::probe_group_canon).
+  std::uint32_t full = 0;
+};
+
+/// One quantified-CE satisfaction check ((not ...) / (exists ...)),
+/// shared between the derive and rematch programs of a rule.
+struct QuantCheck {
+  std::uint32_t alpha = 0;
+  bool exists = false;           ///< true: needs >=1 match; false: none
+  std::int32_t index_handle = -1;
+  std::uint32_t eq_offset = 0;   ///< verify list in CodeImage::eqs
+  std::uint32_t eq_count = 0;
+  std::uint32_t key_offset = 0;  ///< probe key in CodeImage::key_regs
+  std::uint32_t key_count = 0;
+};
+
+/// Entry points of one rule's programs.
+struct RuleCode {
+  /// derive[p]: seminaive join with positive position p fixed to the
+  /// pivot fact. Aligned with CompiledRule::positives.
+  std::vector<std::int32_t> derive;
+  /// rematch[n]: pinned re-derivation for quantified CE n. Aligned with
+  /// CompiledRule::negatives.
+  std::vector<std::int32_t> rematch;
+};
+
+/// A compiled code image: flat code plus the side pools it references.
+/// Value type; independent of any live matcher state.
+struct CodeImage {
+  std::vector<Instr> code;
+  std::vector<Value> consts;
+  std::vector<CompiledExpr> exprs;   ///< guard fragments (deep copies)
+  std::vector<EqRef> eqs;
+  std::vector<std::int32_t> key_regs;
+  std::vector<KeyList> key_lists;
+  std::vector<KeyList> eq_lists;  ///< NextVerify verify lists, into eqs
+  std::vector<QuantCheck> quants;
+
+  /// net_entry[tmpl]: discrimination-net entry pc, -1 when no pattern
+  /// mentions the template.
+  std::vector<std::int32_t> net_entry;
+  /// Per-rule derive/rematch entry points (index = RuleId).
+  std::vector<RuleCode> rules;
+
+  // VM sizing, computed at codegen time so the interpreter can
+  // preallocate every runtime buffer once.
+  std::int32_t env_size = 0;     ///< max vars + pin registers of any rule
+  std::int32_t max_levels = 0;   ///< deepest join nesting
+  std::int32_t max_positives = 0;
+  std::int32_t max_key = 0;      ///< widest probe key
+
+  /// Total bytes of the serialized image (code + pools).
+  std::size_t byte_size() const;
+
+  /// Deterministic human-readable listing (the --compile-dump format):
+  /// pools, then the net per template, then each rule's programs, with
+  /// jump targets as absolute pcs. `program` supplies rule/template
+  /// names; pass the same program the image was compiled from.
+  std::string listing(const Program& program) const;
+};
+
+}  // namespace parulel

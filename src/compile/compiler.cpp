@@ -1,0 +1,474 @@
+#include "compile/compiler.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <memory>
+#include <unordered_map>
+
+#include "obs/stats.hpp"
+
+namespace parulel {
+namespace {
+
+/// One fused alpha test: a constant check or an intra-fact slot
+/// equality, in the canonical order the net trie is built over.
+struct NetTest {
+  bool intra = false;
+  std::int32_t a = 0;
+  std::int32_t b = 0;
+  Value value;
+
+  bool operator==(const NetTest& o) const {
+    return intra == o.intra && a == o.a && b == o.b &&
+           (intra || value == o.value);
+  }
+};
+
+/// Canonical test sequence of one alpha spec. Sorting by slot maximizes
+/// prefix sharing across specs and is safe: alpha tests are a pure
+/// conjunction.
+std::vector<NetTest> canonical_tests(const AlphaSpec& spec) {
+  std::vector<NetTest> tests;
+  std::vector<CompiledPattern::ConstTest> consts = spec.const_tests;
+  std::stable_sort(consts.begin(), consts.end(),
+                   [](const auto& x, const auto& y) { return x.slot < y.slot; });
+  for (const auto& t : consts) {
+    NetTest nt;
+    nt.a = t.slot;
+    nt.value = t.value;
+    tests.push_back(nt);
+  }
+  std::vector<CompiledPattern::IntraEq> intras = spec.intra_eqs;
+  std::stable_sort(intras.begin(), intras.end(), [](const auto& x, const auto& y) {
+    return x.slot_a != y.slot_a ? x.slot_a < y.slot_a : x.slot_b < y.slot_b;
+  });
+  for (const auto& e : intras) {
+    NetTest nt;
+    nt.intra = true;
+    nt.a = e.slot_a;
+    nt.b = e.slot_b;
+    tests.push_back(nt);
+  }
+  return tests;
+}
+
+/// Trie node of the per-template discrimination net. Children keep
+/// first-insertion order (specs are inserted in ascending alpha id, so
+/// layout is deterministic).
+struct NetNode {
+  std::vector<std::pair<NetTest, std::unique_ptr<NetNode>>> children;
+  std::vector<std::uint32_t> accepts;
+};
+
+class Builder {
+ public:
+  Builder(std::span<const CompiledRule> rules,
+          std::span<const AlphaSpec> alphas, std::size_t template_count,
+          const std::vector<RulePlan>& plans)
+      : rules_(rules), alphas_(alphas), plans_(plans) {
+    image_.net_entry.assign(template_count, -1);
+  }
+
+  CodeImage build() {
+    build_nets();
+    image_.rules.resize(rules_.size());
+    for (RuleId r = 0; r < rules_.size(); ++r) {
+      const CompiledRule& rule = rules_[r];
+      image_.env_size =
+          std::max(image_.env_size,
+                   rule.num_vars + static_cast<std::int32_t>(
+                                       plans_[r].neg_rematch.empty()
+                                           ? 0
+                                           : max_pins(plans_[r])));
+      image_.max_levels = std::max(
+          image_.max_levels, static_cast<std::int32_t>(rule.positives.size()));
+      image_.max_positives = image_.max_levels;
+      for (std::size_t p = 0; p < rule.positives.size(); ++p) {
+        image_.rules[r].derive.push_back(emit_derive(r, p));
+        ++programs_;
+      }
+      for (std::size_t n = 0; n < rule.negatives.size(); ++n) {
+        image_.rules[r].rematch.push_back(emit_rematch(r, n));
+        ++programs_;
+      }
+    }
+    mark_keyed_regs();
+    return std::move(image_);
+  }
+
+  std::uint64_t programs() const { return programs_; }
+  std::uint64_t net_nodes() const { return net_nodes_; }
+  std::uint64_t net_shared() const { return net_tests_total_ - net_nodes_; }
+
+ private:
+  /// Flag every Bind/PinLoad whose register appears in some probe key
+  /// (join key lists and quantifier keys both live in key_regs). The VM
+  /// caches the value hash at the flagged writes and composes probe
+  /// hashes from the cache, instead of rehashing key values per probe.
+  void mark_keyed_regs() {
+    std::vector<bool> keyed(static_cast<std::size_t>(image_.env_size), false);
+    for (std::int32_t reg : image_.key_regs) {
+      keyed[static_cast<std::size_t>(reg)] = true;
+    }
+    for (Instr& in : image_.code) {
+      if (in.op == OpCode::Bind) {
+        in.c = keyed[static_cast<std::size_t>(in.b)] ? 1 : 0;
+      } else if (in.op == OpCode::PinLoad) {
+        in.c = keyed[static_cast<std::size_t>(in.a)] ? 1 : 0;
+      }
+    }
+  }
+
+  static std::size_t max_pins(const RulePlan& plan) {
+    std::size_t pins = 0;
+    for (const auto& rp : plan.neg_rematch) {
+      pins = std::max(pins, rp.pins.size());
+    }
+    return pins;
+  }
+
+  std::int32_t pc() const {
+    return static_cast<std::int32_t>(image_.code.size());
+  }
+
+  std::int32_t emit(OpCode op, std::int32_t a = 0, std::int32_t b = 0,
+                    std::int32_t c = 0, std::int32_t d = 0) {
+    image_.code.push_back({op, a, b, c, d});
+    return pc() - 1;
+  }
+
+  std::int32_t add_const(const Value& v) {
+    for (std::size_t i = 0; i < image_.consts.size(); ++i) {
+      if (image_.consts[i] == v) return static_cast<std::int32_t>(i);
+    }
+    image_.consts.push_back(v);
+    return static_cast<std::int32_t>(image_.consts.size() - 1);
+  }
+
+  /// Lower one guard. Structural eq/neq over variables and constants
+  /// compiles to a single GuardCmp — no expression-tree walk per
+  /// candidate — which covers the bulk of real guards (waltz is wall-
+  /// to-wall `neq`). Everything else falls back to the expr pool.
+  void emit_guard(const CompiledExpr* g, std::int32_t fail_pc) {
+    if ((g->op == ExprOp::Eq || g->op == ExprOp::Ne) && g->args.size() == 2) {
+      const CompiledExpr& l = g->args[0];
+      const CompiledExpr& r = g->args[1];
+      const std::int32_t kind = g->op == ExprOp::Ne ? 1 : 0;
+      if (l.op == ExprOp::Var && r.op == ExprOp::Var) {
+        emit(OpCode::GuardCmp, l.var, r.var, fail_pc, kind);
+        return;
+      }
+      if (l.op == ExprOp::Var && r.op == ExprOp::Const) {
+        emit(OpCode::GuardCmp, l.var, add_const(r.constant), fail_pc,
+             kind | 2);
+        return;
+      }
+      if (l.op == ExprOp::Const && r.op == ExprOp::Var) {
+        emit(OpCode::GuardCmp, r.var, add_const(l.constant), fail_pc,
+             kind | 2);
+        return;
+      }
+    }
+    emit(OpCode::Guard, add_expr(g), fail_pc);
+  }
+
+  /// Deep-copy a guard into the expr pool (cached per source node, so a
+  /// guard shared by several derive orders is stored once).
+  std::int32_t add_expr(const CompiledExpr* e) {
+    auto it = expr_cache_.find(e);
+    if (it != expr_cache_.end()) return it->second;
+    image_.exprs.push_back(*e);
+    const auto idx = static_cast<std::int32_t>(image_.exprs.size() - 1);
+    expr_cache_.emplace(e, idx);
+    return idx;
+  }
+
+  /// Verify list for a NextVerify: (slot, reg) pairs in the eqs pool.
+  template <typename EqSeq>
+  std::int32_t add_eq_list(const EqSeq& eq_seq) {
+    KeyList el;
+    el.offset = static_cast<std::uint32_t>(image_.eqs.size());
+    for (const auto& eq : eq_seq) {
+      image_.eqs.push_back({eq.slot, eq.var});
+    }
+    el.count = static_cast<std::uint32_t>(image_.eqs.size()) - el.offset;
+    image_.eq_lists.push_back(el);
+    return static_cast<std::int32_t>(image_.eq_lists.size() - 1);
+  }
+
+  /// `full`: the index's slots cover the probe's entire verify list
+  /// (true unless some slot is joined against two variables), enabling
+  /// the VM's once-per-probe canonical-key verification.
+  std::int32_t add_key_list(std::span<const std::int32_t> regs, bool full) {
+    KeyList kl;
+    kl.offset = static_cast<std::uint32_t>(image_.key_regs.size());
+    kl.count = static_cast<std::uint32_t>(regs.size());
+    kl.full = full ? 1 : 0;
+    image_.key_regs.insert(image_.key_regs.end(), regs.begin(), regs.end());
+    image_.key_lists.push_back(kl);
+    image_.max_key =
+        std::max(image_.max_key, static_cast<std::int32_t>(regs.size()));
+    return static_cast<std::int32_t>(image_.key_lists.size() - 1);
+  }
+
+  /// QuantCheck for (rule, negative CE), created once and shared by the
+  /// rule's derive and rematch programs.
+  std::int32_t add_quant(RuleId r, std::size_t n) {
+    const std::uint64_t key = (static_cast<std::uint64_t>(r) << 32) | n;
+    auto it = quant_cache_.find(key);
+    if (it != quant_cache_.end()) return it->second;
+    const PositionPlan& neg = plans_[r].negatives[n];
+    QuantCheck q;
+    q.alpha = neg.alpha;
+    q.exists = rules_[r].negatives[n].exists;
+    q.index_handle = neg.index_handle;
+    q.eq_offset = static_cast<std::uint32_t>(image_.eqs.size());
+    for (const auto& eq : neg.join_eqs) {
+      image_.eqs.push_back({eq.slot, eq.var});
+    }
+    q.eq_count = static_cast<std::uint32_t>(image_.eqs.size()) - q.eq_offset;
+    q.key_offset = static_cast<std::uint32_t>(image_.key_regs.size());
+    for (VarId v : neg.key_vars) image_.key_regs.push_back(v);
+    q.key_count =
+        static_cast<std::uint32_t>(image_.key_regs.size()) - q.key_offset;
+    image_.max_key =
+        std::max(image_.max_key, static_cast<std::int32_t>(q.key_count));
+    image_.quants.push_back(q);
+    const auto idx = static_cast<std::int32_t>(image_.quants.size() - 1);
+    quant_cache_.emplace(key, idx);
+    return idx;
+  }
+
+  // -- discrimination net -------------------------------------------------
+
+  void build_nets() {
+    const std::size_t template_count = image_.net_entry.size();
+    std::vector<NetNode> roots(template_count);
+    std::vector<bool> used(template_count, false);
+    for (std::uint32_t a = 0; a < alphas_.size(); ++a) {
+      const AlphaSpec& spec = alphas_[a];
+      used[spec.tmpl] = true;
+      NetNode* node = &roots[spec.tmpl];
+      for (const NetTest& t : canonical_tests(spec)) {
+        ++net_tests_total_;
+        NetNode* child = nullptr;
+        for (auto& [test, sub] : node->children) {
+          if (test == t) {
+            child = sub.get();
+            break;
+          }
+        }
+        if (!child) {
+          node->children.emplace_back(t, std::make_unique<NetNode>());
+          child = node->children.back().second.get();
+        }
+        node = child;
+      }
+      node->accepts.push_back(a);
+    }
+    for (std::size_t t = 0; t < template_count; ++t) {
+      if (!used[t]) continue;
+      image_.net_entry[t] = pc();
+      emit_net_node(roots[t]);
+      emit(OpCode::Halt);
+    }
+  }
+
+  void emit_net_node(const NetNode& node) {
+    for (std::uint32_t a : node.accepts) {
+      emit(OpCode::EmitAlpha, static_cast<std::int32_t>(a));
+    }
+    for (const auto& [test, sub] : node.children) {
+      ++net_nodes_;
+      std::int32_t tpc;
+      if (test.intra) {
+        tpc = emit(OpCode::TestIntra, test.a, test.b);
+      } else {
+        tpc = emit(OpCode::TestConst, test.a, add_const(test.value));
+      }
+      emit_net_node(*sub);
+      // A failed test skips the whole subtree; passing specs in sibling
+      // branches are still reachable (alphas are not mutually
+      // exclusive), so control always converges here.
+      image_.code[static_cast<std::size_t>(tpc)].c = pc();
+    }
+  }
+
+  // -- join programs ------------------------------------------------------
+
+  /// Common tail of every join program: quantifier checks over the
+  /// fully bound environment, then instantiation emission, looping back
+  /// into the innermost iteration.
+  void emit_tail(RuleId r, std::int32_t inner_next,
+                 std::vector<std::int32_t>& next_pcs) {
+    for (std::size_t n = 0; n < rules_[r].negatives.size(); ++n) {
+      emit(OpCode::Quant, add_quant(r, n), inner_next);
+    }
+    emit(OpCode::Emit, static_cast<std::int32_t>(r), inner_next);
+    const std::int32_t halt_pc = emit(OpCode::Halt);
+    // Exhausting level s resumes level s-1; exhausting level 0 ends the
+    // program.
+    for (std::size_t s = 0; s < next_pcs.size(); ++s) {
+      image_.code[static_cast<std::size_t>(next_pcs[s])].b =
+          s == 0 ? halt_pc : next_pcs[s - 1];
+    }
+  }
+
+  /// Seminaive derivation with positive position `fixed` bound to the
+  /// pivot fact: the DerivePlan's reordered join, one level per step.
+  std::int32_t emit_derive(RuleId r, std::size_t fixed) {
+    const DerivePlan& dp = plans_[r].derive[fixed];
+    const std::int32_t entry = pc();
+    std::vector<std::int32_t> next_pcs;
+    for (std::size_t s = 0; s < dp.steps.size(); ++s) {
+      const DeriveStep& step = dp.steps[s];
+      const auto level = static_cast<std::int32_t>(s);
+      if (s == 0) {
+        emit(OpCode::IterFixed, level);
+      } else if (step.index_handle >= 0) {
+        std::vector<std::int32_t> regs(step.key_vars.begin(),
+                                       step.key_vars.end());
+        // key_slots are the unique slots of step.eqs, so equal sizes
+        // mean the index key decides the whole verify list.
+        emit(OpCode::IterProbe, level,
+             static_cast<std::int32_t>(step.alpha), step.index_handle,
+             add_key_list(regs,
+                          step.eqs.size() == step.key_slots.size()));
+      } else {
+        emit(OpCode::IterScan, level, static_cast<std::int32_t>(step.alpha));
+      }
+      // Join-loop specialization: the eq-verify list rides inside the
+      // iteration instruction, so rejected candidates never leave the
+      // handler (no dispatch per failed test).
+      const std::int32_t next_pc =
+          step.eqs.empty()
+              ? emit(OpCode::Next, level, 0, step.pattern)
+              : emit(OpCode::NextVerify, level, 0, step.pattern,
+                     add_eq_list(step.eqs));
+      next_pcs.push_back(next_pc);
+      for (const auto& def : step.defs) {
+        emit(OpCode::Bind, def.slot, def.var);
+      }
+      for (const CompiledExpr* guard : step.guards) {
+        emit_guard(guard, next_pc);
+      }
+    }
+    emit_tail(r, next_pcs.back(), next_pcs);
+    return entry;
+  }
+
+  /// Constrained re-derivation for quantified CE `n`: source-order join
+  /// over the positives with the blocker's join key pinned into
+  /// registers above the rule's variable frame, probing position 0 by
+  /// the pinned slots when the plan indexed them.
+  std::int32_t emit_rematch(RuleId r, std::size_t n) {
+    const CompiledRule& rule = rules_[r];
+    const RulePlan& plan = plans_[r];
+    const NegRematchPlan& rp = plan.neg_rematch[n];
+    const std::int32_t entry = pc();
+
+    // Pin registers live at env[num_vars + j]; Bind never touches them.
+    auto pin_reg = [&](VarId var) -> std::int32_t {
+      for (std::size_t j = 0; j < rp.pins.size(); ++j) {
+        if (rp.pins[j].var == var) {
+          return rule.num_vars + static_cast<std::int32_t>(j);
+        }
+      }
+      return -1;
+    };
+    for (std::size_t j = 0; j < rp.pins.size(); ++j) {
+      emit(OpCode::PinLoad, rule.num_vars + static_cast<std::int32_t>(j),
+           rp.pins[j].blocker_slot);
+    }
+
+    std::vector<std::int32_t> next_pcs;
+    for (std::size_t p = 0; p < rule.positives.size(); ++p) {
+      const PositionPlan& pos = plan.positives[p];
+      const auto level = static_cast<std::int32_t>(p);
+      if (p == 0 && rp.index_handle >= 0) {
+        std::vector<std::int32_t> regs;
+        for (VarId v : rp.pos0_vars) regs.push_back(pin_reg(v));
+        // Position 0 verifies via PinTest instructions, not a verify
+        // list, so the canonical fast path buys nothing here.
+        emit(OpCode::IterProbe, level, static_cast<std::int32_t>(pos.alpha),
+             rp.index_handle, add_key_list(regs, false));
+      } else if (p > 0 && pos.index_handle >= 0) {
+        std::vector<std::int32_t> regs(pos.key_vars.begin(),
+                                       pos.key_vars.end());
+        emit(OpCode::IterProbe, level, static_cast<std::int32_t>(pos.alpha),
+             pos.index_handle,
+             add_key_list(regs,
+                          pos.join_eqs.size() == pos.key_slots.size()));
+      } else {
+        emit(OpCode::IterScan, level, static_cast<std::int32_t>(pos.alpha));
+      }
+      const std::int32_t next_pc =
+          pos.join_eqs.empty()
+              ? emit(OpCode::Next, level, 0, static_cast<std::int32_t>(p))
+              : emit(OpCode::NextVerify, level, 0,
+                     static_cast<std::int32_t>(p), add_eq_list(pos.join_eqs));
+      next_pcs.push_back(next_pc);
+      for (const auto& def : rule.positives[p].defines) {
+        emit(OpCode::Bind, def.slot, def.var);
+      }
+      for (const auto& pin : rp.pins) {
+        if (plan.def_position[static_cast<std::size_t>(pin.var)] ==
+            static_cast<int>(p)) {
+          emit(OpCode::PinTest, pin.var, pin_reg(pin.var), next_pc);
+        }
+      }
+      for (const auto& guard : rule.guards[p]) {
+        emit_guard(&guard, next_pc);
+      }
+    }
+    emit_tail(r, next_pcs.back(), next_pcs);
+    return entry;
+  }
+
+  std::span<const CompiledRule> rules_;
+  std::span<const AlphaSpec> alphas_;
+  const std::vector<RulePlan>& plans_;
+  CodeImage image_;
+  std::unordered_map<const CompiledExpr*, std::int32_t> expr_cache_;
+  std::unordered_map<std::uint64_t, std::int32_t> quant_cache_;
+  std::uint64_t programs_ = 0;
+  std::uint64_t net_nodes_ = 0;
+  std::uint64_t net_tests_total_ = 0;
+};
+
+}  // namespace
+
+CodeImage compile_rules(std::span<const CompiledRule> rules,
+                        std::span<const AlphaSpec> alphas,
+                        std::size_t template_count,
+                        const std::vector<RulePlan>& plans,
+                        CompileStats* stats) {
+  const auto start = std::chrono::steady_clock::now();
+  Builder builder(rules, alphas, template_count, plans);
+  CodeImage image = builder.build();
+  if (stats) {
+    stats->codegen_ns = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count());
+    stats->code_bytes = image.byte_size();
+    stats->instructions = image.code.size();
+    stats->const_pool = image.consts.size();
+    stats->expr_pool = image.exprs.size();
+    stats->programs = builder.programs();
+    stats->net_nodes = builder.net_nodes();
+    stats->net_shared = builder.net_shared();
+  }
+  return image;
+}
+
+std::string compile_listing(const Program& program) {
+  AlphaStore alphas(program.alphas, program.schema.size());
+  const std::vector<RulePlan> plans =
+      build_join_plans(program.rules, alphas);
+  const CodeImage image = compile_rules(
+      program.rules, program.alphas, program.schema.size(), plans, nullptr);
+  return image.listing(program);
+}
+
+}  // namespace parulel

@@ -1,0 +1,42 @@
+// Lowering pass: analyzed rules + join plans -> bytecode image.
+//
+// The compiler consumes exactly what the interpreted TREAT matcher
+// consumes — the analyzer's CompiledRules/AlphaSpecs and the join
+// planner's RulePlans — and emits programs that enumerate in the same
+// order the interpreter does. That order-preservation is the whole
+// correctness story: the VM produces instantiations in the identical
+// sequence, so conflict-set contents, InstIds, and therefore engine
+// fingerprints match the interpreter exactly (the differential sweep in
+// tests/test_random_programs.cpp holds it to that).
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "compile/bytecode.hpp"
+#include "lang/program.hpp"
+#include "match/join.hpp"
+
+namespace parulel {
+
+struct CompileStats;
+
+/// Lower a rule set into a code image. `plans` must come from
+/// build_join_plans over the same rules (the matcher's JoinEngine
+/// provides it); index handles in the plans are baked into probe
+/// instructions, so the image is only meaningful against an AlphaStore
+/// that registered the same indexes. Fills the codegen fields of
+/// `stats` when non-null.
+CodeImage compile_rules(std::span<const CompiledRule> rules,
+                        std::span<const AlphaSpec> alphas,
+                        std::size_t template_count,
+                        const std::vector<RulePlan>& plans,
+                        CompileStats* stats = nullptr);
+
+/// Compile `program`'s object-level rules standalone and render the
+/// listing (the CLI's --compile-dump). Deterministic: equal programs
+/// produce byte-identical listings.
+std::string compile_listing(const Program& program);
+
+}  // namespace parulel

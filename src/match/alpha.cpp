@@ -10,46 +10,87 @@ int AlphaMemory::ensure_index(std::vector<int> slots) {
     if (indexes_[i].slots == slots) return static_cast<int>(i);
   }
   assert(facts_.empty() && "indexes must be registered before facts");
-  indexes_.push_back(Index{std::move(slots), {}});
+  indexes_.push_back(Index{});
+  indexes_.back().slots = std::move(slots);
   return static_cast<int>(indexes_.size() - 1);
 }
 
-void AlphaMemory::insert(const Fact& fact) {
-  if (pos_.contains(fact.id)) return;
-  pos_.emplace(fact.id, facts_.size());
-  facts_.push_back(fact.id);
-  for (auto& index : indexes_) {
-    index.map.emplace(join_key_hash(fact, index.slots), fact.id);
+namespace {
+
+/// Key hash over `slots` composed from precomputed per-slot hashes.
+std::size_t key_from(std::span<const std::size_t> hashes,
+                     std::span<const int> slots) {
+  std::size_t h = kJoinKeySeed;
+  for (int s : slots) {
+    h = hash_combine(h, hashes[static_cast<std::size_t>(s)]);
   }
+  return h;
+}
+
+}  // namespace
+
+void AlphaMemory::insert(const Fact& fact) {
+  if (!indexes_.empty()) fact_slot_hashes(fact, hash_scratch_);
+  insert_hashed(fact, hash_scratch_);
 }
 
 void AlphaMemory::erase(const Fact& fact) {
-  auto it = pos_.find(fact.id);
-  if (it == pos_.end()) return;
-  const std::size_t p = it->second;
-  const FactId moved = facts_.back();
-  facts_[p] = moved;
-  pos_[moved] = p;
-  facts_.pop_back();
-  pos_.erase(it);
+  if (!indexes_.empty()) fact_slot_hashes(fact, hash_scratch_);
+  erase_hashed(fact, hash_scratch_);
+}
+
+void AlphaMemory::insert_hashed(const Fact& fact,
+                                std::span<const std::size_t> hashes) {
+  if (pos_.contains(fact.id)) return;
+  pos_.insert(fact.id, static_cast<std::uint32_t>(facts_.size()));
+  facts_.push_back(fact.id);
   for (auto& index : indexes_) {
-    const std::size_t h = join_key_hash(fact, index.slots);
-    auto [lo, hi] = index.map.equal_range(h);
-    for (auto mit = lo; mit != hi; ++mit) {
-      if (mit->second == fact.id) {
-        index.map.erase(mit);
-        break;
+    const std::size_t gid =
+        index.map.group_id_for(key_from(hashes, index.slots));
+    auto& g = index.map.group(gid);
+    const std::size_t w = index.slots.size();
+    if (gid >= index.canon_pure.size()) {
+      index.canon_pure.resize(gid + 1);
+      index.canon_vals.resize((gid + 1) * w);
+    }
+    Value* cv = index.canon_vals.data() + gid * w;
+    if (g.empty()) {
+      index.canon_pure[gid] = 1;
+      for (std::size_t i = 0; i < w; ++i) {
+        cv[i] = fact.slots[static_cast<std::size_t>(index.slots[i])];
+      }
+    } else if (index.canon_pure[gid]) {
+      for (std::size_t i = 0; i < w; ++i) {
+        if (cv[i] != fact.slots[static_cast<std::size_t>(index.slots[i])]) {
+          index.canon_pure[gid] = 0;
+          break;
+        }
       }
     }
+    g.push_back(fact.id);
+  }
+}
+
+void AlphaMemory::erase_hashed(const Fact& fact,
+                               std::span<const std::size_t> hashes) {
+  const std::uint32_t* found = pos_.find(fact.id);
+  if (!found) return;
+  const std::uint32_t p = *found;
+  const FactId moved = facts_.back();
+  facts_[p] = moved;
+  *pos_.find(moved) = p;
+  facts_.pop_back();
+  pos_.erase(fact.id);
+  for (auto& index : indexes_) {
+    // The ordered erase keeps probe order = insertion order.
+    auto* g = index.map.find(key_from(hashes, index.slots));
+    g->erase(std::find(g->begin(), g->end(), fact.id));
   }
 }
 
 void AlphaMemory::probe(int index_handle, std::span<const Value> key_values,
                         std::vector<FactId>& out) const {
-  const Index& index = indexes_[static_cast<std::size_t>(index_handle)];
-  const std::size_t h = join_key_hash(key_values);
-  auto [lo, hi] = index.map.equal_range(h);
-  for (auto it = lo; it != hi; ++it) out.push_back(it->second);
+  probe_hash(index_handle, join_key_hash(key_values), out);
 }
 
 AlphaStore::AlphaStore(std::span<const AlphaSpec> specs,
@@ -71,14 +112,20 @@ void AlphaStore::matching_alphas(const Fact& fact,
 }
 
 void AlphaStore::on_assert(const Fact& fact) {
+  fact_slot_hashes(fact, hash_scratch_);
   for (std::uint32_t a : by_template_[fact.tmpl]) {
-    if (specs_[a].accepts(fact.slots)) memories_[a].insert(fact);
+    if (specs_[a].accepts(fact.slots)) {
+      memories_[a].insert_hashed(fact, hash_scratch_);
+    }
   }
 }
 
 void AlphaStore::on_retract(const Fact& fact) {
+  fact_slot_hashes(fact, hash_scratch_);
   for (std::uint32_t a : by_template_[fact.tmpl]) {
-    if (specs_[a].accepts(fact.slots)) memories_[a].erase(fact);
+    if (specs_[a].accepts(fact.slots)) {
+      memories_[a].erase_hashed(fact, hash_scratch_);
+    }
   }
 }
 

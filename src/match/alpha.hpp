@@ -9,18 +9,24 @@
 
 #include <cstdint>
 #include <span>
-#include <unordered_map>
 #include <vector>
 
 #include "lang/program.hpp"
+#include "support/flat_group_map.hpp"
+#include "support/flat_id_map.hpp"
 #include "wm/working_memory.hpp"
 
 namespace parulel {
 
+/// Seed for join-key hashing. Anyone composing a key hash out of cached
+/// per-value hashes (the compiled VM) must start from this seed and use
+/// hash_combine, or their probes miss the index.
+inline constexpr std::size_t kJoinKeySeed = 0x2545f4914f6cdd1dULL;
+
 /// Hash of a tuple of slot values (the join key).
 inline std::size_t join_key_hash(const Fact& fact,
                                  std::span<const int> slots) {
-  std::size_t h = 0x2545f4914f6cdd1dULL;
+  std::size_t h = kJoinKeySeed;
   for (int s : slots) {
     h = hash_combine(h, fact.slots[static_cast<std::size_t>(s)].hash());
   }
@@ -28,12 +34,28 @@ inline std::size_t join_key_hash(const Fact& fact,
 }
 
 inline std::size_t join_key_hash(std::span<const Value> values) {
-  std::size_t h = 0x2545f4914f6cdd1dULL;
+  std::size_t h = kJoinKeySeed;
   for (const Value& v : values) h = hash_combine(h, v.hash());
   return h;
 }
 
+/// Per-slot value hashes of one fact, written into `out` — computed
+/// once per fact and shared by every accepting memory's indexes (see
+/// AlphaMemory::insert_hashed).
+inline void fact_slot_hashes(const Fact& fact, std::vector<std::size_t>& out) {
+  out.resize(fact.slots.size());
+  for (std::size_t s = 0; s < fact.slots.size(); ++s) {
+    out[s] = fact.slots[s].hash();
+  }
+}
+
 /// One alpha memory: alive facts passing an AlphaSpec, plus indexes.
+///
+/// Join indexes are flat open-addressing tables (key hash -> group of
+/// fact ids in insertion order) rather than node-based multimaps: the
+/// probe is the innermost operation of every join, and pointer-chasing
+/// per candidate dominated match time. Groups persist after emptying,
+/// so steady-state churn neither allocates nor rehashes.
 class AlphaMemory {
  public:
   /// Ensure an index over `slots` exists; returns its handle.
@@ -43,15 +65,63 @@ class AlphaMemory {
   void insert(const Fact& fact);
   void erase(const Fact& fact);
 
+  /// insert/erase with the fact's per-slot value hashes precomputed by
+  /// the caller — one hash pass per fact instead of one per accepting
+  /// memory (facts routinely land in several).
+  void insert_hashed(const Fact& fact, std::span<const std::size_t> hashes);
+  void erase_hashed(const Fact& fact, std::span<const std::size_t> hashes);
+
   bool contains(FactId id) const { return pos_.contains(id); }
   const std::vector<FactId>& facts() const { return facts_; }
   std::size_t size() const { return facts_.size(); }
 
   /// Candidate facts whose indexed slots equal `key_values`
   /// (values ordered as the index's slot list). May contain hash-collision
-  /// false positives — callers re-verify slot equality.
+  /// false positives — callers re-verify slot equality. Candidates come
+  /// back in alpha-memory insertion order (deterministic).
   void probe(int index_handle, std::span<const Value> key_values,
              std::vector<FactId>& out) const;
+
+  /// One join-index group: fact ids in insertion order, small sizes
+  /// stored inline.
+  using Group = FlatGroupMap<FactId>::Group;
+
+  /// Candidates for a precomputed key hash, appended to `out`; the
+  /// zero-copy variant for callers that cache hashes (the compiled VM).
+  void probe_hash(int index_handle, std::size_t hash,
+                  std::vector<FactId>& out) const {
+    const Index& index = indexes_[static_cast<std::size_t>(index_handle)];
+    if (const Group* g = index.map.find(hash)) {
+      out.insert(out.end(), g->begin(), g->end());
+    }
+  }
+
+  /// Direct view of one index group (the compiled VM's probe path: no
+  /// copy, iteration in insertion order). Nullptr when the key was
+  /// never inserted.
+  const Group* probe_group(int index_handle, std::size_t hash) const {
+    return indexes_[static_cast<std::size_t>(index_handle)].map.find(hash);
+  }
+
+  /// A probe hit with the group's canonical-key metadata. `canon`
+  /// points at the key-slot values (index slot order) shared by every
+  /// group member, or is nullptr when a 64-bit key collision put
+  /// distinct value tuples into one group and callers must re-verify
+  /// per candidate.
+  struct ProbeHit {
+    const Group* group = nullptr;  ///< nullptr: key never seen
+    const Value* canon = nullptr;
+  };
+
+  ProbeHit probe_group_canon(int index_handle, std::size_t hash) const {
+    const Index& index = indexes_[static_cast<std::size_t>(index_handle)];
+    const std::size_t gid = index.map.find_group_id(hash);
+    if (gid == FlatGroupMap<FactId>::npos) return {};
+    return {&index.map.group(gid),
+            index.canon_pure[gid]
+                ? index.canon_vals.data() + gid * index.slots.size()
+                : nullptr};
+  }
 
   /// The slot list of an index (for computing key values from an env).
   const std::vector<int>& index_slots(int index_handle) const {
@@ -61,12 +131,23 @@ class AlphaMemory {
  private:
   struct Index {
     std::vector<int> slots;
-    std::unordered_multimap<std::size_t, FactId> map;
+    FlatGroupMap<FactId> map;  ///< key hash -> facts, insertion order
+    /// Canonical-key cache, one stride of `slots.size()` values per
+    /// group id: the key-slot values every member of group gid shares,
+    /// valid while canon_pure[gid]. Since groups are keyed by the full
+    /// 64-bit key hash, impurity means a genuine hash collision between
+    /// distinct key tuples — vanishingly rare, but handled: probes then
+    /// re-verify per candidate. An emptied group re-canonicalizes on
+    /// its next insert. Flat pools, not per-group vectors, so canon
+    /// maintenance never allocates per group.
+    std::vector<Value> canon_vals;
+    std::vector<std::uint8_t> canon_pure;
   };
 
   std::vector<FactId> facts_;
-  std::unordered_map<FactId, std::size_t> pos_;
+  FlatIdMap<std::uint32_t> pos_;  ///< fact id -> index in facts_
   std::vector<Index> indexes_;
+  std::vector<std::size_t> hash_scratch_;  ///< per-slot value hashes
 };
 
 /// All alpha memories for one rule level (object or meta), with routing
@@ -93,6 +174,7 @@ class AlphaStore {
   std::vector<AlphaSpec> specs_;
   std::vector<AlphaMemory> memories_;
   std::vector<std::vector<std::uint32_t>> by_template_;
+  std::vector<std::size_t> hash_scratch_;  ///< per-slot value hashes
 };
 
 }  // namespace parulel

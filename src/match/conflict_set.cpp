@@ -9,9 +9,9 @@ InstId ConflictSet::add(Instantiation inst) {
   const std::size_t h = inst.key_hash();
 
   // Duplicate in the alive set?
-  auto [lo, hi] = by_key_.equal_range(h);
-  for (auto it = lo; it != hi; ++it) {
-    if (insts_[it->second].same_key(inst)) return kInvalidInst;
+  auto& key_group = by_key_.group_for(h);
+  for (const InstId other : key_group) {
+    if (insts_[other].same_key(inst)) return kInvalidInst;
   }
   // Refraction: already fired?
   auto [flo, fhi] = fired_.equal_range(h);
@@ -21,8 +21,8 @@ InstId ConflictSet::add(Instantiation inst) {
 
   const InstId id = static_cast<InstId>(insts_.size());
   inst.id = id;
-  by_key_.emplace(h, id);
-  for (FactId f : inst.facts) by_fact_.emplace(f, id);
+  key_group.push_back(id);
+  for (FactId f : inst.facts) by_fact_.group_for(f).push_back(id);
   if (inst.rule >= by_rule_.size()) by_rule_.resize(inst.rule + 1);
   by_rule_[inst.rule].push_back(id);
   insts_.push_back(std::move(inst));
@@ -37,32 +37,25 @@ void ConflictSet::remove(InstId id) {
   --alive_count_;
 
   const Instantiation& inst = insts_[id];
-  const std::size_t h = inst.key_hash();
-  auto [lo, hi] = by_key_.equal_range(h);
-  for (auto it = lo; it != hi; ++it) {
-    if (it->second == id) {
-      by_key_.erase(it);
-      break;
-    }
+  if (auto* g = by_key_.find(inst.key_hash())) {
+    g->erase(std::find(g->begin(), g->end(), id));
   }
   for (FactId f : inst.facts) {
-    auto [flo, fhi] = by_fact_.equal_range(f);
-    for (auto it = flo; it != fhi; ++it) {
-      if (it->second == id) {
-        by_fact_.erase(it);
-        break;
-      }
-    }
+    // A fact can appear twice in one instantiation (self-joins); the
+    // id was indexed once per occurrence, so erase one per occurrence.
+    auto* g = by_fact_.find(f);
+    g->erase(std::find(g->begin(), g->end(), id));
   }
   // by_rule_ entries are purged lazily in of_rule().
 }
 
 bool ConflictSet::remove_by_key(const Instantiation& probe) {
-  auto [lo, hi] = by_key_.equal_range(probe.key_hash());
-  for (auto it = lo; it != hi; ++it) {
-    if (insts_[it->second].same_key(probe)) {
-      remove(it->second);
-      return true;
+  if (const auto* g = by_key_.find(probe.key_hash())) {
+    for (const InstId id : *g) {
+      if (insts_[id].same_key(probe)) {
+        remove(id);
+        return true;
+      }
     }
   }
   return false;
@@ -71,10 +64,12 @@ bool ConflictSet::remove_by_key(const Instantiation& probe) {
 void ConflictSet::remove_by_fact(FactId fact,
                                  std::vector<InstId>* removed_out) {
   // Collect first: remove() mutates by_fact_.
-  scratch_rule_.clear();
-  auto [lo, hi] = by_fact_.equal_range(fact);
-  for (auto it = lo; it != hi; ++it) scratch_rule_.push_back(it->second);
+  const auto* g = by_fact_.find(fact);
+  if (!g) return;
+  scratch_rule_.assign(g->begin(), g->end());
   for (InstId id : scratch_rule_) {
+    // Self-join duplicates appear once per occurrence; the first
+    // removal kills the id, later ones no-op in remove().
     remove(id);
     if (removed_out) removed_out->push_back(id);
   }

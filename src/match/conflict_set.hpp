@@ -12,6 +12,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "support/flat_group_map.hpp"
 #include "match/instantiation.hpp"
 
 namespace parulel {
@@ -73,11 +74,11 @@ class ConflictSet {
   std::size_t alive_count_ = 0;
 
   // Structural key -> alive inst (bucket by hash, verify by same_key).
-  std::unordered_multimap<std::size_t, InstId> by_key_;
+  FlatGroupMap<InstId> by_key_;
   // Fired keys for refraction: hash -> representative instantiation copy.
   std::unordered_multimap<std::size_t, Instantiation> fired_;
   // fact -> alive inst ids containing it.
-  std::unordered_multimap<FactId, InstId> by_fact_;
+  FlatGroupMap<InstId> by_fact_;
   // rule -> alive inst ids (lazily compacted).
   std::vector<std::vector<InstId>> by_rule_;
   mutable std::vector<InstId> scratch_rule_;

@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <span>
 #include <string_view>
 
 #include "match/conflict_set.hpp"
@@ -20,18 +21,23 @@ namespace parulel {
 
 class ThreadPool;
 struct Program;
+struct CompileStats;
 
 /// Which match algorithm to construct. The single source of truth for
 /// the string spelling is matcher_kind_name()/parse_matcher_kind();
 /// construction goes through make_matcher() below — engines, the CLI,
 /// the service layer, benches, and tests all share one switch.
-enum class MatcherKind : std::uint8_t { Rete, Treat, ParallelTreat };
+enum class MatcherKind : std::uint8_t { Rete, Treat, ParallelTreat, Compiled };
 
-/// Stable export/CLI name: "rete", "treat", "parallel-treat".
+/// Stable export/CLI name: "rete", "treat", "parallel-treat", "compiled".
 const char* matcher_kind_name(MatcherKind kind);
 
 /// Inverse of matcher_kind_name(); nullopt for unknown spellings.
 std::optional<MatcherKind> parse_matcher_kind(std::string_view name);
+
+/// Every constructible kind, in a stable order. Benches and CLI help
+/// iterate this so a new matcher kind propagates everywhere for free.
+std::span<const MatcherKind> all_matcher_kinds();
 
 /// Matcher-side counters (for the match-algorithm comparison benches
 /// and the obs layer's per-cycle trace events).
@@ -46,6 +52,14 @@ struct MatchStats {
 
   /// Approximate resident state in entries (beta tokens or conflict set).
   std::uint64_t state_entries = 0;
+
+  /// Nanoseconds spent on shared alpha-memory upkeep for added facts
+  /// (discrimination routing + memory insertion). This code path is
+  /// identical across engines, so wall time minus upkeep isolates an
+  /// engine's own match work — the number the T6 bench compares.
+  /// Stays 0 for engines that don't report the split (RETE interleaves
+  /// token building with insertion).
+  std::uint64_t alpha_upkeep_ns = 0;
 
   /// Externally injected batches folded in via apply_external_delta
   /// (service layer). Stays 0 on pure batch runs; on a retained session
@@ -79,6 +93,10 @@ class Matcher {
 
   virtual const MatchStats& stats() const = 0;
   virtual const char* name() const = 0;
+
+  /// Rule-compiler counters, non-null only for the compiled matcher
+  /// (engines publish them under "compile." when present).
+  virtual const CompileStats* compile_stats() const { return nullptr; }
 
  protected:
   /// Mutable counter access for the base-class external-delta hook.

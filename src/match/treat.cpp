@@ -1,6 +1,7 @@
 #include "match/treat.hpp"
 
 #include <algorithm>
+#include <chrono>
 
 namespace parulel {
 
@@ -66,9 +67,14 @@ void TreatMatcher::apply_delta(const WorkingMemory& wm, const Delta& delta) {
 
   // 2. Additions into alpha memories first, so derivations see the
   // complete post-delta state for joins and quantifier checks.
+  const auto upkeep_start = std::chrono::steady_clock::now();
   for (FactId fid : delta.added) {
     alphas_.on_assert(wm.fact(fid));
   }
+  stats_.alpha_upkeep_ns += static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - upkeep_start)
+          .count());
 
   // 3. New facts in quantified alphas: (not ...) invalidates existing
   // matches; (exists ...) may enable new ones.

@@ -143,6 +143,16 @@ void ReplStats::publish(obs::MetricsRegistry& registry,
   }
 }
 
+void CompileStats::publish(obs::MetricsRegistry& registry,
+                           std::string_view prefix) const {
+  std::string name;
+  for (const auto& f : obs::compile_fields()) {
+    name.assign(prefix);
+    name += f.name;
+    registry.set(name, this->*f.member);
+  }
+}
+
 namespace obs {
 
 namespace {
@@ -279,6 +289,23 @@ constexpr FieldDef<ReplStats> kReplFields[] = {
     {"apply_errors", &ReplStats::apply_errors},
 };
 
+constexpr FieldDef<CompileStats> kCompileFields[] = {
+    {"codegen_ns", &CompileStats::codegen_ns},
+    {"code_bytes", &CompileStats::code_bytes},
+    {"instructions", &CompileStats::instructions},
+    {"const_pool", &CompileStats::const_pool},
+    {"expr_pool", &CompileStats::expr_pool},
+    {"programs", &CompileStats::programs},
+    {"net_nodes", &CompileStats::net_nodes},
+    {"net_shared", &CompileStats::net_shared},
+    {"dispatches", &CompileStats::dispatches},
+    {"net_runs", &CompileStats::net_runs},
+    {"derive_runs", &CompileStats::derive_runs},
+    {"rematch_runs", &CompileStats::rematch_runs},
+    {"quant_checks", &CompileStats::quant_checks},
+    {"emits", &CompileStats::emits},
+};
+
 }  // namespace
 
 std::span<const FieldDef<CycleStats>> cycle_fields() { return kCycleFields; }
@@ -300,6 +327,10 @@ std::span<const FieldDef<JournalStats>> journal_fields() {
 std::span<const FieldDef<RetryStats>> retry_fields() { return kRetryFields; }
 
 std::span<const FieldDef<ReplStats>> repl_fields() { return kReplFields; }
+
+std::span<const FieldDef<CompileStats>> compile_fields() {
+  return kCompileFields;
+}
 
 }  // namespace obs
 

@@ -1,0 +1,122 @@
+// FlatGroupMap: an open-addressing multimap from a size_t key to a
+// small group of values, tuned for the hot loops of the match layer
+// and working memory.
+//
+// The node-based unordered_multimaps previously backing the alpha join
+// indexes and the conflict set dominated match time (one allocation and
+// one pointer chase per entry, per probe). Here the table is two flat
+// arrays (key, group handle) probed linearly, and each distinct key
+// owns a contiguous vector of values in insertion order. Groups keep
+// their table slot when emptied, so the table needs no tombstones and
+// steady-state churn (erase + re-insert of the same keys) allocates
+// nothing.
+//
+// Determinism: iteration within a group is insertion order, so every
+// consumer enumerates candidates in the same order on every run and in
+// every matcher — the property the engines' bit-determinism rests on.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "support/small_group.hpp"
+
+namespace parulel {
+
+template <typename V>
+class FlatGroupMap {
+ public:
+  /// Groups store their first elements inline — no allocation for the
+  /// singleton/pair groups that dominate content and join indexes.
+  using Group = SmallGroup<V>;
+
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+  /// The group for `key`, created empty if absent. Amortized O(1).
+  Group& group_for(std::size_t key) {
+    return groups_[group_id_for(key)];
+  }
+
+  /// Group id for `key`, created if absent. Ids are dense, assigned in
+  /// creation order, and stable for the map's lifetime (groups are
+  /// never deleted), so callers can keep per-group metadata in a
+  /// parallel array — see AlphaMemory's canonical-key cache.
+  std::size_t group_id_for(std::size_t key) {
+    if (ctrl_.empty()) {
+      ctrl_.assign(kInitialTable, 0);
+      keys_.assign(kInitialTable, 0);
+    } else if ((distinct_ + 1) * 4 > ctrl_.size() * 3) {
+      grow();
+    }
+    const std::size_t mask = ctrl_.size() - 1;
+    std::size_t i = mix(key) & mask;
+    while (ctrl_[i] != 0) {
+      if (keys_[i] == key) return ctrl_[i] - 1;
+      i = (i + 1) & mask;
+    }
+    groups_.emplace_back();
+    ++distinct_;
+    ctrl_[i] = static_cast<std::uint32_t>(groups_.size());
+    keys_[i] = key;
+    return groups_.size() - 1;
+  }
+
+  /// Group id for `key`, or npos when none was ever created.
+  std::size_t find_group_id(std::size_t key) const {
+    if (ctrl_.empty()) return npos;
+    const std::size_t mask = ctrl_.size() - 1;
+    std::size_t i = mix(key) & mask;
+    while (ctrl_[i] != 0) {
+      if (keys_[i] == key) return ctrl_[i] - 1;
+      i = (i + 1) & mask;
+    }
+    return npos;
+  }
+
+  Group& group(std::size_t id) { return groups_[id]; }
+  const Group& group(std::size_t id) const { return groups_[id]; }
+
+  /// The group for `key`, or nullptr when none was ever created.
+  const Group* find(std::size_t key) const {
+    const std::size_t id = find_group_id(key);
+    return id == npos ? nullptr : &groups_[id];
+  }
+
+  Group* find(std::size_t key) {
+    return const_cast<Group*>(
+        static_cast<const FlatGroupMap*>(this)->find(key));
+  }
+
+ private:
+  static constexpr std::size_t kInitialTable = 16;
+
+  /// Spread sequential keys (fact ids) across the table; already-mixed
+  /// hash keys pass through this unharmed.
+  static std::size_t mix(std::size_t key) {
+    return key * 0x9e3779b97f4a7c15ull;
+  }
+
+  void grow() {
+    const std::size_t cap = ctrl_.size() * 2;
+    std::vector<std::size_t> old_keys = std::move(keys_);
+    std::vector<std::uint32_t> old_ctrl = std::move(ctrl_);
+    ctrl_.assign(cap, 0);
+    keys_.assign(cap, 0);
+    const std::size_t mask = cap - 1;
+    for (std::size_t i = 0; i < old_ctrl.size(); ++i) {
+      if (old_ctrl[i] == 0) continue;
+      std::size_t j = mix(old_keys[i]) & mask;
+      while (ctrl_[j] != 0) j = (j + 1) & mask;
+      ctrl_[j] = old_ctrl[i];
+      keys_[j] = old_keys[i];
+    }
+  }
+
+  std::vector<std::size_t> keys_;
+  std::vector<std::uint32_t> ctrl_;  ///< group id + 1; 0 = empty slot
+  std::vector<Group> groups_;
+  std::size_t distinct_ = 0;
+};
+
+}  // namespace parulel

@@ -1,40 +1,8 @@
 #include "support/value.hpp"
 
-#include <bit>
-#include <cstdint>
 #include <sstream>
 
 namespace parulel {
-
-namespace {
-
-/// splitmix64 finalizer: full-avalanche mixing. libstdc++'s
-/// std::hash<int> is the identity, which produces structured collisions
-/// in join keys and content fingerprints — mix properly instead.
-constexpr std::uint64_t mix64(std::uint64_t x) {
-  x ^= x >> 30;
-  x *= 0xbf58476d1ce4e5b9ULL;
-  x ^= x >> 27;
-  x *= 0x94d049bb133111ebULL;
-  x ^= x >> 31;
-  return x;
-}
-
-}  // namespace
-
-std::size_t Value::hash() const {
-  const std::uint64_t kind_salt =
-      static_cast<std::uint64_t>(kind_) * 0x9e3779b97f4a7c15ULL;
-  switch (kind_) {
-    case ValueKind::Int:
-      return mix64(static_cast<std::uint64_t>(i_) ^ kind_salt);
-    case ValueKind::Float:
-      return mix64(std::bit_cast<std::uint64_t>(f_) ^ kind_salt);
-    case ValueKind::Sym:
-      return mix64(static_cast<std::uint64_t>(s_) ^ kind_salt);
-  }
-  return kind_salt;
-}
 
 std::string Value::to_string(const SymbolTable& symbols) const {
   switch (kind_) {

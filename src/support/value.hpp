@@ -5,6 +5,7 @@
 // compared without indirection.
 #pragma once
 
+#include <bit>
 #include <cstdint>
 #include <functional>
 #include <string>
@@ -12,6 +13,22 @@
 #include "support/symbol_table.hpp"
 
 namespace parulel {
+
+namespace detail {
+
+/// splitmix64 finalizer: full-avalanche mixing. libstdc++'s
+/// std::hash<int> is the identity, which produces structured collisions
+/// in join keys and content fingerprints — mix properly instead.
+constexpr std::uint64_t mix64(std::uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+}  // namespace detail
 
 enum class ValueKind : std::uint8_t { Int, Float, Sym };
 
@@ -83,7 +100,21 @@ class Value {
     return false;
   }
 
-  std::size_t hash() const;
+  /// Inline: this is the single hottest leaf of the match layer (every
+  /// join-key and content hash bottoms out here).
+  std::size_t hash() const {
+    const std::uint64_t kind_salt =
+        static_cast<std::uint64_t>(kind_) * 0x9e3779b97f4a7c15ULL;
+    switch (kind_) {
+      case ValueKind::Int:
+        return detail::mix64(static_cast<std::uint64_t>(i_) ^ kind_salt);
+      case ValueKind::Float:
+        return detail::mix64(std::bit_cast<std::uint64_t>(f_) ^ kind_salt);
+      case ValueKind::Sym:
+        return detail::mix64(static_cast<std::uint64_t>(s_) ^ kind_salt);
+    }
+    return kind_salt;
+  }
 
   /// Render for diagnostics and printout actions.
   std::string to_string(const SymbolTable& symbols) const;

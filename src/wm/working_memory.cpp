@@ -21,12 +21,9 @@ FactId WorkingMemory::assert_fact(TemplateId tmpl, std::vector<Value> slots) {
   // Set semantics: absorb duplicates of alive facts.
   Fact probe{0, tmpl, std::move(slots)};
   const std::size_t h = probe.content_hash();
-  auto [lo, hi] = content_index_.equal_range(h);
-  for (auto it = lo; it != hi; ++it) {
-    const Fact& existing = facts_[it->second - 1];
-    if (alive_[it->second - 1] && existing.same_content(probe)) {
-      return kInvalidFact;
-    }
+  auto& group = content_index_.group_for(h);
+  for (const FactId other : group) {
+    if (facts_[other - 1].same_content(probe)) return kInvalidFact;
   }
 
   const FactId id = next_id_++;
@@ -35,7 +32,7 @@ FactId WorkingMemory::assert_fact(TemplateId tmpl, std::vector<Value> slots) {
   alive_.push_back(true);
   extent_pos_.push_back(extents_[tmpl].size());
   extents_[tmpl].push_back(id);
-  content_index_.emplace(h, id);
+  group.push_back(id);
   ++alive_count_;
   pending_.added.push_back(id);
   return id;
@@ -52,10 +49,9 @@ FactId WorkingMemory::assert_fact_at(FactId id, TemplateId tmpl,
   }
   Fact probe{0, tmpl, std::move(slots)};
   const std::size_t h = probe.content_hash();
-  auto [lo, hi] = content_index_.equal_range(h);
-  for (auto it = lo; it != hi; ++it) {
-    const Fact& existing = facts_[it->second - 1];
-    if (alive_[it->second - 1] && existing.same_content(probe)) {
+  auto& group = content_index_.group_for(h);
+  for (const FactId other : group) {
+    if (facts_[other - 1].same_content(probe)) {
       throw RuntimeError("assert_fact_at: duplicate alive content");
     }
   }
@@ -67,7 +63,7 @@ FactId WorkingMemory::assert_fact_at(FactId id, TemplateId tmpl,
   alive_.push_back(true);
   extent_pos_.push_back(extents_[tmpl].size());
   extents_[tmpl].push_back(id);
-  content_index_.emplace(h, id);
+  group.push_back(id);
   ++alive_count_;
   pending_.added.push_back(id);
   return id;
@@ -98,15 +94,9 @@ bool WorkingMemory::retract(FactId id) {
   extent_pos_[moved - 1] = pos;
   ext.pop_back();
 
-  // Remove from content index.
-  const std::size_t h = f.content_hash();
-  auto [lo, hi] = content_index_.equal_range(h);
-  for (auto it = lo; it != hi; ++it) {
-    if (it->second == id) {
-      content_index_.erase(it);
-      break;
-    }
-  }
+  // Remove from content index (groups hold alive ids only).
+  auto* g = content_index_.find(f.content_hash());
+  g->erase(std::find(g->begin(), g->end(), id));
 
   // A fact asserted and retracted within the same (undrained) delta
   // cancels out: matchers must never see it at all. Only ids above the
@@ -138,11 +128,6 @@ FactId WorkingMemory::modify(FactId id,
   return assert_fact(tmpl, std::move(slots));
 }
 
-const Fact& WorkingMemory::fact(FactId id) const {
-  assert(id != kInvalidFact && id < next_id_);
-  return facts_[id - 1];
-}
-
 bool WorkingMemory::alive(FactId id) const {
   return id != kInvalidFact && id < next_id_ && alive_[id - 1];
 }
@@ -150,11 +135,9 @@ bool WorkingMemory::alive(FactId id) const {
 std::optional<FactId> WorkingMemory::find(
     TemplateId tmpl, const std::vector<Value>& slots) const {
   Fact probe{0, tmpl, slots};
-  const std::size_t h = probe.content_hash();
-  auto [lo, hi] = content_index_.equal_range(h);
-  for (auto it = lo; it != hi; ++it) {
-    if (alive_[it->second - 1] && facts_[it->second - 1].same_content(probe)) {
-      return it->second;
+  if (const auto* g = content_index_.find(probe.content_hash())) {
+    for (const FactId id : *g) {
+      if (facts_[id - 1].same_content(probe)) return id;
     }
   }
   return std::nullopt;

@@ -19,9 +19,9 @@
 #include <cstdint>
 #include <optional>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
+#include "support/flat_group_map.hpp"
 #include "wm/fact.hpp"
 #include "wm/schema.hpp"
 
@@ -70,8 +70,14 @@ class WorkingMemory {
   /// Returns the new FactId (or kInvalidFact if absorbed / id dead).
   FactId modify(FactId id, const std::vector<std::pair<int, Value>>& updates);
 
-  /// Fact record by id; valid for alive and tombstoned facts.
-  const Fact& fact(FactId id) const;
+  /// Fact record by id; valid for alive and tombstoned facts. Inline:
+  /// this is the per-candidate load of every join loop.
+  const Fact& fact(FactId id) const { return facts_[id - 1]; }
+
+  /// Raw fact storage (index = id - 1), for inner loops that cache the
+  /// base pointer across a whole join program. Stable while no facts
+  /// are asserted (matchers never mutate WM).
+  const Fact* fact_array() const { return facts_.data(); }
 
   bool alive(FactId id) const;
 
@@ -106,17 +112,13 @@ class WorkingMemory {
   std::uint64_t content_fingerprint() const;
 
  private:
-  struct ContentKey {
-    std::size_t hash;
-    FactId id;  // representative alive fact
-  };
-
   const Schema& schema_;
   std::vector<Fact> facts_;          // index = id - 1
   std::vector<bool> alive_;          // parallel to facts_
   std::vector<std::vector<FactId>> extents_;  // per template, alive only
   std::vector<std::size_t> extent_pos_;       // fact id -> index in extent
-  std::unordered_multimap<std::size_t, FactId> content_index_;
+  // content hash -> alive fact ids (set-semantics duplicate detection).
+  FlatGroupMap<FactId> content_index_;
   FactId next_id_ = 1;
   FactId drain_floor_ = 0;  ///< ids at or below this predate the pending delta
   std::size_t alive_count_ = 0;

@@ -1,6 +1,7 @@
 // Unit tests: alpha memories, conflict set, and the three matchers.
 //
-// Matcher tests run parameterized over {rete, treat, parallel-treat}:
+// Matcher tests run parameterized over {rete, treat, parallel-treat,
+// compiled}:
 // every behaviour here is algorithm-independent, which is itself the
 // property being verified.
 #include <gtest/gtest.h>
@@ -499,7 +500,8 @@ std::string matcher_case_name(
 INSTANTIATE_TEST_SUITE_P(AllMatchers, MatcherTest,
                          ::testing::Values(MatcherKind::Rete,
                                            MatcherKind::Treat,
-                                           MatcherKind::ParallelTreat),
+                                           MatcherKind::ParallelTreat,
+                                           MatcherKind::Compiled),
                          matcher_case_name);
 
 }  // namespace

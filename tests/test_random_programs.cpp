@@ -18,6 +18,7 @@
 #include <set>
 #include <sstream>
 
+#include "compile/vm.hpp"
 #include "engine/par_engine.hpp"
 #include "lang/parser.hpp"
 #include "lang/printer.hpp"
@@ -250,6 +251,8 @@ TEST_P(RandomProgramTest, AllMatchersAgreeWithOracle) {
   TreatMatcher treat(program.rules, program.alphas, program.schema.size());
   ParallelTreatMatcher par(program.rules, program.alphas,
                            program.schema.size(), pool);
+  CompiledMatcher compiled(program.rules, program.alphas,
+                           program.schema.size());
 
   std::vector<FactId> alive;
   const int batches = 8;
@@ -283,6 +286,7 @@ TEST_P(RandomProgramTest, AllMatchersAgreeWithOracle) {
     rete.apply_delta(wm, delta);
     treat.apply_delta(wm, delta);
     par.apply_delta(wm, delta);
+    compiled.apply_delta(wm, delta);
 
     const std::set<InstKey> expected = oracle(program, wm);
     EXPECT_EQ(matcher_set(rete), expected)
@@ -291,6 +295,23 @@ TEST_P(RandomProgramTest, AllMatchersAgreeWithOracle) {
         << "treat diverged, batch " << batch << "\n" << gen.source;
     EXPECT_EQ(matcher_set(par), expected)
         << "parallel diverged, batch " << batch << "\n" << gen.source;
+    EXPECT_EQ(matcher_set(compiled), expected)
+        << "compiled diverged, batch " << batch << "\n" << gen.source;
+
+    // The compiled VM must also mirror the interpreter's derivation
+    // ORDER, not just its set: identical InstIds are what make it a
+    // drop-in under every conflict-resolution strategy.
+    const std::vector<InstId> treat_ids = treat.conflict_set().alive_ids();
+    const std::vector<InstId> vm_ids = compiled.conflict_set().alive_ids();
+    ASSERT_EQ(treat_ids, vm_ids)
+        << "compiled InstId order diverged, batch " << batch << "\n"
+        << gen.source;
+    for (InstId id : treat_ids) {
+      const Instantiation& a = treat.conflict_set().get(id);
+      const Instantiation& b = compiled.conflict_set().get(id);
+      ASSERT_EQ(a.rule, b.rule) << "inst " << id;
+      ASSERT_EQ(a.facts, b.facts) << "inst " << id;
+    }
   }
 }
 
@@ -346,6 +367,65 @@ TEST_P(RandomEngineTest, ParallelEngineTraceIdenticalAcrossThreads) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RandomEngineTest, ::testing::Range(0, 25));
+
+// ----------------------- compiled vs interpreted differential sweep
+//
+// The compiled matcher's primary correctness gate: every generated
+// program runs to completion under the interpreted TREAT oracle and
+// under the bytecode VM, and the full observable behaviour must match —
+// final working-memory fingerprint, cycle count, total firings, and the
+// per-cycle conflict-set sizes.
+
+class CompiledDifferentialTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CompiledDifferentialTest, CompiledMatchesInterpreterEndToEnd) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 15485863 + 11);
+  GeneratedProgram gen = generate_program(rng, /*active_rhs=*/true);
+  std::string source = gen.source;
+  std::ostringstream facts;
+  facts << "(deffacts init\n";
+  for (int i = 0; i < 12; ++i) {
+    const auto t = rng.below(static_cast<std::uint64_t>(gen.n_templates));
+    facts << "  (t" << t;
+    for (int s = 0; s < gen.arity[t]; ++s) {
+      facts << " (s" << s << " " << rng.below(4) << ")";
+    }
+    facts << ")\n";
+  }
+  facts << ")\n";
+  source += facts.str();
+  const Program program = parse_program(source);
+
+  auto run = [&](MatcherKind kind) {
+    EngineConfig cfg;
+    cfg.threads = 1;
+    cfg.matcher = kind;
+    cfg.trace_cycles = true;
+    cfg.max_cycles = 50;
+    ParallelEngine engine(program, cfg);
+    engine.assert_initial_facts();
+    const RunStats stats = engine.run();
+    return std::make_pair(stats, engine.wm().content_fingerprint());
+  };
+
+  const auto [si, fpi] = run(MatcherKind::Treat);
+  const auto [sc, fpc] = run(MatcherKind::Compiled);
+  EXPECT_EQ(fpi, fpc) << "fingerprint diverged\n" << source;
+  EXPECT_EQ(si.cycles, sc.cycles) << source;
+  EXPECT_EQ(si.total_firings, sc.total_firings) << source;
+  EXPECT_EQ(si.peak_conflict_set, sc.peak_conflict_set) << source;
+  ASSERT_EQ(si.per_cycle.size(), sc.per_cycle.size());
+  for (std::size_t i = 0; i < si.per_cycle.size(); ++i) {
+    EXPECT_EQ(si.per_cycle[i].conflict_set_size,
+              sc.per_cycle[i].conflict_set_size)
+        << "cycle " << i << "\n" << source;
+    EXPECT_EQ(si.per_cycle[i].fired, sc.per_cycle[i].fired)
+        << "cycle " << i << "\n" << source;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CompiledDifferentialTest,
+                         ::testing::Range(0, 200));
 
 // ---------------------------- printer round-trip, randomized programs
 
