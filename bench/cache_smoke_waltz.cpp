@@ -1,0 +1,34 @@
+// Cachegrind driver: the waltz match loop, and nothing else.
+//
+// scripts/check_cache_smoke.py runs this under
+// `valgrind --tool=cachegrind --cache-sim=yes` and budgets the L1d
+// miss rate — the figure the struct-of-arrays fact store is supposed
+// to keep low (ROADMAP item 2; see ARCHITECTURE.md, working-memory
+// data layout). A plain google-benchmark binary is the wrong vehicle
+// under a 50-100x simulator: this driver folds the waltz-8 initial
+// fact set through the TREAT matcher a fixed number of times and
+// exits, so nearly every simulated reference belongs to the loop
+// being budgeted.
+#include <cstdio>
+#include <cstdlib>
+
+#include "parulel.hpp"
+
+int main(int argc, char** argv) {
+  using namespace parulel;
+  const int reps = argc > 1 ? std::atoi(argv[1]) : 20;
+  const Program program =
+      parse_program(workloads::make_waltz(8).source);
+  std::size_t conflict = 0;
+  for (int rep = 0; rep < reps; ++rep) {
+    WorkingMemory wm(program.schema);
+    for (const auto& f : program.initial_facts) {
+      wm.assert_fact(f.tmpl, f.slots);
+    }
+    auto matcher = make_matcher(MatcherKind::Treat, program, nullptr);
+    matcher->apply_delta(wm, wm.drain_delta());
+    conflict = matcher->conflict_set().size();
+  }
+  std::printf("waltz8 treat fold x%d, conflict set %zu\n", reps, conflict);
+  return conflict == 0 ? 1 : 0;
+}

@@ -38,12 +38,12 @@ int main(int argc, char** argv) {
       static_cast<std::size_t>(gens + 1),
       std::vector<char>(static_cast<std::size_t>(n * n), '.'));
   for (parulel::FactId id : wm.extent(cell_t)) {
-    const parulel::Fact& f = wm.fact(id);
-    const auto gen = f.slots[1].as_int();
+    const parulel::FactView f = wm.view(id);
+    const auto gen = f.slot(1).as_int();
     if (gen > gens) continue;
-    if (f.slots[2] == parulel::Value::integer(1)) {
+    if (f.slot(2) == parulel::Value::integer(1)) {
       boards[static_cast<std::size_t>(gen)]
-            [static_cast<std::size_t>(f.slots[0].as_int())] = '#';
+            [static_cast<std::size_t>(f.slot(0).as_int())] = '#';
     }
   }
   for (int g = 0; g <= gens; ++g) {

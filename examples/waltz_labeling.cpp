@@ -46,10 +46,10 @@ int main(int argc, char** argv) {
       *program.schema.find(program.symbols->intern("domain"));
   std::map<std::string, std::string> labels;
   for (parulel::FactId id : wm.extent(domain_t)) {
-    const parulel::Fact& f = wm.fact(id);
-    if (f.slots[0] != parulel::Value::integer(0)) continue;
-    labels[f.slots[1].to_string(symbols)] +=
-        " " + f.slots[2].to_string(symbols);
+    const parulel::FactView f = wm.view(id);
+    if (f.slot(0) != parulel::Value::integer(0)) continue;
+    labels[f.slot(1).to_string(symbols)] +=
+        " " + f.slot(2).to_string(symbols);
   }
   std::cout << "\nsurviving labels, cube 0:\n";
   for (const auto& [edge, vals] : labels) {

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Cachegrind smoke: budget the L1d miss rate of the waltz match loop.
+
+Runs bench/cache_smoke_waltz (a minimal driver that folds the waltz-8
+initial fact set through the TREAT matcher) under
+`valgrind --tool=cachegrind --cache-sim=yes` and fails when the D1
+miss rate exceeds the budget. The struct-of-arrays fact store exists
+to keep the match loop's data references dense; this is the check
+that notices a layout change quietly walking pointers again.
+
+Like the bench regression gate, the budget is loose on purpose: it
+catches cliffs (a return to per-fact heap nodes roughly triples the
+miss rate), not percentage-point drift between valgrind versions or
+simulated cache geometries.
+
+Usage:
+  check_cache_smoke.py BINARY [--budget 8.0] [--reps 20]
+
+Exit codes: 0 ok (or valgrind unavailable — reported, not failed),
+1 over budget, 2 usage / malformed output.
+"""
+
+import argparse
+import re
+import shutil
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("binary", help="path to cache_smoke_waltz")
+    ap.add_argument("--budget", type=float, default=8.0,
+                    help="max allowed D1 miss rate, percent (default 8.0)")
+    ap.add_argument("--reps", type=int, default=20,
+                    help="fold repetitions (default 20)")
+    args = ap.parse_args()
+
+    if shutil.which("valgrind") is None:
+        # Local dev machines routinely lack valgrind; the budget is
+        # enforced where it is installed (the CI cachesmoke job).
+        print("cache smoke SKIPPED: valgrind not found on PATH")
+        return 0
+
+    with tempfile.TemporaryDirectory() as tmp:
+        out_file = Path(tmp) / "cachegrind.out"
+        cmd = [
+            "valgrind", "--tool=cachegrind", "--cache-sim=yes",
+            f"--cachegrind-out-file={out_file}",
+            args.binary, str(args.reps),
+        ]
+        proc = subprocess.run(cmd, capture_output=True, text=True)
+        if proc.returncode != 0:
+            sys.stderr.write(proc.stdout + proc.stderr)
+            sys.exit(f"error: cachegrind run failed ({proc.returncode})")
+
+        # The summary goes to valgrind's stderr, e.g.
+        #   ==1234== D1  miss rate:    1.8% (  1.6%   +  3.1%  )
+        m = re.search(r"D1\s+miss rate:\s+([\d.]+)%", proc.stderr)
+        if not m:
+            sys.stderr.write(proc.stderr)
+            sys.exit("error: no 'D1 miss rate' line in cachegrind output")
+        rate = float(m.group(1))
+
+    verdict = "FAIL" if rate > args.budget else "ok"
+    print(f"{verdict}: waltz match loop D1 miss rate {rate:.1f}% "
+          f"(budget {args.budget:.1f}%)")
+    return 1 if rate > args.budget else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

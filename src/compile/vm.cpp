@@ -49,7 +49,7 @@ void CompiledMatcher::run_net(const WorkingMemory& wm, FactId fid) {
   net_out_.clear();
   ++cstats_.net_runs;
   const std::int32_t entry =
-      image_.net_entry[static_cast<std::size_t>(wm.fact(fid).tmpl)];
+      image_.net_entry[static_cast<std::size_t>(wm.view(fid).tmpl())];
   if (entry < 0) return;
   execute(wm, entry, fid);
   // The trie emits in traversal order; callers expect the interpreter's
@@ -63,10 +63,11 @@ bool CompiledMatcher::quant_found(const WorkingMemory& wm,
   const AlphaMemory& mem = alphas_.memory(q.alpha);
   if (q.eq_count == 0) return mem.size() > 0;
   const EqRef* eqs = image_.eqs.data() + q.eq_offset;
-  auto matches = [&](FactId fid) {
-    const Fact& f = wm.fact(fid);
+  const FactStore& store = wm.store();
+  auto matches = [&](FactRow row) {
+    const FactView f = store.view_row(row);
     for (std::uint32_t i = 0; i < q.eq_count; ++i) {
-      if (f.slots[static_cast<std::size_t>(eqs[i].slot)] !=
+      if (f.slot(static_cast<std::size_t>(eqs[i].slot)) !=
           env_[static_cast<std::size_t>(eqs[i].reg)]) {
         return false;
       }
@@ -81,23 +82,26 @@ bool CompiledMatcher::quant_found(const WorkingMemory& wm,
     }
     const AlphaMemory::ProbeHit hit = mem.probe_group_canon(q.index_handle, h);
     if (!hit.group || hit.group->empty()) return false;
-    if (hit.canon && q.eq_count == q.key_count) {
+    if (hit.rep != kNoFactRow && q.eq_count == q.key_count) {
       // Full key coverage over a pure group: one canonical-key
-      // comparison answers the check for every candidate at once.
+      // comparison against the representative answers the check for
+      // every candidate at once.
+      const FactView rep = store.view_row(hit.rep);
       for (std::uint32_t i = 0; i < q.key_count; ++i) {
-        if (hit.canon[i] != env_[static_cast<std::size_t>(regs[i])]) {
+        if (rep.slot(static_cast<std::size_t>(hit.rep_slots[i])) !=
+            env_[static_cast<std::size_t>(regs[i])]) {
           return false;
         }
       }
       return true;
     }
-    for (FactId fid : *hit.group) {
-      if (matches(fid)) return true;
+    for (FactRow row : *hit.group) {
+      if (matches(row)) return true;
     }
     return false;
   }
-  for (FactId fid : mem.facts()) {
-    if (matches(fid)) return true;
+  for (FactRow row : mem.rows()) {
+    if (matches(row)) return true;
   }
   return false;
 }
@@ -126,9 +130,22 @@ void CompiledMatcher::execute(const WorkingMemory& wm, std::int32_t entry,
                               FactId pivot) {
   const Instr* const code = image_.code.data();
   const Value* const consts = image_.consts.data();
-  const Fact* const farr = wm.fact_array();  // facts by id-1, stable here
+  // Column base pointers, stable for the whole program: execute() never
+  // mutates working memory, and matchers never assert.
+  const FactStore& store = wm.store();
+  const std::uint32_t* const sb = store.slot_begin_data();
+  const std::uint8_t* const kp = store.kind_data();
+  const std::uint64_t* const pp = store.payload_data();
+  const FactId* const ids = store.id_data();
+  // Load slot `i` of the fact whose arena offset is `off`.
+  const auto slot_val = [&](std::uint32_t off, std::int32_t i) {
+    const std::uint32_t o = off + static_cast<std::uint32_t>(i);
+    return Value::from_raw(static_cast<ValueKind>(kp[o]), pp[o]);
+  };
+  const FactRow prow = store.row_of(pivot);
+  const std::uint32_t pivo = sb[prow];  // pivot's arena offset
   std::int32_t pc = entry;
-  const Fact* cur = farr + (pivot - 1);
+  std::uint32_t curo = pivo;  // current fact's arena offset
   std::uint64_t ndisp = 0;
 
 #if PARULEL_VM_COMPUTED_GOTO
@@ -156,18 +173,13 @@ void CompiledMatcher::execute(const WorkingMemory& wm, std::int32_t entry,
 
   VM_CASE(TestConst) {
     const Instr& in = code[pc];
-    pc = cur->slots[static_cast<std::size_t>(in.a)] == consts[in.b]
-             ? pc + 1
-             : in.c;
+    pc = slot_val(curo, in.a) == consts[in.b] ? pc + 1 : in.c;
   }
   VM_NEXT();
 
   VM_CASE(TestIntra) {
     const Instr& in = code[pc];
-    pc = cur->slots[static_cast<std::size_t>(in.a)] ==
-                 cur->slots[static_cast<std::size_t>(in.b)]
-             ? pc + 1
-             : in.c;
+    pc = slot_val(curo, in.a) == slot_val(curo, in.b) ? pc + 1 : in.c;
   }
   VM_NEXT();
 
@@ -179,7 +191,7 @@ void CompiledMatcher::execute(const WorkingMemory& wm, std::int32_t entry,
 
   VM_CASE(IterFixed) {
     Frame& f = frames_[static_cast<std::size_t>(code[pc].a)];
-    fixed_[0] = pivot;
+    fixed_[0] = prow;
     f.data = fixed_;
     f.size = 1;
     f.idx = 0;
@@ -190,11 +202,11 @@ void CompiledMatcher::execute(const WorkingMemory& wm, std::int32_t entry,
 
   VM_CASE(IterScan) {
     const Instr& in = code[pc];
-    const std::vector<FactId>& facts =
-        alphas_.memory(static_cast<std::uint32_t>(in.b)).facts();
+    const std::vector<FactRow>& rows =
+        alphas_.memory(static_cast<std::uint32_t>(in.b)).rows();
     Frame& f = frames_[static_cast<std::size_t>(in.a)];
-    f.data = facts.data();
-    f.size = facts.size();
+    f.data = rows.data();
+    f.size = rows.size();
     f.idx = 0;
     f.verified = false;
     ++pc;
@@ -221,15 +233,18 @@ void CompiledMatcher::execute(const WorkingMemory& wm, std::int32_t entry,
     if (hit.group) {
       f.data = hit.group->data();
       f.size = hit.group->size();
-      if (kl.full && hit.canon) {
+      if (kl.full && hit.rep != kNoFactRow) {
         // Canonical-key verification: every member of a pure group
-        // shares these key-slot values, so one comparison against the
-        // probe key decides all candidates — a match lets NextVerify
-        // skip its per-candidate eq loop, a mismatch (necessarily a
-        // hash collision) means no candidate can pass.
+        // shares its key-slot values, so one comparison of the
+        // representative against the probe key decides all candidates —
+        // a match lets NextVerify skip its per-candidate eq loop, a
+        // mismatch (necessarily a hash collision) means no candidate
+        // can pass.
         f.verified = true;
+        const std::uint32_t ro = sb[hit.rep];
         for (std::uint32_t i = 0; i < kl.count; ++i) {
-          if (hit.canon[i] != env_[static_cast<std::size_t>(regs[i])]) {
+          if (slot_val(ro, hit.rep_slots[i]) !=
+              env_[static_cast<std::size_t>(regs[i])]) {
             f.size = 0;
             break;
           }
@@ -249,9 +264,9 @@ void CompiledMatcher::execute(const WorkingMemory& wm, std::int32_t entry,
     if (f.idx == f.size) {
       pc = in.b;
     } else {
-      const FactId fid = f.data[f.idx++];
-      cur = farr + (fid - 1);
-      facts_[static_cast<std::size_t>(in.c)] = fid;
+      const FactRow row = f.data[f.idx++];
+      curo = sb[row];
+      facts_[static_cast<std::size_t>(in.c)] = ids[row];
       ++pc;
     }
   }
@@ -266,9 +281,9 @@ void CompiledMatcher::execute(const WorkingMemory& wm, std::int32_t entry,
       if (f.idx == f.size) {
         pc = in.b;
       } else {
-        const FactId fid = f.data[f.idx++];
-        cur = farr + (fid - 1);
-        facts_[static_cast<std::size_t>(in.c)] = fid;
+        const FactRow row = f.data[f.idx++];
+        curo = sb[row];
+        facts_[static_cast<std::size_t>(in.c)] = ids[row];
         ++pc;
       }
     } else {
@@ -281,19 +296,19 @@ void CompiledMatcher::execute(const WorkingMemory& wm, std::int32_t entry,
           pc = in.b;
           break;
         }
-        const FactId fid = f.data[f.idx++];
-        const Fact* cand = farr + (fid - 1);
+        const FactRow row = f.data[f.idx++];
+        const std::uint32_t co = sb[row];
         bool ok = true;
         for (std::uint32_t i = 0; i < el.count; ++i) {
-          if (cand->slots[static_cast<std::size_t>(eqs[i].slot)] !=
+          if (slot_val(co, eqs[i].slot) !=
               env_[static_cast<std::size_t>(eqs[i].reg)]) {
             ok = false;
             break;
           }
         }
         if (ok) {
-          cur = cand;
-          facts_[static_cast<std::size_t>(in.c)] = fid;
+          curo = co;
+          facts_[static_cast<std::size_t>(in.c)] = ids[row];
           ++pc;
           break;
         }
@@ -304,8 +319,7 @@ void CompiledMatcher::execute(const WorkingMemory& wm, std::int32_t entry,
 
   VM_CASE(TestEq) {
     const Instr& in = code[pc];
-    pc = cur->slots[static_cast<std::size_t>(in.a)] ==
-                 env_[static_cast<std::size_t>(in.b)]
+    pc = slot_val(curo, in.a) == env_[static_cast<std::size_t>(in.b)]
              ? pc + 1
              : in.c;
   }
@@ -313,9 +327,13 @@ void CompiledMatcher::execute(const WorkingMemory& wm, std::int32_t entry,
 
   VM_CASE(Bind) {
     const Instr& in = code[pc];
-    const Value& v = cur->slots[static_cast<std::size_t>(in.a)];
+    const Value v = slot_val(curo, in.a);
     env_[static_cast<std::size_t>(in.b)] = v;
-    if (in.c) env_hash_[static_cast<std::size_t>(in.b)] = v.hash();
+    if (in.c) {
+      // Cached hash from the store's hash column (computed at assert).
+      env_hash_[static_cast<std::size_t>(in.b)] =
+          store.slot_hash_at(curo + static_cast<std::uint32_t>(in.a));
+    }
     ++pc;
   }
   VM_NEXT();
@@ -340,9 +358,12 @@ void CompiledMatcher::execute(const WorkingMemory& wm, std::int32_t entry,
 
   VM_CASE(PinLoad) {
     const Instr& in = code[pc];
-    const Value& v = wm.fact(pivot).slots[static_cast<std::size_t>(in.b)];
+    const Value v = slot_val(pivo, in.b);
     env_[static_cast<std::size_t>(in.a)] = v;
-    if (in.c) env_hash_[static_cast<std::size_t>(in.a)] = v.hash();
+    if (in.c) {
+      env_hash_[static_cast<std::size_t>(in.a)] =
+          store.slot_hash_at(pivo + static_cast<std::uint32_t>(in.b));
+    }
     ++pc;
   }
   VM_NEXT();
@@ -401,10 +422,9 @@ void CompiledMatcher::apply_delta(const WorkingMemory& wm,
 
   // 1. Removals: net-classify, update alphas, drop dead instantiations.
   for (FactId fid : delta.removed) {
-    const Fact& fact = wm.fact(fid);
+    const FactView fact = wm.view(fid);
     run_net(wm, fid);
     stats_.alpha_activations += net_out_.size();
-    if (!net_out_.empty()) fact_slot_hashes(fact, slot_hash_scratch_);
     for (std::uint32_t a : net_out_) {
       for (const AlphaUse& use : negative_uses_[a]) {
         const bool exists =
@@ -416,7 +436,7 @@ void CompiledMatcher::apply_delta(const WorkingMemory& wm,
           unblocks.push_back({use.rule, use.position, fid});
         }
       }
-      alphas_.memory(a).erase_hashed(fact, slot_hash_scratch_);
+      alphas_.memory(a).erase(fact);
     }
     removed_scratch_.clear();
     cs_.remove_by_fact(fid, &removed_scratch_);
@@ -430,12 +450,11 @@ void CompiledMatcher::apply_delta(const WorkingMemory& wm,
   added_alphas_.clear();
   added_offsets_.clear();
   for (FactId fid : delta.added) {
-    const Fact& fact = wm.fact(fid);
+    const FactView fact = wm.view(fid);
     run_net(wm, fid);
     added_offsets_.push_back(added_alphas_.size());
-    if (!net_out_.empty()) fact_slot_hashes(fact, slot_hash_scratch_);
     for (std::uint32_t a : net_out_) {
-      alphas_.memory(a).insert_hashed(fact, slot_hash_scratch_);
+      alphas_.memory(a).insert(fact);
       added_alphas_.push_back(a);
     }
   }
@@ -500,7 +519,7 @@ void CompiledMatcher::apply_delta(const WorkingMemory& wm,
 
 void CompiledMatcher::remove_blocked(const WorkingMemory& wm, RuleId rule_id,
                                      int neg_index, FactId fid) {
-  const Fact& fact = wm.fact(fid);
+  const FactView fact = wm.view(fid);
   const CompiledRule& rule = rules_[rule_id];
   const PositionPlan& neg =
       join_.plan(rule_id).negatives[static_cast<std::size_t>(neg_index)];
@@ -510,7 +529,7 @@ void CompiledMatcher::remove_blocked(const WorkingMemory& wm, RuleId rule_id,
         const Instantiation& inst = cs_.get(id);
         rebuild_env(
             rule, inst.facts,
-            [&](FactId f) -> const Fact& { return wm.fact(f); }, env_scratch_);
+            [&](FactId f) { return wm.view(f); }, env_scratch_);
         if (JoinEngine::fact_blocks(fact, neg, env_scratch_)) {
           cs_.remove(id);
           ++stats_.insts_invalidated;
@@ -520,7 +539,7 @@ void CompiledMatcher::remove_blocked(const WorkingMemory& wm, RuleId rule_id,
 
 void CompiledMatcher::remove_disabled(const WorkingMemory& wm, RuleId rule_id,
                                       int neg_index, FactId fid) {
-  const Fact& fact = wm.fact(fid);
+  const FactView fact = wm.view(fid);
   const CompiledRule& rule = rules_[rule_id];
   const PositionPlan& neg =
       join_.plan(rule_id).negatives[static_cast<std::size_t>(neg_index)];
@@ -530,7 +549,7 @@ void CompiledMatcher::remove_disabled(const WorkingMemory& wm, RuleId rule_id,
         const Instantiation& inst = cs_.get(id);
         rebuild_env(
             rule, inst.facts,
-            [&](FactId f) -> const Fact& { return wm.fact(f); }, env_scratch_);
+            [&](FactId f) { return wm.view(f); }, env_scratch_);
         if (JoinEngine::fact_blocks(fact, neg, env_scratch_) &&
             !join_.quantified_satisfied(wm, neg, env_scratch_)) {
           cs_.remove(id);

@@ -90,7 +90,7 @@ class CompiledMatcher : public Matcher {
 
   // Preallocated interpreter state (sized from the image at build).
   struct Frame {
-    const FactId* data = nullptr;
+    const FactRow* data = nullptr;
     std::size_t size = 0;
     std::size_t idx = 0;
     /// The probe's canonical-key match already proved every candidate
@@ -107,10 +107,9 @@ class CompiledMatcher : public Matcher {
   std::vector<FactId> facts_;
   std::vector<Frame> frames_;
   std::vector<std::uint32_t> net_out_;
-  FactId fixed_[1] = {kInvalidFact};
+  FactRow fixed_[1] = {kNoFactRow};
 
   // Per-delta scratch.
-  std::vector<std::size_t> slot_hash_scratch_;  ///< per-fact slot hashes
   std::vector<std::uint32_t> added_alphas_;   ///< flattened per-fact hits
   std::vector<std::size_t> added_offsets_;
   std::vector<InstId> removed_scratch_;

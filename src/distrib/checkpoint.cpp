@@ -10,8 +10,8 @@ SiteCheckpoint capture_checkpoint(std::uint64_t cycle,
   cp.facts.reserve(wm.alive_count());
   for (FactId id = 1; id <= wm.high_water(); ++id) {
     if (!wm.alive(id)) continue;
-    const Fact& fact = wm.fact(id);
-    cp.facts.emplace_back(fact.tmpl, fact.slots);
+    const FactView fact = wm.view(id);
+    cp.facts.emplace_back(fact.tmpl(), fact.copy_slots());
   }
   cp.recv = recv;
   return cp;

@@ -397,20 +397,20 @@ void DistributedEngine::route_op(unsigned from_site, const PendingOp& op,
       break;
     }
     case PendingOp::Kind::Retract: {
-      const Fact& fact = from_wm.fact(op.retract_id);
+      const FactView fact = from_wm.view(op.retract_id);
       Message msg;
       msg.kind = Message::Kind::Retract;
-      msg.tmpl = fact.tmpl;
-      msg.slots = fact.slots;
+      msg.tmpl = fact.tmpl();
+      msg.slots = fact.copy_slots();
       route_content(std::move(msg));
       break;
     }
     case PendingOp::Kind::Modify: {
-      const Fact& fact = from_wm.fact(op.retract_id);
+      const FactView fact = from_wm.view(op.retract_id);
       Message retract;
       retract.kind = Message::Kind::Retract;
-      retract.tmpl = fact.tmpl;
-      retract.slots = fact.slots;
+      retract.tmpl = fact.tmpl();
+      retract.slots = fact.copy_slots();
       route_content(std::move(retract));
       Message assert_msg;
       assert_msg.kind = Message::Kind::Assert;
@@ -633,30 +633,27 @@ DistStats DistributedEngine::run() {
 
 std::uint64_t DistributedEngine::global_fingerprint() const {
   // Distinct alive contents across all sites (replicated facts dedupe).
-  // Dedup verifies full content equality, never hash alone.
-  std::unordered_multimap<std::uint64_t, const Fact*> seen;
+  // Dedup verifies full content equality, never hash alone. Content
+  // hashes come cached from each site's store.
+  std::unordered_multimap<std::uint64_t, FactView> seen;
   std::uint64_t fp = 0x5bd1e995u;
   for (const auto& site : sites_) {
     const WorkingMemory& wm = *site->wm;
     for (FactId id = 1; id <= wm.high_water(); ++id) {
       if (!wm.alive(id)) continue;
-      const Fact& fact = wm.fact(id);
+      const FactView fact = wm.view(id);
       const std::uint64_t raw = fact.content_hash();
       bool duplicate = false;
       auto [lo, hi] = seen.equal_range(raw);
       for (auto it = lo; it != hi; ++it) {
-        if (it->second->same_content(fact)) {
+        if (it->second.same_content(fact)) {
           duplicate = true;
           break;
         }
       }
       if (duplicate) continue;
-      seen.emplace(raw, &fact);
-      std::uint64_t h = raw;
-      h ^= h >> 33;
-      h *= 0xff51afd7ed558ccdULL;
-      h ^= h >> 33;
-      fp ^= h;
+      seen.emplace(raw, fact);
+      fp ^= fingerprint_mix(raw);
     }
   }
   return fp;

@@ -20,9 +20,9 @@ std::vector<Value> eval_assert_slots(const CompiledAction& action,
 
 /// New content of a Modify against the snapshot's current slots.
 std::vector<Value> eval_modified_slots(const CompiledAction& action,
-                                       const Fact& fact,
+                                       const FactView& fact,
                                        std::span<const Value> env) {
-  std::vector<Value> slots = fact.slots;
+  std::vector<Value> slots = fact.copy_slots();
   for (const auto& [slot, expr] : action.slot_updates) {
     slots[static_cast<std::size_t>(slot)] = expr.eval(env);
   }
@@ -38,7 +38,7 @@ DirectFireResult fire_direct(const Program& program,
   std::vector<Value> env;
   rebuild_env(
       rule, inst.facts,
-      [&](FactId f) -> const Fact& { return wm.fact(f); }, env);
+      [&](FactId f) { return wm.view(f); }, env);
 
   DirectFireResult result;
   for (const auto& action : rule.actions) {
@@ -64,10 +64,11 @@ DirectFireResult fire_direct(const Program& program,
             inst.facts[static_cast<std::size_t>(action.ce_index)];
         if (!wm.alive(target)) break;  // retracted earlier in this RHS
         const std::vector<Value> slots =
-            eval_modified_slots(action, wm.fact(target), env);
+            eval_modified_slots(action, wm.view(target), env);
         ++result.retracts;
         wm.retract(target);
-        if (wm.assert_fact(wm.fact(target).tmpl, slots) == kInvalidFact) {
+        // The tombstoned record stays readable (stable storage).
+        if (wm.assert_fact(wm.view(target).tmpl(), slots) == kInvalidFact) {
           ++result.duplicate_asserts;
         } else {
           ++result.asserts;
@@ -103,7 +104,7 @@ void fire_buffered(const Program& program, const Instantiation& inst,
   std::vector<Value> env;
   rebuild_env(
       rule, inst.facts,
-      [&](FactId f) -> const Fact& { return wm.fact(f); }, env);
+      [&](FactId f) { return wm.view(f); }, env);
 
   std::ostringstream printout;
   for (const auto& action : rule.actions) {
@@ -126,11 +127,11 @@ void fire_buffered(const Program& program, const Instantiation& inst,
       case CompiledAction::Kind::Modify: {
         const FactId target =
             inst.facts[static_cast<std::size_t>(action.ce_index)];
-        const Fact& fact = wm.fact(target);
+        const FactView fact = wm.view(target);
         PendingOp op;
         op.kind = PendingOp::Kind::Modify;
         op.retract_id = target;
-        op.tmpl = fact.tmpl;
+        op.tmpl = fact.tmpl();
         op.slots = eval_modified_slots(action, fact, env);
         out.ops.push_back(std::move(op));
         break;

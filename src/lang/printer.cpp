@@ -192,14 +192,14 @@ std::string print_ast(const ProgramAst& ast, const SymbolTable& symbols) {
   return os.str();
 }
 
-std::string print_fact(const Fact& fact, const Schema& schema,
-                       const SymbolTable& symbols) {
-  const TemplateDef& def = schema.at(fact.tmpl);
+std::string print_fact(TemplateId tmpl, std::span<const Value> slots,
+                       const Schema& schema, const SymbolTable& symbols) {
+  const TemplateDef& def = schema.at(tmpl);
   std::ostringstream os;
   os << "(" << symbols.name(def.name);
-  for (std::size_t i = 0; i < fact.slots.size(); ++i) {
+  for (std::size_t i = 0; i < slots.size(); ++i) {
     os << " (" << symbols.name(def.slot_names[i]) << " ";
-    const Value& v = fact.slots[i];
+    const Value& v = slots[i];
     if (v.is_sym()) {
       // Symbols that would not re-lex as a bare name round-trip as
       // strings.
@@ -246,7 +246,7 @@ std::string dump_state(const WorkingMemory& wm, const SymbolTable& symbols,
   os << "(deffacts " << deffacts_name << "\n";
   for (FactId id = 1; id <= wm.high_water(); ++id) {
     if (!wm.alive(id)) continue;
-    os << "  " << print_fact(wm.fact(id), schema, symbols) << "\n";
+    os << "  " << print_fact(wm.view(id), schema, symbols) << "\n";
   }
   os << ")\n";
   return os.str();

@@ -6,6 +6,7 @@
 // and for shipping a reproduction of a working memory into a bug report.
 #pragma once
 
+#include <span>
 #include <string>
 #include <string_view>
 
@@ -16,8 +17,19 @@
 namespace parulel {
 
 /// Render one fact as "(tmpl (slot value) ...)".
-std::string print_fact(const Fact& fact, const Schema& schema,
-                       const SymbolTable& symbols);
+std::string print_fact(TemplateId tmpl, std::span<const Value> slots,
+                       const Schema& schema, const SymbolTable& symbols);
+
+inline std::string print_fact(const Fact& fact, const Schema& schema,
+                              const SymbolTable& symbols) {
+  return print_fact(fact.tmpl, fact.slots, schema, symbols);
+}
+
+/// FactView overload (cold path: copies the slots out of the store).
+inline std::string print_fact(const FactView& fact, const Schema& schema,
+                              const SymbolTable& symbols) {
+  return print_fact(fact.tmpl(), fact.copy_slots(), schema, symbols);
+}
 
 /// Render a parsed (pre-analysis) program back to source text that
 /// `parse_ast` accepts. Floats print with max_digits10 (and a forced

@@ -115,14 +115,17 @@ struct AlphaSpec {
   std::vector<CompiledPattern::ConstTest> const_tests;
   std::vector<CompiledPattern::IntraEq> intra_eqs;
 
-  /// Does `fact` (of matching template) pass the alpha tests?
-  bool accepts(const std::vector<Value>& slots) const {
+  /// Does a fact (of matching template) pass the alpha tests?
+  /// `fact` is anything with slot(i) -> Value — a FactView, or the
+  /// adapter tests wrap around a plain slot vector.
+  template <typename FactLike>
+  bool accepts(const FactLike& fact) const {
     for (const auto& t : const_tests) {
-      if (slots[static_cast<std::size_t>(t.slot)] != t.value) return false;
+      if (fact.slot(static_cast<std::size_t>(t.slot)) != t.value) return false;
     }
     for (const auto& e : intra_eqs) {
-      if (slots[static_cast<std::size_t>(e.slot_a)] !=
-          slots[static_cast<std::size_t>(e.slot_b)]) {
+      if (fact.slot(static_cast<std::size_t>(e.slot_a)) !=
+          fact.slot(static_cast<std::size_t>(e.slot_b))) {
         return false;
       }
     }

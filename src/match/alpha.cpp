@@ -9,7 +9,7 @@ int AlphaMemory::ensure_index(std::vector<int> slots) {
   for (std::size_t i = 0; i < indexes_.size(); ++i) {
     if (indexes_[i].slots == slots) return static_cast<int>(i);
   }
-  assert(facts_.empty() && "indexes must be registered before facts");
+  assert(rows_.empty() && "indexes must be registered before facts");
   indexes_.push_back(Index{});
   indexes_.back().slots = std::move(slots);
   return static_cast<int>(indexes_.size() - 1);
@@ -17,79 +17,66 @@ int AlphaMemory::ensure_index(std::vector<int> slots) {
 
 namespace {
 
-/// Key hash over `slots` composed from precomputed per-slot hashes.
-std::size_t key_from(std::span<const std::size_t> hashes,
-                     std::span<const int> slots) {
+/// Key hash over `slots` composed from the store's cached per-slot
+/// hashes — never rehashes a value.
+std::size_t key_from(const FactView& fact, std::span<const int> slots) {
   std::size_t h = kJoinKeySeed;
   for (int s : slots) {
-    h = hash_combine(h, hashes[static_cast<std::size_t>(s)]);
+    h = hash_combine(h, fact.slot_hash(static_cast<std::size_t>(s)));
   }
   return h;
 }
 
 }  // namespace
 
-void AlphaMemory::insert(const Fact& fact) {
-  if (!indexes_.empty()) fact_slot_hashes(fact, hash_scratch_);
-  insert_hashed(fact, hash_scratch_);
-}
-
-void AlphaMemory::erase(const Fact& fact) {
-  if (!indexes_.empty()) fact_slot_hashes(fact, hash_scratch_);
-  erase_hashed(fact, hash_scratch_);
-}
-
-void AlphaMemory::insert_hashed(const Fact& fact,
-                                std::span<const std::size_t> hashes) {
-  if (pos_.contains(fact.id)) return;
-  pos_.insert(fact.id, static_cast<std::uint32_t>(facts_.size()));
-  facts_.push_back(fact.id);
+void AlphaMemory::insert(const FactView& fact) {
+  const FactRow row = fact.row();
+  if (row >= pos_.size()) pos_.resize(row + 1, kNotMember);
+  if (pos_[row] != kNotMember) return;
+  pos_[row] = static_cast<std::uint32_t>(rows_.size());
+  rows_.push_back(row);
   for (auto& index : indexes_) {
     const std::size_t gid =
-        index.map.group_id_for(key_from(hashes, index.slots));
+        index.map.group_id_for(key_from(fact, index.slots));
     auto& g = index.map.group(gid);
-    const std::size_t w = index.slots.size();
-    if (gid >= index.canon_pure.size()) {
-      index.canon_pure.resize(gid + 1);
-      index.canon_vals.resize((gid + 1) * w);
-    }
-    Value* cv = index.canon_vals.data() + gid * w;
+    if (gid >= index.canon_pure.size()) index.canon_pure.resize(gid + 1);
     if (g.empty()) {
       index.canon_pure[gid] = 1;
-      for (std::size_t i = 0; i < w; ++i) {
-        cv[i] = fact.slots[static_cast<std::size_t>(index.slots[i])];
-      }
     } else if (index.canon_pure[gid]) {
-      for (std::size_t i = 0; i < w; ++i) {
-        if (cv[i] != fact.slots[static_cast<std::size_t>(index.slots[i])]) {
+      // Purity holds while every member shares the key-slot values;
+      // compare against any current member (the probe-side
+      // representative). Impurity is a full-64-bit-hash collision.
+      const FactView rep = fact.store_->view_row(*g.begin());
+      for (int s : index.slots) {
+        if (rep.slot(static_cast<std::size_t>(s)) !=
+            fact.slot(static_cast<std::size_t>(s))) {
           index.canon_pure[gid] = 0;
           break;
         }
       }
     }
-    g.push_back(fact.id);
+    g.push_back(row);
   }
 }
 
-void AlphaMemory::erase_hashed(const Fact& fact,
-                               std::span<const std::size_t> hashes) {
-  const std::uint32_t* found = pos_.find(fact.id);
-  if (!found) return;
-  const std::uint32_t p = *found;
-  const FactId moved = facts_.back();
-  facts_[p] = moved;
-  *pos_.find(moved) = p;
-  facts_.pop_back();
-  pos_.erase(fact.id);
+void AlphaMemory::erase(const FactView& fact) {
+  const FactRow row = fact.row();
+  if (row >= pos_.size() || pos_[row] == kNotMember) return;
+  const std::uint32_t p = pos_[row];
+  const FactRow moved = rows_.back();
+  rows_[p] = moved;
+  pos_[moved] = p;
+  rows_.pop_back();
+  pos_[row] = kNotMember;
   for (auto& index : indexes_) {
     // The ordered erase keeps probe order = insertion order.
-    auto* g = index.map.find(key_from(hashes, index.slots));
-    g->erase(std::find(g->begin(), g->end(), fact.id));
+    auto* g = index.map.find(key_from(fact, index.slots));
+    g->erase(std::find(g->begin(), g->end(), row));
   }
 }
 
 void AlphaMemory::probe(int index_handle, std::span<const Value> key_values,
-                        std::vector<FactId>& out) const {
+                        std::vector<FactRow>& out) const {
   probe_hash(index_handle, join_key_hash(key_values), out);
 }
 
@@ -103,29 +90,23 @@ AlphaStore::AlphaStore(std::span<const AlphaSpec> specs,
   }
 }
 
-void AlphaStore::matching_alphas(const Fact& fact,
+void AlphaStore::matching_alphas(const FactView& fact,
                                  std::vector<std::uint32_t>& out) const {
   out.clear();
-  for (std::uint32_t a : by_template_[fact.tmpl]) {
-    if (specs_[a].accepts(fact.slots)) out.push_back(a);
+  for (std::uint32_t a : by_template_[fact.tmpl()]) {
+    if (specs_[a].accepts(fact)) out.push_back(a);
   }
 }
 
-void AlphaStore::on_assert(const Fact& fact) {
-  fact_slot_hashes(fact, hash_scratch_);
-  for (std::uint32_t a : by_template_[fact.tmpl]) {
-    if (specs_[a].accepts(fact.slots)) {
-      memories_[a].insert_hashed(fact, hash_scratch_);
-    }
+void AlphaStore::on_assert(const FactView& fact) {
+  for (std::uint32_t a : by_template_[fact.tmpl()]) {
+    if (specs_[a].accepts(fact)) memories_[a].insert(fact);
   }
 }
 
-void AlphaStore::on_retract(const Fact& fact) {
-  fact_slot_hashes(fact, hash_scratch_);
-  for (std::uint32_t a : by_template_[fact.tmpl]) {
-    if (specs_[a].accepts(fact.slots)) {
-      memories_[a].erase_hashed(fact, hash_scratch_);
-    }
+void AlphaStore::on_retract(const FactView& fact) {
+  for (std::uint32_t a : by_template_[fact.tmpl()]) {
+    if (specs_[a].accepts(fact)) memories_[a].erase(fact);
   }
 }
 

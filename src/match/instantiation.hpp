@@ -37,18 +37,18 @@ struct Instantiation {
 };
 
 /// Rebuild the LHS binding environment of an instantiation from its
-/// matched facts. `fact_of` maps FactId -> const Fact& (usually
-/// WorkingMemory::fact, which serves tombstoned facts too). `env` is
+/// matched facts. `fact_of` maps FactId -> a fact view (usually
+/// WorkingMemory::view, which serves tombstoned facts too). `env` is
 /// resized to rule.num_vars (RHS bind slots default-initialized).
 template <typename FactLookup>
 void rebuild_env(const CompiledRule& rule, const std::vector<FactId>& facts,
                  const FactLookup& fact_of, std::vector<Value>& env) {
   env.assign(static_cast<std::size_t>(rule.num_vars), Value{});
   for (std::size_t p = 0; p < rule.positives.size(); ++p) {
-    const Fact& fact = fact_of(facts[p]);
+    const auto fact = fact_of(facts[p]);
     for (const auto& def : rule.positives[p].defines) {
       env[static_cast<std::size_t>(def.var)] =
-          fact.slots[static_cast<std::size_t>(def.slot)];
+          fact.slot(static_cast<std::size_t>(def.slot));
     }
   }
 }

@@ -27,6 +27,7 @@ PositionPlan plan_position(const CompiledPattern& pat, AlphaStore& alphas) {
     }
     plan.index_handle =
         alphas.memory(pat.alpha).ensure_index(plan.key_slots);
+    plan.key_covers = plan.key_slots.size() == plan.join_eqs.size();
   }
   return plan;
 }
@@ -141,6 +142,7 @@ DerivePlan build_derive_plan(const CompiledRule& rule, std::size_t fixed,
       }
       step.index_handle =
           alphas.memory(step.alpha).ensure_index(step.key_slots);
+      step.key_covers = step.key_slots.size() == step.eqs.size();
     }
     for (auto& info : guard_infos) {
       if (info.placed) continue;
@@ -244,10 +246,10 @@ std::vector<RulePlan> build_join_plans(std::span<const CompiledRule> rules,
   return plans;
 }
 
-bool JoinEngine::fact_blocks(const Fact& fact, const PositionPlan& neg,
+bool JoinEngine::fact_blocks(const FactView& fact, const PositionPlan& neg,
                              std::span<const Value> env) {
   for (const auto& eq : neg.join_eqs) {
-    if (fact.slots[static_cast<std::size_t>(eq.slot)] !=
+    if (fact.slot(static_cast<std::size_t>(eq.slot)) !=
         env[static_cast<std::size_t>(eq.var)]) {
       return false;
     }
@@ -260,20 +262,23 @@ bool JoinEngine::quantified_satisfied(const WorkingMemory& wm,
                                       std::span<const Value> env) const {
   const AlphaMemory& mem = alphas_.memory(neg.alpha);
   if (neg.join_eqs.empty()) return mem.size() > 0;
+  const FactStore& store = wm.store();
   if (neg.index_handle >= 0) {
-    std::vector<Value> key(neg.key_vars.size());
-    for (std::size_t i = 0; i < neg.key_vars.size(); ++i) {
-      key[i] = env[static_cast<std::size_t>(neg.key_vars[i])];
+    const auto hit = mem.probe_group_canon(
+        neg.index_handle, env_key_hash(neg.key_vars, env));
+    if (!hit.group) return false;
+    if (hit.rep != kNoFactRow && neg.key_covers) {
+      // Canonical key decides the whole (non-empty) group at once.
+      return canon_matches(store.view_row(hit.rep), hit.rep_slots,
+                           neg.key_vars, env);
     }
-    std::vector<FactId> candidates;
-    mem.probe(neg.index_handle, key, candidates);
-    for (FactId fid : candidates) {
-      if (fact_blocks(wm.fact(fid), neg, env)) return true;
+    for (FactRow row : *hit.group) {
+      if (fact_blocks(store.view_row(row), neg, env)) return true;
     }
     return false;
   }
-  for (FactId fid : mem.facts()) {
-    if (fact_blocks(wm.fact(fid), neg, env)) return true;
+  for (FactRow row : mem.rows()) {
+    if (fact_blocks(store.view_row(row), neg, env)) return true;
   }
   return false;
 }

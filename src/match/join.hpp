@@ -8,6 +8,13 @@
 //
 // Seminaive use: fixing (position, fact) enumerates exactly the
 // instantiations that include a given new fact at a given position.
+//
+// Hot-path structure: probe hashes are composed directly from the bound
+// environment (no key-value vector is materialized), index groups are
+// iterated in place (alpha memories are never mutated while a join
+// runs), and when a group's canonical key matches the environment and
+// the key covers every join equality, the per-candidate verify loop is
+// skipped entirely (see AlphaMemory::ProbeHit).
 #pragma once
 
 #include <cstdint>
@@ -28,6 +35,10 @@ struct PositionPlan {
   std::vector<int> key_slots;      ///< index slot list (sorted)
   std::vector<VarId> key_vars;     ///< env var per key slot
   std::vector<CompiledPattern::JoinEq> join_eqs;  ///< full verify list
+  /// True when the index key covers every join equality (no slot joined
+  /// against two variables): a canonical-key match then verifies all
+  /// candidates of the group at once.
+  bool key_covers = false;
 };
 
 /// Precomputed fast path for re-deriving a rule after a negated CE's
@@ -56,6 +67,7 @@ struct DeriveStep {
   int index_handle = -1;     ///< on `alpha` over eq slots; -1 = scan
   std::vector<int> key_slots;
   std::vector<VarId> key_vars;
+  bool key_covers = false;   ///< see PositionPlan::key_covers
   /// Guards that become evaluable once this step binds its variables.
   std::vector<const CompiledExpr*> guards;
 };
@@ -92,6 +104,14 @@ struct VarConstraint {
 std::vector<RulePlan> build_join_plans(std::span<const CompiledRule> rules,
                                        AlphaStore& alphas);
 
+/// Reusable DFS buffers for JoinEngine::enumerate/derive. Callers that
+/// enumerate in a loop keep one of these per thread so the per-call
+/// env/facts vectors stop hitting the allocator.
+struct JoinScratch {
+  std::vector<Value> env;
+  std::vector<FactId> facts;
+};
+
 /// Join enumerator over one rule set + alpha store.
 class JoinEngine {
  public:
@@ -112,13 +132,22 @@ class JoinEngine {
   void enumerate(const WorkingMemory& wm, RuleId rule, int fixed_pos,
                  FactId fixed_fact, Emit&& emit,
                  std::span<const VarConstraint> constraints = {}) const {
+    JoinScratch scratch;
+    enumerate(wm, rule, fixed_pos, fixed_fact, scratch,
+              std::forward<Emit>(emit), constraints);
+  }
+
+  /// enumerate() with caller-owned DFS buffers (hot loops).
+  template <typename Emit>
+  void enumerate(const WorkingMemory& wm, RuleId rule, int fixed_pos,
+                 FactId fixed_fact, JoinScratch& scratch, Emit&& emit,
+                 std::span<const VarConstraint> constraints = {}) const {
     const CompiledRule& r = rules_[rule];
     const RulePlan& plan = plans_[rule];
-    std::vector<Value> env(static_cast<std::size_t>(r.num_vars));
-    std::vector<FactId> facts(r.positives.size(), kInvalidFact);
-    std::vector<FactId> scratch;
-    dfs(wm, r, plan, 0, fixed_pos, fixed_fact, constraints, nullptr, env,
-        facts, scratch, emit);
+    scratch.env.assign(static_cast<std::size_t>(r.num_vars), Value{});
+    scratch.facts.assign(r.positives.size(), kInvalidFact);
+    dfs(wm, r, plan, 0, fixed_pos, fixed_fact, constraints, nullptr,
+        scratch.env, scratch.facts, emit);
   }
 
   /// Seminaive derivation: every instantiation of `rule` containing
@@ -127,13 +156,23 @@ class JoinEngine {
   template <typename Emit>
   void derive(const WorkingMemory& wm, RuleId rule, int fixed_pos,
               FactId fixed_fact, Emit&& emit) const {
+    JoinScratch scratch;
+    derive(wm, rule, fixed_pos, fixed_fact, scratch,
+           std::forward<Emit>(emit));
+  }
+
+  /// derive() with caller-owned DFS buffers (hot loops).
+  template <typename Emit>
+  void derive(const WorkingMemory& wm, RuleId rule, int fixed_pos,
+              FactId fixed_fact, JoinScratch& scratch, Emit&& emit) const {
     const CompiledRule& r = rules_[rule];
     const RulePlan& plan = plans_[rule];
     const DerivePlan& dp =
         plan.derive[static_cast<std::size_t>(fixed_pos)];
-    std::vector<Value> env(static_cast<std::size_t>(r.num_vars));
-    std::vector<FactId> facts(r.positives.size(), kInvalidFact);
-    derive_dfs(wm, r, plan, dp, 0, fixed_fact, env, facts, emit);
+    scratch.env.assign(static_cast<std::size_t>(r.num_vars), Value{});
+    scratch.facts.assign(r.positives.size(), kInvalidFact);
+    derive_dfs(wm, r, plan, dp, 0, fixed_fact, scratch.env, scratch.facts,
+               emit);
   }
 
   /// Re-derive the instantiations of `rule` that the retraction of
@@ -142,8 +181,18 @@ class JoinEngine {
   /// enumerated, probing position 0 by index when possible.
   template <typename Emit>
   void enumerate_unblocked(const WorkingMemory& wm, RuleId rule,
-                           std::size_t neg_index, const Fact& blocker,
+                           std::size_t neg_index, const FactView& blocker,
                            Emit&& emit) const {
+    JoinScratch scratch;
+    enumerate_unblocked(wm, rule, neg_index, blocker, scratch,
+                        std::forward<Emit>(emit));
+  }
+
+  /// enumerate_unblocked() with caller-owned DFS buffers.
+  template <typename Emit>
+  void enumerate_unblocked(const WorkingMemory& wm, RuleId rule,
+                           std::size_t neg_index, const FactView& blocker,
+                           JoinScratch& scratch, Emit&& emit) const {
     const CompiledRule& r = rules_[rule];
     const RulePlan& plan = plans_[rule];
     const NegRematchPlan& rp = plan.neg_rematch[neg_index];
@@ -152,8 +201,7 @@ class JoinEngine {
     pins.reserve(rp.pins.size());
     for (const auto& pin : rp.pins) {
       pins.push_back(
-          {pin.var,
-           blocker.slots[static_cast<std::size_t>(pin.blocker_slot)]});
+          {pin.var, blocker.slot(static_cast<std::size_t>(pin.blocker_slot))});
     }
 
     Pos0Probe probe;
@@ -173,11 +221,10 @@ class JoinEngine {
       probe_ptr = &probe;
     }
 
-    std::vector<Value> env(static_cast<std::size_t>(r.num_vars));
-    std::vector<FactId> facts(r.positives.size(), kInvalidFact);
-    std::vector<FactId> scratch;
+    scratch.env.assign(static_cast<std::size_t>(r.num_vars), Value{});
+    scratch.facts.assign(r.positives.size(), kInvalidFact);
     dfs(wm, r, plan, 0, /*fixed_pos=*/-1, kInvalidFact, pins, probe_ptr,
-        env, facts, scratch, emit);
+        scratch.env, scratch.facts, emit);
   }
 
   /// True when every quantified CE of `rule` is satisfied under the
@@ -191,7 +238,7 @@ class JoinEngine {
 
   /// True when `fact` (known to be in the negative pattern's alpha)
   /// blocks `env`, i.e. satisfies the pattern's join tests.
-  static bool fact_blocks(const Fact& fact, const PositionPlan& neg,
+  static bool fact_blocks(const FactView& fact, const PositionPlan& neg,
                           std::span<const Value> env);
 
  private:
@@ -199,6 +246,33 @@ class JoinEngine {
     int index_handle = -1;
     std::vector<Value> key;
   };
+
+  /// Join-key hash composed straight from the environment (must agree
+  /// with AlphaMemory's insert-side key: kJoinKeySeed + hash_combine).
+  static std::size_t env_key_hash(std::span<const VarId> key_vars,
+                                  std::span<const Value> env) {
+    std::size_t h = kJoinKeySeed;
+    for (VarId v : key_vars) {
+      h = hash_combine(h, env[static_cast<std::size_t>(v)].hash());
+    }
+    return h;
+  }
+
+  /// Does the pure group's canonical key (read off its representative
+  /// member's slot columns) equal the bound key values? When true every
+  /// group member shares those key slots — no per-candidate re-check of
+  /// the key is needed.
+  static bool canon_matches(const FactView& rep, const int* rep_slots,
+                            std::span<const VarId> key_vars,
+                            std::span<const Value> env) {
+    for (std::size_t i = 0; i < key_vars.size(); ++i) {
+      if (rep.slot(static_cast<std::size_t>(rep_slots[i])) !=
+          env[static_cast<std::size_t>(key_vars[i])]) {
+        return false;
+      }
+    }
+    return true;
+  }
 
   template <typename Emit>
   void derive_dfs(const WorkingMemory& wm, const CompiledRule& r,
@@ -210,44 +284,55 @@ class JoinEngine {
       return;
     }
     const DeriveStep& step = dp.steps[s];
+    const FactStore& store = wm.store();
 
-    auto try_fact = [&](FactId fid) {
-      const Fact& fact = wm.fact(fid);
-      for (const auto& eq : step.eqs) {
-        if (fact.slots[static_cast<std::size_t>(eq.slot)] !=
-            env[static_cast<std::size_t>(eq.var)]) {
-          return;
+    // `verified` skips the eq loop when the group's canonical key
+    // already proved every join equality for this candidate.
+    auto try_fact = [&](FactRow row, bool verified) {
+      const FactView fact = store.view_row(row);
+      if (!verified) {
+        for (const auto& eq : step.eqs) {
+          if (fact.slot(static_cast<std::size_t>(eq.slot)) !=
+              env[static_cast<std::size_t>(eq.var)]) {
+            return;
+          }
         }
       }
       for (const auto& def : step.defs) {
         env[static_cast<std::size_t>(def.var)] =
-            fact.slots[static_cast<std::size_t>(def.slot)];
+            fact.slot(static_cast<std::size_t>(def.slot));
       }
       for (const CompiledExpr* guard : step.guards) {
         if (!CompiledExpr::truthy(guard->eval(env))) return;
       }
-      facts[static_cast<std::size_t>(step.pattern)] = fid;
+      facts[static_cast<std::size_t>(step.pattern)] = fact.id();
       derive_dfs(wm, r, plan, dp, s + 1, fixed_fact, env, facts, emit);
     };
 
     if (s == 0) {
       // Step 0 is the fixed position: exactly the new fact.
-      try_fact(fixed_fact);
+      try_fact(store.row_of(fixed_fact), false);
       return;
     }
     const AlphaMemory& mem = alphas_.memory(step.alpha);
     if (step.index_handle >= 0) {
-      std::vector<Value> key(step.key_vars.size());
-      for (std::size_t i = 0; i < step.key_vars.size(); ++i) {
-        key[i] = env[static_cast<std::size_t>(step.key_vars[i])];
+      const auto hit = mem.probe_group_canon(
+          step.index_handle, env_key_hash(step.key_vars, env));
+      if (!hit.group) return;
+      if (hit.rep != kNoFactRow && step.key_covers) {
+        if (!canon_matches(store.view_row(hit.rep), hit.rep_slots,
+                           step.key_vars, env)) {
+          return;
+        }
+        for (FactRow row : *hit.group) try_fact(row, true);
+      } else {
+        for (FactRow row : *hit.group) try_fact(row, false);
       }
-      std::vector<FactId> candidates;
-      mem.probe(step.index_handle, key, candidates);
-      for (FactId fid : candidates) try_fact(fid);
       return;
     }
-    const std::vector<FactId> local(mem.facts());
-    for (FactId fid : local) try_fact(fid);
+    // No join key: scan the whole memory in place (alpha memories are
+    // never mutated while a join enumerates).
+    for (FactRow row : mem.rows()) try_fact(row, false);
   }
 
   template <typename Emit>
@@ -255,8 +340,7 @@ class JoinEngine {
            const RulePlan& plan, std::size_t p, int fixed_pos,
            FactId fixed_fact, std::span<const VarConstraint> constraints,
            const Pos0Probe* probe0, std::vector<Value>& env,
-           std::vector<FactId>& facts, std::vector<FactId>& scratch,
-           Emit&& emit) const {
+           std::vector<FactId>& facts, Emit&& emit) const {
     if (p == r.positives.size()) {
       if (negatives_ok(wm, r, plan, env)) emit(facts, env);
       return;
@@ -264,18 +348,21 @@ class JoinEngine {
     const CompiledPattern& pat = r.positives[p];
     const PositionPlan& pos = plan.positives[p];
     const AlphaMemory& mem = alphas_.memory(pos.alpha);
+    const FactStore& store = wm.store();
 
-    auto try_fact = [&](FactId fid) {
-      const Fact& fact = wm.fact(fid);
-      for (const auto& eq : pos.join_eqs) {
-        if (fact.slots[static_cast<std::size_t>(eq.slot)] !=
-            env[static_cast<std::size_t>(eq.var)]) {
-          return;
+    auto try_fact = [&](FactRow row, bool verified) {
+      const FactView fact = store.view_row(row);
+      if (!verified) {
+        for (const auto& eq : pos.join_eqs) {
+          if (fact.slot(static_cast<std::size_t>(eq.slot)) !=
+              env[static_cast<std::size_t>(eq.var)]) {
+            return;
+          }
         }
       }
       for (const auto& def : pat.defines) {
         env[static_cast<std::size_t>(def.var)] =
-            fact.slots[static_cast<std::size_t>(def.slot)];
+            fact.slot(static_cast<std::size_t>(def.slot));
       }
       // Constraint pins become checkable the moment their variable is
       // defined; pruning here keeps constrained re-derivation narrow.
@@ -289,40 +376,43 @@ class JoinEngine {
       for (const auto& guard : r.guards[p]) {
         if (!CompiledExpr::truthy(guard.eval(env))) return;
       }
-      facts[p] = fid;
+      facts[p] = fact.id();
       dfs(wm, r, plan, p + 1, fixed_pos, fixed_fact, constraints, probe0,
-          env, facts, scratch, emit);
+          env, facts, emit);
     };
 
     if (static_cast<int>(p) == fixed_pos) {
       // The fixed fact must already be in this alpha (caller routed it).
-      try_fact(fixed_fact);
+      try_fact(store.row_of(fixed_fact), false);
       return;
     }
     if (p == 0 && probe0 != nullptr) {
       // Constrained re-derivation: probe position 0 by the pinned slots.
-      std::vector<FactId> candidates;
-      mem.probe(probe0->index_handle, probe0->key, candidates);
-      for (FactId fid : candidates) try_fact(fid);
+      if (const AlphaMemory::Group* g = mem.probe_group(
+              probe0->index_handle, join_key_hash(probe0->key))) {
+        for (FactRow row : *g) try_fact(row, false);
+      }
       return;
     }
     if (pos.index_handle >= 0) {
-      // Hash probe on the bound join key. Save candidate list locally:
-      // deeper recursion reuses `scratch`.
-      std::vector<Value> key(pos.key_vars.size());
-      for (std::size_t i = 0; i < pos.key_vars.size(); ++i) {
-        key[i] = env[static_cast<std::size_t>(pos.key_vars[i])];
+      // Hash probe on the bound join key, composed from the env.
+      const auto hit = mem.probe_group_canon(
+          pos.index_handle, env_key_hash(pos.key_vars, env));
+      if (!hit.group) return;
+      if (hit.rep != kNoFactRow && pos.key_covers) {
+        if (!canon_matches(store.view_row(hit.rep), hit.rep_slots,
+                           pos.key_vars, env)) {
+          return;
+        }
+        for (FactRow row : *hit.group) try_fact(row, true);
+      } else {
+        for (FactRow row : *hit.group) try_fact(row, false);
       }
-      std::vector<FactId> candidates;
-      mem.probe(pos.index_handle, key, candidates);
-      for (FactId fid : candidates) try_fact(fid);
       return;
     }
-    // No join key: scan the whole memory. Copy first: try_fact recursion
-    // never mutates alpha memories during matching, but keep it explicit.
-    scratch = mem.facts();
-    const std::vector<FactId> local(scratch);
-    for (FactId fid : local) try_fact(fid);
+    // No join key: scan the whole memory in place (alpha memories are
+    // never mutated while a join enumerates).
+    for (FactRow row : mem.rows()) try_fact(row, false);
   }
 
   std::span<const CompiledRule> rules_;

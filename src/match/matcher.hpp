@@ -73,7 +73,7 @@ class Matcher {
   virtual ~Matcher() = default;
 
   /// Fold one WM delta into the conflict set. The engine guarantees the
-  /// delta's removed facts are still readable via wm.fact() (tombstones).
+  /// delta's removed facts are still readable via wm.view() (tombstones).
   virtual void apply_delta(const WorkingMemory& wm, const Delta& delta) = 0;
 
   /// Fold a delta injected from OUTSIDE the recognize-act loop — the

@@ -42,7 +42,7 @@ void ParallelTreatMatcher::apply_delta(const WorkingMemory& wm,
 
   // Sequential prologue: removals.
   for (FactId fid : delta.removed) {
-    const Fact& fact = wm.fact(fid);
+    const FactView fact = wm.view(fid);
     alphas_.matching_alphas(fact, scratch_alphas_);
     stats_.alpha_activations += scratch_alphas_.size();
     for (std::uint32_t a : scratch_alphas_) {
@@ -64,19 +64,32 @@ void ParallelTreatMatcher::apply_delta(const WorkingMemory& wm,
   }
 
   // Additions into alpha memories (must complete before the fan-out).
+  // The alpha tests run once per fact here; the recorded hit lists are
+  // shared read-only with the quantifier pass and the derivation jobs.
+  added_alphas_.clear();
+  added_offsets_.clear();
   for (FactId fid : delta.added) {
-    alphas_.on_assert(wm.fact(fid));
+    const FactView fact = wm.view(fid);
+    alphas_.matching_alphas(fact, scratch_alphas_);
+    stats_.alpha_activations += scratch_alphas_.size();
+    added_offsets_.push_back(added_alphas_.size());
+    for (std::uint32_t a : scratch_alphas_) {
+      alphas_.memory(a).insert(fact);
+      added_alphas_.push_back(a);
+    }
   }
+  added_offsets_.push_back(added_alphas_.size());
 
   // Quantified-CE maintenance over pre-existing instantiations (new
   // ones are derived against post-delta alphas). Sequential: scans CS.
   {
     std::vector<Value> env;
-    for (FactId fid : delta.added) {
-      const Fact& fact = wm.fact(fid);
-      alphas_.matching_alphas(fact, scratch_alphas_);
-      const std::vector<std::uint32_t> hit(scratch_alphas_);
-      for (std::uint32_t a : hit) {
+    for (std::size_t i = 0; i < delta.added.size(); ++i) {
+      const FactId fid = delta.added[i];
+      const FactView fact = wm.view(fid);
+      for (std::size_t j = added_offsets_[i]; j < added_offsets_[i + 1];
+           ++j) {
+        const std::uint32_t a = added_alphas_[j];
         for (const AlphaUse& use : negative_uses_[a]) {
           const CompiledRule& rule = rules_[use.rule];
           const std::size_t n = static_cast<std::size_t>(use.position);
@@ -91,8 +104,7 @@ void ParallelTreatMatcher::apply_delta(const WorkingMemory& wm,
                 const Instantiation& inst = cs_.get(id);
                 rebuild_env(
                     rule, inst.facts,
-                    [&](FactId f) -> const Fact& { return wm.fact(f); },
-                    env);
+                    [&](FactId f) { return wm.view(f); }, env);
                 if (JoinEngine::fact_blocks(fact, neg, env)) {
                   cs_.remove(id);
                   ++stats_.insts_invalidated;
@@ -103,7 +115,7 @@ void ParallelTreatMatcher::apply_delta(const WorkingMemory& wm,
     }
     // Departed (exists ...) witnesses.
     for (const auto& d : disables) {
-      const Fact& fact = wm.fact(d.fact);
+      const FactView fact = wm.view(d.fact);
       const CompiledRule& rule = rules_[d.rule];
       const PositionPlan& neg =
           join_.plan(d.rule).negatives[static_cast<std::size_t>(d.neg)];
@@ -113,7 +125,7 @@ void ParallelTreatMatcher::apply_delta(const WorkingMemory& wm,
             const Instantiation& inst = cs_.get(id);
             rebuild_env(
                 rule, inst.facts,
-                [&](FactId f) -> const Fact& { return wm.fact(f); }, env);
+                [&](FactId f) { return wm.view(f); }, env);
             if (JoinEngine::fact_blocks(fact, neg, env) &&
                 !join_.quantified_satisfied(wm, neg, env)) {
               cs_.remove(id);
@@ -137,27 +149,22 @@ void ParallelTreatMatcher::apply_delta(const WorkingMemory& wm,
     const std::size_t n_chunks = (n_added + chunk - 1) / chunk;
     task_out.resize(n_chunks);
 
-    // Per-chunk activation tallies; summed after the barrier so the
-    // parallel phase never touches the shared stats_ block.
-    std::vector<std::uint64_t> task_activations(n_chunks, 0);
     std::vector<std::function<void(unsigned)>> jobs;
     jobs.reserve(n_chunks);
     for (std::size_t c = 0; c < n_chunks; ++c) {
       const std::size_t lo = c * chunk;
       const std::size_t hi = std::min(n_added, lo + chunk);
-      jobs.push_back([this, &wm, &delta, &task_out, &task_activations, c, lo,
-                      hi](unsigned) {
-        std::vector<std::uint32_t> local_alphas;
+      jobs.push_back([this, &wm, &delta, &task_out, c, lo, hi](unsigned) {
+        // The prologue recorded each fact's accepting alphas; jobs only
+        // read them, so no alpha test re-runs in the parallel phase.
+        JoinScratch scratch;
         auto& out = task_out[c];
         for (std::size_t i = lo; i < hi; ++i) {
           const FactId fid = delta.added[i];
-          const Fact& fact = wm.fact(fid);
-          alphas_.matching_alphas(fact, local_alphas);
-          task_activations[c] += local_alphas.size();
-          const std::vector<std::uint32_t> hit(local_alphas);
-          for (std::uint32_t a : hit) {
-            for (const AlphaUse& use : positive_uses_[a]) {
-              join_.derive(wm, use.rule, use.position, fid,
+          for (std::size_t j = added_offsets_[i]; j < added_offsets_[i + 1];
+               ++j) {
+            for (const AlphaUse& use : positive_uses_[added_alphas_[j]]) {
+              join_.derive(wm, use.rule, use.position, fid, scratch,
                               [&](const std::vector<FactId>& facts,
                                   std::span<const Value>) {
                                 Instantiation inst;
@@ -171,7 +178,6 @@ void ParallelTreatMatcher::apply_delta(const WorkingMemory& wm,
       });
     }
     pool_.run_batch(jobs);
-    for (std::uint64_t a : task_activations) stats_.alpha_activations += a;
   }
 
   // Deterministic merge in task order (dedup + refraction in cs_.add).
@@ -187,7 +193,7 @@ void ParallelTreatMatcher::apply_delta(const WorkingMemory& wm,
           if (!rules_[rule].negatives.empty()) {
             rebuild_env(
                 rules_[rule], facts,
-                [&](FactId f) -> const Fact& { return wm.fact(f); }, env);
+                [&](FactId f) { return wm.view(f); }, env);
             quant_.add(rule, id, env);
           }
         }
@@ -211,10 +217,12 @@ void ParallelTreatMatcher::apply_delta(const WorkingMemory& wm,
       const std::size_t hi = std::min(unblocks.size(), lo + chunk);
       jobs.push_back([this, &wm, &unblocks, &rematch_out, c, lo,
                       hi](unsigned) {
+        JoinScratch scratch;
         for (std::size_t i = lo; i < hi; ++i) {
           const auto& u = unblocks[i];
           join_.enumerate_unblocked(
-              wm, u.rule, static_cast<std::size_t>(u.neg), wm.fact(u.fact),
+              wm, u.rule, static_cast<std::size_t>(u.neg), wm.view(u.fact),
+              scratch,
               [&](const std::vector<FactId>& facts, std::span<const Value>) {
                 Instantiation inst;
                 inst.rule = u.rule;
@@ -236,7 +244,7 @@ void ParallelTreatMatcher::apply_delta(const WorkingMemory& wm,
           ++stats_.insts_derived;
           rebuild_env(
               rules_[rule], facts,
-              [&](FactId f) -> const Fact& { return wm.fact(f); }, env);
+              [&](FactId f) { return wm.view(f); }, env);
           quant_.add(rule, id, env);
         }
       }

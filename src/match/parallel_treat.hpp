@@ -54,6 +54,10 @@ class ParallelTreatMatcher : public Matcher {
   std::vector<std::vector<AlphaUse>> positive_uses_;
   std::vector<std::vector<AlphaUse>> negative_uses_;
   std::vector<std::uint32_t> scratch_alphas_;
+  // Per-delta flat (fact -> accepting alphas) lists, built in the
+  // sequential prologue and read-only during the parallel fan-out.
+  std::vector<std::uint32_t> added_alphas_;
+  std::vector<std::size_t> added_offsets_;
 };
 
 }  // namespace parulel

@@ -47,7 +47,7 @@ class QuantIndex {
   /// fact_blocks). Dead entries are pruned in passing.
   template <typename Fn>
   void for_candidates(const ConflictSet& cs, RuleId rule, std::size_t n,
-                      const Fact& fact, Fn&& fn) {
+                      const FactView& fact, Fn&& fn) {
     auto& map = maps_[rule][n];
     const std::size_t key = key_of_fact(plans_[rule].negatives[n], fact);
     auto [lo, hi] = map.equal_range(key);
@@ -79,10 +79,12 @@ class QuantIndex {
     return h;
   }
 
-  static std::size_t key_of_fact(const PositionPlan& neg, const Fact& fact) {
+  static std::size_t key_of_fact(const PositionPlan& neg,
+                                 const FactView& fact) {
     std::size_t h = 0x2545f4914f6cdd1dULL;
     for (int s : neg.key_slots) {
-      h = hash_combine(h, fact.slots[static_cast<std::size_t>(s)].hash());
+      // Cached per-slot hash from the store (same value as .hash()).
+      h = hash_combine(h, fact.slot_hash(static_cast<std::size_t>(s)));
     }
     return h;
   }

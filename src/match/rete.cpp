@@ -98,11 +98,12 @@ std::size_t ReteMatcher::left_key_hash(RuleId rule, std::size_t consumer_pos,
 }
 
 std::size_t ReteMatcher::right_key_hash(RuleId rule, std::size_t consumer_pos,
-                                        const Fact& fact) const {
+                                        const FactView& fact) const {
   const PositionPlan& plan = plans_[rule].positives[consumer_pos];
   std::size_t h = 0x2545f4914f6cdd1dULL;
   for (int s : plan.key_slots) {
-    h = hash_combine(h, fact.slots[static_cast<std::size_t>(s)].hash());
+    // Cached per-slot hash from the store (same value as .hash()).
+    h = hash_combine(h, fact.slot_hash(static_cast<std::size_t>(s)));
   }
   return h;
 }
@@ -118,11 +119,11 @@ std::size_t ReteMatcher::neg_key_hash_env(RuleId rule, std::size_t n,
 }
 
 std::size_t ReteMatcher::neg_key_hash_fact(RuleId rule, std::size_t n,
-                                           const Fact& fact) const {
+                                           const FactView& fact) const {
   const PositionPlan& plan = plans_[rule].negatives[n];
   std::size_t h = 0x2545f4914f6cdd1dULL;
   for (int s : plan.key_slots) {
-    h = hash_combine(h, fact.slots[static_cast<std::size_t>(s)].hash());
+    h = hash_combine(h, fact.slot_hash(static_cast<std::size_t>(s)));
   }
   return h;
 }
@@ -155,20 +156,22 @@ void ReteMatcher::arrive_at_gate(const WorkingMemory& wm, RuleId rule,
   for (std::size_t n = 0; n < r.negatives.size(); ++n) {
     const PositionPlan& neg = plans_[rule].negatives[n];
     const AlphaMemory& mem = alphas_.memory(neg.alpha);
+    const FactStore& store = wm.store();
     int count = 0;
     if (neg.index_handle >= 0) {
-      std::vector<Value> key(neg.key_vars.size());
-      for (std::size_t i = 0; i < neg.key_vars.size(); ++i) {
-        key[i] = token.env[static_cast<std::size_t>(neg.key_vars[i])];
-      }
-      std::vector<FactId> candidates;
-      mem.probe(neg.index_handle, key, candidates);
-      for (FactId fid : candidates) {
-        if (JoinEngine::fact_blocks(wm.fact(fid), neg, token.env)) ++count;
+      if (const AlphaMemory::Group* g = mem.probe_group(
+              neg.index_handle, neg_key_hash_env(rule, n, token.env))) {
+        for (FactRow row : *g) {
+          if (JoinEngine::fact_blocks(store.view_row(row), neg, token.env)) {
+            ++count;
+          }
+        }
       }
     } else {
-      for (FactId fid : mem.facts()) {
-        if (JoinEngine::fact_blocks(wm.fact(fid), neg, token.env)) ++count;
+      for (FactRow row : mem.rows()) {
+        if (JoinEngine::fact_blocks(store.view_row(row), neg, token.env)) {
+          ++count;
+        }
       }
     }
     token.neg_counts[n] = count;
@@ -196,7 +199,7 @@ void ReteMatcher::arrive_at_gate(const WorkingMemory& wm, RuleId rule,
 }
 
 void ReteMatcher::gate_neg_assert(RuleId rule, std::size_t n,
-                                  const Fact& fact) {
+                                  const FactView& fact) {
   RuleNet& net = nets_[rule];
   if (net.gate_neg_index.empty()) return;
   const PositionPlan& neg = plans_[rule].negatives[n];
@@ -220,7 +223,7 @@ void ReteMatcher::gate_neg_assert(RuleId rule, std::size_t n,
 }
 
 void ReteMatcher::gate_neg_retract(RuleId rule, std::size_t n,
-                                   const Fact& fact) {
+                                   const FactView& fact) {
   RuleNet& net = nets_[rule];
   if (net.gate_neg_index.empty()) return;
   const PositionPlan& neg = plans_[rule].negatives[n];
@@ -263,43 +266,38 @@ void ReteMatcher::emit_token(const WorkingMemory& wm, RuleId rule,
     const CompiledPattern& next_pat = r.positives[p + 1];
     const PositionPlan& next_plan = plans_[rule].positives[p + 1];
     const AlphaMemory& mem = alphas_.memory(next_plan.alpha);
-    std::vector<FactId> candidates;
-    if (next_plan.index_handle >= 0) {
-      std::vector<Value> key_values(next_plan.key_vars.size());
-      for (std::size_t i = 0; i < next_plan.key_vars.size(); ++i) {
-        key_values[i] = env[static_cast<std::size_t>(next_plan.key_vars[i])];
-      }
-      mem.probe(next_plan.index_handle, key_values, candidates);
-    } else {
-      candidates = mem.facts();
-    }
-    for (FactId fid : candidates) {
-      const Fact& fact = wm.fact(fid);
-      bool ok = true;
+    const FactStore& store = wm.store();
+    auto right_join = [&](FactRow row) {
+      const FactView fact = store.view_row(row);
       for (const auto& eq : next_plan.join_eqs) {
-        if (fact.slots[static_cast<std::size_t>(eq.slot)] !=
+        if (fact.slot(static_cast<std::size_t>(eq.slot)) !=
             env[static_cast<std::size_t>(eq.var)]) {
-          ok = false;
-          break;
+          return;
         }
       }
-      if (!ok) continue;
       Token child;
       child.facts = facts;
-      child.facts.push_back(fid);
+      child.facts.push_back(fact.id());
       child.env = env;
       for (const auto& def : next_pat.defines) {
         child.env[static_cast<std::size_t>(def.var)] =
-            fact.slots[static_cast<std::size_t>(def.slot)];
+            fact.slot(static_cast<std::size_t>(def.slot));
       }
-      ok = true;
       for (const auto& guard : r.guards[p + 1]) {
-        if (!CompiledExpr::truthy(guard.eval(child.env))) {
-          ok = false;
-          break;
-        }
+        if (!CompiledExpr::truthy(guard.eval(child.env))) return;
       }
-      if (ok) emit_token(wm, rule, p + 1, std::move(child));
+      emit_token(wm, rule, p + 1, std::move(child));
+    };
+    if (next_plan.index_handle >= 0) {
+      // Candidate rows are copied out first: the cascade recurses into
+      // emit_token, so keep iteration independent of index storage.
+      std::vector<FactRow> candidates;
+      mem.probe_hash(next_plan.index_handle,
+                     left_key_hash(rule, p + 1, env), candidates);
+      for (FactRow row : candidates) right_join(row);
+    } else {
+      const std::vector<FactRow> candidates = mem.rows();
+      for (FactRow row : candidates) right_join(row);
     }
     return;
   }
@@ -312,7 +310,7 @@ void ReteMatcher::emit_token(const WorkingMemory& wm, RuleId rule,
   arrive_at_gate(wm, rule, std::move(token));
 }
 
-void ReteMatcher::assert_one(const WorkingMemory& wm, const Fact& fact) {
+void ReteMatcher::assert_one(const WorkingMemory& wm, const FactView& fact) {
   alphas_.matching_alphas(fact, scratch_alphas_);
   stats_.alpha_activations += scratch_alphas_.size();
   const std::vector<std::uint32_t> hit(scratch_alphas_);
@@ -351,11 +349,11 @@ void ReteMatcher::assert_one(const WorkingMemory& wm, const Fact& fact) {
 
     if (p == 0) {
       Token token;
-      token.facts = {fact.id};
+      token.facts = {fact.id()};
       token.env.assign(static_cast<std::size_t>(r.num_vars), Value{});
       for (const auto& def : pat.defines) {
         token.env[static_cast<std::size_t>(def.var)] =
-            fact.slots[static_cast<std::size_t>(def.slot)];
+            fact.slot(static_cast<std::size_t>(def.slot));
       }
       bool ok = true;
       for (const auto& guard : r.guards[0]) {
@@ -381,7 +379,7 @@ void ReteMatcher::assert_one(const WorkingMemory& wm, const Fact& fact) {
       if (!parent.alive) continue;
       bool ok = true;
       for (const auto& eq : plan.join_eqs) {
-        if (fact.slots[static_cast<std::size_t>(eq.slot)] !=
+        if (fact.slot(static_cast<std::size_t>(eq.slot)) !=
             parent.env[static_cast<std::size_t>(eq.var)]) {
           ok = false;
           break;
@@ -390,11 +388,11 @@ void ReteMatcher::assert_one(const WorkingMemory& wm, const Fact& fact) {
       if (!ok) continue;
       Token child;
       child.facts = parent.facts;
-      child.facts.push_back(fact.id);
+      child.facts.push_back(fact.id());
       child.env = parent.env;
       for (const auto& def : pat.defines) {
         child.env[static_cast<std::size_t>(def.var)] =
-            fact.slots[static_cast<std::size_t>(def.slot)];
+            fact.slot(static_cast<std::size_t>(def.slot));
       }
       ok = true;
       for (const auto& guard : r.guards[p]) {
@@ -408,7 +406,8 @@ void ReteMatcher::assert_one(const WorkingMemory& wm, const Fact& fact) {
   }
 }
 
-void ReteMatcher::retract_one(const WorkingMemory& /*wm*/, const Fact& fact) {
+void ReteMatcher::retract_one(const WorkingMemory& /*wm*/,
+                              const FactView& fact) {
   alphas_.matching_alphas(fact, scratch_alphas_);
   stats_.alpha_activations += scratch_alphas_.size();
   const std::vector<std::uint32_t> hit(scratch_alphas_);
@@ -428,7 +427,7 @@ void ReteMatcher::retract_one(const WorkingMemory& /*wm*/, const Fact& fact) {
     RuleNet& net = nets_[rule];
     auto purge = [&](BetaMemory& mem, bool is_gate) {
       std::vector<TokenId> doomed;
-      auto [lo, hiit] = mem.by_fact.equal_range(fact.id);
+      auto [lo, hiit] = mem.by_fact.equal_range(fact.id());
       for (auto it = lo; it != hiit; ++it) doomed.push_back(it->second);
       for (TokenId id : doomed) {
         Token& token = mem.tokens[id];
@@ -455,14 +454,14 @@ void ReteMatcher::retract_one(const WorkingMemory& /*wm*/, const Fact& fact) {
 
   // Conflict-set entries containing the fact die with it.
   std::vector<InstId> removed;
-  cs_.remove_by_fact(fact.id, &removed);
+  cs_.remove_by_fact(fact.id(), &removed);
   stats_.insts_invalidated += removed.size();
 }
 
 void ReteMatcher::apply_delta(const WorkingMemory& wm, const Delta& delta) {
   ++stats_.deltas_processed;
-  for (FactId fid : delta.removed) retract_one(wm, wm.fact(fid));
-  for (FactId fid : delta.added) assert_one(wm, wm.fact(fid));
+  for (FactId fid : delta.removed) retract_one(wm, wm.view(fid));
+  for (FactId fid : delta.added) assert_one(wm, wm.view(fid));
   stats_.state_entries = token_count();
 }
 

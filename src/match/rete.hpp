@@ -83,8 +83,8 @@ class ReteMatcher : public Matcher {
     std::vector<std::unordered_multimap<std::size_t, TokenId>> gate_neg_index;
   };
 
-  void assert_one(const WorkingMemory& wm, const Fact& fact);
-  void retract_one(const WorkingMemory& wm, const Fact& fact);
+  void assert_one(const WorkingMemory& wm, const FactView& fact);
+  void retract_one(const WorkingMemory& wm, const FactView& fact);
 
   /// Token formed at position p; store and cascade to p+1 / gate.
   void emit_token(const WorkingMemory& wm, RuleId rule, std::size_t p,
@@ -96,17 +96,17 @@ class ReteMatcher : public Matcher {
                             std::span<const Value> env) const;
   /// Hash of a right-side fact for consumer position p.
   std::size_t right_key_hash(RuleId rule, std::size_t consumer_pos,
-                             const Fact& fact) const;
+                             const FactView& fact) const;
 
   /// Gate-side: key hash for negative pattern n of rule.
   std::size_t neg_key_hash_env(RuleId rule, std::size_t n,
                                std::span<const Value> env) const;
   std::size_t neg_key_hash_fact(RuleId rule, std::size_t n,
-                                const Fact& fact) const;
+                                const FactView& fact) const;
 
   void arrive_at_gate(const WorkingMemory& wm, RuleId rule, Token token);
-  void gate_neg_assert(RuleId rule, std::size_t n, const Fact& fact);
-  void gate_neg_retract(RuleId rule, std::size_t n, const Fact& fact);
+  void gate_neg_assert(RuleId rule, std::size_t n, const FactView& fact);
+  void gate_neg_retract(RuleId rule, std::size_t n, const FactView& fact);
 
   void production_add(RuleId rule, const Token& token);
   void production_remove(RuleId rule, const Token& token);

@@ -44,7 +44,7 @@ void TreatMatcher::apply_delta(const WorkingMemory& wm, const Delta& delta) {
 
   // 1. Removals: update alphas, drop invalidated instantiations.
   for (FactId fid : delta.removed) {
-    const Fact& fact = wm.fact(fid);
+    const FactView fact = wm.view(fid);
     alphas_.matching_alphas(fact, scratch_alphas_);
     stats_.alpha_activations += scratch_alphas_.size();
     for (std::uint32_t a : scratch_alphas_) {
@@ -66,11 +66,22 @@ void TreatMatcher::apply_delta(const WorkingMemory& wm, const Delta& delta) {
   }
 
   // 2. Additions into alpha memories first, so derivations see the
-  // complete post-delta state for joins and quantifier checks.
+  // complete post-delta state for joins and quantifier checks. The
+  // alpha tests run once per fact; the hit lists feed steps 3 and 4.
   const auto upkeep_start = std::chrono::steady_clock::now();
+  added_alphas_.clear();
+  added_offsets_.clear();
   for (FactId fid : delta.added) {
-    alphas_.on_assert(wm.fact(fid));
+    const FactView fact = wm.view(fid);
+    alphas_.matching_alphas(fact, scratch_alphas_);
+    stats_.alpha_activations += scratch_alphas_.size();
+    added_offsets_.push_back(added_alphas_.size());
+    for (std::uint32_t a : scratch_alphas_) {
+      alphas_.memory(a).insert(fact);
+      added_alphas_.push_back(a);
+    }
   }
+  added_offsets_.push_back(added_alphas_.size());
   stats_.alpha_upkeep_ns += static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(
           std::chrono::steady_clock::now() - upkeep_start)
@@ -78,12 +89,10 @@ void TreatMatcher::apply_delta(const WorkingMemory& wm, const Delta& delta) {
 
   // 3. New facts in quantified alphas: (not ...) invalidates existing
   // matches; (exists ...) may enable new ones.
-  for (FactId fid : delta.added) {
-    const Fact& fact = wm.fact(fid);
-    alphas_.matching_alphas(fact, scratch_alphas_);
-    const std::vector<std::uint32_t> hit(scratch_alphas_);
-    for (std::uint32_t a : hit) {
-      for (const AlphaUse& use : negative_uses_[a]) {
+  for (std::size_t i = 0; i < delta.added.size(); ++i) {
+    const FactId fid = delta.added[i];
+    for (std::size_t j = added_offsets_[i]; j < added_offsets_[i + 1]; ++j) {
+      for (const AlphaUse& use : negative_uses_[added_alphas_[j]]) {
         const bool exists =
             rules_[use.rule].negatives[static_cast<std::size_t>(use.position)]
                 .exists;
@@ -97,8 +106,11 @@ void TreatMatcher::apply_delta(const WorkingMemory& wm, const Delta& delta) {
   }
 
   // 4. Seminaive derivation from each added fact.
-  for (FactId fid : delta.added) {
-    derive_for_added(wm, fid);
+  for (std::size_t i = 0; i < delta.added.size(); ++i) {
+    derive_for_added(wm, delta.added[i],
+                     std::span<const std::uint32_t>(
+                         added_alphas_.data() + added_offsets_[i],
+                         added_offsets_[i + 1] - added_offsets_[i]));
   }
 
   // 5. Departed (exists ...) witnesses: drop instantiations whose CE is
@@ -115,15 +127,11 @@ void TreatMatcher::apply_delta(const WorkingMemory& wm, const Delta& delta) {
   stats_.state_entries = cs_.size();
 }
 
-void TreatMatcher::derive_for_added(const WorkingMemory& wm, FactId fid) {
-  const Fact& fact = wm.fact(fid);
-  alphas_.matching_alphas(fact, scratch_alphas_);
-  stats_.alpha_activations += scratch_alphas_.size();
-  // matching_alphas reuses scratch; copy because enumerate may also use it.
-  const std::vector<std::uint32_t> hit(scratch_alphas_);
+void TreatMatcher::derive_for_added(const WorkingMemory& wm, FactId fid,
+                                    std::span<const std::uint32_t> hit) {
   for (std::uint32_t a : hit) {
     for (const AlphaUse& use : positive_uses_[a]) {
-      join_.derive(wm, use.rule, use.position, fid,
+      join_.derive(wm, use.rule, use.position, fid, join_scratch_,
                    [&](const std::vector<FactId>& facts,
                        std::span<const Value> env) {
                      Instantiation inst;
@@ -143,7 +151,7 @@ void TreatMatcher::derive_for_added(const WorkingMemory& wm, FactId fid) {
 
 void TreatMatcher::remove_blocked(const WorkingMemory& wm, RuleId rule_id,
                                   int neg_index, FactId fid) {
-  const Fact& fact = wm.fact(fid);
+  const FactView fact = wm.view(fid);
   const CompiledRule& rule = rules_[rule_id];
   const PositionPlan& neg =
       join_.plan(rule_id).negatives[static_cast<std::size_t>(neg_index)];
@@ -154,7 +162,7 @@ void TreatMatcher::remove_blocked(const WorkingMemory& wm, RuleId rule_id,
         const Instantiation& inst = cs_.get(id);
         rebuild_env(
             rule, inst.facts,
-            [&](FactId f) -> const Fact& { return wm.fact(f); }, env);
+            [&](FactId f) { return wm.view(f); }, env);
         if (JoinEngine::fact_blocks(fact, neg, env)) {
           cs_.remove(id);
           ++stats_.insts_invalidated;
@@ -164,7 +172,7 @@ void TreatMatcher::remove_blocked(const WorkingMemory& wm, RuleId rule_id,
 
 void TreatMatcher::remove_disabled(const WorkingMemory& wm, RuleId rule_id,
                                    int neg_index, FactId fid) {
-  const Fact& fact = wm.fact(fid);
+  const FactView fact = wm.view(fid);
   const CompiledRule& rule = rules_[rule_id];
   const PositionPlan& neg =
       join_.plan(rule_id).negatives[static_cast<std::size_t>(neg_index)];
@@ -175,7 +183,7 @@ void TreatMatcher::remove_disabled(const WorkingMemory& wm, RuleId rule_id,
         const Instantiation& inst = cs_.get(id);
         rebuild_env(
             rule, inst.facts,
-            [&](FactId f) -> const Fact& { return wm.fact(f); }, env);
+            [&](FactId f) { return wm.view(f); }, env);
         // Only instantiations the departed fact witnessed can be
         // affected; they die when no other witness remains.
         if (JoinEngine::fact_blocks(fact, neg, env) &&
@@ -189,7 +197,8 @@ void TreatMatcher::remove_disabled(const WorkingMemory& wm, RuleId rule_id,
 void TreatMatcher::rematch_unblocked(const WorkingMemory& wm, RuleId rule,
                                      std::size_t neg_index, FactId pivot) {
   ++stats_.full_rematches;
-  join_.enumerate_unblocked(wm, rule, neg_index, wm.fact(pivot),
+  join_.enumerate_unblocked(wm, rule, neg_index, wm.view(pivot),
+                            join_scratch_,
                             [&](const std::vector<FactId>& facts,
                                 std::span<const Value> env) {
                               Instantiation inst;

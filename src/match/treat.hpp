@@ -40,7 +40,8 @@ class TreatMatcher : public Matcher {
   MatchStats& stats_mut() override { return stats_; }
 
  private:
-  void derive_for_added(const WorkingMemory& wm, FactId fid);
+  void derive_for_added(const WorkingMemory& wm, FactId fid,
+                        std::span<const std::uint32_t> hit);
   /// A fact entered a (not ...) alpha: drop the instantiations it blocks.
   void remove_blocked(const WorkingMemory& wm, RuleId rule, int neg_index,
                       FactId fid);
@@ -68,6 +69,11 @@ class TreatMatcher : public Matcher {
   std::vector<std::vector<AlphaUse>> positive_uses_;
   std::vector<std::vector<AlphaUse>> negative_uses_;
   std::vector<std::uint32_t> scratch_alphas_;
+  // Per-delta flat (fact -> accepting alphas) lists: the alpha tests run
+  // once per added fact, then steps 3 and 4 replay the hit lists.
+  std::vector<std::uint32_t> added_alphas_;
+  std::vector<std::size_t> added_offsets_;
+  JoinScratch join_scratch_;
 };
 
 }  // namespace parulel

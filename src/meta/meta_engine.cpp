@@ -51,7 +51,7 @@ MetaOutcome MetaEngine::run(const WorkingMemory& object_wm,
       const CompiledRule& mrule = program_.meta_rules[minst.rule];
       rebuild_env(
           mrule, minst.facts,
-          [&](FactId f) -> const Fact& { return meta_wm.fact(f); }, env);
+          [&](FactId f) { return meta_wm.view(f); }, env);
       for (const auto& action : mrule.actions) {
         switch (action.kind) {
           case CompiledAction::Kind::Redact: {

@@ -17,7 +17,7 @@ std::vector<FactId> reify_conflict_set(const Program& program,
     const CompiledRule& rule = program.rules[inst.rule];
     rebuild_env(
         rule, inst.facts,
-        [&](FactId f) -> const Fact& { return object_wm.fact(f); }, env);
+        [&](FactId f) { return object_wm.view(f); }, env);
 
     std::vector<Value> slots;
     slots.reserve(1 + static_cast<std::size_t>(rule.num_lhs_vars));

@@ -404,7 +404,7 @@ ServeProtocol::Status ServeProtocol::handle_line(std::string_view line,
       os << "ok query n=" << hits.size() << '\n';
       for (FactId id : hits) {
         os << "fact " << id << ' '
-           << print_fact(s.wm().fact(id), s.program().schema, symbols)
+           << print_fact(s.wm().view(id), s.program().schema, symbols)
            << '\n';
       }
     });

@@ -80,10 +80,10 @@ std::vector<FactId> Session::query(TemplateId tmpl,
   const WorkingMemory& wm = engine_->wm();
   std::vector<FactId> out;
   for (FactId id : wm.extent(tmpl)) {
-    const Fact& fact = wm.fact(id);
+    const FactView fact = wm.view(id);
     bool ok = true;
     for (const SlotFilter& f : filters) {
-      if (fact.slots[static_cast<std::size_t>(f.slot)] != f.value) {
+      if (fact.slot(static_cast<std::size_t>(f.slot)) != f.value) {
         ok = false;
         break;
       }
@@ -123,7 +123,9 @@ ExactSnapshot Session::snapshot_exact() const {
   snap.halted = engine_->halted();
   snap.counters = counters_;
   for (FactId id = 1; id <= snap.high_water; ++id) {
-    if (wm.alive(id)) snap.facts.push_back(wm.fact(id));
+    if (!wm.alive(id)) continue;
+    const FactView fact = wm.view(id);
+    snap.facts.push_back(Fact{id, fact.tmpl(), fact.copy_slots()});
   }
   return snap;
 }

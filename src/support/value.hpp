@@ -75,6 +75,31 @@ class Value {
     return kind_ == ValueKind::Float ? f_ : static_cast<double>(i_);
   }
 
+  /// Canonical 64-bit payload image for columnar storage (Int: the
+  /// two's-complement bits; Float: the IEEE-754 bits; Sym: the
+  /// zero-extended symbol id). hash() == mix64(raw_payload() ^ salt),
+  /// so a store keeping (kind, payload) columns can cache value hashes
+  /// without re-deriving them.
+  constexpr std::uint64_t raw_payload() const {
+    switch (kind_) {
+      case ValueKind::Int: return static_cast<std::uint64_t>(i_);
+      case ValueKind::Float: return std::bit_cast<std::uint64_t>(f_);
+      case ValueKind::Sym: return static_cast<std::uint64_t>(s_);
+    }
+    return 0;
+  }
+
+  /// Rebuild a value from its (kind, payload) column image. Exact
+  /// round-trip of raw_payload() for every kind.
+  static constexpr Value from_raw(ValueKind kind, std::uint64_t payload) {
+    switch (kind) {
+      case ValueKind::Int: return integer(static_cast<std::int64_t>(payload));
+      case ValueKind::Float: return real(std::bit_cast<double>(payload));
+      case ValueKind::Sym: return symbol(static_cast<Symbol>(payload));
+    }
+    return Value{};
+  }
+
   friend constexpr bool operator==(const Value& a, const Value& b) {
     if (a.kind_ != b.kind_) return false;
     switch (a.kind_) {

@@ -8,6 +8,25 @@
 
 namespace parulel {
 
+namespace {
+
+/// Per-slot hashes + canonical content hash in one pass. Must agree
+/// bit-for-bit with fact_content_hash(); the slot hashes feed the
+/// store's cached hash column.
+std::size_t hash_slots(TemplateId tmpl, std::span<const Value> slots,
+                       std::vector<std::size_t>& slot_hashes) {
+  slot_hashes.clear();
+  std::size_t h = std::hash<std::uint32_t>{}(tmpl);
+  for (const Value& v : slots) {
+    const std::size_t vh = v.hash();
+    slot_hashes.push_back(vh);
+    h = hash_combine(h, vh);
+  }
+  return h;
+}
+
+}  // namespace
+
 WorkingMemory::WorkingMemory(const Schema& schema) : schema_(schema) {
   extents_.resize(schema.size());
 }
@@ -19,20 +38,17 @@ FactId WorkingMemory::assert_fact(TemplateId tmpl, std::vector<Value> slots) {
                        std::string("?") + "'");
   }
   // Set semantics: absorb duplicates of alive facts.
-  Fact probe{0, tmpl, std::move(slots)};
-  const std::size_t h = probe.content_hash();
+  const std::size_t h = hash_slots(tmpl, slots, hash_scratch_);
   auto& group = content_index_.group_for(h);
-  for (const FactId other : group) {
-    if (facts_[other - 1].same_content(probe)) return kInvalidFact;
+  for (const FactRow other : group) {
+    if (store_.view_row(other).same_content(tmpl, slots)) return kInvalidFact;
   }
 
   const FactId id = next_id_++;
-  probe.id = id;
-  facts_.push_back(std::move(probe));
-  alive_.push_back(true);
+  const FactRow row = store_.append(id, tmpl, slots, hash_scratch_, h);
   extent_pos_.push_back(extents_[tmpl].size());
   extents_[tmpl].push_back(id);
-  group.push_back(id);
+  group.push_back(row);
   ++alive_count_;
   pending_.added.push_back(id);
   return id;
@@ -47,23 +63,20 @@ FactId WorkingMemory::assert_fact_at(FactId id, TemplateId tmpl,
   if (static_cast<int>(slots.size()) != schema_.at(tmpl).arity()) {
     throw RuntimeError("assert_fact_at: arity mismatch");
   }
-  Fact probe{0, tmpl, std::move(slots)};
-  const std::size_t h = probe.content_hash();
+  const std::size_t h = hash_slots(tmpl, slots, hash_scratch_);
   auto& group = content_index_.group_for(h);
-  for (const FactId other : group) {
-    if (facts_[other - 1].same_content(probe)) {
+  for (const FactRow other : group) {
+    if (store_.view_row(other).same_content(tmpl, slots)) {
       throw RuntimeError("assert_fact_at: duplicate alive content");
     }
   }
 
   reserve_ids(id - 1);
-  probe.id = id;
   next_id_ = id + 1;
-  facts_.push_back(std::move(probe));
-  alive_.push_back(true);
+  const FactRow row = store_.append(id, tmpl, slots, hash_scratch_, h);
   extent_pos_.push_back(extents_[tmpl].size());
   extents_[tmpl].push_back(id);
-  group.push_back(id);
+  group.push_back(row);
   ++alive_count_;
   pending_.added.push_back(id);
   return id;
@@ -71,32 +84,33 @@ FactId WorkingMemory::assert_fact_at(FactId id, TemplateId tmpl,
 
 void WorkingMemory::reserve_ids(FactId high_water) {
   while (next_id_ <= high_water) {
-    // Permanent tombstone: never alive, never in an extent or the
-    // content index, so no code path beyond fact()/alive() can see it.
-    facts_.push_back(Fact{next_id_, kInvalidTemplate, {}});
-    alive_.push_back(false);
+    // Permanent tombstone: no fact record at all — never alive, never in
+    // an extent or the content index, so no code path beyond alive() can
+    // see it (view() asserts against it in debug builds).
+    store_.append_reserved(next_id_);
     extent_pos_.push_back(0);
     ++next_id_;
   }
 }
 
 bool WorkingMemory::retract(FactId id) {
-  if (id == kInvalidFact || id >= next_id_ || !alive_[id - 1]) return false;
-  alive_[id - 1] = false;
+  if (id == kInvalidFact || id >= next_id_) return false;
+  const FactRow row = store_.row_of(id);
+  if (row == kNoFactRow || !store_.alive_row(row)) return false;
+  store_.set_alive(row, false);
   --alive_count_;
 
-  const Fact& f = facts_[id - 1];
   // Swap-remove from extent; fix the moved fact's position.
-  auto& ext = extents_[f.tmpl];
+  auto& ext = extents_[store_.tmpl_of(row)];
   const std::size_t pos = extent_pos_[id - 1];
   const FactId moved = ext.back();
   ext[pos] = moved;
   extent_pos_[moved - 1] = pos;
   ext.pop_back();
 
-  // Remove from content index (groups hold alive ids only).
-  auto* g = content_index_.find(f.content_hash());
-  g->erase(std::find(g->begin(), g->end(), id));
+  // Remove from content index (groups hold alive rows only).
+  auto* g = content_index_.find(store_.content_hash_of(row));
+  g->erase(std::find(g->begin(), g->end(), row));
 
   // A fact asserted and retracted within the same (undrained) delta
   // cancels out: matchers must never see it at all. Only ids above the
@@ -115,29 +129,30 @@ bool WorkingMemory::retract(FactId id) {
 
 FactId WorkingMemory::modify(FactId id,
                              const std::vector<std::pair<int, Value>>& updates) {
-  if (id == kInvalidFact || id >= next_id_ || !alive_[id - 1]) {
-    return kInvalidFact;
-  }
-  std::vector<Value> slots = facts_[id - 1].slots;
+  if (!alive(id)) return kInvalidFact;
+  const FactView fact = view(id);
+  std::vector<Value> slots = fact.copy_slots();
   for (const auto& [slot, value] : updates) {
     assert(slot >= 0 && slot < static_cast<int>(slots.size()));
     slots[static_cast<std::size_t>(slot)] = value;
   }
-  const TemplateId tmpl = facts_[id - 1].tmpl;
+  const TemplateId tmpl = fact.tmpl();
   retract(id);
   return assert_fact(tmpl, std::move(slots));
 }
 
 bool WorkingMemory::alive(FactId id) const {
-  return id != kInvalidFact && id < next_id_ && alive_[id - 1];
+  if (id == kInvalidFact || id >= next_id_) return false;
+  const FactRow row = store_.row_of(id);
+  return row != kNoFactRow && store_.alive_row(row);
 }
 
 std::optional<FactId> WorkingMemory::find(
     TemplateId tmpl, const std::vector<Value>& slots) const {
-  Fact probe{0, tmpl, slots};
-  if (const auto* g = content_index_.find(probe.content_hash())) {
-    for (const FactId id : *g) {
-      if (facts_[id - 1].same_content(probe)) return id;
+  if (const auto* g = content_index_.find(fact_content_hash(tmpl, slots))) {
+    for (const FactRow row : *g) {
+      const FactView fact = store_.view_row(row);
+      if (fact.same_content(tmpl, slots)) return fact.id();
     }
   }
   return std::nullopt;
@@ -157,29 +172,24 @@ Delta WorkingMemory::drain_delta() {
 
 std::string WorkingMemory::to_string(FactId id,
                                      const SymbolTable& symbols) const {
-  const Fact& f = fact(id);
-  const TemplateDef& def = schema_.at(f.tmpl);
+  const FactView fact = view(id);
+  const TemplateDef& def = schema_.at(fact.tmpl());
   std::ostringstream os;
   os << "(" << symbols.name(def.name);
-  for (std::size_t i = 0; i < f.slots.size(); ++i) {
+  for (std::uint32_t i = 0; i < fact.slot_count(); ++i) {
     os << " (" << symbols.name(def.slot_names[i]) << " "
-       << f.slots[i].to_string(symbols) << ")";
+       << fact.slot(i).to_string(symbols) << ")";
   }
   os << ")";
   return os.str();
 }
 
 std::uint64_t WorkingMemory::content_fingerprint() const {
-  // XOR of per-fact content hashes is order-independent.
+  // XOR of re-mixed per-fact content hashes is order-independent.
   std::uint64_t fp = 0x5bd1e995u;
-  for (std::size_t i = 0; i < facts_.size(); ++i) {
-    if (!alive_[i]) continue;
-    // Re-mix each content hash so XOR doesn't cancel structured pairs.
-    std::uint64_t h = facts_[i].content_hash();
-    h ^= h >> 33;
-    h *= 0xff51afd7ed558ccdULL;
-    h ^= h >> 33;
-    fp ^= h;
+  for (std::size_t row = 0; row < store_.rows(); ++row) {
+    if (!store_.alive_row(static_cast<FactRow>(row))) continue;
+    fp ^= fingerprint_mix(store_.content_hash_of(static_cast<FactRow>(row)));
   }
   return fp;
 }

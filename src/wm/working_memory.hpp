@@ -8,6 +8,10 @@
 //  - *Stable storage.* Fact records are kept (tombstoned, not freed) for
 //    the lifetime of the store, so matchers may hold FactIds across
 //    retraction and still read slot values while draining deltas.
+//  - *Handles, not records.* Consumers read facts through FactView
+//    handles from view(id); the store underneath is columnar
+//    (wm/fact_store.hpp) and its layout is not part of the API. There
+//    is deliberately no `const Fact&` / fact-array escape hatch.
 //  - *Delta log.* Every mutation appends to the pending delta, which the
 //    engine hands to its matcher once per cycle; `drain_delta()` moves it
 //    out.
@@ -16,13 +20,14 @@
 //    thread DeltaBuffers (see engine/), never to WM directly.
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "support/flat_group_map.hpp"
-#include "wm/fact.hpp"
+#include "wm/fact_store.hpp"
 #include "wm/schema.hpp"
 
 namespace parulel {
@@ -70,14 +75,20 @@ class WorkingMemory {
   /// Returns the new FactId (or kInvalidFact if absorbed / id dead).
   FactId modify(FactId id, const std::vector<std::pair<int, Value>>& updates);
 
-  /// Fact record by id; valid for alive and tombstoned facts. Inline:
+  /// Typed view of the fact record for `id`; valid for alive and
+  /// retracted (tombstoned) facts. Debug builds assert the id names a
+  /// materialized record — reserved-id tombstones have none. Inline:
   /// this is the per-candidate load of every join loop.
-  const Fact& fact(FactId id) const { return facts_[id - 1]; }
+  FactView view(FactId id) const {
+    assert(id != kInvalidFact && id < next_id_ && "view: unknown FactId");
+    assert(store_.row_of(id) != kNoFactRow &&
+           "view: reserved id has no fact record");
+    return store_.view_row(store_.row_of(id));
+  }
 
-  /// Raw fact storage (index = id - 1), for inner loops that cache the
-  /// base pointer across a whole join program. Stable while no facts
-  /// are asserted (matchers never mutate WM).
-  const Fact* fact_array() const { return facts_.data(); }
+  /// The columnar store behind the views, for code that iterates rows
+  /// or caches column base pointers (the compiled VM). Read-only.
+  const FactStore& store() const { return store_; }
 
   bool alive(FactId id) const;
 
@@ -113,16 +124,16 @@ class WorkingMemory {
 
  private:
   const Schema& schema_;
-  std::vector<Fact> facts_;          // index = id - 1
-  std::vector<bool> alive_;          // parallel to facts_
+  FactStore store_;
   std::vector<std::vector<FactId>> extents_;  // per template, alive only
-  std::vector<std::size_t> extent_pos_;       // fact id -> index in extent
-  // content hash -> alive fact ids (set-semantics duplicate detection).
-  FlatGroupMap<FactId> content_index_;
+  std::vector<std::size_t> extent_pos_;       // fact id - 1 -> index in extent
+  // content hash -> alive fact rows (set-semantics duplicate detection).
+  FlatGroupMap<FactRow> content_index_;
   FactId next_id_ = 1;
   FactId drain_floor_ = 0;  ///< ids at or below this predate the pending delta
   std::size_t alive_count_ = 0;
   Delta pending_;
+  std::vector<std::size_t> hash_scratch_;  ///< per-slot hashes of one assert
 };
 
 }  // namespace parulel

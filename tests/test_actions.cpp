@@ -49,7 +49,7 @@ TEST_F(ActionTest, DirectAssertEvaluatesExpressions) {
   EXPECT_EQ(res.asserts, 1u);
   const TemplateId out_t = *program_.schema.find(program_.symbols->intern("out"));
   ASSERT_EQ(wm_->extent(out_t).size(), 1u);
-  EXPECT_EQ(wm_->fact(wm_->extent(out_t)[0]).slots[1], Value::integer(49));
+  EXPECT_EQ(wm_->view(wm_->extent(out_t)[0]).slot(1), Value::integer(49));
 }
 
 TEST_F(ActionTest, DirectRetractTargetsBoundFact) {
@@ -74,7 +74,7 @@ TEST_F(ActionTest, BindFeedsLaterActions) {
   fire_direct(program_, first_inst(), *wm_, nullptr);
   const TemplateId out_t = *program_.schema.find(program_.symbols->intern("out"));
   ASSERT_EQ(wm_->extent(out_t).size(), 1u);
-  EXPECT_EQ(wm_->fact(wm_->extent(out_t)[0]).slots[0], Value::integer(22));
+  EXPECT_EQ(wm_->view(wm_->extent(out_t)[0]).slot(0), Value::integer(22));
 }
 
 TEST_F(ActionTest, HaltCutsRemainingActions) {
@@ -107,10 +107,10 @@ TEST_F(ActionTest, ModifyPreservesUntouchedSlots) {
   fire_direct(program_, first_inst(), *wm_, nullptr);
   const TemplateId rec_t = *program_.schema.find(program_.symbols->intern("rec"));
   ASSERT_EQ(wm_->extent(rec_t).size(), 1u);
-  const Fact& f = wm_->fact(wm_->extent(rec_t)[0]);
-  EXPECT_EQ(f.slots[0], Value::integer(5));
-  EXPECT_EQ(f.slots[1], Value::integer(6));
-  EXPECT_EQ(f.slots[2], Value::integer(9));
+  const FactView f = wm_->view(wm_->extent(rec_t)[0]);
+  EXPECT_EQ(f.slot(0), Value::integer(5));
+  EXPECT_EQ(f.slot(1), Value::integer(6));
+  EXPECT_EQ(f.slot(2), Value::integer(9));
 }
 
 TEST_F(ActionTest, BufferedMatchesDirectOutcome) {

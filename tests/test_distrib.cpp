@@ -121,8 +121,8 @@ TEST(DistributedEngine, PartitionedFactsLandOnOneSite) {
   PartitionScheme check(p, {{"path", "from"}});
   for (unsigned s = 0; s < 4; ++s) {
     for (FactId id : dist.site_wm(s).extent(path_t)) {
-      const Fact& f = dist.site_wm(s).fact(id);
-      EXPECT_EQ(check.site_of(path_t, f.slots, 4), s);
+      const auto slots = dist.site_wm(s).view(id).copy_slots();
+      EXPECT_EQ(check.site_of(path_t, slots, 4), s);
     }
   }
 }
@@ -231,8 +231,8 @@ TEST(CopyConstrain, UnionOfConstrainedCopiesEqualsFullRun) {
   auto path_set = [&](const WorkingMemory& wm) {
     std::set<std::pair<std::int64_t, std::int64_t>> out;
     for (FactId id : wm.extent(path_t)) {
-      const Fact& f = wm.fact(id);
-      out.emplace(f.slots[0].as_int(), f.slots[1].as_int());
+      const FactView f = wm.view(id);
+      out.emplace(f.slot(0).as_int(), f.slot(1).as_int());
     }
     return out;
   };
@@ -278,8 +278,8 @@ TEST(CopyConstrain, SlicesAreDisjointForPartitionedTemplates) {
     engine.assert_initial_facts();
     engine.run();
     for (FactId id : engine.wm().extent(path_t)) {
-      const Fact& f = engine.wm().fact(id);
-      owners[{f.slots[0].as_int(), f.slots[1].as_int()}]++;
+      const FactView f = engine.wm().view(id);
+      owners[{f.slot(0).as_int(), f.slot(1).as_int()}]++;
     }
   }
   for (const auto& [path, count] : owners) {
@@ -302,8 +302,8 @@ TEST(CopyConstrain, AgreesWithDistributedEngineSiteAssignment) {
   engine.assert_initial_facts();
   engine.run();
   for (FactId id : engine.wm().extent(path_t)) {
-    const Fact& f = engine.wm().fact(id);
-    EXPECT_EQ(scheme.site_of(path_t, f.slots, 3), 0u);
+    const auto slots = engine.wm().view(id).copy_slots();
+    EXPECT_EQ(scheme.site_of(path_t, slots, 3), 0u);
   }
 }
 

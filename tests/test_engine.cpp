@@ -80,8 +80,8 @@ TEST(SequentialEngine, SalienceDominatesStrategy) {
   const auto& wm = engine.wm();
   const TemplateId log_t = *p.schema.find(p.symbols->intern("log"));
   ASSERT_EQ(wm.extent(log_t).size(), 1u);
-  const Fact& f = wm.fact(wm.extent(log_t)[0]);
-  EXPECT_EQ(f.slots[0], Value::symbol(p.symbols->intern("high")));
+  const FactView f = wm.view(wm.extent(log_t)[0]);
+  EXPECT_EQ(f.slot(0), Value::symbol(p.symbols->intern("high")));
 }
 
 TEST(SequentialEngine, LexPrefersRecentFacts) {
@@ -101,7 +101,7 @@ TEST(SequentialEngine, LexPrefersRecentFacts) {
   const TemplateId w = *p.schema.find(p.symbols->intern("winner"));
   bool saw3 = false;
   for (FactId id : wm.extent(w)) {
-    if (wm.fact(id).slots[0] == Value::integer(3)) saw3 = true;
+    if (wm.view(id).slot(0) == Value::integer(3)) saw3 = true;
   }
   EXPECT_TRUE(saw3);
 }

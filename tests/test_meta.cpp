@@ -47,10 +47,10 @@ TEST_F(MetaTest, ReifyProducesOneMetaFactPerInstantiation) {
   ASSERT_EQ(meta_ids.size(), 2u);
   EXPECT_EQ(meta_wm.alive_count(), 2u);
   // Slots: (id, x) with id = instantiation id and x = bound value.
-  const Fact& f0 = meta_wm.fact(meta_ids[0]);
-  EXPECT_EQ(f0.slots[0], Value::integer(static_cast<std::int64_t>(ids[0])));
-  EXPECT_TRUE(f0.slots[1] == Value::integer(10) ||
-              f0.slots[1] == Value::integer(20));
+  const FactView f0 = meta_wm.view(meta_ids[0]);
+  EXPECT_EQ(f0.slot(0), Value::integer(static_cast<std::int64_t>(ids[0])));
+  EXPECT_TRUE(f0.slot(1) == Value::integer(10) ||
+              f0.slot(1) == Value::integer(20));
 }
 
 TEST_F(MetaTest, NoMetaRulesMeansInactive) {

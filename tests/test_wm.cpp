@@ -87,9 +87,9 @@ TEST_F(WmTest, TombstonesRemainReadable) {
   WorkingMemory wm(schema_);
   const FactId a = wm.assert_fact(edge_, pair(7, 8));
   wm.retract(a);
-  const Fact& f = wm.fact(a);
-  EXPECT_EQ(f.slots[0], Value::integer(7));
-  EXPECT_EQ(f.slots[1], Value::integer(8));
+  const FactView f = wm.view(a);
+  EXPECT_EQ(f.slot(0), Value::integer(7));
+  EXPECT_EQ(f.slot(1), Value::integer(8));
 }
 
 TEST_F(WmTest, ExtentTracksAliveFactsPerTemplate) {
@@ -120,8 +120,8 @@ TEST_F(WmTest, ModifyIsRetractPlusAssert) {
   EXPECT_NE(b, kInvalidFact);
   EXPECT_FALSE(wm.alive(a));
   EXPECT_TRUE(wm.alive(b));
-  EXPECT_EQ(wm.fact(b).slots[0], Value::integer(1));
-  EXPECT_EQ(wm.fact(b).slots[1], Value::integer(5));
+  EXPECT_EQ(wm.view(b).slot(0), Value::integer(1));
+  EXPECT_EQ(wm.view(b).slot(1), Value::integer(5));
 }
 
 TEST_F(WmTest, ModifyIntoExistingContentIsAbsorbed) {
@@ -243,6 +243,108 @@ TEST_F(WmTest, ManyFactsStressExtentsAndIndex) {
   }
   EXPECT_EQ(wm.alive_count(), 2500u);
   EXPECT_EQ(wm.extent(edge_).size(), 2500u);
+}
+
+// Struct-of-arrays round trip: drive every mutation through the handle
+// API and verify the column store stays consistent with the id space.
+TEST_F(WmTest, SoaRoundTripSweep) {
+  WorkingMemory wm(schema_);
+  // Interleave asserts across templates so rows of one template are not
+  // contiguous in the store.
+  std::vector<FactId> edges;
+  std::vector<FactId> nodes;
+  for (int i = 0; i < 200; ++i) {
+    edges.push_back(wm.assert_fact(edge_, pair(i, i + 1)));
+    if (i % 3 == 0) {
+      nodes.push_back(wm.assert_fact(node_, {Value::integer(i)}));
+    }
+  }
+  // Retract a third, modify a third (absorbing none).
+  for (std::size_t i = 0; i < edges.size(); i += 3) wm.retract(edges[i]);
+  for (std::size_t i = 1; i < edges.size(); i += 3) {
+    edges[i] = wm.modify(edges[i], {{1, Value::integer(10000 + (int)i)}});
+  }
+  // Punch a reserved-id gap like a snapshot restore would.
+  const FactId before_gap = wm.high_water();
+  wm.reserve_ids(before_gap + 7);
+  const FactId after_gap = wm.assert_fact(edge_, pair(-1, -2));
+  EXPECT_EQ(after_gap, before_gap + 8);
+
+  const FactStore& store = wm.store();
+  // Sweep the whole id space: every id maps to a row or is a reserved
+  // tombstone; rows are monotone in id (recency order is the row order).
+  FactRow prev_row = kNoFactRow;
+  std::size_t alive_seen = 0;
+  for (FactId id = 1; id <= wm.high_water(); ++id) {
+    const FactRow row = store.row_of(id);
+    if (row == kNoFactRow) {
+      EXPECT_FALSE(wm.alive(id));  // reserved ids never lived
+      continue;
+    }
+    if (prev_row != kNoFactRow) {
+      EXPECT_GT(row, prev_row);
+    }
+    prev_row = row;
+    const FactView f = wm.view(id);
+    EXPECT_EQ(f.id(), id);
+    EXPECT_EQ(f.row(), row);
+    EXPECT_EQ(f.alive(), wm.alive(id));
+    if (f.alive()) ++alive_seen;
+    // The cached content hash is the canonical structural hash.
+    const auto slots = f.copy_slots();
+    EXPECT_EQ(f.content_hash(), fact_content_hash(f.tmpl(), slots));
+    // Per-slot cached hashes match Value::hash().
+    for (std::size_t s = 0; s < f.slot_count(); ++s) {
+      EXPECT_EQ(f.slot_hash(s), f.slot(s).hash());
+    }
+  }
+  EXPECT_EQ(alive_seen, wm.alive_count());
+  // find() agrees with the view for alive content.
+  for (FactId id : wm.extent(edge_)) {
+    const FactView f = wm.view(id);
+    EXPECT_EQ(wm.find(edge_, f.copy_slots()), id);
+  }
+}
+
+// A pre-redesign exact snapshot is a list of plain `Fact` records plus a
+// high-water mark (see service/session.cpp). Replaying one into the SoA
+// store must reproduce the identical fingerprint and id space — this is
+// the compatibility contract for checkpoints and journal state records
+// written before the layout change.
+TEST_F(WmTest, ExactSnapshotReplayKeepsFingerprint) {
+  WorkingMemory wm(schema_);
+  std::vector<FactId> ids;
+  for (int i = 0; i < 64; ++i) ids.push_back(wm.assert_fact(edge_, pair(i, i * 2)));
+  for (std::size_t i = 0; i < ids.size(); i += 4) wm.retract(ids[i]);
+  wm.modify(ids[1], {{0, Value::integer(-5)}});
+  wm.assert_fact(node_, {Value::integer(42)});
+
+  // Capture in the serialization-boundary format (unchanged struct).
+  std::vector<Fact> snapshot;
+  const FactId high_water = wm.high_water();
+  for (FactId id = 1; id <= high_water; ++id) {
+    if (!wm.alive(id)) continue;
+    const FactView f = wm.view(id);
+    snapshot.push_back(Fact{id, f.tmpl(), f.copy_slots()});
+    // The Fact struct's hash and the store's cached hash are the same
+    // canonical routine — checkpoint digests survive the redesign.
+    EXPECT_EQ(snapshot.back().content_hash(), f.content_hash());
+  }
+
+  WorkingMemory replay(schema_);
+  for (const Fact& f : snapshot) replay.assert_fact_at(f.id, f.tmpl, f.slots);
+  replay.reserve_ids(high_water);
+
+  EXPECT_EQ(replay.high_water(), wm.high_water());
+  EXPECT_EQ(replay.alive_count(), wm.alive_count());
+  EXPECT_EQ(replay.content_fingerprint(), wm.content_fingerprint());
+  EXPECT_EQ(replay.extent(edge_).size(), wm.extent(edge_).size());
+  // Replayed facts keep their original time tags, so recency-sensitive
+  // consumers see the same order.
+  for (FactId id : wm.extent(edge_)) {
+    ASSERT_TRUE(replay.alive(id));
+    EXPECT_TRUE(replay.view(id).same_content(wm.view(id)));
+  }
 }
 
 }  // namespace

@@ -166,8 +166,8 @@ TEST(Manners, AlternatesSexes) {
   const auto& wm = engine.wm();
   const TemplateId last_t = *p.schema.find(p.symbols->intern("last-seat"));
   ASSERT_EQ(wm.extent(last_t).size(), 1u);
-  const Fact& last = wm.fact(wm.extent(last_t)[0]);
-  EXPECT_EQ(last.slots[0], Value::integer(8));
+  const FactView last = wm.view(wm.extent(last_t)[0]);
+  EXPECT_EQ(last.slot(0), Value::integer(8));
 }
 
 TEST(Manners, SequentialEngineAlsoSolves) {
@@ -267,11 +267,11 @@ TEST(Life, BlinkerOscillates) {
   const TemplateId cell_t = *p.schema.find(p.symbols->intern("cell"));
   int alive_gen1 = 0;
   for (FactId id : wm.extent(cell_t)) {
-    const Fact& f = wm.fact(id);
-    if (f.slots[1] != Value::integer(1)) continue;  // gen
-    if (f.slots[2] != Value::integer(1)) continue;  // alive
+    const FactView f = wm.view(id);
+    if (f.slot(1) != Value::integer(1)) continue;  // gen
+    if (f.slot(2) != Value::integer(1)) continue;  // alive
     ++alive_gen1;
-    const auto cid = f.slots[0].as_int();
+    const auto cid = f.slot(0).as_int();
     EXPECT_EQ(cid / n, 2) << "row";
     EXPECT_GE(cid % n, 1);
     EXPECT_LE(cid % n, 3);
@@ -315,9 +315,9 @@ TEST(Routing, ComputesShortestPaths) {
   const TemplateId dist_t = *p.schema.find(p.symbols->intern("dist"));
   ASSERT_EQ(wm.extent(dist_t).size(), 24u);  // one dist fact per node
   for (FactId id : wm.extent(dist_t)) {
-    const Fact& f = wm.fact(id);
-    const auto node = static_cast<std::size_t>(f.slots[0].as_int());
-    EXPECT_EQ(f.slots[1].as_int(), dist[node]) << "node " << node;
+    const FactView f = wm.view(id);
+    const auto node = static_cast<std::size_t>(f.slot(0).as_int());
+    EXPECT_EQ(f.slot(1).as_int(), dist[node]) << "node " << node;
   }
 }
 
