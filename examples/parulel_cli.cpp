@@ -36,6 +36,9 @@
 #include <vector>
 
 #include "parulel.hpp"
+#include "distrib/cluster_driver.hpp"
+
+#include <unistd.h>
 
 namespace {
 
@@ -115,8 +118,15 @@ struct Options {
   std::string trace_json_path, metrics_json_path;
   unsigned sites = 4;
   std::unordered_map<std::string, std::string> partition;
+  std::string partition_spec_raw;  // forwarded verbatim to cluster sites
   std::string fault_plan_spec;
   std::uint64_t checkpoint_every = 0;
+
+  // run, multi-process cluster
+  unsigned cluster_sites = 0;  // 0 = off; N = drive N site processes
+  std::string cluster_bin;
+  std::uint16_t cluster_port = 0;
+  bool cluster_spawn = true;
 
   // serve + listen (the fronted service)
   parulel::service::ServiceConfig service;
@@ -217,15 +227,46 @@ const FlagSpec kFlags[] = {
     {"--partition", "T=S,...", kRun,
      "dist: partition template T on slot S; unlisted templates are "
      "replicated",
-     [](Options& o, const std::string& v) { o.partition = parse_partition(v); }},
+     [](Options& o, const std::string& v) {
+       o.partition = parse_partition(v);
+       o.partition_spec_raw = v;
+     }},
     {"--fault-plan", "SPEC", kRun,
      "dist: inject faults, e.g. loss=0.2,dup=0.05,delay=0.1,seed=7,"
      "crash=1@5+4",
      [](Options& o, const std::string& v) { o.fault_plan_spec = v; }},
     {"--checkpoint-every", "N", kRun,
-     "dist: snapshot sites every N cycles",
+     "dist: snapshot sites every N cycles; cluster: WAL batches per "
+     "snapshot rewrite",
      [](Options& o, const std::string& v) {
        o.checkpoint_every = parse_count("--checkpoint-every", v);
+     }},
+    {"--cluster", "N", kRun,
+     "run as N real site PROCESSES over TCP instead of the in-process "
+     "dist engine; chaos plans deliver genuine kill -9s",
+     [](Options& o, const std::string& v) {
+       o.cluster_sites = static_cast<unsigned>(parse_count("--cluster", v));
+       if (o.cluster_sites == 0) throw UsageError("--cluster must be >= 1");
+     }},
+    {"--cluster-bin", "PATH", kRun,
+     "cluster: parulel_site binary (default: $PARULEL_SITE_BIN, then "
+     "parulel_site next to this executable)",
+     [](Options& o, const std::string& v) { o.cluster_bin = v; }},
+    {"--cluster-port", "N", kRun,
+     "cluster: driver control port; 0 = kernel-assigned (default 0)",
+     [](Options& o, const std::string& v) {
+       const std::uint64_t p = parse_count("--cluster-port", v);
+       if (p > 65535) throw UsageError("--cluster-port must be <= 65535");
+       o.cluster_port = static_cast<std::uint16_t>(p);
+     }},
+    {"--cluster-spawn", "on|off", kRun,
+     "cluster: spawn site processes (on, default) or wait for manually "
+     "started sites to dial in (off)",
+     [](Options& o, const std::string& v) {
+       if (v == "on") o.cluster_spawn = true;
+       else if (v == "off") o.cluster_spawn = false;
+       else throw UsageError("--cluster-spawn wants on or off, got '" + v +
+                             "'");
      }},
     {"--queue-capacity", "N", kServe | kListen,
      "per-session request cap (default 256)",
@@ -293,9 +334,10 @@ const FlagSpec kFlags[] = {
        o.shards = static_cast<unsigned>(parse_count("--shards", v));
        if (o.shards == 0) throw UsageError("--shards must be >= 1");
      }},
-    {"--journal-dir", "DIR", kServe | kListen,
+    {"--journal-dir", "DIR", kRun | kServe | kListen,
      "write-ahead journal directory; enables durable sessions "
-     "(open/resume survive crashes)",
+     "(open/resume survive crashes); cluster: per-site WALs, required "
+     "for crash plans",
      [](Options& o, const std::string& v) { o.service.journal.dir = v; }},
     {"--snapshot-every", "N", kServe | kListen,
      "truncate each journal to one snapshot after N batches; 0 = never "
@@ -303,7 +345,7 @@ const FlagSpec kFlags[] = {
      [](Options& o, const std::string& v) {
        o.service.journal.snapshot_every = parse_count("--snapshot-every", v);
      }},
-    {"--journal-fsync", "on|off", kServe | kListen,
+    {"--journal-fsync", "on|off", kRun | kServe | kListen,
      "fsync each journal record before acking (default on; off trades "
      "the power-loss guarantee for throughput)",
      [](Options& o, const std::string& v) {
@@ -534,7 +576,13 @@ int run_listen(const Options& opt) {
   for (const auto& report : server.recovery_reports()) {
     if (report.ok) {
       std::cout << "recovered " << report.name << " batches=" << report.batches
-                << " ops=" << report.ops << " facts=" << report.facts << "\n";
+                << " ops=" << report.ops << " facts=" << report.facts;
+      if (report.torn_bytes > 0) {
+        // Name what the crash tore and where, not just how much.
+        std::cout << " torn=" << report.torn_kind << "@" << report.torn_offset
+                  << "+" << report.torn_bytes;
+      }
+      std::cout << "\n";
     } else {
       std::cout << "quarantined " << report.name << ": " << report.error
                 << "\n";
@@ -703,6 +751,26 @@ int run_connect(const Options& opt) {
   return errors == 0 ? kExitOk : kExitRuntime;
 }
 
+/// The parulel_site binary for spawn-mode clusters: explicit flag, then
+/// $PARULEL_SITE_BIN, then `parulel_site` next to this executable.
+std::string resolve_site_bin(const std::string& flag_value) {
+  if (!flag_value.empty()) return flag_value;
+  if (const char* env = std::getenv("PARULEL_SITE_BIN"); env && *env) {
+    return env;
+  }
+  char self[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", self, sizeof(self) - 1);
+  if (n > 0) {
+    self[n] = '\0';
+    std::string dir(self);
+    const auto slash = dir.rfind('/');
+    if (slash != std::string::npos) {
+      return dir.substr(0, slash + 1) + "parulel_site";
+    }
+  }
+  return "parulel_site";  // hope for $PATH
+}
+
 int run_cli(const Options& opt) {
   std::ifstream in(opt.program_path);
   if (!in) throw IoError("cannot open " + opt.program_path);
@@ -735,6 +803,57 @@ int run_cli(const Options& opt) {
   const bool want_metrics = opt.metrics || !opt.metrics_json_path.empty();
 
   parulel::TerminationReason termination = parulel::TerminationReason::Unknown;
+
+  if (opt.cluster_sites > 0) {
+    parulel::ClusterConfig cfg;
+    cfg.sites = opt.cluster_sites;
+    cfg.program_path = opt.program_path;
+    cfg.port = opt.cluster_port;
+    cfg.spawn = opt.cluster_spawn;
+    if (cfg.spawn) cfg.site_bin = resolve_site_bin(opt.cluster_bin);
+    cfg.journal_dir = opt.service.journal.dir;
+    cfg.partition_spec = opt.partition_spec_raw;
+    cfg.fault_spec = opt.fault_plan_spec;
+    if (!opt.fault_plan_spec.empty()) {
+      cfg.faults = parulel::FaultPlan::parse(opt.fault_plan_spec);
+    }
+    cfg.max_cycles = opt.max_cycles;
+    if (opt.checkpoint_every > 0) cfg.checkpoint_every = opt.checkpoint_every;
+    cfg.fsync = opt.service.journal.fsync;
+    cfg.log = opt.trace ? &std::cout : nullptr;
+
+    parulel::ClusterDriver driver(program, cfg);
+    const parulel::ClusterOutcome out = driver.run();
+
+    std::cout << "[cluster] " << cfg.sites << " site processes, "
+              << out.cycles << " barriers, "
+              << (out.halted ? "halted"
+                             : out.quiescent ? "quiescent" : "cycle-limit")
+              << ", " << out.facts << " facts\n";
+    const parulel::ClusterStats& cs = out.stats;
+    std::cout << "cluster: sent " << cs.sent << ", applied " << cs.applied
+              << ", dup-suppressed " << cs.dup_suppressed << ", retries "
+              << cs.retries << ", dropped " << cs.dropped << ", kills "
+              << cs.kills << ", restores " << cs.restores << ", batches "
+              << cs.batches << ", snapshots " << cs.snapshots << "\n";
+    std::cout << "global fingerprint: " << std::hex << out.fingerprint
+              << std::dec << "\n";
+    if (want_metrics) cs.publish(registry);
+    if (opt.metrics) std::cout << "metrics:\n" << registry.to_text();
+    if (!opt.metrics_json_path.empty()) {
+      std::ofstream mf(opt.metrics_json_path);
+      if (!mf) {
+        throw IoError("cannot open " + opt.metrics_json_path +
+                      " for writing");
+      }
+      mf << registry.to_json() << "\n";
+    }
+    if (!out.halted && !out.quiescent) {
+      std::cerr << "run truncated: hit --max-cycles before quiescence\n";
+      return kExitCycleLimit;
+    }
+    return kExitOk;
+  }
 
   if (opt.engine_kind == "dist") {
     parulel::DistConfig cfg;

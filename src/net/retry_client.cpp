@@ -53,11 +53,30 @@ void RetryClient::prune_committed(SessionState& s, const std::string& status) {
   }
 }
 
+std::uint64_t RetryClient::backoff_delay_ms(unsigned attempt) {
+  // Exponential ceiling min(base * 2^(k-1), max), computed without ever
+  // shifting past the cap: `base << shift` overflows for large attempt
+  // counts (or a large base), wrapping the delay back to ~0 and turning
+  // the backoff into a tight retry hammer exactly when the server is at
+  // its sickest. Stop doubling as soon as the ceiling passes max.
+  std::uint64_t ceiling = config_.backoff_base_ms;
+  for (unsigned k = 1; k < attempt && ceiling < config_.backoff_max_ms; ++k) {
+    if (ceiling > config_.backoff_max_ms / 2) {
+      ceiling = config_.backoff_max_ms;
+    } else {
+      ceiling *= 2;
+    }
+  }
+  ceiling = std::min(ceiling, config_.backoff_max_ms);
+  // Full jitter: sleep uniform in [0, ceiling]. Clients that lost the
+  // same primary at the same moment draw independent delays across the
+  // WHOLE window, so a restarted server sees reconnects spread out
+  // instead of a synchronized stampede at base*2^k milliseconds.
+  return ceiling > 0 ? rng_.below(ceiling + 1) : 0;
+}
+
 void RetryClient::backoff(unsigned attempt) {
-  const unsigned shift = std::min(attempt - 1, 20u);
-  std::uint64_t ms =
-      std::min(config_.backoff_base_ms << shift, config_.backoff_max_ms);
-  if (config_.backoff_base_ms > 0) ms += rng_.below(config_.backoff_base_ms);
+  const std::uint64_t ms = backoff_delay_ms(attempt);
   stats_.backoff_ms += ms;
   std::this_thread::sleep_for(std::chrono::milliseconds(ms));
 }

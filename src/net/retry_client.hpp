@@ -57,8 +57,11 @@ struct RetryConfig {
   /// Transport attempts per exec() before giving up.
   unsigned max_attempts = 8;
 
-  /// Backoff before attempt k (k >= 1): min(base << (k-1), max) plus
-  /// jitter uniform in [0, base).
+  /// Backoff before attempt k (k >= 1): full jitter, uniform in
+  /// [0, min(base * 2^(k-1), max)]. The exponential ceiling saturates
+  /// at `max` instead of overflowing at high attempt counts, and the
+  /// full-window jitter decorrelates clients that all lost the same
+  /// primary at the same moment (no synchronized reconnect stampede).
   std::uint64_t backoff_base_ms = 10;
   std::uint64_t backoff_max_ms = 2'000;
 
@@ -97,6 +100,13 @@ class RetryClient {
   const RetryStats& stats() const { return stats_; }
   bool connected() const { return client_.connected(); }
 
+  /// The delay backoff(attempt) would sleep, in ms: full jitter drawn
+  /// uniformly from [0, min(base * 2^(attempt-1), max)], with the
+  /// exponential ceiling saturating at max instead of overflowing.
+  /// Exposed (and draws from the jitter stream) so tests can verify the
+  /// schedule without sleeping through it.
+  std::uint64_t backoff_delay_ms(unsigned attempt);
+
  private:
   struct SessionState {
     std::string open_line;   ///< replayed when the server lost the state
@@ -114,6 +124,7 @@ class RetryClient {
   /// the open-collision -> resume fallback.
   void finish(const std::string& cmd, const std::string& name,
               std::uint64_t req, const std::string& line, Response& out);
+  /// Sleep for backoff_delay_ms(attempt), accumulating stats.
   void backoff(unsigned attempt);
   /// Advance the endpoint cursor round-robin (counts a failover).
   void fail_over();

@@ -143,6 +143,16 @@ void ReplStats::publish(obs::MetricsRegistry& registry,
   }
 }
 
+void ClusterStats::publish(obs::MetricsRegistry& registry,
+                           std::string_view prefix) const {
+  std::string name;
+  for (const auto& f : obs::cluster_fields()) {
+    name.assign(prefix);
+    name += f.name;
+    registry.set(name, this->*f.member);
+  }
+}
+
 void CompileStats::publish(obs::MetricsRegistry& registry,
                            std::string_view prefix) const {
   std::string name;
@@ -289,6 +299,24 @@ constexpr FieldDef<ReplStats> kReplFields[] = {
     {"apply_errors", &ReplStats::apply_errors},
 };
 
+constexpr FieldDef<ClusterStats> kClusterFields[] = {
+    {"barriers", &ClusterStats::barriers},
+    {"spawns", &ClusterStats::spawns},
+    {"kills", &ClusterStats::kills},
+    {"deaths", &ClusterStats::deaths},
+    {"restores", &ClusterStats::restores},
+    {"sent", &ClusterStats::sent},
+    {"applied", &ClusterStats::applied},
+    {"dup_suppressed", &ClusterStats::dup_suppressed},
+    {"retries", &ClusterStats::retries},
+    {"dropped", &ClusterStats::dropped},
+    {"delayed", &ClusterStats::delayed},
+    {"redials", &ClusterStats::redials},
+    {"batches", &ClusterStats::batches},
+    {"snapshots", &ClusterStats::snapshots},
+    {"firings", &ClusterStats::firings},
+};
+
 constexpr FieldDef<CompileStats> kCompileFields[] = {
     {"codegen_ns", &CompileStats::codegen_ns},
     {"code_bytes", &CompileStats::code_bytes},
@@ -327,6 +355,10 @@ std::span<const FieldDef<JournalStats>> journal_fields() {
 std::span<const FieldDef<RetryStats>> retry_fields() { return kRetryFields; }
 
 std::span<const FieldDef<ReplStats>> repl_fields() { return kReplFields; }
+
+std::span<const FieldDef<ClusterStats>> cluster_fields() {
+  return kClusterFields;
+}
 
 std::span<const FieldDef<CompileStats>> compile_fields() {
   return kCompileFields;

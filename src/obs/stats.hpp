@@ -269,6 +269,37 @@ struct ReplStats {
                std::string_view prefix = "repl.") const;
 };
 
+/// Multi-process cluster accounting (src/distrib/cluster_driver.hpp):
+/// the driver's view of a real-socket run — barriers driven, site
+/// processes spawned/killed/respawned, plus the sums of the per-site
+/// counters each `barrier-done` line reports (sends, applies,
+/// dedup-suppressed duplicates, retransmissions, injector drops/delays,
+/// peer redials, WAL batches and snapshot rewrites). The
+/// cluster_fields() table feeds metrics publication, the CLI's exit
+/// summary, and the bench JSON rows like every other stat family.
+struct ClusterStats {
+  std::uint64_t barriers = 0;    ///< barrier rounds completed
+  std::uint64_t spawns = 0;      ///< site processes started (incl. respawns)
+  std::uint64_t kills = 0;       ///< SIGKILLs delivered by the fault plan
+  std::uint64_t deaths = 0;      ///< unexpected site exits detected
+  std::uint64_t restores = 0;    ///< sites recovered and rejoined
+  std::uint64_t sent = 0;        ///< cc-batch transmissions (incl. dups)
+  std::uint64_t applied = 0;     ///< peer ops applied (post-dedup)
+  std::uint64_t dup_suppressed = 0;  ///< duplicate deliveries discarded
+  std::uint64_t retries = 0;     ///< retransmissions after ack timeout
+  std::uint64_t dropped = 0;     ///< attempts lost (injector or dead conn)
+  std::uint64_t delayed = 0;     ///< attempts held back by the injector
+  std::uint64_t redials = 0;     ///< peer reconnect attempts
+  std::uint64_t batches = 0;     ///< site WAL batch records written
+  std::uint64_t snapshots = 0;   ///< site WAL snapshot rewrites
+  std::uint64_t firings = 0;     ///< rule firings across all sites
+
+  /// Push every cluster_fields() entry into `registry` as
+  /// "<prefix><name>".
+  void publish(obs::MetricsRegistry& registry,
+               std::string_view prefix = "cluster.") const;
+};
+
 /// Rule-compiler accounting (src/compile/): one-shot codegen figures
 /// filled when the bytecode image is built, plus cumulative VM dispatch
 /// counters. Engines publish it whenever their matcher exposes one
@@ -331,6 +362,9 @@ std::span<const FieldDef<RetryStats>> retry_fields();
 
 /// Every numeric ReplStats field, in export order.
 std::span<const FieldDef<ReplStats>> repl_fields();
+
+/// Every numeric ClusterStats field, in export order.
+std::span<const FieldDef<ClusterStats>> cluster_fields();
 
 /// Every numeric CompileStats field, in export order.
 std::span<const FieldDef<CompileStats>> compile_fields();

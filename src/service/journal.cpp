@@ -17,109 +17,8 @@ constexpr char kMagic[4] = {'P', 'J', 'N', 'L'};
 
 std::string errno_text() { return std::strerror(errno); }
 
-// -- little-endian primitive encoding --
-
-class ByteWriter {
- public:
-  void u8(std::uint8_t v) { out_.push_back(static_cast<char>(v)); }
-  void u32(std::uint32_t v) { raw(&v, sizeof v); }
-  void u64(std::uint64_t v) { raw(&v, sizeof v); }
-  void i64(std::int64_t v) { raw(&v, sizeof v); }
-  void f64(double v) { raw(&v, sizeof v); }
-  void str(std::string_view s) {
-    u32(static_cast<std::uint32_t>(s.size()));
-    out_.append(s);
-  }
-  std::string take() { return std::move(out_); }
-
- private:
-  void raw(const void* p, std::size_t n) {
-    // Little-endian is assumed (as elsewhere in the tree); journals are
-    // host files, not wire data, so no byte swapping.
-    out_.append(static_cast<const char*>(p), n);
-  }
-  std::string out_;
-};
-
-class ByteReader {
- public:
-  explicit ByteReader(std::string_view data) : data_(data) {}
-
-  std::uint8_t u8() {
-    need(1);
-    return static_cast<std::uint8_t>(data_[pos_++]);
-  }
-  std::uint32_t u32() {
-    std::uint32_t v;
-    raw(&v, sizeof v);
-    return v;
-  }
-  std::uint64_t u64() {
-    std::uint64_t v;
-    raw(&v, sizeof v);
-    return v;
-  }
-  std::int64_t i64() {
-    std::int64_t v;
-    raw(&v, sizeof v);
-    return v;
-  }
-  double f64() {
-    double v;
-    raw(&v, sizeof v);
-    return v;
-  }
-  std::string str() {
-    const std::uint32_t n = u32();
-    need(n);
-    std::string s(data_.substr(pos_, n));
-    pos_ += n;
-    return s;
-  }
-  void finish() const {
-    if (pos_ != data_.size()) {
-      throw JournalError("journal record has trailing bytes");
-    }
-  }
-
- private:
-  void need(std::size_t n) const {
-    if (data_.size() - pos_ < n) {
-      throw JournalError("journal record body truncated");
-    }
-  }
-  void raw(void* p, std::size_t n) {
-    need(n);
-    std::memcpy(p, data_.data() + pos_, n);
-    pos_ += n;
-  }
-  std::string_view data_;
-  std::size_t pos_ = 0;
-};
-
-void encode_value(ByteWriter& w, const Value& v, const SymbolTable& symbols) {
-  if (v.is_int()) {
-    w.u8(0);
-    w.i64(v.as_int());
-  } else if (v.is_float()) {
-    w.u8(1);
-    w.f64(v.as_float());
-  } else {
-    // Symbols travel as text: symbol ids depend on interning order,
-    // which a recovering process does not share.
-    w.u8(2);
-    w.str(symbols.name(v.as_sym()));
-  }
-}
-
-Value decode_value(ByteReader& r, SymbolTable& symbols) {
-  switch (r.u8()) {
-    case 0: return Value::integer(r.i64());
-    case 1: return Value::real(r.f64());
-    case 2: return Value::symbol(symbols.intern(r.str()));
-    default: throw JournalError("journal record has unknown value kind");
-  }
-}
+// ByteWriter/ByteReader and the value codec moved to journal.hpp so the
+// cluster site WAL and wire codecs (src/distrib/) share one byte layout.
 
 void encode_op(ByteWriter& w, const JournalOp& op, const SymbolTable& symbols) {
   w.u8(static_cast<std::uint8_t>(op.kind));
@@ -190,6 +89,30 @@ void sync_parent_dir(const std::string& path) {
 }
 
 }  // namespace
+
+void encode_value(ByteWriter& w, const Value& v, const SymbolTable& symbols) {
+  if (v.is_int()) {
+    w.u8(0);
+    w.i64(v.as_int());
+  } else if (v.is_float()) {
+    w.u8(1);
+    w.f64(v.as_float());
+  } else {
+    // Symbols travel as text: symbol ids depend on interning order,
+    // which a recovering (or remote) process does not share.
+    w.u8(2);
+    w.str(symbols.name(v.as_sym()));
+  }
+}
+
+Value decode_value(ByteReader& r, SymbolTable& symbols) {
+  switch (r.u8()) {
+    case 0: return Value::integer(r.i64());
+    case 1: return Value::real(r.f64());
+    case 2: return Value::symbol(symbols.intern(r.str()));
+    default: throw JournalError("journal record has unknown value kind");
+  }
+}
 
 std::uint32_t crc32(const void* data, std::size_t size, std::uint32_t seed) {
   static const auto table = [] {
@@ -276,9 +199,23 @@ RecordType record_type(std::string_view payload) {
     case static_cast<std::uint8_t>(RecordType::Header):
     case static_cast<std::uint8_t>(RecordType::Snapshot):
     case static_cast<std::uint8_t>(RecordType::Batch):
+    case static_cast<std::uint8_t>(RecordType::SiteBatch):
+    case static_cast<std::uint8_t>(RecordType::SiteSnapshot):
       return static_cast<RecordType>(t);
     default:
       throw JournalError("unknown journal record type " + std::to_string(t));
+  }
+}
+
+const char* record_kind_name(std::uint8_t type) {
+  switch (type) {
+    case static_cast<std::uint8_t>(RecordType::Header): return "header";
+    case static_cast<std::uint8_t>(RecordType::Snapshot): return "snapshot";
+    case static_cast<std::uint8_t>(RecordType::Batch): return "batch";
+    case static_cast<std::uint8_t>(RecordType::SiteBatch): return "site-batch";
+    case static_cast<std::uint8_t>(RecordType::SiteSnapshot):
+      return "site-snapshot";
+    default: return "unknown";
   }
 }
 
@@ -379,32 +316,43 @@ JournalScan scan_journal(const std::string& path) {
   std::vector<std::string> payloads;
   std::size_t off = 0;
   std::uint64_t torn = 0;
+  std::string torn_kind;
+  std::uint64_t torn_offset = 0;
+  // The torn frame's record kind ("frame" when the tail is too short to
+  // carry its type byte) — recovery reports name WHAT was dropped.
+  const auto kind_at = [&](std::size_t frame_off) -> std::string {
+    if (data.size() - frame_off < 9) return "frame";
+    return record_kind_name(static_cast<std::uint8_t>(data[frame_off + 8]));
+  };
   while (off + 8 <= data.size()) {
     std::uint32_t len;
     std::uint32_t want;
     std::memcpy(&len, data.data() + off, 4);
     std::memcpy(&want, data.data() + off + 4, 4);
     // A damaged record reaching EOF is normally a torn tail — a write
-    // the crash interrupted — but only Batch records are ever appended
-    // to a live journal. Header and Snapshot records are written solely
-    // through the atomic tmp+rename rewrite, so a torn one cannot be a
-    // crash-interrupted append: it is corruption, and tolerating it
-    // would silently drop the session's base state.
+    // the crash interrupted — but only Batch/SiteBatch records are ever
+    // appended to a live journal. Header and (Site)Snapshot records are
+    // written solely through the atomic tmp+rename rewrite, so a torn
+    // one cannot be a crash-interrupted append: it is corruption, and
+    // tolerating it would silently drop the session's base state.
     const auto torn_is_atomic_record = [&](std::size_t frame_off) {
       if (data.size() - frame_off < 9) return false;  // type byte missing
       const auto t = static_cast<std::uint8_t>(data[frame_off + 8]);
       return t == static_cast<std::uint8_t>(RecordType::Header) ||
-             t == static_cast<std::uint8_t>(RecordType::Snapshot);
+             t == static_cast<std::uint8_t>(RecordType::Snapshot) ||
+             t == static_cast<std::uint8_t>(RecordType::SiteSnapshot);
     };
     if (data.size() - off - 8 < len) {
       // Frame runs past EOF: the crash interrupted this write.
       if (torn_is_atomic_record(off)) {
-        throw JournalError("torn header/snapshot record at offset " +
+        throw JournalError("torn " + kind_at(off) + " record at offset " +
                            std::to_string(off) + " in '" + path +
                            "' (these records are written atomically; "
                            "this is corruption)");
       }
       torn = data.size() - off;
+      torn_kind = kind_at(off);
+      torn_offset = off;
       break;
     }
     const std::string_view payload(data.data() + off + 8, len);
@@ -412,6 +360,8 @@ JournalScan scan_journal(const std::string& path) {
       if (off + 8 + len == data.size() && !torn_is_atomic_record(off)) {
         // Bad CRC on the final record: torn tail, not corruption.
         torn = data.size() - off;
+        torn_kind = kind_at(off);
+        torn_offset = off;
         break;
       }
       throw JournalError("journal CRC mismatch mid-file at offset " +
@@ -420,7 +370,11 @@ JournalScan scan_journal(const std::string& path) {
     payloads.emplace_back(payload);
     off += 8 + len;
   }
-  if (torn == 0 && off < data.size()) torn = data.size() - off;
+  if (torn == 0 && off < data.size()) {
+    torn = data.size() - off;
+    torn_kind = "frame";
+    torn_offset = off;
+  }
 
   if (payloads.empty()) {
     throw JournalError("journal '" + path + "' has no intact header record");
@@ -430,12 +384,19 @@ JournalScan scan_journal(const std::string& path) {
   scan.payloads.assign(std::make_move_iterator(payloads.begin() + 1),
                        std::make_move_iterator(payloads.end()));
   scan.torn_bytes = torn;
+  scan.torn_kind = std::move(torn_kind);
+  scan.torn_offset = torn_offset;
   return scan;
 }
 
 SessionJournal::SessionJournal(int fd, std::string path, bool fsync_writes,
                                JournalStats* stats)
-    : fd_(fd), path_(std::move(path)), fsync_(fsync_writes), stats_(stats) {}
+    : fd_(fd), path_(std::move(path)), fsync_(fsync_writes), stats_(stats) {
+  // Callers that don't care about counters may pass nullptr; the write
+  // path must never have to branch on it.
+  static JournalStats discard;
+  if (!stats_) stats_ = &discard;
+}
 
 SessionJournal::~SessionJournal() {
   if (fd_ >= 0) ::close(fd_);

@@ -35,6 +35,7 @@
 #pragma once
 
 #include <cstdint>
+#include <cstring>
 #include <functional>
 #include <memory>
 #include <stdexcept>
@@ -109,7 +110,21 @@ enum class RecordType : std::uint8_t {
   Header = 1,
   Snapshot = 2,
   Batch = 3,
+  /// Cluster site WAL records (src/distrib/site_journal.hpp): one
+  /// distributed site's applied peer messages + local ops per cycle,
+  /// and its checkpoint. They share this framing, CRC, torn-tail and
+  /// truncation machinery; their payload codecs live with the cluster
+  /// runtime. SiteSnapshot, like Snapshot, is written only through the
+  /// atomic rewrite, so a torn one is corruption, not a tail.
+  SiteBatch = 4,
+  SiteSnapshot = 5,
 };
+
+/// Stable human-readable name of a record type byte ("header",
+/// "snapshot", "batch", "site-batch", "site-snapshot"); "unknown" for
+/// anything else. Used by recovery reports to say WHICH record a crash
+/// tore, not just how many bytes were dropped.
+const char* record_kind_name(std::uint8_t type);
 
 /// One externally-injected working-memory op, as the client sent it.
 /// Replay re-applies it through the same Session entry points, so
@@ -173,6 +188,97 @@ struct JournalHeader {
 std::uint32_t crc32(const void* data, std::size_t size,
                     std::uint32_t seed = 0);
 
+// -- little-endian primitive codec --
+//
+// Shared by the journal record codecs here and the cluster site WAL /
+// wire codecs (src/distrib/): one byte layout for every durable or
+// shipped payload. Little-endian is assumed (as elsewhere in the tree).
+
+class ByteWriter {
+ public:
+  void u8(std::uint8_t v) { out_.push_back(static_cast<char>(v)); }
+  void u32(std::uint32_t v) { raw(&v, sizeof v); }
+  void u64(std::uint64_t v) { raw(&v, sizeof v); }
+  void i64(std::int64_t v) { raw(&v, sizeof v); }
+  void f64(double v) { raw(&v, sizeof v); }
+  void str(std::string_view s) {
+    u32(static_cast<std::uint32_t>(s.size()));
+    out_.append(s);
+  }
+  std::string take() { return std::move(out_); }
+
+ private:
+  void raw(const void* p, std::size_t n) {
+    out_.append(static_cast<const char*>(p), n);
+  }
+  std::string out_;
+};
+
+/// Throws JournalError on truncated or trailing bytes.
+class ByteReader {
+ public:
+  explicit ByteReader(std::string_view data) : data_(data) {}
+
+  std::uint8_t u8() {
+    need(1);
+    return static_cast<std::uint8_t>(data_[pos_++]);
+  }
+  std::uint32_t u32() {
+    std::uint32_t v;
+    raw(&v, sizeof v);
+    return v;
+  }
+  std::uint64_t u64() {
+    std::uint64_t v;
+    raw(&v, sizeof v);
+    return v;
+  }
+  std::int64_t i64() {
+    std::int64_t v;
+    raw(&v, sizeof v);
+    return v;
+  }
+  double f64() {
+    double v;
+    raw(&v, sizeof v);
+    return v;
+  }
+  std::string str() {
+    const std::uint32_t n = u32();
+    need(n);
+    std::string s(data_.substr(pos_, n));
+    pos_ += n;
+    return s;
+  }
+  void finish() const {
+    if (pos_ != data_.size()) {
+      throw JournalError("journal record has trailing bytes");
+    }
+  }
+
+ private:
+  void need(std::size_t n) const {
+    if (data_.size() - pos_ < n) {
+      throw JournalError("journal record body truncated");
+    }
+  }
+  void raw(void* p, std::size_t n) {
+    need(n);
+    std::memcpy(p, data_.data() + pos_, n);
+    pos_ += n;
+  }
+  std::string_view data_;
+  std::size_t pos_ = 0;
+};
+
+/// Value codec: symbols travel as TEXT and are re-interned on decode
+/// (symbol ids are interning-order-dependent; a recovering or remote
+/// process interns in a different order than the writer did). This is
+/// what makes the encoding canonical across processes: the same fact
+/// content always produces the same bytes.
+void encode_value(ByteWriter& w, const Value& v, const SymbolTable& symbols);
+Value decode_value(ByteReader& r, SymbolTable& symbols);
+
 /// `version` is overridable so tests can forge future-format files.
 std::string encode_header(const std::string& name,
                           const std::string& program_text,
@@ -202,6 +308,12 @@ struct JournalScan {
   JournalHeader header;
   std::vector<std::string> payloads;
   std::uint64_t torn_bytes = 0;  ///< dropped torn-tail bytes, if any
+  /// Which record the crash tore, when torn_bytes > 0: a
+  /// record_kind_name() string, or "frame" when the tail is too short
+  /// to even carry its type byte. Debugging a cluster chaos run needs
+  /// to know WHAT was dropped, not just how much.
+  std::string torn_kind;
+  std::uint64_t torn_offset = 0;  ///< byte offset of the torn frame
 };
 
 /// Read and CRC-check a journal. Tolerates (and counts) a torn tail;
@@ -255,7 +367,9 @@ class SessionJournal {
   int fd_ = -1;
   std::string path_;
   bool fsync_ = true;
-  JournalStats* stats_ = nullptr;  ///< never null (owner outlives us)
+  /// Counter sink; a shared discard instance when the caller passed
+  /// nullptr, so the write path never branches on it.
+  JournalStats* stats_ = nullptr;
   std::function<int()> fail_writes_;  ///< test hook (JournalConfig)
 };
 

@@ -842,6 +842,8 @@ RecoveryReport RuleService::recover_one(const std::string& path) {
     rep.facts = session->wm().alive_count();
     rep.fingerprint = session->fingerprint();
     rep.torn_bytes = scan.torn_bytes;
+    rep.torn_kind = scan.torn_kind;
+    rep.torn_offset = scan.torn_offset;
     durable->journal = SessionJournal::open_append(
         path, config_.journal.fsync, &durable->jstats,
         config_.journal.fail_writes);

@@ -189,6 +189,12 @@ struct RecoveryReport {
   std::uint64_t facts = 0;    ///< alive facts after recovery
   std::uint64_t fingerprint = 0;
   std::uint64_t torn_bytes = 0;  ///< torn-tail bytes dropped, if any
+  /// When torn_bytes > 0: which record kind the crash tore ("batch",
+  /// "site-batch", or "frame" for a headless stub) and the byte offset
+  /// of the torn frame — what an operator greps when debugging a
+  /// cluster chaos run, instead of a bare drop count.
+  std::string torn_kind;
+  std::uint64_t torn_offset = 0;
 };
 
 /// Introspection for the protocol's `resume`/`run committed=` fields.

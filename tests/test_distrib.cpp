@@ -307,6 +307,165 @@ TEST(CopyConstrain, AgreesWithDistributedEngineSiteAssignment) {
   }
 }
 
+// ------------------------------------------------ partitioning edge cases
+
+TEST(PartitionScheme, EmptyMapReplicatesEveryTemplate) {
+  // A scheme with no partitioned templates is legal: every site holds a
+  // full copy and computes the whole closure locally.
+  const Program p = parse_program(kTcProgram);
+  PartitionScheme scheme(p, {});
+  for (TemplateId t = 0; t < p.schema.size(); ++t) {
+    EXPECT_TRUE(scheme.replicated(t));
+    EXPECT_EQ(scheme.partition_slot(t), -1);
+    EXPECT_EQ(scheme.site_of(t, {Value::integer(9), Value::integer(3)}, 5),
+              0u);
+  }
+  EXPECT_TRUE(scheme.validate(p).empty());
+
+  EngineConfig ecfg;
+  ecfg.threads = 1;
+  ecfg.matcher = MatcherKind::ParallelTreat;
+  ParallelEngine shared(p, ecfg);
+  shared.assert_initial_facts();
+  shared.run();
+
+  DistConfig cfg;
+  cfg.sites = 3;
+  DistributedEngine dist(p, PartitionScheme(p, {}), cfg);
+  dist.assert_initial_facts();
+  const DistStats stats = dist.run();
+  EXPECT_TRUE(stats.run.quiescent);
+  const TemplateId path_t = *p.schema.find(p.symbols->intern("path"));
+  for (unsigned s = 0; s < 3; ++s) {
+    EXPECT_EQ(dist.site_wm(s).extent(path_t).size(), 6u) << "site " << s;
+  }
+  EXPECT_EQ(dist.global_fingerprint(), shared.wm().content_fingerprint());
+}
+
+TEST(DistributedEngine, AllFactsHashingToOneSiteStillConverges) {
+  // Pathological skew: every fact carries the same partition-slot value,
+  // so one site owns the entire slice and the rest sit idle. The cluster
+  // must still quiesce with the right answer — skew is a performance
+  // hazard, not a correctness one.
+  const Program p = parse_program(R"(
+    (deftemplate item (slot bucket) (slot id))
+    (deftemplate seen (slot bucket) (slot id))
+    (defrule mark (item (bucket ?b) (id ?i))
+      (not (seen (bucket ?b) (id ?i)))
+      => (assert (seen (bucket ?b) (id ?i))))
+    (deffacts f
+      (item (bucket 7) (id 1)) (item (bucket 7) (id 2))
+      (item (bucket 7) (id 3)) (item (bucket 7) (id 4))
+      (item (bucket 7) (id 5)) (item (bucket 7) (id 6))))");
+  PartitionScheme scheme(p, {{"item", "bucket"}, {"seen", "bucket"}});
+  DistConfig cfg;
+  cfg.sites = 4;
+  DistributedEngine dist(p, std::move(scheme), cfg);
+  dist.assert_initial_facts();
+  const DistStats stats = dist.run();
+  EXPECT_TRUE(stats.run.quiescent);
+
+  const TemplateId item_t = *p.schema.find(p.symbols->intern("item"));
+  const TemplateId seen_t = *p.schema.find(p.symbols->intern("seen"));
+  unsigned owner_sites = 0;
+  for (unsigned s = 0; s < 4; ++s) {
+    const std::size_t items = dist.site_wm(s).extent(item_t).size();
+    const std::size_t seen = dist.site_wm(s).extent(seen_t).size();
+    if (items == 0) {
+      EXPECT_EQ(seen, 0u) << "idle site " << s << " derived facts";
+      EXPECT_EQ(stats.per_site_firings[s], 0u);
+    } else {
+      ++owner_sites;
+      EXPECT_EQ(items, 6u);
+      EXPECT_EQ(seen, 6u);
+      EXPECT_EQ(stats.per_site_firings[s], 6u);
+    }
+  }
+  EXPECT_EQ(owner_sites, 1u);
+}
+
+TEST(DistributedEngine, RetractionOfPartitionedFactsRoutesToOwner) {
+  // Rules that retract partitioned facts: the retraction must land on
+  // the owning site and negative CEs over the retracted template must
+  // see the removal. Afterward no token survives anywhere.
+  const Program p = parse_program(R"(
+    (deftemplate token (slot key))
+    (deftemplate used (slot key))
+    (defrule consume ?t <- (token (key ?k))
+      => (retract ?t) (assert (used (key ?k))))
+    (deffacts f
+      (token (key 1)) (token (key 2)) (token (key 3))
+      (token (key 4)) (token (key 5))))");
+  PartitionScheme scheme(p, {{"token", "key"}, {"used", "key"}});
+  DistConfig cfg;
+  cfg.sites = 3;
+  DistributedEngine dist(p, std::move(scheme), cfg);
+  dist.assert_initial_facts();
+  const DistStats stats = dist.run();
+  EXPECT_TRUE(stats.run.quiescent);
+
+  const TemplateId token_t = *p.schema.find(p.symbols->intern("token"));
+  const TemplateId used_t = *p.schema.find(p.symbols->intern("used"));
+  std::size_t tokens = 0, used = 0;
+  for (unsigned s = 0; s < 3; ++s) {
+    tokens += dist.site_wm(s).extent(token_t).size();
+    used += dist.site_wm(s).extent(used_t).size();
+  }
+  EXPECT_EQ(tokens, 0u);
+  EXPECT_EQ(used, 5u);
+
+  // Shared-memory reference agrees bit-for-bit.
+  EngineConfig ecfg;
+  ecfg.threads = 1;
+  ecfg.matcher = MatcherKind::ParallelTreat;
+  ParallelEngine shared(p, ecfg);
+  shared.assert_initial_facts();
+  shared.run();
+  EXPECT_EQ(dist.global_fingerprint(), shared.wm().content_fingerprint());
+}
+
+TEST(CopyConstrain, ConstrainedCopiesHandleRetractingRules) {
+  // The literal transformation with a retracting rule: each constrained
+  // copy retracts only its own slice's tokens from the full fact set,
+  // so the union of survivors across copies is exactly the full set of
+  // `used` facts and (site_count - 1) stale copies of each token —
+  // i.e. every copy retracted precisely the tokens its guard admits.
+  const Program p = parse_program(R"(
+    (deftemplate token (slot key))
+    (deftemplate used (slot key))
+    (defrule consume ?t <- (token (key ?k))
+      => (retract ?t) (assert (used (key ?k))))
+    (deffacts f
+      (token (key 1)) (token (key 2)) (token (key 3))
+      (token (key 4)) (token (key 5))))");
+  PartitionScheme scheme(p, {{"token", "key"}, {"used", "key"}});
+  const TemplateId token_t = *p.schema.find(p.symbols->intern("token"));
+  const TemplateId used_t = *p.schema.find(p.symbols->intern("used"));
+
+  EngineConfig cfg;
+  cfg.threads = 1;
+  cfg.matcher = MatcherKind::ParallelTreat;
+  constexpr unsigned kSites = 3;
+  std::set<std::int64_t> used_union;
+  std::size_t surviving_tokens = 0;
+  std::vector<Program> copies;
+  copies.reserve(kSites);
+  for (unsigned s = 0; s < kSites; ++s) {
+    copies.push_back(constrain_copy(p, scheme, s, kSites));
+    ParallelEngine engine(copies.back(), cfg);
+    engine.assert_initial_facts();  // FULL fact set at every site
+    engine.run();
+    surviving_tokens += engine.wm().extent(token_t).size();
+    for (FactId id : engine.wm().extent(used_t)) {
+      used_union.insert(engine.wm().view(id).slot(0).as_int());
+    }
+  }
+  EXPECT_EQ(used_union, (std::set<std::int64_t>{1, 2, 3, 4, 5}));
+  // 5 tokens x 3 copies = 15 instances; each token retracted exactly
+  // once (by its owner's copy) leaves 10 stale replicas.
+  EXPECT_EQ(surviving_tokens, 5u * (kSites - 1));
+}
+
 TEST(DistributedEngine, TracedMessageCurveMatchesTotals) {
   const auto w = workloads::make_tc(12, 30, 23);
   const Program p = parse_program(w.source);

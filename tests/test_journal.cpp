@@ -534,6 +534,37 @@ TEST(DurableProtocol, SnapshotTruncationBoundsTheFileAndKeepsState) {
 
 // ------------------------------- fail-closed: torn atomic records, ENOSPC
 
+TEST(JournalScanTest, TornReportNamesTheRecordKindAndByteOffset) {
+  TempDir dir("torn_kind");
+  const std::string bytes = build_journal(dir, 2);
+  const std::string path = (dir.path / "s.wal").string();
+
+  const JournalScan full = scan_journal(path);
+  ASSERT_EQ(full.payloads.size(), 2u);
+  EXPECT_TRUE(full.torn_kind.empty());
+  const std::size_t last_start =
+      bytes.size() - (8 + full.payloads.back().size());
+
+  // A cut past the last record's type byte: the report names WHICH
+  // record kind the crash tore and where its frame starts, so an
+  // operator can tell a torn batch (normal crash debris) from a torn
+  // snapshot (atomic-rewrite machinery failed).
+  write_bytes(path, bytes.substr(0, last_start + 9));
+  JournalScan scan = scan_journal(path);
+  EXPECT_EQ(scan.payloads.size(), 1u);
+  EXPECT_GT(scan.torn_bytes, 0u);
+  EXPECT_EQ(scan.torn_kind, "batch");
+  EXPECT_EQ(scan.torn_offset, last_start);
+
+  // A cut INSIDE the 8-byte frame header: not even the type byte
+  // survived, so the kind degrades to "frame" at the same offset.
+  write_bytes(path, bytes.substr(0, last_start + 5));
+  scan = scan_journal(path);
+  EXPECT_EQ(scan.payloads.size(), 1u);
+  EXPECT_EQ(scan.torn_kind, "frame");
+  EXPECT_EQ(scan.torn_offset, last_start);
+}
+
 TEST(JournalScanTest, TornHeaderRecordQuarantinesNotCrashes) {
   TempDir dir("torn_header");
   const std::string bytes = build_journal(dir, 1);

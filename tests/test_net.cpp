@@ -854,6 +854,44 @@ std::uint16_t dead_port() {
   return ntohs(addr.sin_port);
 }
 
+TEST(RetryBackoff, FullJitterStaysInWindowAndSaturatesInsteadOfOverflowing) {
+  RetryConfig cfg;
+  cfg.backoff_base_ms = 100;
+  cfg.backoff_max_ms = 1'000;
+  cfg.seed = 42;
+  RetryClient client(cfg);
+
+  // Attempt k draws uniform in [0, min(base * 2^(k-1), max)]; sample
+  // each window enough that a mis-sized window would show.
+  const std::uint64_t windows[] = {100, 200, 400, 800, 1'000, 1'000};
+  for (unsigned attempt = 1; attempt <= 6; ++attempt) {
+    const std::uint64_t ceiling = windows[attempt - 1];
+    std::uint64_t seen_max = 0;
+    for (int i = 0; i < 400; ++i) {
+      const std::uint64_t d = client.backoff_delay_ms(attempt);
+      EXPECT_LE(d, ceiling) << "attempt=" << attempt;
+      seen_max = std::max(seen_max, d);
+    }
+    // Full jitter uses the WHOLE window (not e.g. [ceiling/2, ceiling]).
+    EXPECT_GT(seen_max, ceiling / 2) << "attempt=" << attempt;
+  }
+
+  // The exponent saturates: attempt 200 would shift 2^199 and wrap to a
+  // near-zero delay (a tight retry hammer) if computed naively.
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_LE(client.backoff_delay_ms(200), 1'000u);
+  }
+
+  // A base already past max clamps down rather than doubling away.
+  RetryConfig big;
+  big.backoff_base_ms = 50'000;
+  big.backoff_max_ms = 300;
+  RetryClient clamped(big);
+  for (unsigned attempt = 1; attempt <= 8; ++attempt) {
+    EXPECT_LE(clamped.backoff_delay_ms(attempt), 300u);
+  }
+}
+
 TEST(RetryFailover, DeadClusterYieldsTerminalGiveUp) {
   // Every endpoint refuses: exec() must rotate through the whole list,
   // burn its bounded attempt budget, and return false — the terminal
